@@ -1,0 +1,45 @@
+//! Ablation over the §6 heuristics: how many benchmarks still check when each
+//! heuristic is disabled.  (Experiment E5 in DESIGN.md.)
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use birelcost::{Engine, Heuristics};
+use rel_suite::{all_benchmarks, VerificationStatus};
+use rel_syntax::parse_program;
+
+fn count_checked(engine: &Engine) -> usize {
+    all_benchmarks()
+        .iter()
+        .filter(|b| b.status == VerificationStatus::Verified)
+        .filter(|b| {
+            let program = parse_program(b.source).expect("benchmark parses");
+            engine.check_program(&program).all_ok()
+        })
+        .count()
+}
+
+fn ablation(c: &mut Criterion) {
+    println!("\n{:<28} {:>18}", "Configuration", "benchmarks checked");
+    let configs: Vec<(&str, Heuristics)> = vec![
+        ("all heuristics", Heuristics::all()),
+        ("without 1 (cons ∨)", Heuristics::all().without(1)),
+        ("without 2 (split/nochange)", Heuristics::all().without(2)),
+        ("without 4 (lazy box elim)", Heuristics::all().without(4)),
+        ("without 5 (unary fallback)", Heuristics::all().without(5)),
+        ("no heuristics", Heuristics::none()),
+    ];
+    for (name, h) in &configs {
+        let engine = Engine::new().with_heuristics(*h);
+        println!("{:<28} {:>18}", name, count_checked(&engine));
+    }
+    let engine = Engine::new();
+    c.bench_function("check_verified_suite_all_heuristics", |bench| {
+        bench.iter(|| count_checked(&engine));
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! The paper's "annotation effort" claim (§6): annotations are needed only at
+//! top-level definitions (one example needs one extra annotation).  This
+//! bench prints the per-benchmark annotation counts and times the counting
+//! (trivially fast — the table is the point).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rel_suite::all_benchmarks;
+use rel_syntax::parse_program;
+
+fn annotations(c: &mut Criterion) {
+    println!("\n{:<10} {:>6} {:>12}", "Benchmark", "defs", "annotations");
+    let mut parsed = Vec::new();
+    for b in all_benchmarks() {
+        let program = parse_program(b.source).expect("benchmark parses");
+        println!(
+            "{:<10} {:>6} {:>12}",
+            b.name,
+            program.len(),
+            program.annotation_count()
+        );
+        parsed.push(program);
+    }
+    c.bench_function("annotation_count", |bench| {
+        bench.iter(|| parsed.iter().map(rel_syntax::Program::annotation_count).sum::<usize>());
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = annotations
+}
+criterion_main!(benches);

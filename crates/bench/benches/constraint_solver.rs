@@ -1,0 +1,60 @@
+//! Microbenchmarks of the constraint pipeline (the component the paper
+//! delegates to Why3 + Alt-Ergo): symbolic linear goals, existential
+//! elimination, and the merge-sort recurrence handled by the numeric layer.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rel_constraint::lemmas::big_q;
+use rel_constraint::{Constr, Solver};
+use rel_index::{Idx, IdxVar, Sort};
+
+fn solver(c: &mut Criterion) {
+    let universals = vec![
+        (IdxVar::new("n"), Sort::Nat),
+        (IdxVar::new("a"), Sort::Nat),
+    ];
+    c.bench_function("solve_linear_goal", |b| {
+        let goal = Constr::leq(Idx::var("a"), Idx::var("a") + Idx::var("n"));
+        b.iter(|| {
+            let mut s = Solver::new();
+            assert!(s.entails(&universals, &Constr::Top, &goal).is_valid());
+        });
+    });
+    c.bench_function("solve_existential_goal", |b| {
+        let goal = Constr::exists(
+            "i",
+            Sort::Nat,
+            Constr::eq(Idx::var("n"), Idx::var("i") + Idx::one()),
+        );
+        let hyp = Constr::leq(Idx::one(), Idx::var("n"));
+        b.iter(|| {
+            let mut s = Solver::new();
+            assert!(s.entails(&universals, &hyp, &goal).is_valid());
+        });
+    });
+    c.bench_function("solve_msort_recurrence", |b| {
+        let u = vec![
+            (IdxVar::new("n"), Sort::Nat),
+            (IdxVar::new("alpha"), Sort::Nat),
+            (IdxVar::new("beta"), Sort::Nat),
+        ];
+        let hyp = Constr::leq(Idx::one(), Idx::var("alpha"))
+            .and(Constr::leq(Idx::var("beta"), Idx::var("alpha")))
+            .and(Constr::leq(Idx::var("alpha"), Idx::var("n")))
+            .and(Constr::leq(Idx::nat(2), Idx::var("n")));
+        let lhs = Idx::half_ceil(Idx::var("n"))
+            + big_q(Idx::half_ceil(Idx::var("n")), Idx::var("beta"))
+            + big_q(Idx::half_floor(Idx::var("n")), Idx::var("alpha") - Idx::var("beta"));
+        let goal = Constr::leq(lhs, big_q(Idx::var("n"), Idx::var("alpha")));
+        b.iter(|| {
+            let mut s = Solver::new();
+            assert!(s.entails(&u, &hyp, &goal).is_valid());
+        });
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = solver
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Experiment E4 (DESIGN.md): empirical validation of relative-cost bounds.
+//! For `map`-style workloads, measures cost(e1) − cost(e2) on inputs that
+//! differ in α positions and compares the measured difference against the
+//! typed bound shape (t·α with t the per-element cost).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rel_eval::{eval, Env};
+use rel_suite::generators::{apply_spine, list_literal, Workload};
+use rel_syntax::parse_program;
+
+fn relative_cost(c: &mut Criterion) {
+    let program = parse_program(rel_suite::benchmark("appSum").unwrap().source).unwrap();
+    let def = program.def("suml").unwrap();
+    println!("\n{:<8} {:>8} {:>14} {:>14}", "n", "alpha", "measured |Δcost|", "bound (0)");
+    for (n, alpha) in [(8usize, 2usize), (16, 4), (32, 8), (64, 16)] {
+        let w = Workload::generate(n, alpha, 42);
+        let run = |items: &[i64]| {
+            let call = apply_spine(def.left.clone(), 2, list_literal(items));
+            eval(&call, &Env::new()).unwrap().cost as i64
+        };
+        let diff = (run(&w.left) - run(&w.right)).abs();
+        println!("{:<8} {:>8} {:>14} {:>14}", n, w.differing, diff, 0);
+        assert_eq!(diff, 0, "suml is structure-synchronous: relative cost must be 0");
+    }
+    let w = Workload::generate(64, 8, 7);
+    c.bench_function("eval_suml_64", |bench| {
+        bench.iter(|| {
+            let call = apply_spine(def.left.clone(), 2, list_literal(&w.left));
+            eval(&call, &Env::new()).unwrap().cost
+        });
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = relative_cost
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Regenerates Table 1 of the paper: per-benchmark wall-clock time for the
+//! whole pipeline, split into type checking, existential elimination and
+//! constraint solving.  Criterion measures the end-to-end check; the split is
+//! printed once per benchmark from the engine's own timers.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use birelcost::Engine;
+use rel_suite::all_benchmarks;
+use rel_syntax::parse_program;
+
+fn table1(c: &mut Criterion) {
+    let engine = Engine::new();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    println!(
+        "\n{:<10} {:>10} {:>12} {:>14} {:>12}  result",
+        "Benchmark", "total(s)", "typecheck(s)", "exist.elim(s)", "solving(s)"
+    );
+    for b in all_benchmarks() {
+        let program = parse_program(b.source).expect("benchmark parses");
+        if b.status != rel_suite::VerificationStatus::Verified {
+            println!(
+                "{:<10} {:>10} {:>12} {:>14} {:>12}  not verified (skipped; see EXPERIMENTS.md)",
+                b.name, "-", "-", "-", "-"
+            );
+            continue;
+        }
+        // One instrumented run for the printed table row.
+        let report = engine.check_program(&program);
+        let timings = report.def(b.main_def).map(|d| d.timings).unwrap_or_default();
+        println!(
+            "{:<10} {:>10.3} {:>12.3} {:>14.3} {:>12.3}  {}",
+            b.name,
+            report.total_time().as_secs_f64(),
+            timings.typecheck.as_secs_f64(),
+            timings.existential_elim.as_secs_f64(),
+            timings.solving.as_secs_f64(),
+            if report.all_ok() { "checked" } else { "not verified" }
+        );
+        // Criterion timing of the full pipeline.
+        group.bench_function(b.name, |bench| {
+            bench.iter(|| engine.check_program(&program));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = table1
+}
+criterion_main!(benches);

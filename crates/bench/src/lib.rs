@@ -1,0 +1,6 @@
+//! Shared helpers for the criterion benchmark harness (see `benches/`).
+//!
+//! The benchmarks regenerate the paper's evaluation: Table 1 (`table1`), the
+//! annotation-effort claim (`annotations`), the empirical relative-cost
+//! validation (`relative_cost`), the heuristics ablation (`ablation`) and the
+//! constraint-pipeline microbenchmarks (`constraint_solver`).

@@ -1,0 +1,120 @@
+//! `birelcost` — command-line front end for the BiRelCost checker.
+//!
+//! ```text
+//! birelcost check FILE...      type check one or more .rc programs
+//! birelcost table1             re-run the Table-1 benchmark suite
+//! birelcost list               list the bundled benchmarks
+//! ```
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+use birelcost::Engine;
+use rel_suite::{all_benchmarks, VerificationStatus};
+use rel_syntax::parse_program;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) if cmd == "check" => check_files(rest),
+        Some((cmd, _)) if cmd == "table1" => table1(),
+        Some((cmd, _)) if cmd == "list" => list(),
+        _ => {
+            eprintln!("usage: birelcost <check FILE...|table1|list>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check_files(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        eprintln!("birelcost check: no input files");
+        return ExitCode::from(2);
+    }
+    let engine = Engine::new();
+    let mut ok = true;
+    for file in files {
+        let source = match fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{file}: cannot read: {e}");
+                ok = false;
+                continue;
+            }
+        };
+        match parse_program(&source) {
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                ok = false;
+            }
+            Ok(program) => {
+                let report = engine.check_program(&program);
+                for def in &report.defs {
+                    let status = if def.ok { "ok" } else { "FAIL" };
+                    println!(
+                        "{file}: {:<12} {:<4}  total {:?}  (tc {:?}, exelim {:?}, solve {:?})",
+                        def.name,
+                        status,
+                        def.timings.total(),
+                        def.timings.typecheck,
+                        def.timings.existential_elim,
+                        def.timings.solving
+                    );
+                    if let Some(err) = &def.error {
+                        println!("{file}:   reason: {err}");
+                    }
+                }
+                ok &= report.all_ok();
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn table1() -> ExitCode {
+    let engine = Engine::new();
+    println!(
+        "{:<10} {:>10} {:>12} {:>14} {:>12}  result",
+        "Benchmark", "total(s)", "typecheck(s)", "exist.elim(s)", "solving(s)"
+    );
+    for b in all_benchmarks() {
+        let program = match parse_program(b.source) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{:<10} parse error: {e}", b.name);
+                continue;
+            }
+        };
+        let report = engine.check_program(&program);
+        let timings = report
+            .def(b.main_def)
+            .map(|d| d.timings)
+            .unwrap_or_default();
+        println!(
+            "{:<10} {:>10.3} {:>12.3} {:>14.3} {:>12.3}  {}",
+            b.name,
+            report.total_time().as_secs_f64(),
+            timings.typecheck.as_secs_f64(),
+            timings.existential_elim.as_secs_f64(),
+            timings.solving.as_secs_f64(),
+            if report.all_ok() { "checked" } else { "not verified" }
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn list() -> ExitCode {
+    for b in all_benchmarks() {
+        let status = match b.status {
+            VerificationStatus::Verified => "verified",
+            VerificationStatus::Unverified => "unverified",
+        };
+        println!("{:<10} [{status:>10}]  {}", b.name, b.description);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,415 @@
+//! Existential-variable elimination by candidate substitution.
+//!
+//! Constraints produced by the bidirectional rules contain existentially
+//! quantified variables: sizes of list tails (`alg-r-consC-↓`) and costs of
+//! checked arguments (`alg-r-app-↑`).  Off-the-shelf SMT solvers handle such
+//! variables poorly, so the paper's implementation runs a pre-processing pass
+//! that *guesses* substitutions for them: for an existential variable `v`, any
+//! constraint of the form `v = I`, `v ≤ I` or `I ≤ v` syntactically present in
+//! the formula makes `I` a candidate.  Candidates are tried lazily — generate
+//! one, substitute, ask the solver; on failure move on to the next — exactly
+//! as described in §6.
+
+use std::collections::BTreeMap;
+
+use rel_index::{Idx, IdxVar, Sort};
+
+use crate::constr::{Constr, Quantified};
+use crate::solver::{Solver, Validity};
+
+/// Statistics from one elimination run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExElimStats {
+    /// Number of existential variables eliminated.
+    pub variables: usize,
+    /// Number of complete candidate assignments tried.
+    pub attempts: usize,
+}
+
+/// Result of eliminating the existentials of one goal.
+#[derive(Debug, Clone)]
+pub struct ExElimOutcome {
+    /// `Some(Valid)` when a candidate assignment made the goal provable,
+    /// `Some(Invalid)`/`Some(Unknown)` never (failed candidates simply move
+    /// on), `None` when no assignment worked.
+    pub validity: Option<Validity>,
+    /// The substitution that worked, if any.
+    pub witness: Option<BTreeMap<IdxVar, Idx>>,
+    /// Statistics.
+    pub stats: ExElimStats,
+}
+
+/// Strips existential quantifiers from a constraint, returning the matrix and
+/// the list of stripped variables (prefix order).
+fn strip_existentials(c: &Constr) -> (Constr, Vec<Quantified>) {
+    match c {
+        Constr::Exists(q, body) => {
+            let (inner, mut vars) = strip_existentials(body);
+            vars.insert(0, q.clone());
+            (inner, vars)
+        }
+        Constr::And(cs) => {
+            let mut vars = Vec::new();
+            let mut parts = Vec::new();
+            for c in cs {
+                let (inner, vs) = strip_existentials(c);
+                vars.extend(vs);
+                parts.push(inner);
+            }
+            (Constr::conj(parts), vars)
+        }
+        Constr::Implies(a, b) => {
+            // Existentials under the conclusion of an implication can be
+            // hoisted (the antecedent never binds them); existentials in the
+            // antecedent are left untouched (they are really universals).
+            let (inner, vars) = strip_existentials(b);
+            (Constr::Implies(a.clone(), Box::new(inner)), vars)
+        }
+        Constr::Forall(q, body) => {
+            let (inner, vars) = strip_existentials(body);
+            (Constr::Forall(q.clone(), Box::new(inner)), vars)
+        }
+        other => (other.clone(), Vec::new()),
+    }
+}
+
+/// Collects candidate substitutions for `v` from atomic comparisons in the
+/// formula: `v = I`, `v ≤ I` and `I ≤ v` each contribute `I` (paper §6,
+/// "Constraint solving").  The variable may occur *linearly inside* the
+/// comparison (the consC rule produces `n ≐ i + 1` for existential `i`), in
+/// which case the comparison is solved for `v`.  Candidates mentioning `v`
+/// itself are skipped.
+fn candidates_for(v: &IdxVar, c: &Constr, acc: &mut Vec<Idx>) {
+    match c {
+        Constr::Eq(a, b) | Constr::Leq(a, b) | Constr::Lt(a, b) => {
+            if let Some(solution) = solve_linear_for(v, a, b) {
+                push_unique(acc, solution);
+            }
+        }
+        Constr::And(cs) | Constr::Or(cs) => {
+            for c in cs {
+                candidates_for(v, c, acc);
+            }
+        }
+        Constr::Not(c) => candidates_for(v, c, acc),
+        Constr::Implies(a, b) => {
+            candidates_for(v, a, acc);
+            candidates_for(v, b, acc);
+        }
+        Constr::Forall(_, c) | Constr::Exists(_, c) => candidates_for(v, c, acc),
+        Constr::Top | Constr::Bot => {}
+    }
+}
+
+fn push_unique(acc: &mut Vec<Idx>, idx: Idx) {
+    let idx = rel_index::normalize(&idx);
+    if !acc.contains(&idx) {
+        acc.push(idx);
+    }
+}
+
+/// Solves the comparison `a ⋈ b` for `v` when `v` occurs linearly (as the
+/// plain atom `v`) on exactly one "side" of the linear normal form of
+/// `a − b`: returns the boundary value of `v`, i.e. the term `I` such that the
+/// comparison instantiated with `v := I` makes the two sides equal.
+fn solve_linear_for(v: &IdxVar, a: &Idx, b: &Idx) -> Option<Idx> {
+    use rel_index::{Atom, LinExpr};
+    let diff = LinExpr::of_idx(a).sub(&LinExpr::of_idx(b));
+    let v_atom = Atom(Idx::Var(v.clone()));
+    let coeff = *diff.coeffs.get(&v_atom)?;
+    if coeff.is_zero() {
+        return None;
+    }
+    // The variable must not be buried inside any other (non-linear) atom.
+    if diff
+        .coeffs
+        .keys()
+        .any(|atom| *atom != v_atom && atom.0.mentions(v))
+    {
+        return None;
+    }
+    // diff = coeff·v + rest = 0  ⟹  v = −rest / coeff.
+    let mut rest = diff.clone();
+    rest.coeffs.remove(&v_atom);
+    let solution = rest.scale(rel_index::Rational::from_int(-1) / coeff).to_idx();
+    if solution.mentions(v) {
+        None
+    } else {
+        Some(solution)
+    }
+}
+
+/// Eliminates the existentials of `goal` by lazily trying candidate
+/// substitutions and asking `solver` to validate each resulting
+/// existential-free constraint.
+pub fn eliminate_existentials(
+    solver: &mut Solver,
+    universals: &[(IdxVar, Sort)],
+    hyp: &Constr,
+    goal: &Constr,
+) -> ExElimOutcome {
+    let (matrix, ex_vars) = strip_existentials(goal);
+    let mut stats = ExElimStats {
+        variables: ex_vars.len(),
+        attempts: 0,
+    };
+    if ex_vars.is_empty() {
+        let v = solver.entails_no_exists(universals, hyp, &matrix);
+        return ExElimOutcome {
+            validity: Some(v),
+            witness: Some(BTreeMap::new()),
+            stats,
+        };
+    }
+
+    // Gather candidates per variable: from the matrix first, then defaults.
+    let mut all_candidates: Vec<(Quantified, Vec<Idx>)> = Vec::new();
+    for q in &ex_vars {
+        let mut cands = Vec::new();
+        candidates_for(&q.var, &matrix, &mut cands);
+        candidates_for(&q.var, hyp, &mut cands);
+        // Defaults: zero is a frequent witness for cost variables (synchronous
+        // executions).
+        push_unique(&mut cands, Idx::zero());
+        // Prefer syntactically small candidates (ground constants resolve
+        // most size variables immediately; the lazy search then rarely needs
+        // to move past the first assignment).
+        cands.sort_by_key(Idx::size);
+        all_candidates.push((q.clone(), cands));
+    }
+
+    let max_attempts = solver.config().max_exelim_attempts;
+    let mut assignment: Vec<usize> = vec![0; all_candidates.len()];
+
+    loop {
+        if stats.attempts >= max_attempts {
+            break;
+        }
+        // Build the substitution for the current assignment, resolving
+        // candidates that mention other existential variables by iterating
+        // substitution until a fixed point (or giving up on that assignment).
+        let mut subst: BTreeMap<IdxVar, Idx> = BTreeMap::new();
+        for (i, (q, cands)) in all_candidates.iter().enumerate() {
+            subst.insert(q.var.clone(), cands[assignment[i]].clone());
+        }
+        let resolved = resolve_mutual(&subst, &ex_vars);
+
+        if let Some(resolved) = resolved {
+            stats.attempts += 1;
+            solver.note_exelim_attempt();
+            let mut instantiated = matrix.clone();
+            for (v, idx) in &resolved {
+                instantiated = instantiated.subst(v, idx);
+            }
+            if solver
+                .entails_no_exists(universals, hyp, &instantiated)
+                .is_valid()
+            {
+                return ExElimOutcome {
+                    validity: Some(Validity::Valid),
+                    witness: Some(resolved),
+                    stats,
+                };
+            }
+        }
+
+        // Advance the candidate odometer.
+        let mut i = 0;
+        loop {
+            if i == assignment.len() {
+                return ExElimOutcome {
+                    validity: None,
+                    witness: None,
+                    stats,
+                };
+            }
+            assignment[i] += 1;
+            if assignment[i] < all_candidates[i].1.len() {
+                break;
+            }
+            assignment[i] = 0;
+            i += 1;
+        }
+    }
+
+    ExElimOutcome {
+        validity: None,
+        witness: None,
+        stats,
+    }
+}
+
+/// Resolves candidates that mention other existential variables by repeated
+/// substitution; returns `None` if a cyclic dependency prevents resolution.
+fn resolve_mutual(
+    subst: &BTreeMap<IdxVar, Idx>,
+    ex_vars: &[Quantified],
+) -> Option<BTreeMap<IdxVar, Idx>> {
+    let ex_names: Vec<&IdxVar> = ex_vars.iter().map(|q| &q.var).collect();
+    let mut out = subst.clone();
+    for _ in 0..=ex_vars.len() {
+        let mut changed = false;
+        let snapshot = out.clone();
+        for (_v, idx) in out.iter_mut() {
+            for w in &ex_names {
+                if idx.mentions(w) {
+                    let replacement = snapshot.get(*w)?.clone();
+                    if replacement.mentions(w) {
+                        // Self-referential candidate: unusable.
+                        return None;
+                    }
+                    *idx = idx.subst(w, &replacement);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            // Verify no existential variable remains anywhere.
+            if out
+                .values()
+                .all(|i| ex_names.iter().all(|w| !i.mentions(w)))
+            {
+                return Some(out);
+            }
+            return None;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveConfig;
+
+    fn nat_universals(names: &[&str]) -> Vec<(IdxVar, Sort)> {
+        names.iter().map(|n| (IdxVar::new(*n), Sort::Nat)).collect()
+    }
+
+    #[test]
+    fn strip_collects_nested_existentials() {
+        let c = Constr::exists(
+            "i",
+            Sort::Nat,
+            Constr::eq(Idx::var("i"), Idx::var("n")).and(Constr::exists(
+                "b",
+                Sort::Nat,
+                Constr::leq(Idx::var("b"), Idx::var("i")),
+            )),
+        );
+        let (matrix, vars) = strip_existentials(&c);
+        assert_eq!(vars.len(), 2);
+        assert!(matrix.existential_vars().is_empty());
+    }
+
+    #[test]
+    fn equality_candidates_are_found_and_used() {
+        let mut s = Solver::new();
+        let u = nat_universals(&["n", "alpha"]);
+        // The archetypal consC constraint: ∃ i, β. n = i + 1 ∧ α = β + 1 ∧ i ≤ n ∧ β ≤ α
+        let goal = Constr::exists(
+            "i",
+            Sort::Nat,
+            Constr::exists(
+                "beta",
+                Sort::Nat,
+                Constr::eq(Idx::var("n"), Idx::var("i") + Idx::one())
+                    .and(Constr::eq(Idx::var("alpha"), Idx::var("beta") + Idx::one()))
+                    .and(Constr::leq(Idx::var("i"), Idx::var("n")))
+                    .and(Constr::leq(Idx::var("beta"), Idx::var("alpha"))),
+            ),
+        );
+        let hyp = Constr::leq(Idx::one(), Idx::var("n")).and(Constr::leq(Idx::one(), Idx::var("alpha")));
+        let out = eliminate_existentials(&mut s, &u, &hyp, &goal);
+        assert!(matches!(out.validity, Some(Validity::Valid)));
+        let w = out.witness.unwrap();
+        assert_eq!(
+            rel_index::LinExpr::of_idx(&w[&IdxVar::new("i")]),
+            rel_index::LinExpr::of_idx(&(Idx::var("n") - Idx::one()))
+        );
+    }
+
+    #[test]
+    fn upper_bound_candidates_work_for_cost_variables() {
+        let mut s = Solver::new();
+        let u = nat_universals(&["t"]);
+        // ∃ t2. t2 ≤ t ∧ 0 ≤ t2  — witness t2 := 0 (default candidate) or t.
+        let goal = Constr::exists(
+            "t2",
+            Sort::Real,
+            Constr::leq(Idx::var("t2"), Idx::var("t")).and(Constr::leq(Idx::zero(), Idx::var("t2"))),
+        );
+        let out = eliminate_existentials(&mut s, &u, &Constr::Top, &goal);
+        assert!(matches!(out.validity, Some(Validity::Valid)));
+    }
+
+    #[test]
+    fn lower_bound_candidates_work_for_inferred_costs() {
+        let mut s = Solver::new();
+        let u = nat_universals(&["c", "t"]);
+        // ∃ t2. c ≤ t2 ∧ t2 + 1 ≤ t, given c + 1 ≤ t.  Witness t2 := c.
+        let hyp = Constr::leq(Idx::var("c") + Idx::one(), Idx::var("t"));
+        let goal = Constr::exists(
+            "t2",
+            Sort::Real,
+            Constr::leq(Idx::var("c"), Idx::var("t2"))
+                .and(Constr::leq(Idx::var("t2") + Idx::one(), Idx::var("t"))),
+        );
+        let out = eliminate_existentials(&mut s, &u, &hyp, &goal);
+        assert!(matches!(out.validity, Some(Validity::Valid)));
+        assert_eq!(out.witness.unwrap()[&IdxVar::new("t2")], Idx::var("c"));
+    }
+
+    #[test]
+    fn chained_candidates_resolve_mutually() {
+        let mut s = Solver::new();
+        let u = nat_universals(&["n"]);
+        // ∃ a b. a = b + 1 ∧ b = n ∧ a ≤ n + 1
+        let goal = Constr::exists(
+            "a",
+            Sort::Nat,
+            Constr::exists(
+                "b",
+                Sort::Nat,
+                Constr::eq(Idx::var("a"), Idx::var("b") + Idx::one())
+                    .and(Constr::eq(Idx::var("b"), Idx::var("n")))
+                    .and(Constr::leq(Idx::var("a"), Idx::var("n") + Idx::one())),
+            ),
+        );
+        let out = eliminate_existentials(&mut s, &u, &Constr::Top, &goal);
+        assert!(matches!(out.validity, Some(Validity::Valid)));
+    }
+
+    #[test]
+    fn unsatisfiable_existentials_report_no_witness() {
+        let mut s = Solver::with_config(SolveConfig {
+            max_exelim_attempts: 32,
+            ..SolveConfig::default()
+        });
+        let u = nat_universals(&["n"]);
+        // ∃ i. i = n ∧ i = n + 1  — no candidate can satisfy both.
+        let goal = Constr::exists(
+            "i",
+            Sort::Nat,
+            Constr::eq(Idx::var("i"), Idx::var("n"))
+                .and(Constr::eq(Idx::var("i"), Idx::var("n") + Idx::one())),
+        );
+        let out = eliminate_existentials(&mut s, &u, &Constr::Top, &goal);
+        assert!(out.validity.is_none());
+        assert!(out.stats.attempts >= 2);
+    }
+
+    #[test]
+    fn solver_entry_point_integrates_elimination() {
+        let mut s = Solver::new();
+        let u = nat_universals(&["n"]);
+        let goal = Constr::exists(
+            "i",
+            Sort::Nat,
+            Constr::eq(Idx::var("n"), Idx::var("i") + Idx::one()),
+        );
+        // Valid only when n ≥ 1.
+        let hyp = Constr::leq(Idx::one(), Idx::var("n"));
+        assert!(s.entails(&u, &hyp, &goal).is_valid());
+    }
+}

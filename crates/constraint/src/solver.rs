@@ -1,0 +1,816 @@
+//! Validity checking for existential-free constraints.
+//!
+//! The checker decides (best-effort) entailments of the form
+//! `∀ ∆, ψₐ.  Φₐ ⟹ Φ`, the judgement the paper delegates to Why3 + Alt-Ergo.
+//! It is layered:
+//!
+//! 1. **Symbolic layer** — linear arithmetic over exact rationals: hypothesis
+//!    equalities are used as rewrites, the lemma table of [`crate::lemmas`]
+//!    saturates facts about non-linear atoms, and a greedy positive-combination
+//!    search discharges the goal when it is a consequence of the linear facts.
+//! 2. **Numeric layer** — a bounded-exhaustive + randomized evaluation of the
+//!    implication over a grid of values of the universally quantified index
+//!    variables.  This layer both *refutes* invalid constraints (producing a
+//!    counterexample) and, when configured as decisive (the default, matching
+//!    DESIGN.md §4), *accepts* constraints that hold on the whole grid.
+//!
+//! The statistics collected ([`SolveStats`]) feed the Table-1 style timing
+//! breakdown reported by the engine.
+
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rel_index::{Atom, Extended, Idx, IdxEnv, IdxVar, LinExpr, Rational, Sort};
+
+use crate::constr::Constr;
+use crate::exelim;
+use crate::lemmas;
+
+/// Configuration of the solver.
+#[derive(Debug, Clone)]
+pub struct SolveConfig {
+    /// Largest natural tried per universally quantified variable on the grid.
+    pub nat_grid_max: u64,
+    /// Cap on the total number of grid points per query.
+    pub max_grid_points: usize,
+    /// Number of additional randomized sample points.
+    pub random_points: usize,
+    /// Domain bound used for quantifiers that remain *inside* the formula
+    /// (e.g. axioms supplied as closed ∀-facts).
+    pub inner_quantifier_bound: u64,
+    /// Whether passing the numeric layer counts as validity.  When `false`,
+    /// constraints the symbolic layer cannot prove come back as
+    /// [`Validity::Unknown`].
+    pub numeric_is_decisive: bool,
+    /// Seed for the randomized sample points (fixed for reproducibility).
+    pub rng_seed: u64,
+    /// Cap on candidate-substitution combinations during existential
+    /// elimination.
+    pub max_exelim_attempts: usize,
+}
+
+impl Default for SolveConfig {
+    fn default() -> Self {
+        SolveConfig {
+            nat_grid_max: 10,
+            max_grid_points: 4_000,
+            random_points: 64,
+            inner_quantifier_bound: 8,
+            numeric_is_decisive: true,
+            rng_seed: 0xB1DE_C057,
+            max_exelim_attempts: 128,
+        }
+    }
+}
+
+/// Statistics accumulated across solver queries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Number of top-level entailment queries.
+    pub queries: usize,
+    /// Atomic goals discharged purely symbolically.
+    pub symbolic_hits: usize,
+    /// Goals that needed the numeric layer.
+    pub numeric_checks: usize,
+    /// Grid/random points evaluated by the numeric layer.
+    pub points_evaluated: usize,
+    /// Candidate substitutions attempted during existential elimination.
+    pub exelim_attempts: usize,
+    /// Wall-clock time spent eliminating existentials.
+    pub exelim_time: Duration,
+    /// Wall-clock time spent in constraint solving (excluding ∃-elimination).
+    pub solving_time: Duration,
+}
+
+/// The verdict of a validity query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Validity {
+    /// The entailment holds (symbolically, or on the whole numeric grid when
+    /// the numeric layer is decisive).
+    Valid,
+    /// The entailment fails; a falsifying assignment is provided when the
+    /// numeric layer found one.
+    Invalid(Option<IdxEnv>),
+    /// The symbolic layer could not decide and the numeric layer was not
+    /// allowed to be decisive.
+    Unknown,
+}
+
+impl Validity {
+    /// Returns `true` for [`Validity::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, Validity::Valid)
+    }
+}
+
+/// The constraint solver.
+#[derive(Debug, Default)]
+pub struct Solver {
+    config: SolveConfig,
+    stats: SolveStats,
+}
+
+impl Solver {
+    /// Creates a solver with the default configuration.
+    pub fn new() -> Solver {
+        Solver::default()
+    }
+
+    /// Creates a solver with an explicit configuration.
+    pub fn with_config(config: SolveConfig) -> Solver {
+        Solver {
+            config,
+            stats: SolveStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SolveConfig {
+        &self.config
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
+    }
+
+    /// Resets the accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = SolveStats::default();
+    }
+
+    /// Checks the entailment `∀ universals. hyp ⟹ goal`.
+    ///
+    /// Existential quantifiers inside `goal` are eliminated first using the
+    /// candidate-substitution pass of [`crate::exelim`], exactly as in §6 of
+    /// the paper.
+    pub fn entails(
+        &mut self,
+        universals: &[(IdxVar, Sort)],
+        hyp: &Constr,
+        goal: &Constr,
+    ) -> Validity {
+        self.stats.queries += 1;
+        // Decompose the goal structurally first so existential elimination is
+        // applied to the smallest possible subproblems (each sub-derivation's
+        // existentials stay together, but unrelated conjuncts are separated).
+        let goal = simplify(goal);
+        match &goal {
+            Constr::Top => return Validity::Valid,
+            Constr::And(cs) => {
+                for c in cs {
+                    match self.entails(universals, hyp, c) {
+                        Validity::Valid => {}
+                        other => return other,
+                    }
+                }
+                return Validity::Valid;
+            }
+            Constr::Implies(a, b) => {
+                let hyp = hyp.clone().and((**a).clone());
+                return self.entails(universals, &hyp, b);
+            }
+            Constr::Forall(q, c) => {
+                let mut universals = universals.to_vec();
+                universals.push((q.var.clone(), q.sort));
+                return self.entails(&universals, hyp, c);
+            }
+            _ => {}
+        }
+
+        let ex_vars = goal.existential_vars();
+        if ex_vars.is_empty() {
+            let start = Instant::now();
+            let v = self.entails_no_exists(universals, hyp, &goal);
+            self.stats.solving_time += start.elapsed();
+            v
+        } else {
+            let start = Instant::now();
+            let outcome = exelim::eliminate_existentials(self, universals, hyp, &goal);
+            self.stats.exelim_time += start.elapsed();
+            match outcome.validity {
+                Some(v) => v,
+                None => {
+                    // No candidate substitution worked.  A fully numeric check
+                    // with bounded existential search is only affordable for a
+                    // couple of leftover variables; otherwise report failure.
+                    if ex_vars.len() <= 2 {
+                        let start = Instant::now();
+                        let v = self.numeric_check(universals, hyp, &goal);
+                        self.stats.solving_time += start.elapsed();
+                        v
+                    } else {
+                        Validity::Invalid(None)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Checks an entailment whose goal contains no existential quantifier.
+    pub(crate) fn entails_no_exists(
+        &mut self,
+        universals: &[(IdxVar, Sort)],
+        hyp: &Constr,
+        goal: &Constr,
+    ) -> Validity {
+        let goal = simplify(goal);
+        match &goal {
+            Constr::Top => Validity::Valid,
+            Constr::And(cs) => {
+                for c in cs {
+                    match self.entails_no_exists(universals, hyp, c) {
+                        Validity::Valid => {}
+                        other => return other,
+                    }
+                }
+                Validity::Valid
+            }
+            Constr::Implies(a, b) => {
+                let hyp = hyp.clone().and((**a).clone());
+                self.entails_no_exists(universals, &hyp, b)
+            }
+            Constr::Forall(q, c) => {
+                let mut universals = universals.to_vec();
+                universals.push((q.var.clone(), q.sort));
+                self.entails_no_exists(&universals, hyp, c)
+            }
+            Constr::Or(cs) => {
+                // Sufficient condition: one disjunct is entailed on its own.
+                // Disjuncts may contain their own existentials (heuristic 1
+                // joins the consC/consNC derivations with ∨), so recurse
+                // through the full pipeline per disjunct.
+                for c in cs {
+                    if c.existential_vars().is_empty() {
+                        if self.symbolic_entails(universals, hyp, c).unwrap_or(false) {
+                            self.stats.symbolic_hits += 1;
+                            return Validity::Valid;
+                        }
+                    } else if self.entails(universals, hyp, c).is_valid() {
+                        return Validity::Valid;
+                    }
+                }
+                if goal.existential_vars().is_empty() {
+                    self.numeric_check(universals, hyp, &goal)
+                } else {
+                    Validity::Invalid(None)
+                }
+            }
+            Constr::Eq(_, _) | Constr::Leq(_, _) | Constr::Lt(_, _) | Constr::Bot | Constr::Not(_) => {
+                if self
+                    .symbolic_entails(universals, hyp, &goal)
+                    .unwrap_or(false)
+                {
+                    self.stats.symbolic_hits += 1;
+                    return Validity::Valid;
+                }
+                self.numeric_check(universals, hyp, &goal)
+            }
+            Constr::Exists(_, _) => {
+                // Residual existential (can only happen when called directly):
+                // defer to the numeric layer's bounded search.
+                self.numeric_check(universals, hyp, &goal)
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------------
+    // Symbolic layer
+    // ----------------------------------------------------------------------
+
+    /// Attempts to prove `hyp ⟹ goal` by linear reasoning; returns `None` when
+    /// the goal shape is outside the fragment.
+    fn symbolic_entails(
+        &mut self,
+        _universals: &[(IdxVar, Sort)],
+        hyp: &Constr,
+        goal: &Constr,
+    ) -> Option<bool> {
+        let mut facts = conjuncts(hyp);
+        // Saturate with lemmas about the non-linear atoms in sight.
+        let mut atoms: BTreeSet<Atom> = lemmas::atoms_of_constr(hyp);
+        atoms.extend(lemmas::atoms_of_constr(goal));
+        facts.extend(lemmas::saturate(&atoms));
+
+        // Use hypothesis equalities on variables as rewrites.
+        let (rewrites, ineq_facts) = split_rewrites(&facts);
+        let goal = apply_rewrites(goal, &rewrites);
+        let ineq_facts: Vec<Constr> = ineq_facts
+            .iter()
+            .map(|c| apply_rewrites(c, &rewrites))
+            .collect();
+
+        match &goal {
+            Constr::Eq(a, b) => {
+                let d = LinExpr::of_idx(a).sub(&LinExpr::of_idx(b));
+                Some(d == LinExpr::zero())
+            }
+            Constr::Leq(a, b) => Some(self.prove_nonneg(
+                LinExpr::of_idx(b).sub(&LinExpr::of_idx(a)),
+                &ineq_facts,
+            )),
+            Constr::Lt(a, b) => {
+                // For the integer-valued index terms of RelCost, a < b is
+                // a + 1 ≤ b; for costs we require strict slack in the constant.
+                let d = LinExpr::of_idx(b).sub(&LinExpr::of_idx(a));
+                let strict = LinExpr::of_idx(&(b.clone() - a.clone() - Idx::one()));
+                Some(
+                    self.prove_nonneg(strict, &ineq_facts)
+                        || (d.coeffs.is_empty()
+                            && matches!(d.constant, Extended::Infinity)
+                            )
+                        || matches!(d.as_finite_constant(), Some(q) if q > Rational::ZERO),
+                )
+            }
+            Constr::Bot => {
+                // hyp ⟹ ff holds only if hyp is contradictory; detect the
+                // simple case of a hypothesis that is syntactically Bot.
+                Some(ineq_facts.iter().any(|c| c.is_bot()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Greedy positive-combination search: is `target ≥ 0` derivable from the
+    /// facts (each read as `rhs − lhs ≥ 0`) plus non-negativity of atoms?
+    fn prove_nonneg(&self, mut target: LinExpr, facts: &[Constr]) -> bool {
+        if target.is_syntactically_nonneg() {
+            return true;
+        }
+        // Pre-compute fact expressions (each ≥ 0 under the hypotheses).
+        // Equalities contribute both directions.
+        let mut fact_exprs: Vec<LinExpr> = Vec::new();
+        for c in facts {
+            match c {
+                Constr::Leq(a, b) | Constr::Lt(a, b) => {
+                    fact_exprs.push(LinExpr::of_idx(b).sub(&LinExpr::of_idx(a)));
+                }
+                Constr::Eq(a, b) => {
+                    fact_exprs.push(LinExpr::of_idx(b).sub(&LinExpr::of_idx(a)));
+                    fact_exprs.push(LinExpr::of_idx(a).sub(&LinExpr::of_idx(b)));
+                }
+                _ => {}
+            }
+        }
+
+        // To show `target ≥ 0` it suffices to find non-negative multipliers λᵢ
+        // such that `target − Σ λᵢ·factᵢ` has only non-negative coefficients
+        // and a non-negative constant (every atom denotes a non-negative
+        // quantity).  The greedy loop cancels one negative coefficient at a
+        // time using a fact that carries the same atom negatively.
+        for _round in 0..12 {
+            if target.is_syntactically_nonneg() {
+                return true;
+            }
+            // Find an atom with a negative coefficient.
+            let offending = target
+                .coeffs
+                .iter()
+                .find(|(_, q)| q.is_negative())
+                .map(|(a, q)| (a.clone(), *q));
+            let (atom, neg_coeff) = match offending {
+                Some(x) => x,
+                None => {
+                    return match target.constant {
+                        Extended::Finite(q) => !q.is_negative(),
+                        Extended::Infinity => true,
+                    }
+                }
+            };
+            // Use a fact whose expression also carries the atom negatively:
+            // λ = d_A / f_A > 0 and subtracting λ·fact zeroes the coefficient.
+            let mut progressed = false;
+            for fe in &fact_exprs {
+                if let Some(fc) = fe.coeffs.get(&atom) {
+                    if fc.is_negative() {
+                        let lambda = neg_coeff / *fc;
+                        target = target.sub(&fe.scale(lambda));
+                        progressed = true;
+                        break;
+                    }
+                }
+            }
+            if !progressed {
+                return false;
+            }
+        }
+        target.is_syntactically_nonneg()
+    }
+
+    // ----------------------------------------------------------------------
+    // Numeric layer
+    // ----------------------------------------------------------------------
+
+    /// Bounded-exhaustive plus randomized check of `∀ universals. hyp ⟹ goal`.
+    fn numeric_check(
+        &mut self,
+        universals: &[(IdxVar, Sort)],
+        hyp: &Constr,
+        goal: &Constr,
+    ) -> Validity {
+        self.stats.numeric_checks += 1;
+        let bound = self.config.inner_quantifier_bound;
+        let formula = hyp.clone().implies(goal.clone());
+        let vars: Vec<(IdxVar, Sort)> = universals.to_vec();
+
+        if vars.is_empty() {
+            self.stats.points_evaluated += 1;
+            let ok = formula.eval_bounded(&IdxEnv::new(), bound);
+            return if ok {
+                if self.config.numeric_is_decisive {
+                    Validity::Valid
+                } else {
+                    Validity::Unknown
+                }
+            } else {
+                Validity::Invalid(Some(IdxEnv::new()))
+            };
+        }
+
+        // Adaptive per-variable grid size so the total stays under the cap.
+        let k = vars.len() as u32;
+        let mut per_var = self.config.nat_grid_max + 1;
+        while (per_var as u128).pow(k) > self.config.max_grid_points as u128 && per_var > 3 {
+            per_var -= 1;
+        }
+
+        let mut counterexample = None;
+        let mut grid_env = vec![0u64; vars.len()];
+        'grid: loop {
+            let env = IdxEnv::from_pairs(
+                vars.iter()
+                    .zip(grid_env.iter())
+                    .map(|((v, _), n)| (v.clone(), Extended::from(*n))),
+            );
+            self.stats.points_evaluated += 1;
+            if !formula.eval_bounded(&env, bound) {
+                counterexample = Some(env);
+                break 'grid;
+            }
+            // Advance the odometer.
+            let mut i = 0;
+            loop {
+                if i == grid_env.len() {
+                    break 'grid;
+                }
+                grid_env[i] += 1;
+                if grid_env[i] < per_var {
+                    break;
+                }
+                grid_env[i] = 0;
+                i += 1;
+            }
+        }
+
+        if counterexample.is_none() && self.config.random_points > 0 {
+            let mut rng = StdRng::seed_from_u64(self.config.rng_seed);
+            for _ in 0..self.config.random_points {
+                let env = IdxEnv::from_pairs(vars.iter().map(|(v, s)| {
+                    let val: Extended = match s {
+                        Sort::Nat => Extended::from(rng.gen_range(0..64u64)),
+                        Sort::Real => {
+                            Extended::Finite(Rational::new(rng.gen_range(0..128i64), 2))
+                        }
+                    };
+                    (v.clone(), val)
+                }));
+                self.stats.points_evaluated += 1;
+                if !formula.eval_bounded(&env, bound) {
+                    counterexample = Some(env);
+                    break;
+                }
+            }
+        }
+
+        match counterexample {
+            Some(env) => Validity::Invalid(Some(env)),
+            None => {
+                if self.config.numeric_is_decisive {
+                    Validity::Valid
+                } else {
+                    Validity::Unknown
+                }
+            }
+        }
+    }
+
+    /// Records one candidate-substitution attempt (called by `exelim`).
+    pub(crate) fn note_exelim_attempt(&mut self) {
+        self.stats.exelim_attempts += 1;
+    }
+}
+
+// --------------------------------------------------------------------------
+// Helpers
+// --------------------------------------------------------------------------
+
+/// Flattens the top-level conjunctive structure of a hypothesis into atoms.
+fn conjuncts(c: &Constr) -> Vec<Constr> {
+    let mut out = Vec::new();
+    fn go(c: &Constr, out: &mut Vec<Constr>) {
+        match c {
+            Constr::Top => {}
+            Constr::And(cs) => {
+                for c in cs {
+                    go(c, out);
+                }
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    go(c, &mut out);
+    out
+}
+
+/// Splits hypothesis facts into variable rewrites (`x = I` with `x ∉ I`) and
+/// the remaining inequality facts.
+fn split_rewrites(facts: &[Constr]) -> (Vec<(IdxVar, Idx)>, Vec<Constr>) {
+    let mut rewrites: Vec<(IdxVar, Idx)> = Vec::new();
+    let mut rest = Vec::new();
+    for f in facts {
+        match f {
+            Constr::Eq(Idx::Var(v), rhs) if !rhs.mentions(v) => {
+                rewrites.push((v.clone(), rhs.clone()));
+            }
+            Constr::Eq(lhs, Idx::Var(v)) if !lhs.mentions(v) => {
+                rewrites.push((v.clone(), lhs.clone()));
+            }
+            other => rest.push(other.clone()),
+        }
+    }
+    // Close the rewrites under each other (bounded iterations): a rewrite's
+    // right-hand side may mention a variable that is itself rewritten.
+    for _ in 0..rewrites.len() {
+        let snapshot = rewrites.clone();
+        for (v, rhs) in rewrites.iter_mut() {
+            for (w, replacement) in &snapshot {
+                if w != v && rhs.mentions(w) && !replacement.mentions(v) {
+                    *rhs = rhs.subst(w, replacement);
+                }
+            }
+        }
+    }
+    (rewrites, rest)
+}
+
+/// Applies variable rewrites throughout a constraint.
+fn apply_rewrites(c: &Constr, rewrites: &[(IdxVar, Idx)]) -> Constr {
+    rewrites
+        .iter()
+        .fold(c.clone(), |acc, (v, i)| acc.subst(v, i))
+}
+
+/// Constant-folds atomic comparisons and simplifies trivial connectives.
+pub fn simplify(c: &Constr) -> Constr {
+    match c {
+        Constr::Eq(a, b) => {
+            let (na, nb) = (rel_index::normalize(a), rel_index::normalize(b));
+            match (na.as_const(), nb.as_const()) {
+                (Some(x), Some(y)) => {
+                    if x == y {
+                        Constr::Top
+                    } else {
+                        Constr::Bot
+                    }
+                }
+                _ => {
+                    if na == nb {
+                        Constr::Top
+                    } else {
+                        Constr::Eq(na, nb)
+                    }
+                }
+            }
+        }
+        Constr::Leq(a, b) => {
+            let (na, nb) = (rel_index::normalize(a), rel_index::normalize(b));
+            match (na.as_const(), nb.as_const()) {
+                (Some(x), Some(y)) => {
+                    if x <= y {
+                        Constr::Top
+                    } else {
+                        Constr::Bot
+                    }
+                }
+                _ => {
+                    if na == nb {
+                        Constr::Top
+                    } else {
+                        Constr::Leq(na, nb)
+                    }
+                }
+            }
+        }
+        Constr::Lt(a, b) => {
+            let (na, nb) = (rel_index::normalize(a), rel_index::normalize(b));
+            match (na.as_const(), nb.as_const()) {
+                (Some(x), Some(y)) => {
+                    if x < y {
+                        Constr::Top
+                    } else {
+                        Constr::Bot
+                    }
+                }
+                _ => Constr::Lt(na, nb),
+            }
+        }
+        Constr::And(cs) => Constr::conj(cs.iter().map(simplify)),
+        Constr::Or(cs) => Constr::disj(cs.iter().map(simplify)),
+        Constr::Not(c) => simplify(c).negate(),
+        Constr::Implies(a, b) => simplify(a).implies(simplify(b)),
+        Constr::Forall(q, c) => Constr::forall(q.var.clone(), q.sort, simplify(c)),
+        Constr::Exists(q, c) => Constr::exists(q.var.clone(), q.sort, simplify(c)),
+        Constr::Top | Constr::Bot => c.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nat_vars(names: &[&str]) -> Vec<(IdxVar, Sort)> {
+        names.iter().map(|n| (IdxVar::new(*n), Sort::Nat)).collect()
+    }
+
+    #[test]
+    fn trivial_goals() {
+        let mut s = Solver::new();
+        assert!(s.entails(&[], &Constr::Top, &Constr::Top).is_valid());
+        assert!(s
+            .entails(&[], &Constr::Top, &Constr::leq(Idx::nat(1), Idx::nat(2)))
+            .is_valid());
+        assert!(matches!(
+            s.entails(&[], &Constr::Top, &Constr::leq(Idx::nat(3), Idx::nat(2))),
+            Validity::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn linear_goals_are_discharged_symbolically() {
+        let mut s = Solver::new();
+        let u = nat_vars(&["n", "a"]);
+        // n ≤ n + a
+        let g = Constr::leq(Idx::var("n"), Idx::var("n") + Idx::var("a"));
+        assert!(s.entails(&u, &Constr::Top, &g).is_valid());
+        assert!(s.stats().symbolic_hits >= 1);
+        assert_eq!(s.stats().numeric_checks, 0);
+    }
+
+    #[test]
+    fn hypotheses_are_used() {
+        let mut s = Solver::new();
+        let u = nat_vars(&["n", "m", "a"]);
+        // n = m + 1 ∧ a ≤ m  ⟹  a + 1 ≤ n
+        let hyp = Constr::eq(Idx::var("n"), Idx::var("m") + Idx::one())
+            .and(Constr::leq(Idx::var("a"), Idx::var("m")));
+        let goal = Constr::leq(Idx::var("a") + Idx::one(), Idx::var("n"));
+        assert!(s.entails(&u, &hyp, &goal).is_valid());
+    }
+
+    #[test]
+    fn invalid_entailments_produce_counterexamples() {
+        let mut s = Solver::new();
+        let u = nat_vars(&["n"]);
+        let goal = Constr::leq(Idx::var("n"), Idx::nat(5));
+        match s.entails(&u, &Constr::Top, &goal) {
+            Validity::Invalid(Some(env)) => {
+                let v = Idx::var("n").eval(&env).unwrap();
+                assert!(v > Extended::from(5));
+            }
+            other => panic!("expected a counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ceiling_floor_lemmas_apply() {
+        let mut s = Solver::new();
+        let u = nat_vars(&["n"]);
+        // ⌈n/2⌉ + ⌊n/2⌋ ≤ n  (in fact equal)
+        let goal = Constr::leq(
+            Idx::half_ceil(Idx::var("n")) + Idx::half_floor(Idx::var("n")),
+            Idx::var("n"),
+        );
+        assert!(s.entails(&u, &Constr::Top, &goal).is_valid());
+        // ⌈n/2⌉ ≤ n
+        let goal = Constr::leq(Idx::half_ceil(Idx::var("n")), Idx::var("n"));
+        assert!(s.entails(&u, &Constr::Top, &goal).is_valid());
+    }
+
+    #[test]
+    fn min_max_lemmas_apply() {
+        let mut s = Solver::new();
+        let u = nat_vars(&["a", "b"]);
+        let goal = Constr::leq(Idx::min(Idx::var("a"), Idx::var("b")), Idx::var("a"));
+        assert!(s.entails(&u, &Constr::Top, &goal).is_valid());
+        let goal = Constr::leq(Idx::var("b"), Idx::max(Idx::var("a"), Idx::var("b")));
+        assert!(s.entails(&u, &Constr::Top, &goal).is_valid());
+    }
+
+    #[test]
+    fn implications_and_foralls_in_goals() {
+        let mut s = Solver::new();
+        let u = nat_vars(&["n"]);
+        // (n ≥ 3) → (1 ≤ n)
+        let goal = Constr::geq(Idx::var("n"), Idx::nat(3))
+            .implies(Constr::leq(Idx::one(), Idx::var("n")));
+        assert!(s.entails(&u, &Constr::Top, &goal).is_valid());
+        // ∀ m. m ≤ m + n
+        let goal = Constr::forall(
+            "m",
+            Sort::Nat,
+            Constr::leq(Idx::var("m"), Idx::var("m") + Idx::var("n")),
+        );
+        assert!(s.entails(&u, &Constr::Top, &goal).is_valid());
+    }
+
+    #[test]
+    fn disjunction_goals() {
+        let mut s = Solver::new();
+        let u = nat_vars(&["n"]);
+        // (n ≤ n + 1) ∨ (n = 17): first disjunct is valid on its own.
+        let goal = Constr::leq(Idx::var("n"), Idx::var("n") + Idx::one())
+            .or(Constr::eq(Idx::var("n"), Idx::nat(17)));
+        assert!(s.entails(&u, &Constr::Top, &goal).is_valid());
+        // A disjunction valid only pointwise (n ≤ 8 ∨ n ≥ 5) is settled numerically.
+        let goal = Constr::leq(Idx::var("n"), Idx::nat(8)).or(Constr::geq(Idx::var("n"), Idx::nat(5)));
+        assert!(s.entails(&u, &Constr::Top, &goal).is_valid());
+        assert!(s.stats().numeric_checks >= 1);
+    }
+
+    #[test]
+    fn existential_goals_are_eliminated() {
+        let mut s = Solver::new();
+        let u = nat_vars(&["n"]);
+        // ∃ i. i = n + 1 ∧ n ≤ i
+        let goal = Constr::exists(
+            "i",
+            Sort::Nat,
+            Constr::eq(Idx::var("i"), Idx::var("n") + Idx::one())
+                .and(Constr::leq(Idx::var("n"), Idx::var("i"))),
+        );
+        assert!(s.entails(&u, &Constr::Top, &goal).is_valid());
+        assert!(s.stats().exelim_attempts >= 1);
+    }
+
+    #[test]
+    fn contradictory_hypotheses_entail_anything() {
+        let mut s = Solver::new();
+        let u = nat_vars(&["n"]);
+        let hyp = Constr::leq(Idx::var("n") + Idx::one(), Idx::var("n"));
+        let goal = Constr::eq(Idx::nat(0), Idx::nat(1));
+        assert!(s.entails(&u, &hyp, &goal).is_valid());
+    }
+
+    #[test]
+    fn strict_inequalities() {
+        let mut s = Solver::new();
+        let u = nat_vars(&["n"]);
+        let hyp = Constr::leq(Idx::nat(3), Idx::var("n"));
+        let goal = Constr::lt(Idx::nat(1), Idx::var("n"));
+        assert!(s.entails(&u, &hyp, &goal).is_valid());
+        let goal = Constr::lt(Idx::var("n"), Idx::var("n"));
+        assert!(!s.entails(&u, &hyp, &goal).is_valid());
+    }
+
+    #[test]
+    fn simplify_folds_constants() {
+        assert_eq!(
+            simplify(&Constr::leq(Idx::nat(2), Idx::nat(3))),
+            Constr::Top
+        );
+        assert_eq!(
+            simplify(&Constr::eq(Idx::nat(2) + Idx::nat(2), Idx::nat(4))),
+            Constr::Top
+        );
+        assert_eq!(
+            simplify(&Constr::lt(Idx::nat(4), Idx::nat(3))),
+            Constr::Bot
+        );
+        let keep = Constr::leq(Idx::var("n"), Idx::nat(3));
+        assert_eq!(simplify(&keep), keep);
+    }
+
+    #[test]
+    fn merge_sort_recurrence_is_accepted() {
+        // The key constraint from the paper's msort walkthrough (inequality (1)):
+        //   h(⌈n/2⌉) + Q(⌈n/2⌉, β) + Q(⌊n/2⌋, α − β) ≤ Q(n, α)   when α ≥ 1, β ≤ α, α ≤ n, n ≥ 2.
+        use crate::lemmas::big_q;
+        let mut s = Solver::new();
+        let u = nat_vars(&["n", "alpha", "beta"]);
+        let hyp = Constr::leq(Idx::one(), Idx::var("alpha"))
+            .and(Constr::leq(Idx::var("beta"), Idx::var("alpha")))
+            .and(Constr::leq(Idx::var("alpha"), Idx::var("n")))
+            .and(Constr::leq(Idx::nat(2), Idx::var("n")));
+        let lhs = Idx::half_ceil(Idx::var("n"))
+            + big_q(Idx::half_ceil(Idx::var("n")), Idx::var("beta"))
+            + big_q(
+                Idx::half_floor(Idx::var("n")),
+                Idx::var("alpha") - Idx::var("beta"),
+            );
+        let goal = Constr::leq(lhs, big_q(Idx::var("n"), Idx::var("alpha")));
+        assert!(s.entails(&u, &hyp, &goal).is_valid());
+    }
+}

@@ -1,0 +1,299 @@
+//! RelCost Core: the annotated core calculus targeted by elaboration.
+//!
+//! The paper's two-step methodology first elaborates the declarative systems
+//! into core calculi whose terms carry explicit markers that resolve the
+//! nondeterministic rule choices (`consC`/`consNC`, `split … with C`, `NC e`,
+//! `switch e`, index-annotated `Λi. e` and `e[I]`), and then gives the core
+//! calculus a bidirectional algorithmic system.  The production checker in
+//! this crate follows the paper's *implementation* instead (it works on
+//! surface terms with heuristics), but the core syntax is still provided —
+//! together with the erasure function `|·|` back to surface terms — because
+//! it is the vehicle of the paper's completeness statement (Theorems 2–3) and
+//! the natural exchange format for tools that want to record which rule was
+//! chosen where.
+
+use rel_constraint::Constr;
+use rel_index::{Idx, IdxVar};
+use rel_syntax::{Expr, RelType, Var};
+
+/// Expressions of RelCost Core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreExpr {
+    /// A variable occurrence.
+    Var(Var),
+    /// Unit.
+    Unit,
+    /// Boolean literal.
+    Bool(bool),
+    /// Integer literal.
+    Int(i64),
+    /// Conditional.
+    If(Box<CoreExpr>, Box<CoreExpr>, Box<CoreExpr>),
+    /// λ-abstraction.
+    Lam(Var, Box<CoreExpr>),
+    /// Recursive function.
+    Fix(Var, Var, Box<CoreExpr>),
+    /// Application.
+    App(Box<CoreExpr>, Box<CoreExpr>),
+    /// Index abstraction with an explicit index variable (`Λi. e`).
+    ILam(IdxVar, Box<CoreExpr>),
+    /// Index application with an explicit index argument (`e[I]`).
+    IApp(Box<CoreExpr>, Idx),
+    /// Empty list.
+    Nil,
+    /// Cons whose heads may differ (`consC`).
+    ConsC(Box<CoreExpr>, Box<CoreExpr>),
+    /// Cons whose heads are equal (`consNC`).
+    ConsNC(Box<CoreExpr>, Box<CoreExpr>),
+    /// Three-branch list case (`nil`, `::NC`, `::C`).
+    CaseList {
+        /// Scrutinee.
+        scrut: Box<CoreExpr>,
+        /// Nil branch.
+        nil_branch: Box<CoreExpr>,
+        /// Head binder.
+        head: Var,
+        /// Tail binder.
+        tail: Var,
+        /// Branch for equal heads.
+        cons_nc: Box<CoreExpr>,
+        /// Branch for differing heads.
+        cons_c: Box<CoreExpr>,
+    },
+    /// Constraint split: `split (e₁, e₂) with C`.
+    Split(Box<CoreExpr>, Box<CoreExpr>, Constr),
+    /// The no-change marker `NC e` (the `nochange` rule).
+    NoChange(Box<CoreExpr>),
+    /// The unary-reasoning marker `switch e`.
+    Switch(Box<CoreExpr>),
+    /// Pair.
+    Pair(Box<CoreExpr>, Box<CoreExpr>),
+    /// First projection.
+    Fst(Box<CoreExpr>),
+    /// Second projection.
+    Snd(Box<CoreExpr>),
+    /// Let binding.
+    Let(Var, Box<CoreExpr>, Box<CoreExpr>),
+    /// Existential introduction with an explicit witness.
+    Pack(Idx, Box<CoreExpr>),
+    /// Existential elimination.
+    Unpack(Box<CoreExpr>, Var, Box<CoreExpr>),
+    /// `C & τ` elimination.
+    CLet(Box<CoreExpr>, Var, Box<CoreExpr>),
+    /// `C ⊃ τ` elimination.
+    CElim(Box<CoreExpr>),
+    /// Subtyping coercion inserted by elaboration (Lemma 1), annotated with
+    /// the source and target types.
+    Coerce(Box<CoreExpr>, RelType, RelType),
+}
+
+impl CoreExpr {
+    /// The erasure `|e|` back to surface syntax: all core-only markers are
+    /// dropped, `consC`/`consNC` collapse to `cons`, the three-branch case
+    /// collapses to the two-branch surface case using the `::C` branch (the
+    /// two cons branches erase to the same surface branch in terms produced
+    /// by elaboration), and coercions disappear.
+    pub fn erase(&self) -> Expr {
+        match self {
+            CoreExpr::Var(x) => Expr::Var(x.clone()),
+            CoreExpr::Unit => Expr::Unit,
+            CoreExpr::Bool(b) => Expr::Bool(*b),
+            CoreExpr::Int(n) => Expr::Int(*n),
+            CoreExpr::If(c, t, f) => {
+                Expr::if_then_else(c.erase(), t.erase(), f.erase())
+            }
+            CoreExpr::Lam(x, b) => Expr::lam(x.clone(), b.erase()),
+            CoreExpr::Fix(f, x, b) => Expr::fix(f.clone(), x.clone(), b.erase()),
+            CoreExpr::App(f, a) => f.erase().app(a.erase()),
+            CoreExpr::ILam(_, b) => b.erase().ilam(),
+            CoreExpr::IApp(f, _) => f.erase().iapp(),
+            CoreExpr::Nil => Expr::Nil,
+            CoreExpr::ConsC(h, t) | CoreExpr::ConsNC(h, t) => Expr::cons(h.erase(), t.erase()),
+            CoreExpr::CaseList {
+                scrut,
+                nil_branch,
+                head,
+                tail,
+                cons_c,
+                ..
+            } => Expr::case_list(
+                scrut.erase(),
+                nil_branch.erase(),
+                head.clone(),
+                tail.clone(),
+                cons_c.erase(),
+            ),
+            CoreExpr::Split(e, _, _) => e.erase(),
+            CoreExpr::NoChange(e) | CoreExpr::Switch(e) => e.erase(),
+            CoreExpr::Pair(a, b) => Expr::pair(a.erase(), b.erase()),
+            CoreExpr::Fst(e) => Expr::Fst(Box::new(e.erase())),
+            CoreExpr::Snd(e) => Expr::Snd(Box::new(e.erase())),
+            CoreExpr::Let(x, a, b) => Expr::let_in(x.clone(), a.erase(), b.erase()),
+            CoreExpr::Pack(_, e) => Expr::Pack(Box::new(e.erase())),
+            CoreExpr::Unpack(a, x, b) => {
+                Expr::Unpack(Box::new(a.erase()), x.clone(), Box::new(b.erase()))
+            }
+            CoreExpr::CLet(a, x, b) => {
+                Expr::CLet(Box::new(a.erase()), x.clone(), Box::new(b.erase()))
+            }
+            CoreExpr::CElim(e) => Expr::CElim(Box::new(e.erase())),
+            CoreExpr::Coerce(e, _, _) => e.erase(),
+        }
+    }
+
+    /// Number of core-only markers (`consC/NC` choices, splits, `NC`,
+    /// `switch`, coercions, index annotations) in the term — the amount of
+    /// information elaboration had to add.
+    pub fn marker_count(&self) -> usize {
+        let own = match self {
+            CoreExpr::ConsC(_, _)
+            | CoreExpr::ConsNC(_, _)
+            | CoreExpr::Split(_, _, _)
+            | CoreExpr::NoChange(_)
+            | CoreExpr::Switch(_)
+            | CoreExpr::Coerce(_, _, _)
+            | CoreExpr::ILam(_, _)
+            | CoreExpr::IApp(_, _)
+            | CoreExpr::Pack(_, _) => 1,
+            _ => 0,
+        };
+        own + self.children().iter().map(|c| c.marker_count()).sum::<usize>()
+    }
+
+    fn children(&self) -> Vec<&CoreExpr> {
+        match self {
+            CoreExpr::Var(_)
+            | CoreExpr::Unit
+            | CoreExpr::Bool(_)
+            | CoreExpr::Int(_)
+            | CoreExpr::Nil => vec![],
+            CoreExpr::If(a, b, c) => vec![a, b, c],
+            CoreExpr::Lam(_, b) | CoreExpr::Fix(_, _, b) | CoreExpr::ILam(_, b) => vec![b],
+            CoreExpr::App(a, b)
+            | CoreExpr::ConsC(a, b)
+            | CoreExpr::ConsNC(a, b)
+            | CoreExpr::Pair(a, b)
+            | CoreExpr::Split(a, b, _) => vec![a, b],
+            CoreExpr::IApp(a, _)
+            | CoreExpr::NoChange(a)
+            | CoreExpr::Switch(a)
+            | CoreExpr::Fst(a)
+            | CoreExpr::Snd(a)
+            | CoreExpr::Pack(_, a)
+            | CoreExpr::CElim(a)
+            | CoreExpr::Coerce(a, _, _) => vec![a],
+            CoreExpr::Let(_, a, b) | CoreExpr::Unpack(a, _, b) | CoreExpr::CLet(a, _, b) => {
+                vec![a, b]
+            }
+            CoreExpr::CaseList {
+                scrut,
+                nil_branch,
+                cons_nc,
+                cons_c,
+                ..
+            } => vec![scrut, nil_branch, cons_nc, cons_c],
+        }
+    }
+}
+
+/// A naive, syntax-directed embedding of surface terms into the core
+/// calculus: every `cons` becomes `consC`, every case gets its `::C` branch
+/// duplicated, and no `split`/`NC`/`switch` markers are inserted.  This is the
+/// "zero-information" elaboration — the identity on erasure — used by tests to
+/// exercise the erasure round-trip; the checker's heuristics correspond to
+/// richer elaborations.
+pub fn embed_naive(e: &Expr) -> CoreExpr {
+    match e {
+        Expr::Var(x) => CoreExpr::Var(x.clone()),
+        Expr::Unit => CoreExpr::Unit,
+        Expr::Bool(b) => CoreExpr::Bool(*b),
+        Expr::Int(n) => CoreExpr::Int(*n),
+        Expr::Prim(_, _) => {
+            // Primitive operations are surface-level sugar; represent them as
+            // an opaque application spine rooted at a variable named after the
+            // operator.  (Used only by the erasure tests, which do not build
+            // primitive expressions.)
+            CoreExpr::Var(Var::new("#prim"))
+        }
+        Expr::If(c, t, f) => CoreExpr::If(
+            Box::new(embed_naive(c)),
+            Box::new(embed_naive(t)),
+            Box::new(embed_naive(f)),
+        ),
+        Expr::Lam(x, b) => CoreExpr::Lam(x.clone(), Box::new(embed_naive(b))),
+        Expr::Fix(f, x, b) => CoreExpr::Fix(f.clone(), x.clone(), Box::new(embed_naive(b))),
+        Expr::App(f, a) => CoreExpr::App(Box::new(embed_naive(f)), Box::new(embed_naive(a))),
+        Expr::ILam(b) => CoreExpr::ILam(IdxVar::new("i"), Box::new(embed_naive(b))),
+        Expr::IApp(f) => CoreExpr::IApp(Box::new(embed_naive(f)), Idx::zero()),
+        Expr::Nil => CoreExpr::Nil,
+        Expr::Cons(h, t) => CoreExpr::ConsC(Box::new(embed_naive(h)), Box::new(embed_naive(t))),
+        Expr::CaseList {
+            scrut,
+            nil_branch,
+            head,
+            tail,
+            cons_branch,
+        } => CoreExpr::CaseList {
+            scrut: Box::new(embed_naive(scrut)),
+            nil_branch: Box::new(embed_naive(nil_branch)),
+            head: head.clone(),
+            tail: tail.clone(),
+            cons_nc: Box::new(embed_naive(cons_branch)),
+            cons_c: Box::new(embed_naive(cons_branch)),
+        },
+        Expr::Pair(a, b) => CoreExpr::Pair(Box::new(embed_naive(a)), Box::new(embed_naive(b))),
+        Expr::Fst(e) => CoreExpr::Fst(Box::new(embed_naive(e))),
+        Expr::Snd(e) => CoreExpr::Snd(Box::new(embed_naive(e))),
+        Expr::Let(x, a, b) => {
+            CoreExpr::Let(x.clone(), Box::new(embed_naive(a)), Box::new(embed_naive(b)))
+        }
+        Expr::Pack(e) => CoreExpr::Pack(Idx::zero(), Box::new(embed_naive(e))),
+        Expr::Unpack(a, x, b) => {
+            CoreExpr::Unpack(Box::new(embed_naive(a)), x.clone(), Box::new(embed_naive(b)))
+        }
+        Expr::CLet(a, x, b) => {
+            CoreExpr::CLet(Box::new(embed_naive(a)), x.clone(), Box::new(embed_naive(b)))
+        }
+        Expr::CElim(e) => CoreExpr::CElim(Box::new(embed_naive(e))),
+        Expr::Anno(e, _, _) => embed_naive(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rel_syntax::parse_expr;
+
+    #[test]
+    fn erasure_inverts_the_naive_embedding() {
+        for src in [
+            "lam x. x",
+            "fix f(x). case x of nil -> nil | h :: tl -> cons(h, f tl)",
+            "let p = (1, 2) in fst p",
+            "if true then false else true",
+            "unpack (pack 3) as y in y",
+        ] {
+            let e = parse_expr(src).unwrap().erase_annotations();
+            assert_eq!(embed_naive(&e).erase(), e, "round-trip failed for {src}");
+        }
+    }
+
+    #[test]
+    fn marker_counts_reflect_added_information() {
+        let e = parse_expr("cons(1, cons(2, nil))").unwrap();
+        let core = embed_naive(&e);
+        assert_eq!(core.marker_count(), 2);
+        let marked = CoreExpr::NoChange(Box::new(core));
+        assert_eq!(marked.marker_count(), 3);
+    }
+
+    #[test]
+    fn coercions_and_switches_erase_away() {
+        let e = CoreExpr::Switch(Box::new(CoreExpr::Coerce(
+            Box::new(CoreExpr::Bool(true)),
+            rel_syntax::RelType::BoolR,
+            rel_syntax::RelType::bool_u(),
+        )));
+        assert_eq!(e.erase(), Expr::Bool(true));
+    }
+}

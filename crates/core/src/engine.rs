@@ -1,0 +1,285 @@
+//! The checking pipeline: bidirectional constraint generation, existential
+//! elimination and constraint solving, with the per-phase timing breakdown
+//! reported in Table 1 of the paper.
+
+use std::time::{Duration, Instant};
+
+use rel_constraint::{Constr, SolveConfig, Solver};
+use rel_index::Idx;
+use rel_syntax::{Def, Program, SystemLevel};
+use rel_unary::RelCtx;
+
+use crate::bidir::{RelChecker, Session};
+use crate::heuristics::Heuristics;
+
+/// Wall-clock timings of the three pipeline phases (the columns of Table 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Bidirectional type checking (constraint generation, including the
+    /// heuristic decisions).
+    pub typecheck: Duration,
+    /// Existential elimination (candidate-substitution search).
+    pub existential_elim: Duration,
+    /// Constraint solving proper.
+    pub solving: Duration,
+}
+
+impl PhaseTimings {
+    /// Total time across the three phases.
+    pub fn total(&self) -> Duration {
+        self.typecheck + self.existential_elim + self.solving
+    }
+}
+
+/// The outcome of checking one definition.
+#[derive(Debug, Clone)]
+pub struct DefReport {
+    /// The definition's name.
+    pub name: String,
+    /// Whether the definition checked (structurally and constraint-wise).
+    pub ok: bool,
+    /// The error message when structural checking failed.
+    pub error: Option<String>,
+    /// Per-phase timings.
+    pub timings: PhaseTimings,
+    /// Number of atomic comparisons in the generated constraint.
+    pub constraint_atoms: usize,
+    /// Number of existential variables generated.
+    pub existential_vars: u64,
+    /// Number of explicit annotations in the definition (annotation effort).
+    pub annotations: usize,
+}
+
+/// The outcome of checking a whole program.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramReport {
+    /// Per-definition reports, in program order.
+    pub defs: Vec<DefReport>,
+}
+
+impl ProgramReport {
+    /// `true` when every definition checked.
+    pub fn all_ok(&self) -> bool {
+        self.defs.iter().all(|d| d.ok)
+    }
+
+    /// Looks up the report of a definition by name.
+    pub fn def(&self, name: &str) -> Option<&DefReport> {
+        self.defs.iter().find(|d| d.name == name)
+    }
+
+    /// Total time across all definitions and phases.
+    pub fn total_time(&self) -> Duration {
+        self.defs.iter().map(|d| d.timings.total()).sum()
+    }
+}
+
+/// The BiRelCost engine: checks programs definition by definition,
+/// accumulating earlier definitions in the typing context (this is how the
+/// `msort` example uses `bsplit` and `merge`).
+#[derive(Debug, Clone)]
+pub struct Engine {
+    checker: RelChecker,
+    solve_config: SolveConfig,
+    level: SystemLevel,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with all heuristics, the standard cost model and the default
+    /// solver configuration, checking at the RelCost level.
+    pub fn new() -> Engine {
+        Engine {
+            checker: RelChecker::new(),
+            solve_config: SolveConfig::default(),
+            level: SystemLevel::RelCost,
+        }
+    }
+
+    /// Overrides the heuristics configuration (used by the ablation bench).
+    pub fn with_heuristics(mut self, heuristics: Heuristics) -> Engine {
+        self.checker = RelChecker::with_heuristics(heuristics);
+        self
+    }
+
+    /// Overrides the solver configuration.
+    pub fn with_solve_config(mut self, config: SolveConfig) -> Engine {
+        self.solve_config = config;
+        self
+    }
+
+    /// Selects which system of the paper to check in.  Below
+    /// [`SystemLevel::RelCost`] all relative-cost bounds are replaced by `∞`
+    /// (the paper's embedding of RelRef/RelRefU into RelCost).
+    pub fn at_level(mut self, level: SystemLevel) -> Engine {
+        self.level = level;
+        self
+    }
+
+    /// The active system level.
+    pub fn level(&self) -> SystemLevel {
+        self.level
+    }
+
+    /// The checker in use.
+    pub fn checker(&self) -> &RelChecker {
+        &self.checker
+    }
+
+    /// Checks a whole program.
+    pub fn check_program(&self, program: &Program) -> ProgramReport {
+        let mut ctx = RelCtx::new();
+        let mut report = ProgramReport::default();
+        for def in program.iter() {
+            let def_report = self.check_def_in(&ctx, def);
+            ctx = ctx.bind_var(def.name.clone(), def.ty.clone());
+            report.defs.push(def_report);
+        }
+        report
+    }
+
+    /// Checks a single definition in an empty context.
+    pub fn check_def(&self, def: &Def) -> DefReport {
+        self.check_def_in(&RelCtx::new(), def)
+    }
+
+    /// Checks a single definition in the given context.
+    pub fn check_def_in(&self, ctx: &RelCtx, def: &Def) -> DefReport {
+        let mut ctx = ctx.clone();
+        for axiom in &def.axioms {
+            ctx = ctx.assume(axiom.clone());
+        }
+        let cost = if self.level.tracks_cost() {
+            def.cost.clone()
+        } else {
+            Idx::infty()
+        };
+
+        let mut sess = Session {
+            fresh: rel_unary::FreshVars::new(),
+            solver: Solver::with_config(self.solve_config.clone()),
+        };
+        let start = Instant::now();
+        let generated = self.checker.check(
+            &mut sess,
+            &ctx,
+            &def.left,
+            def.right_or_left(),
+            &def.ty,
+            &cost,
+        );
+        let typecheck = start.elapsed();
+
+        match generated {
+            Err(err) => DefReport {
+                name: def.name.name().to_string(),
+                ok: false,
+                error: Some(err.to_string()),
+                timings: PhaseTimings {
+                    typecheck,
+                    ..PhaseTimings::default()
+                },
+                constraint_atoms: 0,
+                existential_vars: sess.fresh.count(),
+                annotations: def.annotation_count(),
+            },
+            Ok(constraint) => {
+                let atoms = constraint.atom_count();
+                let mut solver = Solver::with_config(self.solve_config.clone());
+                let verdict = solver.entails(&ctx.universals(), &ctx.assumptions, &constraint);
+                let stats = solver.stats();
+                DefReport {
+                    name: def.name.name().to_string(),
+                    ok: verdict.is_valid(),
+                    error: if verdict.is_valid() {
+                        None
+                    } else {
+                        Some(self.describe_failure(&constraint))
+                    },
+                    timings: PhaseTimings {
+                        typecheck,
+                        existential_elim: stats.exelim_time,
+                        solving: stats.solving_time,
+                    },
+                    constraint_atoms: atoms,
+                    existential_vars: sess.fresh.count(),
+                    annotations: def.annotation_count(),
+                }
+            }
+        }
+    }
+
+    fn describe_failure(&self, constraint: &Constr) -> String {
+        format!(
+            "the generated constraints ({} atomic comparisons) are not valid",
+            constraint.atom_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rel_syntax::parse_program;
+
+    fn check(src: &str) -> ProgramReport {
+        Engine::new().check_program(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_well_typed_programs_and_reports_timings() {
+        let report = check("def id : boolr -> boolr = lam x. x;");
+        assert!(report.all_ok());
+        let d = report.def("id").unwrap();
+        assert!(d.error.is_none());
+        assert_eq!(d.annotations, 1);
+        assert!(d.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn rejects_ill_typed_programs() {
+        let report = check("def bad : boolr = 3;");
+        assert!(!report.all_ok());
+        assert!(report.def("bad").unwrap().error.is_some());
+    }
+
+    #[test]
+    fn rejects_unsound_cost_bounds() {
+        // Claiming a negative-relative-cost identity is fine (0 ≤ 0), but a
+        // claimed bound that the body exceeds must be rejected: here the left
+        // program does strictly more work than allowed by the bound 0 against
+        // a cheaper right program.
+        let report = check("def two : UU int = 1 + 1 + 1 ~ 3;");
+        assert!(!report.all_ok());
+        let report = check("def two : UU int @ 2 = 1 + 1 + 1 ~ 3;");
+        assert!(report.all_ok());
+    }
+
+    #[test]
+    fn earlier_definitions_are_visible_to_later_ones() {
+        let src = r#"
+            def not2 : boolr -> boolr = lam b. if b then false else true;
+            def use : boolr -> boolr = lam b. not2 (not2 b);
+        "#;
+        let report = check(src);
+        assert!(report.all_ok(), "{report:?}");
+    }
+
+    #[test]
+    fn relref_level_ignores_costs() {
+        let src = "def f : intr ->[0] intr = lam x. x + 1;";
+        // At the RelCost level the bound 0 on the arrow is fine (the relative
+        // cost of the two identical bodies is 0)…
+        assert!(check(src).all_ok());
+        // …and at the RelRef level costs are ignored entirely.
+        let report = Engine::new()
+            .at_level(SystemLevel::RelRef)
+            .check_program(&parse_program(src).unwrap());
+        assert!(report.all_ok());
+    }
+}

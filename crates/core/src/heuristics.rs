@@ -1,0 +1,100 @@
+//! The example-guided heuristics of §6.
+//!
+//! The surface language deliberately does not carry the syntactic markers of
+//! the core calculi (`consC`/`consNC`, `split`, `NC`, `switch`), so the
+//! checker must decide where to apply the corresponding non-syntax-directed
+//! rules.  The paper lists five heuristics; each is individually toggleable
+//! here so the ablation benchmark can measure its contribution.
+
+/// Toggles for the five heuristics of §6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Heuristics {
+    /// Heuristic 1: when checking a pair of cons-ed lists, apply both the
+    /// `consC` and `consNC` analogues and join the constraints with `∨`.
+    pub both_cons_rules: bool,
+    /// Heuristic 2: when a function binds an argument of type `list[n]^α τ`,
+    /// immediately case-split on `α ≐ 0` (the `rr-split` analogue)…
+    pub split_on_list_argument: bool,
+    /// …and, in the `α ≐ 0` branch, try the `nochange` rule first.
+    pub nochange_first_when_equal: bool,
+    /// Heuristic 4: at elimination positions whose subject has a `□`-ed
+    /// type, apply the `□`-distribution subtyping lazily, preferring the
+    /// box-preserving alternative.
+    pub lazy_box_elimination: bool,
+    /// Heuristic 5: fall back to unary reasoning only when eliminating or
+    /// checking at `U (A₁, A₂)`, or when the related expressions are
+    /// structurally dissimilar.
+    pub unary_fallback: bool,
+}
+
+impl Heuristics {
+    /// All heuristics enabled (the configuration used in the paper's
+    /// evaluation).
+    pub const fn all() -> Heuristics {
+        Heuristics {
+            both_cons_rules: true,
+            split_on_list_argument: true,
+            nochange_first_when_equal: true,
+            lazy_box_elimination: true,
+            unary_fallback: true,
+        }
+    }
+
+    /// All heuristics disabled (pure syntax-directed checking; many
+    /// benchmarks fail in this configuration, which is the point of the
+    /// ablation).
+    pub const fn none() -> Heuristics {
+        Heuristics {
+            both_cons_rules: false,
+            split_on_list_argument: false,
+            nochange_first_when_equal: false,
+            lazy_box_elimination: false,
+            unary_fallback: false,
+        }
+    }
+
+    /// Disables a single heuristic, by 1-based index as numbered in §6
+    /// (3 — "subtyping only at specific places" — is structural in this
+    /// implementation and cannot be disabled).
+    pub fn without(mut self, number: u8) -> Heuristics {
+        match number {
+            1 => self.both_cons_rules = false,
+            2 => {
+                self.split_on_list_argument = false;
+                self.nochange_first_when_equal = false;
+            }
+            4 => self.lazy_box_elimination = false,
+            5 => self.unary_fallback = false,
+            _ => {}
+        }
+        self
+    }
+}
+
+impl Default for Heuristics {
+    fn default() -> Self {
+        Heuristics::all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_everything() {
+        let h = Heuristics::default();
+        assert!(h.both_cons_rules && h.split_on_list_argument && h.lazy_box_elimination);
+    }
+
+    #[test]
+    fn without_disables_selected_heuristics() {
+        let h = Heuristics::all().without(1);
+        assert!(!h.both_cons_rules);
+        assert!(h.split_on_list_argument);
+        let h = Heuristics::all().without(2);
+        assert!(!h.split_on_list_argument && !h.nochange_first_when_equal);
+        let h = Heuristics::all().without(3);
+        assert_eq!(h, Heuristics::all());
+    }
+}

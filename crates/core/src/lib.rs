@@ -1,0 +1,45 @@
+//! BiRelCost: bidirectional type checking for relational properties.
+//!
+//! This crate is the primary contribution of the reproduced paper
+//! ("Bidirectional Type Checking for Relational Properties", PLDI 2019): an
+//! algorithmic, bidirectional checker for the RelCost family of relational
+//! type-and-effect systems — relSTLC ⊂ RelRef ⊂ RelRefU ⊂ RelCost — built on
+//! the substrates provided by the sibling crates (`rel-index`, `rel-syntax`,
+//! `rel-constraint`, `rel-unary`, `rel-eval`).
+//!
+//! # Quick start
+//!
+//! ```
+//! use birelcost::Engine;
+//! use rel_syntax::parse_program;
+//!
+//! let program = parse_program(
+//!     "def double_neg : boolr -> boolr = lam b. if b then true else false;",
+//! )?;
+//! let report = Engine::new().check_program(&program);
+//! assert!(report.all_ok());
+//! # Ok::<(), rel_syntax::ParseError>(())
+//! ```
+//!
+//! The crate is organized as follows:
+//!
+//! * [`relstlc`] — the warm-up system of §2 (self-contained),
+//! * [`subtype`] — algorithmic relational subtyping (Fig. 3 + §4/§5 rules),
+//! * [`bidir`] — the BiRelCost checking/inference judgments with the §6
+//!   heuristics,
+//! * [`heuristics`] — the heuristic toggles (used by the ablation study),
+//! * [`corelang`] — the annotated core calculus and erasure,
+//! * [`engine`] — the end-to-end pipeline (check → eliminate existentials →
+//!   solve) with the Table-1 timing breakdown.
+
+pub mod bidir;
+pub mod corelang;
+pub mod engine;
+pub mod heuristics;
+pub mod relstlc;
+pub mod subtype;
+
+pub use bidir::{RelChecker, RelInference, Session};
+pub use engine::{DefReport, Engine, PhaseTimings, ProgramReport};
+pub use heuristics::Heuristics;
+pub use subtype::rel_subtype;

@@ -1,0 +1,220 @@
+//! relSTLC (§2): the relational simply-typed lambda calculus.
+//!
+//! This module is a small, self-contained implementation of the paper's
+//! warm-up system: booleans (`boolr`, `boolu`), arrows, subtyping induced by
+//! `boolr ⊑ boolu`, a declarative typing relation and its bidirectional
+//! algorithmic counterpart, for which soundness and completeness hold without
+//! any of the later systems' nondeterminism.  It exists to mirror the paper's
+//! §2 exactly; the full RelCost machinery lives in [`crate::bidir`].
+
+use rel_syntax::{Expr, Var};
+use rel_unary::TypeError;
+
+/// relSTLC types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StlcType {
+    /// Identical booleans (the diagonal relation).
+    BoolR,
+    /// Arbitrary booleans (the complete relation).
+    BoolU,
+    /// Function types.
+    Arrow(Box<StlcType>, Box<StlcType>),
+}
+
+impl StlcType {
+    /// `τ₁ → τ₂`.
+    pub fn arrow(a: StlcType, b: StlcType) -> StlcType {
+        StlcType::Arrow(Box::new(a), Box::new(b))
+    }
+}
+
+/// Declarative subtyping: reflexivity, `boolr ⊑ boolu`, and the usual
+/// contravariant/covariant arrow rule; transitivity is admissible.
+pub fn subtype(a: &StlcType, b: &StlcType) -> bool {
+    match (a, b) {
+        (StlcType::BoolR, StlcType::BoolR)
+        | (StlcType::BoolU, StlcType::BoolU)
+        | (StlcType::BoolR, StlcType::BoolU) => true,
+        (StlcType::Arrow(a1, b1), StlcType::Arrow(a2, b2)) => subtype(a2, a1) && subtype(b1, b2),
+        _ => false,
+    }
+}
+
+/// A typing context for relSTLC.
+pub type StlcCtx = Vec<(Var, StlcType)>;
+
+fn lookup<'a>(ctx: &'a StlcCtx, x: &Var) -> Result<&'a StlcType, TypeError> {
+    ctx.iter()
+        .rev()
+        .find(|(y, _)| y == x)
+        .map(|(_, t)| t)
+        .ok_or_else(|| TypeError::UnboundVariable(x.name().to_string()))
+}
+
+/// The bidirectional checking judgment `Γ ⊢ e₁ ∽ e₂ ↓ τ`.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] when the pair cannot be given the type.
+pub fn check(ctx: &StlcCtx, e1: &Expr, e2: &Expr, ty: &StlcType) -> Result<(), TypeError> {
+    match ((e1, e2), ty) {
+        ((Expr::Lam(x1, b1), Expr::Lam(x2, b2)), StlcType::Arrow(dom, cod)) => {
+            if x1 != x2 {
+                return Err(TypeError::other(
+                    "related lambdas must bind the same variable name",
+                ));
+            }
+            let mut ctx = ctx.clone();
+            ctx.push((x1.clone(), (**dom).clone()));
+            check(&ctx, b1, b2, cod)
+        }
+        ((Expr::If(c1, t1, f1), Expr::If(c2, t2, f2)), _) => {
+            // rule alg-r-if: the two conditions must relate at boolr so the
+            // branches can be related pointwise.
+            check(ctx, c1, c2, &StlcType::BoolR)?;
+            check(ctx, t1, t2, ty)?;
+            check(ctx, f1, f2, ty)
+        }
+        _ => {
+            // alg-↑↓: switch to inference and use subtyping.
+            let inferred = infer(ctx, e1, e2)?;
+            if subtype(&inferred, ty) {
+                Ok(())
+            } else {
+                Err(TypeError::NotASubtype {
+                    sub: format!("{inferred:?}"),
+                    sup: format!("{ty:?}"),
+                })
+            }
+        }
+    }
+}
+
+/// The bidirectional inference judgment `Γ ⊢ e₁ ∽ e₂ ↑ τ`.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] when no type can be inferred.
+pub fn infer(ctx: &StlcCtx, e1: &Expr, e2: &Expr) -> Result<StlcType, TypeError> {
+    match (e1, e2) {
+        (Expr::Var(x), Expr::Var(y)) if x == y => Ok(lookup(ctx, x)?.clone()),
+        (Expr::Bool(a), Expr::Bool(b)) => Ok(if a == b {
+            StlcType::BoolR
+        } else {
+            StlcType::BoolU
+        }),
+        (Expr::App(f1, a1), Expr::App(f2, a2)) => match infer(ctx, f1, f2)? {
+            StlcType::Arrow(dom, cod) => {
+                check(ctx, a1, a2, &dom)?;
+                Ok(*cod)
+            }
+            other => Err(TypeError::shape("a function type", format!("{other:?}"))),
+        },
+        (Expr::If(c1, t1, f1), Expr::If(c2, t2, f2)) => {
+            check(ctx, c1, c2, &StlcType::BoolR)?;
+            let ty = infer(ctx, t1, t2)?;
+            check(ctx, f1, f2, &ty)?;
+            Ok(ty)
+        }
+        _ => Err(TypeError::CannotInfer(format!(
+            "a pair of `{}`/`{}` expressions in relSTLC",
+            e1.head_constructor(),
+            e2.head_constructor()
+        ))),
+    }
+}
+
+/// The declarative judgment `Γ ⊢ e₁ ∽ e₂ : τ`, realized as the algorithmic
+/// judgment followed by subsumption (for relSTLC the two coincide — this is
+/// the soundness/completeness result of §2).
+pub fn declarative(ctx: &StlcCtx, e1: &Expr, e2: &Expr, ty: &StlcType) -> bool {
+    check(ctx, e1, e2, ty).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rel_syntax::parse_expr;
+
+    fn e(src: &str) -> Expr {
+        parse_expr(src).unwrap()
+    }
+
+    #[test]
+    fn identical_booleans_relate_at_boolr_and_boolu() {
+        assert!(declarative(&vec![], &e("true"), &e("true"), &StlcType::BoolR));
+        assert!(declarative(&vec![], &e("true"), &e("true"), &StlcType::BoolU));
+    }
+
+    #[test]
+    fn different_booleans_relate_only_at_boolu() {
+        assert!(!declarative(&vec![], &e("true"), &e("false"), &StlcType::BoolR));
+        assert!(declarative(&vec![], &e("true"), &e("false"), &StlcType::BoolU));
+    }
+
+    #[test]
+    fn subtyping_is_reflexive_and_boolr_below_boolu() {
+        let arr = StlcType::arrow(StlcType::BoolU, StlcType::BoolR);
+        assert!(subtype(&arr, &arr));
+        assert!(subtype(&StlcType::BoolR, &StlcType::BoolU));
+        assert!(!subtype(&StlcType::BoolU, &StlcType::BoolR));
+        // Contravariance: (boolu → boolr) ⊑ (boolr → boolu).
+        assert!(subtype(
+            &StlcType::arrow(StlcType::BoolU, StlcType::BoolR),
+            &StlcType::arrow(StlcType::BoolR, StlcType::BoolU)
+        ));
+        assert!(!subtype(
+            &StlcType::arrow(StlcType::BoolR, StlcType::BoolR),
+            &StlcType::arrow(StlcType::BoolU, StlcType::BoolR)
+        ));
+    }
+
+    #[test]
+    fn if_requires_related_conditions() {
+        // λb. if b then true else false : boolr → boolr.
+        let f = e("lam b. if b then true else false");
+        assert!(declarative(
+            &vec![],
+            &f,
+            &f,
+            &StlcType::arrow(StlcType::BoolR, StlcType::BoolR)
+        ));
+        // With a boolu argument the condition cannot be related at boolr.
+        assert!(!declarative(
+            &vec![],
+            &f,
+            &f,
+            &StlcType::arrow(StlcType::BoolU, StlcType::BoolR)
+        ));
+        // …but the result can still be boolu via the then/else literals? No:
+        // the condition itself is the problem, so even boolu results fail.
+        assert!(!declarative(
+            &vec![],
+            &f,
+            &f,
+            &StlcType::arrow(StlcType::BoolU, StlcType::BoolU)
+        ));
+    }
+
+    #[test]
+    fn application_uses_checking_for_arguments() {
+        let ctx = vec![
+            (Var::new("f"), StlcType::arrow(StlcType::BoolU, StlcType::BoolR)),
+            (Var::new("x"), StlcType::BoolR),
+        ];
+        // f x : the argument x (boolr) is accepted where boolu is expected.
+        assert_eq!(
+            infer(&ctx, &e("f x"), &e("f x")).unwrap(),
+            StlcType::BoolR
+        );
+    }
+
+    #[test]
+    fn soundness_of_inference_with_respect_to_checking() {
+        // Anything inferable checks at its inferred type (and supertypes).
+        let ctx = vec![(Var::new("x"), StlcType::BoolR)];
+        let ty = infer(&ctx, &e("x"), &e("x")).unwrap();
+        assert!(check(&ctx, &e("x"), &e("x"), &ty).is_ok());
+        assert!(check(&ctx, &e("x"), &e("x"), &StlcType::BoolU).is_ok());
+    }
+}

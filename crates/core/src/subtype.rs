@@ -1,0 +1,478 @@
+//! Algorithmic relational subtyping.
+//!
+//! Relational subtyping (Figure 3 of the paper, extended with the `U` and
+//! cost-aware rules of §4–§5) is constraint-dependent and interacts with the
+//! comonad `□` in ways that make transitivity non-admissible; that is exactly
+//! why the paper invokes it only at three places (heuristic 3: the ↑↓ mode
+//! switch, the `nochange` rule, and lazily at `□`-typed elimination points).
+//! The algorithmic judgment implemented here returns the arithmetic side
+//! conditions as a [`Constr`]; structurally impossible relations return an
+//! error.  Where more than one declarative rule could apply (e.g. the `l2`
+//! route through `α ≐ 0` versus direct element subtyping) the alternatives
+//! are joined with a disjunction.
+
+use rel_constraint::Constr;
+use rel_index::Idx;
+use rel_syntax::{pretty, RelType, UnaryType};
+use rel_unary::subtype::unary_subtype;
+use rel_unary::TypeError;
+
+/// Computes the constraint under which `sub ⊑ sup` holds.
+///
+/// # Errors
+///
+/// Returns [`TypeError::NotASubtype`] when no declarative rule can relate the
+/// two types regardless of the index constraints.
+pub fn rel_subtype(sub: &RelType, sup: &RelType) -> Result<Constr, TypeError> {
+    use RelType::*;
+    match (sub, sup) {
+        (UnitR, UnitR) | (BoolR, BoolR) | (IntR, IntR) => Ok(Constr::Top),
+        (TVar(a), TVar(b)) if a == b => Ok(Constr::Top),
+
+        // Constraint-type rules (order matters; see the module docs).
+        (CAnd(c1, a1), _) => Ok(c1.clone().implies(rel_subtype(a1, sup)?)),
+        (_, CImpl(c2, b2)) => Ok(c2.clone().implies(rel_subtype(sub, b2)?)),
+        (_, CAnd(c2, b2)) => Ok(c2.clone().and(rel_subtype(sub, b2)?)),
+        (CImpl(c1, a1), _) => Ok(c1.clone().and(rel_subtype(a1, sup)?)),
+
+        // Quantifiers: α-rename and go under the binder.
+        (Forall(i1, s1, a1), Forall(i2, s2, b2)) if s1 == s2 => {
+            let b2 = b2.subst_idx(i2, &Idx::Var(i1.clone()));
+            Ok(Constr::forall(i1.clone(), *s1, rel_subtype(a1, &b2)?))
+        }
+        (Exists(i1, s1, a1), Exists(i2, s2, b2)) if s1 == s2 => {
+            let b2 = b2.subst_idx(i2, &Idx::Var(i1.clone()));
+            Ok(Constr::forall(i1.clone(), *s1, rel_subtype(a1, &b2)?))
+        }
+
+        // □ on both sides: covariance first, falling back to keeping the
+        // source boxed while the target unboxes one level (□τ ⊑ □□τ etc.).
+        (Boxed(a), Boxed(b)) => {
+            let mut paths = Vec::new();
+            if let Ok(c) = rel_subtype(a, b) {
+                paths.push(c);
+            }
+            if let Ok(c) = rel_subtype(sub, b) {
+                paths.push(c);
+            }
+            or_paths(paths, sub, sup)
+        }
+
+        // □ on the left only: rule (T) □τ ⊑ τ, plus the distribution rules
+        // (□(τ₁ →diff(t) τ₂) ⊑ □τ₁ →diff(0) □τ₂ and friends).
+        (Boxed(a), _) => {
+            let mut paths = Vec::new();
+            if let Ok(c) = rel_subtype(a, sup) {
+                paths.push(c);
+            }
+            if let Some(pushed) = push_box(sub) {
+                if let Ok(c) = rel_subtype(&pushed, sup) {
+                    paths.push(c);
+                }
+            }
+            or_paths(paths, sub, sup)
+        }
+
+        // □ on the right only: the diagonal base types are their own box, a
+        // pair of boxes is a boxed pair, and lists box via the `l2`/`l` route
+        // (requires zero differing positions).
+        (_, Boxed(b)) => {
+            let mut paths = Vec::new();
+            match sub {
+                UnitR | BoolR | IntR => {
+                    if let Ok(c) = rel_subtype(sub, b) {
+                        paths.push(c);
+                    }
+                }
+                List { len, diff, elem } => {
+                    if let RelType::List {
+                        len: len2,
+                        diff: diff2,
+                        elem: elem2,
+                    } = b.strip_boxes()
+                    {
+                        let inner = rel_subtype(elem, elem2)
+                            .or_else(|_| rel_subtype(elem, &RelType::boxed((**elem2).clone())));
+                        if let Ok(c) = inner {
+                            paths.push(
+                                c.and(Constr::eq(len.clone(), len2.clone()))
+                                    .and(Constr::eq(diff.clone(), Idx::zero()))
+                                    .and(Constr::leq(Idx::zero(), diff2.clone())),
+                            );
+                        }
+                    }
+                }
+                Prod(x, y) => {
+                    if let RelType::Prod(bx, by) = b.as_ref() {
+                        let cx = rel_subtype(x, &RelType::boxed((**bx).clone()));
+                        let cy = rel_subtype(y, &RelType::boxed((**by).clone()));
+                        if let (Ok(cx), Ok(cy)) = (cx, cy) {
+                            paths.push(cx.and(cy));
+                        }
+                    }
+                }
+                _ => {}
+            }
+            or_paths(paths, sub, sup)
+        }
+
+        (Arrow(a1, t1, b1), Arrow(a2, t2, b2)) => {
+            let dom = rel_subtype(a2, a1)?;
+            let cod = rel_subtype(b1, b2)?;
+            Ok(dom.and(cod).and(Constr::leq(t1.clone(), t2.clone())))
+        }
+
+        (
+            List {
+                len: n1,
+                diff: a1,
+                elem: e1,
+            },
+            List {
+                len: n2,
+                diff: a2,
+                elem: e2,
+            },
+        ) => {
+            // Rule l1 (covariant weakening of the difference bound) composed
+            // with element subtyping; when the target's elements are boxed and
+            // the source's are not, the l2 route (α ≐ 0) is also available.
+            let base = Constr::eq(n1.clone(), n2.clone()).and(Constr::leq(a1.clone(), a2.clone()));
+            let mut paths = Vec::new();
+            if let Ok(c) = rel_subtype(e1, e2) {
+                paths.push(base.clone().and(c));
+            }
+            if let RelType::Boxed(inner2) = e2.as_ref() {
+                if let Ok(c) = rel_subtype(e1, inner2) {
+                    paths.push(
+                        base.clone()
+                            .and(c)
+                            .and(Constr::eq(a1.clone(), Idx::zero())),
+                    );
+                }
+            }
+            or_paths(paths, sub, sup)
+        }
+
+        (Prod(a1, b1), Prod(a2, b2)) => Ok(rel_subtype(a1, a2)?.and(rel_subtype(b1, b2)?)),
+
+        (U(a1, a2), U(b1, b2)) => Ok(unary_subtype(a1, b1)?.and(unary_subtype(a2, b2)?)),
+
+        // U(list, list) ⊑ list[n]ⁿ U(·,·): unary length information becomes a
+        // (trivially true) relational refinement.
+        (U(ua, ub), List { len, diff, elem }) => {
+            let (na, ea) = match ua.as_ref() {
+                UnaryType::List(n, e) => (n.clone(), (**e).clone()),
+                _ => return not_a_subtype(sub, sup),
+            };
+            let (nb, eb) = match ub.as_ref() {
+                UnaryType::List(n, e) => (n.clone(), (**e).clone()),
+                _ => return not_a_subtype(sub, sup),
+            };
+            let inner = rel_subtype(&RelType::u(ea, eb), elem)?;
+            Ok(inner
+                .and(Constr::eq(na.clone(), nb))
+                .and(Constr::eq(len.clone(), na.clone()))
+                .and(Constr::leq(na, diff.clone())))
+        }
+
+        // U of unary pairs distributes over relational products.
+        (U(ua, ub), Prod(p1, p2)) => {
+            let (a1, a2) = match ua.as_ref() {
+                UnaryType::Prod(x, y) => ((**x).clone(), (**y).clone()),
+                _ => return not_a_subtype(sub, sup),
+            };
+            let (b1, b2) = match ub.as_ref() {
+                UnaryType::Prod(x, y) => ((**x).clone(), (**y).clone()),
+                _ => return not_a_subtype(sub, sup),
+            };
+            Ok(rel_subtype(&RelType::u(a1, b1), p1)?.and(rel_subtype(&RelType::u(a2, b2), p2)?))
+        }
+
+        // U of unary arrows becomes a relational arrow whose relative cost is
+        // the worst-case gap between the two exec intervals (this is the rule
+        // that lets `merge`'s unary cost bounds be used relationally in the
+        // msort walk-through of §6).
+        (U(ua, ub), Arrow(dom, t, cod)) => {
+            let (a1, c1, b1) = match ua.as_ref() {
+                UnaryType::Arrow(a, c, b) => ((**a).clone(), c.clone(), (**b).clone()),
+                _ => return not_a_subtype(sub, sup),
+            };
+            let (a2, c2, b2) = match ub.as_ref() {
+                UnaryType::Arrow(a, c, b) => ((**a).clone(), c.clone(), (**b).clone()),
+                _ => return not_a_subtype(sub, sup),
+            };
+            let dom_c = rel_subtype(dom, &RelType::u(a1, a2))?;
+            let cod_c = rel_subtype(&RelType::u(b1, b2), cod)?;
+            Ok(dom_c
+                .and(cod_c)
+                .and(Constr::leq(c1.hi.clone() - c2.lo.clone(), t.clone())))
+        }
+
+        // The general projection rule: any relational type is a subtype of
+        // the U-pairing of its unary projections (relational information is
+        // simply forgotten).
+        (_, U(b1, b2)) => {
+            let left = unary_subtype(&sub.project(1), b1)?;
+            let right = unary_subtype(&sub.project(2), b2)?;
+            Ok(left.and(right))
+        }
+
+        _ => not_a_subtype(sub, sup),
+    }
+}
+
+/// Pushes a `□` one level into the structure of the type when a distribution
+/// rule exists; returns `None` for types on which `□` does not distribute.
+pub fn push_box(ty: &RelType) -> Option<RelType> {
+    let inner = match ty {
+        RelType::Boxed(inner) => inner,
+        _ => return None,
+    };
+    match inner.as_ref() {
+        RelType::Arrow(a, _, b) => Some(RelType::arrow(
+            RelType::boxed((**a).clone()),
+            Idx::zero(),
+            RelType::boxed((**b).clone()),
+        )),
+        RelType::Forall(i, s, t) => Some(RelType::forall(
+            i.clone(),
+            *s,
+            RelType::boxed((**t).clone()),
+        )),
+        RelType::Exists(i, s, t) => Some(RelType::exists(
+            i.clone(),
+            *s,
+            RelType::boxed((**t).clone()),
+        )),
+        RelType::CAnd(c, t) => Some(RelType::cand(c.clone(), RelType::boxed((**t).clone()))),
+        RelType::CImpl(c, t) => Some(RelType::cimpl(c.clone(), RelType::boxed((**t).clone()))),
+        RelType::Prod(a, b) => Some(RelType::prod(
+            RelType::boxed((**a).clone()),
+            RelType::boxed((**b).clone()),
+        )),
+        RelType::List { len, elem, .. } => Some(RelType::list(
+            len.clone(),
+            Idx::zero(),
+            RelType::boxed((**elem).clone()),
+        )),
+        RelType::UnitR | RelType::BoolR | RelType::IntR => Some(inner.as_ref().clone()),
+        RelType::Boxed(_) => Some(inner.as_ref().clone()),
+        RelType::TVar(_) | RelType::U(_, _) => None,
+    }
+}
+
+fn or_paths(paths: Vec<Constr>, sub: &RelType, sup: &RelType) -> Result<Constr, TypeError> {
+    if paths.is_empty() {
+        not_a_subtype(sub, sup)
+    } else {
+        Ok(Constr::disj(paths))
+    }
+}
+
+fn not_a_subtype(sub: &RelType, sup: &RelType) -> Result<Constr, TypeError> {
+    Err(TypeError::NotASubtype {
+        sub: pretty::rel_type(sub),
+        sup: pretty::rel_type(sup),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rel_constraint::Solver;
+    use rel_index::{IdxVar, Sort};
+    use rel_syntax::CostBounds;
+
+    fn holds(sub: &RelType, sup: &RelType, universals: &[(&str, Sort)], hyp: Constr) -> bool {
+        match rel_subtype(sub, sup) {
+            Ok(c) => {
+                let mut s = Solver::new();
+                let u: Vec<_> = universals
+                    .iter()
+                    .map(|(n, s)| (IdxVar::new(*n), *s))
+                    .collect();
+                s.entails(&u, &hyp, &c).is_valid()
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn int_list(n: &str, a: &str) -> RelType {
+        RelType::list(Idx::var(n), Idx::var(a), RelType::IntR)
+    }
+
+    #[test]
+    fn reflexivity_on_base_and_structured_types() {
+        for t in [
+            RelType::BoolR,
+            RelType::IntR,
+            RelType::bool_u(),
+            int_list("n", "a"),
+            RelType::boxed(RelType::BoolR),
+            RelType::arrow(RelType::BoolR, Idx::var("t"), RelType::IntR),
+        ] {
+            assert!(
+                holds(&t, &t, &[("n", Sort::Nat), ("a", Sort::Nat), ("t", Sort::Real)], Constr::Top),
+                "expected {t:?} ⊑ {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn boolr_is_a_subtype_of_boolu_but_not_conversely() {
+        assert!(holds(&RelType::BoolR, &RelType::bool_u(), &[], Constr::Top));
+        assert!(!holds(&RelType::bool_u(), &RelType::BoolR, &[], Constr::Top));
+    }
+
+    #[test]
+    fn list_difference_bounds_weaken_covariantly() {
+        // list[n]^a τ ⊑ list[n]^n τ needs a ≤ n.
+        let sub = int_list("n", "a");
+        let sup = int_list("n", "n");
+        assert!(holds(
+            &sub,
+            &sup,
+            &[("n", Sort::Nat), ("a", Sort::Nat)],
+            Constr::leq(Idx::var("a"), Idx::var("n"))
+        ));
+        assert!(!holds(&sub, &sup, &[("n", Sort::Nat), ("a", Sort::Nat)], Constr::Top));
+    }
+
+    #[test]
+    fn boxed_types_strip_and_distribute() {
+        // □τ ⊑ τ  (rule T)
+        assert!(holds(&RelType::boxed(RelType::BoolR), &RelType::BoolR, &[], Constr::Top));
+        // □(τ₁ →diff(t) τ₂) ⊑ □τ₁ →diff(0) □τ₂
+        let sub = RelType::boxed(RelType::arrow(RelType::IntR, Idx::var("t"), RelType::IntR));
+        let sup = RelType::arrow(
+            RelType::boxed(RelType::IntR),
+            Idx::zero(),
+            RelType::boxed(RelType::IntR),
+        );
+        assert!(holds(&sub, &sup, &[("t", Sort::Real)], Constr::Top));
+        // □τ ⊑ □□τ
+        let b = RelType::boxed(RelType::IntR);
+        assert!(holds(&b, &RelType::boxed(b.clone()), &[], Constr::Top));
+    }
+
+    #[test]
+    fn diagonal_base_types_are_their_own_box() {
+        assert!(holds(&RelType::IntR, &RelType::boxed(RelType::IntR), &[], Constr::Top));
+        assert!(holds(&RelType::UnitR, &RelType::boxed(RelType::UnitR), &[], Constr::Top));
+        // But an unrelated pair is not.
+        assert!(!holds(
+            &RelType::bool_u(),
+            &RelType::boxed(RelType::bool_u()),
+            &[],
+            Constr::Top
+        ));
+    }
+
+    #[test]
+    fn lists_box_exactly_when_they_have_no_differences() {
+        // list[n]^a (U int) ⊑ □(list[n]^a (U int)) holds under a = 0 (rules l2 + l).
+        let sub = RelType::list(Idx::var("n"), Idx::var("a"), RelType::u_same(UnaryType::Int));
+        let sup = RelType::boxed(sub.clone());
+        let u = [("n", Sort::Nat), ("a", Sort::Nat)];
+        assert!(holds(&sub, &sup, &u, Constr::eq(Idx::var("a"), Idx::zero())));
+        assert!(!holds(&sub, &sup, &u, Constr::Top));
+    }
+
+    #[test]
+    fn projection_rule_forgets_relational_structure() {
+        // list[n]^a intr ⊑ U(list[n] int, list[n] int)
+        let sub = int_list("n", "a");
+        let sup = RelType::u(
+            UnaryType::list(Idx::var("n"), UnaryType::Int),
+            UnaryType::list(Idx::var("n"), UnaryType::Int),
+        );
+        assert!(holds(&sub, &sup, &[("n", Sort::Nat), ("a", Sort::Nat)], Constr::Top));
+    }
+
+    #[test]
+    fn unary_list_pairs_become_relational_lists() {
+        // U(list[n] int, list[n] int) ⊑ list[n]^n (U int)
+        let sub = RelType::u(
+            UnaryType::list(Idx::var("n"), UnaryType::Int),
+            UnaryType::list(Idx::var("n"), UnaryType::Int),
+        );
+        let sup = RelType::list(Idx::var("n"), Idx::var("n"), RelType::u_same(UnaryType::Int));
+        assert!(holds(&sub, &sup, &[("n", Sort::Nat)], Constr::Top));
+    }
+
+    #[test]
+    fn unary_arrow_pairs_become_relational_arrows() {
+        // U(int →[2,5] int, int →[1,3] int) ⊑ U(int,int) →diff(4) U(int,int)
+        let sub = RelType::u(
+            UnaryType::arrow(
+                UnaryType::Int,
+                CostBounds::new(Idx::nat(2), Idx::nat(5)),
+                UnaryType::Int,
+            ),
+            UnaryType::arrow(
+                UnaryType::Int,
+                CostBounds::new(Idx::nat(1), Idx::nat(3)),
+                UnaryType::Int,
+            ),
+        );
+        let sup = RelType::arrow(
+            RelType::u_same(UnaryType::Int),
+            Idx::nat(4),
+            RelType::u_same(UnaryType::Int),
+        );
+        assert!(holds(&sub, &sup, &[], Constr::Top));
+        // A tighter relative cost (3) is not justified: 5 − 1 = 4 > 3.
+        let too_tight = RelType::arrow(
+            RelType::u_same(UnaryType::Int),
+            Idx::nat(3),
+            RelType::u_same(UnaryType::Int),
+        );
+        assert!(!holds(&sub, &too_tight, &[], Constr::Top));
+    }
+
+    #[test]
+    fn arrows_are_contravariant_and_cost_covariant() {
+        let sub = RelType::arrow(int_list("n", "n"), Idx::nat(3), RelType::IntR);
+        let sup = RelType::arrow(int_list("n", "a"), Idx::nat(5), RelType::IntR);
+        // Needs a ≤ n for the (contravariant) domain and 3 ≤ 5 for the cost.
+        assert!(holds(
+            &sub,
+            &sup,
+            &[("n", Sort::Nat), ("a", Sort::Nat)],
+            Constr::leq(Idx::var("a"), Idx::var("n"))
+        ));
+    }
+
+    #[test]
+    fn quantified_types_are_compared_under_their_binder() {
+        let sub = RelType::forall("i", Sort::Nat, int_list("i", "i"));
+        let sup = RelType::forall("j", Sort::Nat, int_list("j", "j"));
+        assert!(holds(&sub, &sup, &[], Constr::Top));
+    }
+
+    #[test]
+    fn constraint_types_guard_their_payload() {
+        // {b ≤ a} & τ ⊑ τ  always; τ ⊑ {b ≤ a} & τ only if b ≤ a is provable.
+        let guarded = RelType::cand(Constr::leq(Idx::var("b"), Idx::var("a")), RelType::IntR);
+        let u = [("a", Sort::Nat), ("b", Sort::Nat)];
+        assert!(holds(&guarded, &RelType::IntR, &u, Constr::Top));
+        assert!(!holds(&RelType::IntR, &guarded, &u, Constr::Top));
+        assert!(holds(
+            &RelType::IntR,
+            &guarded,
+            &u,
+            Constr::leq(Idx::var("b"), Idx::var("a"))
+        ));
+    }
+
+    #[test]
+    fn structurally_unrelated_types_are_rejected() {
+        assert!(rel_subtype(&RelType::BoolR, &RelType::IntR).is_err());
+        assert!(rel_subtype(
+            &RelType::prod(RelType::BoolR, RelType::BoolR),
+            &RelType::arrow0(RelType::BoolR, RelType::BoolR)
+        )
+        .is_err());
+    }
+}

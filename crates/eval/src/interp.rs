@@ -1,0 +1,413 @@
+//! The big-step, cost-counting interpreter.
+
+use std::fmt;
+use std::rc::Rc;
+
+use rel_syntax::{Expr, PrimOp, Var};
+use rel_unary::CostModel;
+
+use crate::value::{Env, Value};
+
+/// Configuration of an evaluation run.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// The cost model charged at elimination forms.
+    pub cost_model: CostModel,
+    /// Maximum number of charged steps before aborting (guards against
+    /// accidental divergence in tests).
+    pub step_limit: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            cost_model: CostModel::standard(),
+            step_limit: 10_000_000,
+        }
+    }
+}
+
+/// The outcome of a successful evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalOutcome {
+    /// The resulting value.
+    pub value: Value,
+    /// The total evaluation cost under the configured cost model.
+    pub cost: u64,
+}
+
+/// Runtime errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A variable had no binding at runtime (should be prevented by typing).
+    UnboundVariable(String),
+    /// An elimination form was applied to a value of the wrong shape.
+    TypeMismatch(String),
+    /// The step limit was exceeded.
+    StepLimitExceeded(u64),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UnboundVariable(x) => write!(f, "unbound variable `{x}` at runtime"),
+            RuntimeError::TypeMismatch(msg) => write!(f, "runtime type mismatch: {msg}"),
+            RuntimeError::StepLimitExceeded(n) => {
+                write!(f, "evaluation exceeded the step limit of {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+struct Interp {
+    config: EvalConfig,
+    cost: u64,
+}
+
+impl Interp {
+    fn charge(&mut self, amount: u64) -> Result<(), RuntimeError> {
+        self.cost += amount;
+        if self.cost > self.config.step_limit {
+            Err(RuntimeError::StepLimitExceeded(self.config.step_limit))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn eval(&mut self, e: &Expr, env: &Env) -> Result<Value, RuntimeError> {
+        match e {
+            Expr::Var(x) => env
+                .lookup(x)
+                .cloned()
+                .ok_or_else(|| RuntimeError::UnboundVariable(x.name().to_string())),
+            Expr::Unit => Ok(Value::Unit),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Int(n) => Ok(Value::Int(*n)),
+            Expr::Nil => Ok(Value::List(Vec::new())),
+            Expr::Cons(h, t) => {
+                let head = self.eval(h, env)?;
+                let tail = self.eval(t, env)?;
+                match tail {
+                    Value::List(mut items) => {
+                        items.insert(0, head);
+                        Ok(Value::List(items))
+                    }
+                    other => Err(RuntimeError::TypeMismatch(format!(
+                        "cons onto a non-list value `{other}`"
+                    ))),
+                }
+            }
+            Expr::Pair(a, b) => Ok(Value::Pair(
+                Box::new(self.eval(a, env)?),
+                Box::new(self.eval(b, env)?),
+            )),
+            Expr::Fst(e) => {
+                self.charge(self.config.cost_model.proj)?;
+                match self.eval(e, env)? {
+                    Value::Pair(a, _) => Ok(*a),
+                    other => Err(RuntimeError::TypeMismatch(format!(
+                        "fst of a non-pair value `{other}`"
+                    ))),
+                }
+            }
+            Expr::Snd(e) => {
+                self.charge(self.config.cost_model.proj)?;
+                match self.eval(e, env)? {
+                    Value::Pair(_, b) => Ok(*b),
+                    other => Err(RuntimeError::TypeMismatch(format!(
+                        "snd of a non-pair value `{other}`"
+                    ))),
+                }
+            }
+            Expr::Lam(x, body) => Ok(Value::Closure {
+                fixvar: None,
+                param: x.clone(),
+                body: Rc::new((**body).clone()),
+                env: env.clone(),
+            }),
+            Expr::Fix(f, x, body) => Ok(Value::Closure {
+                fixvar: Some(f.clone()),
+                param: x.clone(),
+                body: Rc::new((**body).clone()),
+                env: env.clone(),
+            }),
+            Expr::ILam(body) => Ok(Value::Suspension {
+                body: Rc::new((**body).clone()),
+                env: env.clone(),
+            }),
+            Expr::IApp(e) => {
+                self.charge(self.config.cost_model.index_elim)?;
+                match self.eval(e, env)? {
+                    Value::Suspension { body, env } => self.eval(&body, &env),
+                    other => Err(RuntimeError::TypeMismatch(format!(
+                        "index application of a non-suspension value `{other}`"
+                    ))),
+                }
+            }
+            Expr::App(f, a) => {
+                let fun = self.eval(f, env)?;
+                let arg = self.eval(a, env)?;
+                self.charge(self.config.cost_model.app)?;
+                self.apply(fun, arg)
+            }
+            Expr::If(cond, then_branch, else_branch) => {
+                let c = self.eval(cond, env)?;
+                self.charge(self.config.cost_model.if_then_else)?;
+                match c {
+                    Value::Bool(true) => self.eval(then_branch, env),
+                    Value::Bool(false) => self.eval(else_branch, env),
+                    other => Err(RuntimeError::TypeMismatch(format!(
+                        "conditional on a non-boolean value `{other}`"
+                    ))),
+                }
+            }
+            Expr::CaseList {
+                scrut,
+                nil_branch,
+                head,
+                tail,
+                cons_branch,
+            } => {
+                let v = self.eval(scrut, env)?;
+                self.charge(self.config.cost_model.case_list)?;
+                match v {
+                    Value::List(items) if items.is_empty() => self.eval(nil_branch, env),
+                    Value::List(mut items) => {
+                        let h = items.remove(0);
+                        let env = env
+                            .bind(head.clone(), h)
+                            .bind(tail.clone(), Value::List(items));
+                        self.eval(cons_branch, &env)
+                    }
+                    other => Err(RuntimeError::TypeMismatch(format!(
+                        "case analysis on a non-list value `{other}`"
+                    ))),
+                }
+            }
+            Expr::Let(x, bound, body) => {
+                let v = self.eval(bound, env)?;
+                self.charge(self.config.cost_model.let_bind)?;
+                self.eval(body, &env.bind(x.clone(), v))
+            }
+            Expr::Prim(op, args) => {
+                let values: Result<Vec<Value>, RuntimeError> =
+                    args.iter().map(|a| self.eval(a, env)).collect();
+                let values = values?;
+                self.charge(self.config.cost_model.prim)?;
+                prim(*op, &values)
+            }
+            // Index-level constructs are erased at runtime (cost 0).
+            Expr::Pack(e) | Expr::CElim(e) | Expr::Anno(e, _, _) => self.eval(e, env),
+            Expr::Unpack(e1, x, e2) | Expr::CLet(e1, x, e2) => {
+                let v = self.eval(e1, env)?;
+                self.charge(self.config.cost_model.index_elim)?;
+                self.eval(e2, &env.bind(x.clone(), v))
+            }
+        }
+    }
+
+    fn apply(&mut self, fun: Value, arg: Value) -> Result<Value, RuntimeError> {
+        match fun {
+            Value::Closure {
+                fixvar,
+                param,
+                body,
+                env,
+            } => {
+                let env = match &fixvar {
+                    Some(f) => env.bind(
+                        f.clone(),
+                        Value::Closure {
+                            fixvar: fixvar.clone(),
+                            param: param.clone(),
+                            body: body.clone(),
+                            env: env.clone(),
+                        },
+                    ),
+                    None => env.clone(),
+                };
+                let env = env.bind(param, arg);
+                self.eval(&body, &env)
+            }
+            other => Err(RuntimeError::TypeMismatch(format!(
+                "application of a non-function value `{other}`"
+            ))),
+        }
+    }
+}
+
+fn prim(op: PrimOp, args: &[Value]) -> Result<Value, RuntimeError> {
+    let int = |v: &Value| {
+        v.as_int().ok_or_else(|| {
+            RuntimeError::TypeMismatch(format!("expected an integer operand, found `{v}`"))
+        })
+    };
+    let boolean = |v: &Value| {
+        v.as_bool().ok_or_else(|| {
+            RuntimeError::TypeMismatch(format!("expected a boolean operand, found `{v}`"))
+        })
+    };
+    match op {
+        PrimOp::Add => Ok(Value::Int(int(&args[0])? + int(&args[1])?)),
+        PrimOp::Sub => Ok(Value::Int(int(&args[0])? - int(&args[1])?)),
+        PrimOp::Mul => Ok(Value::Int(int(&args[0])? * int(&args[1])?)),
+        PrimOp::Div => {
+            let d = int(&args[1])?;
+            Ok(Value::Int(if d == 0 { 0 } else { int(&args[0])? / d }))
+        }
+        PrimOp::Mod => {
+            let d = int(&args[1])?;
+            Ok(Value::Int(if d == 0 { 0 } else { int(&args[0])? % d }))
+        }
+        PrimOp::Eq => Ok(Value::Bool(int(&args[0])? == int(&args[1])?)),
+        PrimOp::Leq => Ok(Value::Bool(int(&args[0])? <= int(&args[1])?)),
+        PrimOp::Lt => Ok(Value::Bool(int(&args[0])? < int(&args[1])?)),
+        PrimOp::And => Ok(Value::Bool(boolean(&args[0])? && boolean(&args[1])?)),
+        PrimOp::Or => Ok(Value::Bool(boolean(&args[0])? || boolean(&args[1])?)),
+        PrimOp::Not => Ok(Value::Bool(!boolean(&args[0])?)),
+    }
+}
+
+/// Evaluates an expression in the given environment with the default
+/// configuration.
+///
+/// # Errors
+///
+/// Returns a [`RuntimeError`] for unbound variables, shape mismatches, or
+/// when the step limit is exceeded.
+pub fn eval(e: &Expr, env: &Env) -> Result<EvalOutcome, RuntimeError> {
+    eval_with_limit(e, env, EvalConfig::default())
+}
+
+/// Evaluates an expression with an explicit configuration.
+///
+/// # Errors
+///
+/// See [`eval`].
+pub fn eval_with_limit(
+    e: &Expr,
+    env: &Env,
+    config: EvalConfig,
+) -> Result<EvalOutcome, RuntimeError> {
+    let mut interp = Interp { config, cost: 0 };
+    let value = interp.eval(e, env)?;
+    Ok(EvalOutcome {
+        value,
+        cost: interp.cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rel_syntax::parse_expr;
+
+    fn run(src: &str) -> EvalOutcome {
+        let e = parse_expr(src).unwrap();
+        eval(&e, &Env::new()).unwrap()
+    }
+
+    #[test]
+    fn literals_cost_nothing() {
+        let out = run("42");
+        assert_eq!(out.value, Value::Int(42));
+        assert_eq!(out.cost, 0);
+        assert_eq!(run("true").value, Value::Bool(true));
+        assert_eq!(run("nil").value, Value::List(vec![]));
+    }
+
+    #[test]
+    fn primitives_and_conditionals_charge_costs() {
+        let out = run("1 + 2 * 3");
+        assert_eq!(out.value, Value::Int(7));
+        assert_eq!(out.cost, 2);
+        let out = run("if 1 <= 2 then 10 else 20");
+        assert_eq!(out.value, Value::Int(10));
+        // one prim (<=) + one if
+        assert_eq!(out.cost, 2);
+    }
+
+    #[test]
+    fn application_charges_one_step() {
+        let out = run("(lam x. x + 1) 5");
+        assert_eq!(out.value, Value::Int(6));
+        // one app + one prim
+        assert_eq!(out.cost, 2);
+    }
+
+    #[test]
+    fn recursion_over_lists() {
+        // length of [5, 6, 7]
+        let out = run(
+            "(fix len(l). case l of nil -> 0 | h :: tl -> 1 + len tl) cons(5, cons(6, cons(7, nil)))",
+        );
+        assert_eq!(out.value, Value::Int(3));
+        // 4 cases + 4 apps (initial + 3 recursive) + 3 prims = 11
+        assert_eq!(out.cost, 11);
+    }
+
+    #[test]
+    fn suspensions_delay_index_bodies() {
+        let out = run("(Lam. lam x. x) [] 9");
+        assert_eq!(out.value, Value::Int(9));
+        assert_eq!(out.cost, 1);
+    }
+
+    #[test]
+    fn pairs_lets_and_projections() {
+        let out = run("let p = (1, 2) in fst p + snd p");
+        assert_eq!(out.value, Value::Int(3));
+        // let + fst + snd + prim
+        assert_eq!(out.cost, 4);
+    }
+
+    #[test]
+    fn pack_unpack_and_clet_are_cost_free() {
+        let out = run("unpack (pack 5) as x in x");
+        assert_eq!(out.value, Value::Int(5));
+        assert_eq!(out.cost, 0);
+        let out = run("clet 5 as x in x");
+        assert_eq!(out.value, Value::Int(5));
+        assert_eq!(out.cost, 0);
+    }
+
+    #[test]
+    fn runtime_errors_are_reported() {
+        let e = parse_expr("missing + 1").unwrap();
+        assert!(matches!(
+            eval(&e, &Env::new()),
+            Err(RuntimeError::UnboundVariable(_))
+        ));
+        let e = parse_expr("1 2").unwrap();
+        assert!(matches!(
+            eval(&e, &Env::new()),
+            Err(RuntimeError::TypeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn step_limit_prevents_divergence() {
+        let e = parse_expr("(fix loop(x). loop x) 0").unwrap();
+        // Keep the limit small: the interpreter recurses on the Rust stack,
+        // so divergence must be cut off well before the stack is exhausted.
+        let config = EvalConfig {
+            step_limit: 200,
+            ..EvalConfig::default()
+        };
+        assert!(matches!(
+            eval_with_limit(&e, &Env::new(), config),
+            Err(RuntimeError::StepLimitExceeded(_))
+        ));
+    }
+
+    #[test]
+    fn relative_cost_of_equal_runs_is_zero() {
+        // The same program on the same input always has the same cost.
+        let src = "(fix len(l). case l of nil -> 0 | h :: tl -> 1 + len tl) cons(1, cons(2, nil))";
+        let a = run(src);
+        let b = run(src);
+        assert_eq!(a.cost, b.cost);
+    }
+}

@@ -1,0 +1,20 @@
+//! Cost-instrumented big-step evaluator.
+//!
+//! RelCost's soundness theorem speaks about an operational semantics that
+//! charges evaluation costs at elimination forms.  This crate implements that
+//! semantics for the surface language: [`eval`] returns both the value and
+//! the total cost of an expression, using the same [`CostModel`] constants as
+//! the unary typing rules.
+//!
+//! The evaluator is used by the test suite and the benchmark harness to
+//! validate relative-cost bounds empirically: for two runs of a program on
+//! inputs that differ in at most `α` positions, the measured
+//! `cost(e₁) − cost(e₂)` never exceeds the bound established by the type
+//! checker (experiment E4 of DESIGN.md).
+
+pub mod interp;
+pub mod value;
+
+pub use interp::{eval, eval_with_limit, EvalConfig, EvalOutcome, RuntimeError};
+pub use rel_unary::CostModel;
+pub use value::{Env, Value};

@@ -1,0 +1,182 @@
+//! Runtime values and environments.
+
+use std::fmt;
+use std::rc::Rc;
+
+use rel_syntax::{Expr, Var};
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The unit value.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// An integer.
+    Int(i64),
+    /// A list of values.
+    List(Vec<Value>),
+    /// A pair.
+    Pair(Box<Value>, Box<Value>),
+    /// A (possibly recursive) function closure.  For plain lambdas `fixvar`
+    /// is `None`; for `fix f(x). e` it is `Some(f)` so the closure can be
+    /// re-bound on application.
+    Closure {
+        /// Optional recursive self-reference.
+        fixvar: Option<Var>,
+        /// The parameter.
+        param: Var,
+        /// The body.
+        body: Rc<Expr>,
+        /// The captured environment.
+        env: Env,
+    },
+    /// A suspended index abstraction `Λ. e` (indices are erased at runtime,
+    /// but the body's evaluation is delayed until `e []`).
+    Suspension {
+        /// The suspended body.
+        body: Rc<Expr>,
+        /// The captured environment.
+        env: Env,
+    },
+}
+
+impl Value {
+    /// Builds a list value from elements.
+    pub fn list(items: impl IntoIterator<Item = Value>) -> Value {
+        Value::List(items.into_iter().collect())
+    }
+
+    /// Builds an integer-list value (convenient for workloads).
+    pub fn int_list(items: impl IntoIterator<Item = i64>) -> Value {
+        Value::List(items.into_iter().map(Value::Int).collect())
+    }
+
+    /// Extracts an integer, if this is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Extracts a boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Extracts a list of integers, if this is one.
+    pub fn as_int_list(&self) -> Option<Vec<i64>> {
+        match self {
+            Value::List(items) => items.iter().map(Value::as_int).collect(),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Pair(a, b) => write!(f, "({a}, {b})"),
+            Value::Closure { .. } => write!(f, "<closure>"),
+            Value::Suspension { .. } => write!(f, "<suspension>"),
+        }
+    }
+}
+
+/// A persistent evaluation environment (immutable linked list of bindings).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Env {
+    head: Option<Rc<Node>>,
+}
+
+#[derive(Debug, PartialEq)]
+struct Node {
+    name: Var,
+    value: Value,
+    next: Option<Rc<Node>>,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Returns an environment extended with one binding.
+    pub fn bind(&self, name: Var, value: Value) -> Env {
+        Env {
+            head: Some(Rc::new(Node {
+                name,
+                value,
+                next: self.head.clone(),
+            })),
+        }
+    }
+
+    /// Looks up a variable (innermost binding wins).
+    pub fn lookup(&self, name: &Var) -> Option<&Value> {
+        let mut cur = self.head.as_deref();
+        while let Some(node) = cur {
+            if &node.name == name {
+                return Some(&node.value);
+            }
+            cur = node.next.as_deref();
+        }
+        None
+    }
+
+    /// Builds an environment from `(name, value)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Var, Value)>) -> Env {
+        pairs
+            .into_iter()
+            .fold(Env::new(), |env, (n, v)| env.bind(n, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn environments_are_persistent() {
+        let base = Env::new();
+        let extended = base.bind(Var::new("x"), Value::Int(1));
+        assert!(base.lookup(&Var::new("x")).is_none());
+        assert_eq!(extended.lookup(&Var::new("x")), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn innermost_binding_wins() {
+        let env = Env::new()
+            .bind(Var::new("x"), Value::Int(1))
+            .bind(Var::new("x"), Value::Int(2));
+        assert_eq!(env.lookup(&Var::new("x")), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn value_helpers() {
+        let v = Value::int_list([1, 2, 3]);
+        assert_eq!(v.as_int_list(), Some(vec![1, 2, 3]));
+        assert_eq!(Value::Int(4).as_int(), Some(4));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Unit.as_int(), None);
+        assert_eq!(Value::int_list([1]).to_string(), "[1]");
+    }
+}

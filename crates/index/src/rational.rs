@@ -1,0 +1,554 @@
+//! Exact rational arithmetic and rationals extended with `+∞`.
+//!
+//! The constraint solver reasons about list sizes (naturals) and costs
+//! (reals).  All arithmetic in this reproduction is performed over exact
+//! rationals so that the symbolic layer of the solver never suffers from
+//! floating-point rounding; the numeric fallback layer may convert to `f64`
+//! explicitly via [`Rational::to_f64`].
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number `num / den` with `den > 0` and `gcd(|num|, den) = 1`.
+///
+/// Arithmetic uses `i128` intermediates and panics on overflow of the final
+/// `i64` representation; index terms appearing in type checking are tiny, so
+/// this is not a practical limitation (and is documented under "Panics").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i64,
+    den: i64,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    if a == 0 {
+        1
+    } else {
+        a
+    }
+}
+
+impl Rational {
+    /// The rational zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates a new rational from a numerator and denominator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0` or if the normalized representation overflows `i64`.
+    pub fn new(num: i64, den: i64) -> Rational {
+        assert!(den != 0, "rational denominator must be non-zero");
+        Self::normalized(num as i128, den as i128)
+    }
+
+    fn normalized(num: i128, den: i128) -> Rational {
+        debug_assert!(den != 0);
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den);
+        let num = sign * num / g;
+        let den = (den * sign) / g;
+        Rational {
+            num: i64::try_from(num).expect("rational numerator overflow"),
+            den: i64::try_from(den).expect("rational denominator overflow"),
+        }
+    }
+
+    /// Creates an integer-valued rational.
+    pub fn from_int(n: i64) -> Rational {
+        Rational { num: n, den: 1 }
+    }
+
+    /// The numerator of the normalized representation.
+    pub fn numerator(&self) -> i64 {
+        self.num
+    }
+
+    /// The (positive) denominator of the normalized representation.
+    pub fn denominator(&self) -> i64 {
+        self.den
+    }
+
+    /// Returns `true` if the rational is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Returns `true` if the rational is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Returns `true` if the rational is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// Returns the largest integer less than or equal to this rational.
+    pub fn floor(&self) -> Rational {
+        Rational::from_int(self.num.div_euclid(self.den))
+    }
+
+    /// Returns the smallest integer greater than or equal to this rational.
+    pub fn ceil(&self) -> Rational {
+        Rational::from_int(-((-self.num).div_euclid(self.den)))
+    }
+
+    /// Converts to `f64`, used only by the numeric fallback layer of the solver.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Returns the smaller of `self` and `other`.
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of `self` and `other`.
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the absolute value.
+    pub fn abs(self) -> Rational {
+        if self.num < 0 {
+            -self
+        } else {
+            self
+        }
+    }
+
+    /// The reciprocal `1 / self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    pub fn recip(self) -> Rational {
+        assert!(!self.is_zero(), "cannot take the reciprocal of zero");
+        Self::normalized(self.den as i128, self.num as i128)
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::from_int(n)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(n: i32) -> Self {
+        Rational::from_int(n as i64)
+    }
+}
+
+impl From<u64> for Rational {
+    fn from(n: u64) -> Self {
+        Rational::from_int(i64::try_from(n).expect("natural literal overflows i64"))
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        Rational::normalized(
+            self.num as i128 * rhs.den as i128 + rhs.num as i128 * self.den as i128,
+            self.den as i128 * rhs.den as i128,
+        )
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        Rational::normalized(
+            self.num as i128 * rhs.num as i128,
+            self.den as i128 * rhs.den as i128,
+        )
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        assert!(!rhs.is_zero(), "division of rationals by zero");
+        Rational::normalized(
+            self.num as i128 * rhs.den as i128,
+            self.den as i128 * rhs.num as i128,
+        )
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let lhs = self.num as i128 * other.den as i128;
+        let rhs = other.num as i128 * self.den as i128;
+        lhs.cmp(&rhs)
+    }
+}
+
+/// A rational extended with positive infinity.
+///
+/// `+∞` is used for the trivial relative-cost bound with which RelRef and
+/// RelRefU derivations embed into RelCost (`diff(∞)`), and as the neutral
+/// upper bound in the solver's interval reasoning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Extended {
+    /// A finite rational value.
+    Finite(Rational),
+    /// Positive infinity.
+    Infinity,
+}
+
+impl Extended {
+    /// The finite zero value.
+    pub const ZERO: Extended = Extended::Finite(Rational::ZERO);
+    /// The finite one value.
+    pub const ONE: Extended = Extended::Finite(Rational::ONE);
+
+    /// Returns the finite value, or `None` for `+∞`.
+    pub fn finite(self) -> Option<Rational> {
+        match self {
+            Extended::Finite(q) => Some(q),
+            Extended::Infinity => None,
+        }
+    }
+
+    /// Returns `true` if this is `+∞`.
+    pub fn is_infinite(self) -> bool {
+        matches!(self, Extended::Infinity)
+    }
+
+    /// Returns `true` if this is finite zero.
+    pub fn is_zero(self) -> bool {
+        matches!(self, Extended::Finite(q) if q.is_zero())
+    }
+
+    /// Converts to `f64` (`+∞` maps to `f64::INFINITY`).
+    pub fn to_f64(self) -> f64 {
+        match self {
+            Extended::Finite(q) => q.to_f64(),
+            Extended::Infinity => f64::INFINITY,
+        }
+    }
+
+    /// Pointwise minimum.
+    pub fn min(self, other: Extended) -> Extended {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Pointwise maximum.
+    pub fn max(self, other: Extended) -> Extended {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Floor; `+∞` floors to itself.
+    pub fn floor(self) -> Extended {
+        match self {
+            Extended::Finite(q) => Extended::Finite(q.floor()),
+            Extended::Infinity => Extended::Infinity,
+        }
+    }
+
+    /// Ceiling; `+∞` ceils to itself.
+    pub fn ceil(self) -> Extended {
+        match self {
+            Extended::Finite(q) => Extended::Finite(q.ceil()),
+            Extended::Infinity => Extended::Infinity,
+        }
+    }
+
+    /// Base-2 logarithm, totalized as `log2(max(x, 1))` and rounded to the
+    /// nearest representable rational via `f64` (sufficient for the numeric
+    /// solver layer; the symbolic layer keeps `log2` opaque).
+    pub fn log2_total(self) -> Extended {
+        match self {
+            Extended::Infinity => Extended::Infinity,
+            Extended::Finite(q) => {
+                let x = q.to_f64().max(1.0);
+                let l = x.log2();
+                // Exact when x is a power of two (the common case in cost
+                // recurrences); otherwise a close dyadic approximation.
+                let scaled = (l * 4096.0).round() as i64;
+                Extended::Finite(Rational::new(scaled, 4096))
+            }
+        }
+    }
+
+    /// `2^self`, totalized; negative exponents produce dyadic fractions and
+    /// non-integer exponents go through `f64`.
+    pub fn pow2_total(self) -> Extended {
+        match self {
+            Extended::Infinity => Extended::Infinity,
+            Extended::Finite(q) => {
+                if q.is_integer() {
+                    let e = q.numerator();
+                    if e >= 0 && e < 62 {
+                        Extended::Finite(Rational::from_int(1i64 << e))
+                    } else if e < 0 && e > -62 {
+                        Extended::Finite(Rational::new(1, 1i64 << (-e)))
+                    } else {
+                        Extended::Infinity
+                    }
+                } else {
+                    let v = q.to_f64().exp2();
+                    let scaled = (v * 4096.0).round() as i64;
+                    Extended::Finite(Rational::new(scaled, 4096))
+                }
+            }
+        }
+    }
+}
+
+impl Default for Extended {
+    fn default() -> Self {
+        Extended::ZERO
+    }
+}
+
+impl fmt::Display for Extended {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Extended::Finite(q) => write!(f, "{q}"),
+            Extended::Infinity => write!(f, "inf"),
+        }
+    }
+}
+
+impl From<Rational> for Extended {
+    fn from(q: Rational) -> Self {
+        Extended::Finite(q)
+    }
+}
+
+impl From<i64> for Extended {
+    fn from(n: i64) -> Self {
+        Extended::Finite(Rational::from_int(n))
+    }
+}
+
+impl From<i32> for Extended {
+    fn from(n: i32) -> Self {
+        Extended::Finite(Rational::from_int(n as i64))
+    }
+}
+
+impl From<u64> for Extended {
+    fn from(n: u64) -> Self {
+        Extended::Finite(Rational::from(n))
+    }
+}
+
+impl Add for Extended {
+    type Output = Extended;
+    fn add(self, rhs: Extended) -> Extended {
+        match (self, rhs) {
+            (Extended::Finite(a), Extended::Finite(b)) => Extended::Finite(a + b),
+            _ => Extended::Infinity,
+        }
+    }
+}
+
+impl Sub for Extended {
+    type Output = Extended;
+    /// Subtraction; `∞ - x = ∞` for finite `x`, and `∞ - ∞ = 0` by convention
+    /// (it only arises from degenerate cost differences where any value is
+    /// sound as an upper bound of `-∞`).
+    fn sub(self, rhs: Extended) -> Extended {
+        match (self, rhs) {
+            (Extended::Finite(a), Extended::Finite(b)) => Extended::Finite(a - b),
+            (Extended::Infinity, Extended::Finite(_)) => Extended::Infinity,
+            (Extended::Finite(_), Extended::Infinity) => Extended::ZERO,
+            (Extended::Infinity, Extended::Infinity) => Extended::ZERO,
+        }
+    }
+}
+
+impl Mul for Extended {
+    type Output = Extended;
+    fn mul(self, rhs: Extended) -> Extended {
+        match (self, rhs) {
+            (Extended::Finite(a), Extended::Finite(b)) => Extended::Finite(a * b),
+            (Extended::Infinity, x) | (x, Extended::Infinity) => {
+                if x.is_zero() {
+                    Extended::ZERO
+                } else {
+                    Extended::Infinity
+                }
+            }
+        }
+    }
+}
+
+impl Div for Extended {
+    type Output = Extended;
+    fn div(self, rhs: Extended) -> Extended {
+        match (self, rhs) {
+            (_, Extended::Infinity) => Extended::ZERO,
+            (Extended::Infinity, _) => Extended::Infinity,
+            (Extended::Finite(a), Extended::Finite(b)) => {
+                if b.is_zero() {
+                    // Division by zero in an index term is a modelling error;
+                    // the solver treats it as unbounded.
+                    Extended::Infinity
+                } else {
+                    Extended::Finite(a / b)
+                }
+            }
+        }
+    }
+}
+
+impl PartialOrd for Extended {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Extended {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Extended::Finite(a), Extended::Finite(b)) => a.cmp(b),
+            (Extended::Infinity, Extended::Infinity) => Ordering::Equal,
+            (Extended::Infinity, _) => Ordering::Greater,
+            (_, Extended::Infinity) => Ordering::Less,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_reduces_fractions() {
+        let q = Rational::new(6, -4);
+        assert_eq!(q.numerator(), -3);
+        assert_eq!(q.denominator(), 2);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let half = Rational::new(1, 2);
+        let third = Rational::new(1, 3);
+        assert_eq!(half + third, Rational::new(5, 6));
+        assert_eq!(half - third, Rational::new(1, 6));
+        assert_eq!(half * third, Rational::new(1, 6));
+        assert_eq!(half / third, Rational::new(3, 2));
+    }
+
+    #[test]
+    fn floor_and_ceil_match_mathematical_definition() {
+        assert_eq!(Rational::new(7, 2).floor(), Rational::from_int(3));
+        assert_eq!(Rational::new(7, 2).ceil(), Rational::from_int(4));
+        assert_eq!(Rational::new(-7, 2).floor(), Rational::from_int(-4));
+        assert_eq!(Rational::new(-7, 2).ceil(), Rational::from_int(-3));
+        assert_eq!(Rational::from_int(5).floor(), Rational::from_int(5));
+        assert_eq!(Rational::from_int(5).ceil(), Rational::from_int(5));
+    }
+
+    #[test]
+    fn ordering_is_consistent_with_subtraction() {
+        let a = Rational::new(3, 7);
+        let b = Rational::new(4, 9);
+        assert!(a < b);
+        assert!((b - a) > Rational::ZERO);
+    }
+
+    #[test]
+    fn extended_saturates_at_infinity() {
+        let inf = Extended::Infinity;
+        let one = Extended::ONE;
+        assert_eq!(inf + one, inf);
+        assert_eq!(inf * one, inf);
+        assert_eq!(inf * Extended::ZERO, Extended::ZERO);
+        assert!(one < inf);
+        assert_eq!(one.min(inf), one);
+        assert_eq!(one.max(inf), inf);
+    }
+
+    #[test]
+    fn pow2_and_log2_roundtrip_on_powers_of_two() {
+        for e in 0..20i64 {
+            let p = Extended::from(e).pow2_total();
+            assert_eq!(p.log2_total(), Extended::from(e));
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Rational::new(3, 2).to_string(), "3/2");
+        assert_eq!(Rational::from_int(4).to_string(), "4");
+        assert_eq!(Extended::Infinity.to_string(), "inf");
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be non-zero")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+}

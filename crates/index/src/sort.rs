@@ -1,0 +1,74 @@
+//! Index sorts.
+//!
+//! RelRef/RelCost index terms are classified by two sorts: `ℕ` for sizes and
+//! difference counts, and `ℝ` (more precisely non-negative reals, written
+//! `real` in the paper) for costs.
+
+use std::fmt;
+
+/// The sort of an index variable or index term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Sort {
+    /// Natural numbers: list sizes `n` and difference counts `α`.
+    #[default]
+    Nat,
+    /// Non-negative reals: execution costs `t`, `k`.
+    Real,
+}
+
+impl Sort {
+    /// Returns `true` if a value of sort `self` can be used where a value of
+    /// sort `other` is expected (`ℕ ⊆ ℝ`).
+    pub fn subsumed_by(self, other: Sort) -> bool {
+        match (self, other) {
+            (Sort::Nat, _) => true,
+            (Sort::Real, Sort::Real) => true,
+            (Sort::Real, Sort::Nat) => false,
+        }
+    }
+
+    /// The least upper bound of two sorts.
+    pub fn join(self, other: Sort) -> Sort {
+        if self == Sort::Real || other == Sort::Real {
+            Sort::Real
+        } else {
+            Sort::Nat
+        }
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Nat => write!(f, "nat"),
+            Sort::Real => write!(f, "real"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nat_is_subsumed_by_real() {
+        assert!(Sort::Nat.subsumed_by(Sort::Real));
+        assert!(Sort::Nat.subsumed_by(Sort::Nat));
+        assert!(Sort::Real.subsumed_by(Sort::Real));
+        assert!(!Sort::Real.subsumed_by(Sort::Nat));
+    }
+
+    #[test]
+    fn join_is_commutative_and_absorbs_real() {
+        assert_eq!(Sort::Nat.join(Sort::Nat), Sort::Nat);
+        assert_eq!(Sort::Nat.join(Sort::Real), Sort::Real);
+        assert_eq!(Sort::Real.join(Sort::Nat), Sort::Real);
+        assert_eq!(Sort::Real.join(Sort::Real), Sort::Real);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Sort::Nat.to_string(), "nat");
+        assert_eq!(Sort::Real.to_string(), "real");
+    }
+}

@@ -1,0 +1,109 @@
+//! Workload generators for the empirical relative-cost experiments.
+//!
+//! The relational statements of the benchmarks speak about pairs of inputs of
+//! the same length that differ in at most `α` positions.  These helpers
+//! generate exactly such pairs, and build the surface-syntax expressions that
+//! apply a benchmark's program to them so the cost-counting evaluator can
+//! measure `cost(e₁) − cost(e₂)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rel_syntax::Expr;
+
+/// A pair of same-length integer lists differing in at most `alpha` positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// The first input list.
+    pub left: Vec<i64>,
+    /// The second input list.
+    pub right: Vec<i64>,
+    /// The number of positions at which the two lists actually differ.
+    pub differing: usize,
+}
+
+impl Workload {
+    /// Generates a workload of length `n` differing in at most `alpha`
+    /// positions, deterministically from `seed`.
+    pub fn generate(n: usize, alpha: usize, seed: u64) -> Workload {
+        let left = random_int_list(n, seed);
+        let right = perturb_list(&left, alpha, seed.wrapping_add(1));
+        let differing = left.iter().zip(&right).filter(|(a, b)| a != b).count();
+        Workload {
+            left,
+            right,
+            differing,
+        }
+    }
+}
+
+/// A deterministic pseudo-random list of small integers.
+pub fn random_int_list(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..100)).collect()
+}
+
+/// Returns a copy of `base` with at most `alpha` positions changed.
+pub fn perturb_list(base: &[i64], alpha: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = base.to_vec();
+    if out.is_empty() {
+        return out;
+    }
+    for _ in 0..alpha.min(out.len()) {
+        let i = rng.gen_range(0..out.len());
+        out[i] = rng.gen_range(100..200);
+    }
+    out
+}
+
+/// Builds the surface-syntax literal for an integer list.
+pub fn list_literal(items: &[i64]) -> Expr {
+    items
+        .iter()
+        .rev()
+        .fold(Expr::Nil, |acc, n| Expr::cons(Expr::Int(*n), acc))
+}
+
+/// Builds `f () [] … [] arg` — the standard application spine of the suite's
+/// unit-argument, index-polymorphic functions — with `iapps` index
+/// applications.
+pub fn apply_spine(fun: Expr, iapps: usize, arg: Expr) -> Expr {
+    let mut e = fun.app(Expr::Unit);
+    for _ in 0..iapps {
+        e = e.iapp();
+    }
+    e.app(arg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rel_eval::{eval, Env};
+
+    #[test]
+    fn workloads_are_deterministic_per_seed() {
+        let a = Workload::generate(16, 4, 99);
+        let b = Workload::generate(16, 4, 99);
+        assert_eq!(a, b);
+        assert!(a.differing <= 4);
+        assert_eq!(a.left.len(), 16);
+    }
+
+    #[test]
+    fn list_literals_evaluate_to_their_contents() {
+        let e = list_literal(&[3, 1, 4]);
+        let out = eval(&e, &Env::new()).unwrap();
+        assert_eq!(out.value.as_int_list(), Some(vec![3, 1, 4]));
+        assert_eq!(out.cost, 0);
+    }
+
+    #[test]
+    fn apply_spine_builds_the_expected_shape() {
+        let e = apply_spine(Expr::var("f"), 2, Expr::Nil);
+        assert_eq!(
+            e,
+            Expr::var("f").app(Expr::Unit).iapp().iapp().app(Expr::Nil)
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! The benchmark suite of the paper's evaluation (Table 1).
+//!
+//! Each benchmark is a small program in the concrete syntax of `rel-syntax`,
+//! annotated with the relational type reported in the RelCost/BiRelCost
+//! papers (adapted to this reproduction's concrete syntax and cost model).
+//! The suite also provides workload generators used by the empirical
+//! relative-cost experiments (E4 in DESIGN.md) and helpers to run a
+//! benchmark's program on concrete inputs through the cost-counting
+//! evaluator.
+
+pub mod generators;
+pub mod programs;
+
+pub use generators::{perturb_list, random_int_list, Workload};
+pub use programs::{all_benchmarks, benchmark, Benchmark, VerificationStatus};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use birelcost::Engine;
+
+    #[test]
+    fn every_benchmark_parses() {
+        for b in all_benchmarks() {
+            let parsed = rel_syntax::parse_program(b.source);
+            assert!(parsed.is_ok(), "benchmark {} fails to parse: {:?}", b.name, parsed.err());
+            assert!(!parsed.unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn names_match_the_paper_table() {
+        let names: Vec<&str> = all_benchmarks().iter().map(|b| b.name).collect();
+        for expected in [
+            "filter", "append", "rev", "map", "comp", "sam", "find", "2Dcount", "ssort",
+            "bsplit", "flatten", "appSum", "merge", "zip", "msort", "bfold",
+        ] {
+            assert!(names.contains(&expected), "missing benchmark {expected}");
+        }
+        assert_eq!(names.len(), 16);
+    }
+
+    #[test]
+    fn verified_benchmarks_type_check() {
+        let engine = Engine::new();
+        for b in all_benchmarks() {
+            if b.status != VerificationStatus::Verified {
+                continue;
+            }
+            let program = rel_syntax::parse_program(b.source).unwrap();
+            let report = engine.check_program(&program);
+            assert!(
+                report.all_ok(),
+                "benchmark {} is marked Verified but fails: {:?}",
+                b.name,
+                report
+                    .defs
+                    .iter()
+                    .filter(|d| !d.ok)
+                    .map(|d| (&d.name, &d.error))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn workload_generators_respect_their_parameters() {
+        let base = random_int_list(32, 7);
+        assert_eq!(base.len(), 32);
+        let changed = perturb_list(&base, 5, 11);
+        assert_eq!(changed.len(), 32);
+        let diffs = base.iter().zip(&changed).filter(|(a, b)| a != b).count();
+        assert!(diffs <= 5, "expected at most 5 differing positions, got {diffs}");
+    }
+}

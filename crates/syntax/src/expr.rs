@@ -1,0 +1,587 @@
+//! Surface expressions.
+//!
+//! The expression language is shared by all four systems of the paper
+//! (relSTLC ⊂ RelRef ⊂ RelRefU ⊂ RelCost).  Crucially — and exactly as in the
+//! paper — surface expressions carry **no index terms**: index abstraction is
+//! the anonymous `Λ. e`, index application is `e []`, and `pack e` has no
+//! witness.  The only programmer-supplied typing information is the optional
+//! annotation `(e : τ)`, used by the bidirectional checker to switch from
+//! inference to checking mode at β-redexes and at top-level definitions.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use rel_index::Idx;
+
+use crate::types::RelType;
+
+/// A program variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(Arc<str>);
+
+impl Var {
+    /// Creates a program variable.
+    pub fn new(name: impl Into<String>) -> Var {
+        Var(Arc::from(name.into()))
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+impl From<String> for Var {
+    fn from(s: String) -> Self {
+        Var::new(s)
+    }
+}
+
+/// Primitive operations on integers and booleans.
+///
+/// Primitives evaluate synchronously in the two related runs, so they
+/// contribute unary cost but no *relative* cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimOp {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer division (truncating; division by zero evaluates to zero).
+    Div,
+    /// Integer equality, returning a boolean.
+    Eq,
+    /// Integer `≤`.
+    Leq,
+    /// Integer `<`.
+    Lt,
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+    /// Boolean negation.
+    Not,
+    /// Integer modulus.
+    Mod,
+}
+
+impl PrimOp {
+    /// Number of operands.
+    pub fn arity(self) -> usize {
+        match self {
+            PrimOp::Not => 1,
+            _ => 2,
+        }
+    }
+
+    /// Returns `true` if the result is a boolean.
+    pub fn returns_bool(self) -> bool {
+        matches!(
+            self,
+            PrimOp::Eq | PrimOp::Leq | PrimOp::Lt | PrimOp::And | PrimOp::Or | PrimOp::Not
+        )
+    }
+
+    /// Returns `true` if the operands are booleans.
+    pub fn takes_bools(self) -> bool {
+        matches!(self, PrimOp::And | PrimOp::Or | PrimOp::Not)
+    }
+
+    /// The concrete-syntax spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            PrimOp::Add => "+",
+            PrimOp::Sub => "-",
+            PrimOp::Mul => "*",
+            PrimOp::Div => "/",
+            PrimOp::Eq => "==",
+            PrimOp::Leq => "<=",
+            PrimOp::Lt => "<",
+            PrimOp::And => "&&",
+            PrimOp::Or => "||",
+            PrimOp::Not => "not",
+            PrimOp::Mod => "%",
+        }
+    }
+}
+
+impl fmt::Display for PrimOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// A surface expression of RelCost (and its subsystems).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A variable occurrence.
+    Var(Var),
+    /// The unit value `()`.
+    Unit,
+    /// A boolean literal.
+    Bool(bool),
+    /// An integer literal.
+    Int(i64),
+    /// A primitive operation applied to its operands.
+    Prim(PrimOp, Vec<Expr>),
+    /// `if e then e₁ else e₂`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `λx. e`.
+    Lam(Var, Box<Expr>),
+    /// `fix f(x). e` — recursive function definition.
+    Fix(Var, Var, Box<Expr>),
+    /// Application `e₁ e₂`.
+    App(Box<Expr>, Box<Expr>),
+    /// Index abstraction `Λ. e` (no index variable in the term, as in RelRef).
+    ILam(Box<Expr>),
+    /// Index application `e []`.
+    IApp(Box<Expr>),
+    /// The empty list.
+    Nil,
+    /// `cons(e₁, e₂)`.
+    Cons(Box<Expr>, Box<Expr>),
+    /// `case e of nil → e₁ | h :: tl → e₂`.
+    CaseList {
+        /// The scrutinee.
+        scrut: Box<Expr>,
+        /// The nil branch.
+        nil_branch: Box<Expr>,
+        /// Name bound to the head in the cons branch.
+        head: Var,
+        /// Name bound to the tail in the cons branch.
+        tail: Var,
+        /// The cons branch.
+        cons_branch: Box<Expr>,
+    },
+    /// Pair construction.
+    Pair(Box<Expr>, Box<Expr>),
+    /// First projection.
+    Fst(Box<Expr>),
+    /// Second projection.
+    Snd(Box<Expr>),
+    /// `let x = e₁ in e₂`.
+    Let(Var, Box<Expr>, Box<Expr>),
+    /// `pack e` — introduction of an existential index type (no witness in
+    /// the surface syntax).
+    Pack(Box<Expr>),
+    /// `unpack e₁ as x in e₂` — elimination of an existential index type.
+    Unpack(Box<Expr>, Var, Box<Expr>),
+    /// `clet e₁ as x in e₂` — elimination of the constrained type `C & τ`.
+    CLet(Box<Expr>, Var, Box<Expr>),
+    /// `celim e` — elimination of the constrained type `C ⊃ τ`.
+    CElim(Box<Expr>),
+    /// A type annotation `(e : τ)`, optionally also annotating the relative
+    /// cost to check the pair against.
+    Anno(Box<Expr>, RelType, Option<Idx>),
+}
+
+impl Expr {
+    /// A variable occurrence.
+    pub fn var(name: impl Into<Var>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// `λx. body`.
+    pub fn lam(x: impl Into<Var>, body: Expr) -> Expr {
+        Expr::Lam(x.into(), Box::new(body))
+    }
+
+    /// `fix f(x). body`.
+    pub fn fix(f: impl Into<Var>, x: impl Into<Var>, body: Expr) -> Expr {
+        Expr::Fix(f.into(), x.into(), Box::new(body))
+    }
+
+    /// Application `self arg` (helper for building curried applications).
+    pub fn app(self, arg: Expr) -> Expr {
+        Expr::App(Box::new(self), Box::new(arg))
+    }
+
+    /// Index application `self []`.
+    pub fn iapp(self) -> Expr {
+        Expr::IApp(Box::new(self))
+    }
+
+    /// Index abstraction `Λ. self`.
+    pub fn ilam(self) -> Expr {
+        Expr::ILam(Box::new(self))
+    }
+
+    /// `let x = bound in body`.
+    pub fn let_in(x: impl Into<Var>, bound: Expr, body: Expr) -> Expr {
+        Expr::Let(x.into(), Box::new(bound), Box::new(body))
+    }
+
+    /// `if cond then then_branch else else_branch`.
+    pub fn if_then_else(cond: Expr, then_branch: Expr, else_branch: Expr) -> Expr {
+        Expr::If(Box::new(cond), Box::new(then_branch), Box::new(else_branch))
+    }
+
+    /// `cons(head, tail)`.
+    pub fn cons(head: Expr, tail: Expr) -> Expr {
+        Expr::Cons(Box::new(head), Box::new(tail))
+    }
+
+    /// `case scrut of nil → nil_branch | head :: tail → cons_branch`.
+    pub fn case_list(
+        scrut: Expr,
+        nil_branch: Expr,
+        head: impl Into<Var>,
+        tail: impl Into<Var>,
+        cons_branch: Expr,
+    ) -> Expr {
+        Expr::CaseList {
+            scrut: Box::new(scrut),
+            nil_branch: Box::new(nil_branch),
+            head: head.into(),
+            tail: tail.into(),
+            cons_branch: Box::new(cons_branch),
+        }
+    }
+
+    /// A pair.
+    pub fn pair(a: Expr, b: Expr) -> Expr {
+        Expr::Pair(Box::new(a), Box::new(b))
+    }
+
+    /// A binary primitive.
+    pub fn prim2(op: PrimOp, a: Expr, b: Expr) -> Expr {
+        Expr::Prim(op, vec![a, b])
+    }
+
+    /// Type annotation `(self : ty)`.
+    pub fn anno(self, ty: RelType) -> Expr {
+        Expr::Anno(Box::new(self), ty, None)
+    }
+
+    /// Type-and-cost annotation `(self : ty @ cost)`.
+    pub fn anno_cost(self, ty: RelType, cost: Idx) -> Expr {
+        Expr::Anno(Box::new(self), ty, Some(cost))
+    }
+
+    /// Erases all type annotations (the `|e|` operation used in the paper's
+    /// soundness/completeness statements).
+    pub fn erase_annotations(&self) -> Expr {
+        match self {
+            Expr::Anno(e, _, _) => e.erase_annotations(),
+            Expr::Var(_) | Expr::Unit | Expr::Bool(_) | Expr::Int(_) | Expr::Nil => self.clone(),
+            Expr::Prim(op, args) => Expr::Prim(
+                *op,
+                args.iter().map(Expr::erase_annotations).collect(),
+            ),
+            Expr::If(a, b, c) => Expr::If(
+                Box::new(a.erase_annotations()),
+                Box::new(b.erase_annotations()),
+                Box::new(c.erase_annotations()),
+            ),
+            Expr::Lam(x, e) => Expr::Lam(x.clone(), Box::new(e.erase_annotations())),
+            Expr::Fix(f, x, e) => {
+                Expr::Fix(f.clone(), x.clone(), Box::new(e.erase_annotations()))
+            }
+            Expr::App(a, b) => Expr::App(
+                Box::new(a.erase_annotations()),
+                Box::new(b.erase_annotations()),
+            ),
+            Expr::ILam(e) => Expr::ILam(Box::new(e.erase_annotations())),
+            Expr::IApp(e) => Expr::IApp(Box::new(e.erase_annotations())),
+            Expr::Cons(a, b) => Expr::Cons(
+                Box::new(a.erase_annotations()),
+                Box::new(b.erase_annotations()),
+            ),
+            Expr::CaseList {
+                scrut,
+                nil_branch,
+                head,
+                tail,
+                cons_branch,
+            } => Expr::CaseList {
+                scrut: Box::new(scrut.erase_annotations()),
+                nil_branch: Box::new(nil_branch.erase_annotations()),
+                head: head.clone(),
+                tail: tail.clone(),
+                cons_branch: Box::new(cons_branch.erase_annotations()),
+            },
+            Expr::Pair(a, b) => Expr::Pair(
+                Box::new(a.erase_annotations()),
+                Box::new(b.erase_annotations()),
+            ),
+            Expr::Fst(e) => Expr::Fst(Box::new(e.erase_annotations())),
+            Expr::Snd(e) => Expr::Snd(Box::new(e.erase_annotations())),
+            Expr::Let(x, a, b) => Expr::Let(
+                x.clone(),
+                Box::new(a.erase_annotations()),
+                Box::new(b.erase_annotations()),
+            ),
+            Expr::Pack(e) => Expr::Pack(Box::new(e.erase_annotations())),
+            Expr::Unpack(a, x, b) => Expr::Unpack(
+                Box::new(a.erase_annotations()),
+                x.clone(),
+                Box::new(b.erase_annotations()),
+            ),
+            Expr::CLet(a, x, b) => Expr::CLet(
+                Box::new(a.erase_annotations()),
+                x.clone(),
+                Box::new(b.erase_annotations()),
+            ),
+            Expr::CElim(e) => Expr::CElim(Box::new(e.erase_annotations())),
+        }
+    }
+
+    /// Free program variables.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        let mut acc = BTreeSet::new();
+        self.collect_free_vars(&mut acc);
+        acc
+    }
+
+    fn collect_free_vars(&self, acc: &mut BTreeSet<Var>) {
+        match self {
+            Expr::Var(v) => {
+                acc.insert(v.clone());
+            }
+            Expr::Unit | Expr::Bool(_) | Expr::Int(_) | Expr::Nil => {}
+            Expr::Prim(_, args) => {
+                for a in args {
+                    a.collect_free_vars(acc);
+                }
+            }
+            Expr::If(a, b, c) => {
+                a.collect_free_vars(acc);
+                b.collect_free_vars(acc);
+                c.collect_free_vars(acc);
+            }
+            Expr::Lam(x, e) => {
+                let mut inner = BTreeSet::new();
+                e.collect_free_vars(&mut inner);
+                inner.remove(x);
+                acc.extend(inner);
+            }
+            Expr::Fix(f, x, e) => {
+                let mut inner = BTreeSet::new();
+                e.collect_free_vars(&mut inner);
+                inner.remove(f);
+                inner.remove(x);
+                acc.extend(inner);
+            }
+            Expr::App(a, b) | Expr::Cons(a, b) | Expr::Pair(a, b) => {
+                a.collect_free_vars(acc);
+                b.collect_free_vars(acc);
+            }
+            Expr::ILam(e)
+            | Expr::IApp(e)
+            | Expr::Fst(e)
+            | Expr::Snd(e)
+            | Expr::Pack(e)
+            | Expr::CElim(e)
+            | Expr::Anno(e, _, _) => e.collect_free_vars(acc),
+            Expr::CaseList {
+                scrut,
+                nil_branch,
+                head,
+                tail,
+                cons_branch,
+            } => {
+                scrut.collect_free_vars(acc);
+                nil_branch.collect_free_vars(acc);
+                let mut inner = BTreeSet::new();
+                cons_branch.collect_free_vars(&mut inner);
+                inner.remove(head);
+                inner.remove(tail);
+                acc.extend(inner);
+            }
+            Expr::Let(x, a, b) | Expr::Unpack(a, x, b) | Expr::CLet(a, x, b) => {
+                a.collect_free_vars(acc);
+                let mut inner = BTreeSet::new();
+                b.collect_free_vars(&mut inner);
+                inner.remove(x);
+                acc.extend(inner);
+            }
+        }
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Var(_) | Expr::Unit | Expr::Bool(_) | Expr::Int(_) | Expr::Nil => 1,
+            Expr::Prim(_, args) => 1 + args.iter().map(Expr::size).sum::<usize>(),
+            Expr::If(a, b, c) => 1 + a.size() + b.size() + c.size(),
+            Expr::Lam(_, e) | Expr::Fix(_, _, e) => 1 + e.size(),
+            Expr::App(a, b) | Expr::Cons(a, b) | Expr::Pair(a, b) => 1 + a.size() + b.size(),
+            Expr::ILam(e)
+            | Expr::IApp(e)
+            | Expr::Fst(e)
+            | Expr::Snd(e)
+            | Expr::Pack(e)
+            | Expr::CElim(e)
+            | Expr::Anno(e, _, _) => 1 + e.size(),
+            Expr::CaseList {
+                scrut,
+                nil_branch,
+                cons_branch,
+                ..
+            } => 1 + scrut.size() + nil_branch.size() + cons_branch.size(),
+            Expr::Let(_, a, b) | Expr::Unpack(a, _, b) | Expr::CLet(a, _, b) => {
+                1 + a.size() + b.size()
+            }
+        }
+    }
+
+    /// Number of type annotations — the measure behind the paper's
+    /// "annotation effort" discussion (§6).
+    pub fn annotation_count(&self) -> usize {
+        match self {
+            Expr::Anno(e, _, _) => 1 + e.annotation_count(),
+            Expr::Var(_) | Expr::Unit | Expr::Bool(_) | Expr::Int(_) | Expr::Nil => 0,
+            Expr::Prim(_, args) => args.iter().map(Expr::annotation_count).sum(),
+            Expr::If(a, b, c) => a.annotation_count() + b.annotation_count() + c.annotation_count(),
+            Expr::Lam(_, e) | Expr::Fix(_, _, e) => e.annotation_count(),
+            Expr::App(a, b) | Expr::Cons(a, b) | Expr::Pair(a, b) => {
+                a.annotation_count() + b.annotation_count()
+            }
+            Expr::ILam(e)
+            | Expr::IApp(e)
+            | Expr::Fst(e)
+            | Expr::Snd(e)
+            | Expr::Pack(e)
+            | Expr::CElim(e) => e.annotation_count(),
+            Expr::CaseList {
+                scrut,
+                nil_branch,
+                cons_branch,
+                ..
+            } => {
+                scrut.annotation_count()
+                    + nil_branch.annotation_count()
+                    + cons_branch.annotation_count()
+            }
+            Expr::Let(_, a, b) | Expr::Unpack(a, _, b) | Expr::CLet(a, _, b) => {
+                a.annotation_count() + b.annotation_count()
+            }
+        }
+    }
+
+    /// A coarse structural fingerprint: two expressions with different heads
+    /// are "structurally dissimilar at the top level", the trigger for
+    /// heuristic 5's fallback to unary reasoning.
+    pub fn head_constructor(&self) -> &'static str {
+        match self {
+            Expr::Var(_) => "var",
+            Expr::Unit => "unit",
+            Expr::Bool(_) => "bool",
+            Expr::Int(_) => "int",
+            Expr::Prim(_, _) => "prim",
+            Expr::If(_, _, _) => "if",
+            Expr::Lam(_, _) => "lam",
+            Expr::Fix(_, _, _) => "fix",
+            Expr::App(_, _) => "app",
+            Expr::ILam(_) => "ilam",
+            Expr::IApp(_) => "iapp",
+            Expr::Nil => "nil",
+            Expr::Cons(_, _) => "cons",
+            Expr::CaseList { .. } => "case",
+            Expr::Pair(_, _) => "pair",
+            Expr::Fst(_) => "fst",
+            Expr::Snd(_) => "snd",
+            Expr::Let(_, _, _) => "let",
+            Expr::Pack(_) => "pack",
+            Expr::Unpack(_, _, _) => "unpack",
+            Expr::CLet(_, _, _) => "clet",
+            Expr::CElim(_) => "celim",
+            Expr::Anno(_, _, _) => "anno",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Expr {
+        // fix map(f). Λ. Λ. λl. case l of nil → nil | h :: tl → cons(f h, map f [] [] tl)
+        Expr::fix(
+            "map",
+            "f",
+            Expr::case_list(
+                Expr::var("l"),
+                Expr::Nil,
+                "h",
+                "tl",
+                Expr::cons(
+                    Expr::var("f").app(Expr::var("h")),
+                    Expr::var("map")
+                        .app(Expr::var("f"))
+                        .iapp()
+                        .iapp()
+                        .app(Expr::var("tl")),
+                ),
+            ),
+        )
+    }
+
+    #[test]
+    fn free_vars_remove_binders() {
+        let e = sample();
+        let fv = e.free_vars();
+        assert!(fv.contains(&Var::new("l")));
+        assert!(!fv.contains(&Var::new("map")));
+        assert!(!fv.contains(&Var::new("f")));
+        assert!(!fv.contains(&Var::new("h")));
+    }
+
+    #[test]
+    fn lambda_binders_shadow() {
+        let e = Expr::lam("x", Expr::var("x").app(Expr::var("y")));
+        let fv = e.free_vars();
+        assert_eq!(fv.len(), 1);
+        assert!(fv.contains(&Var::new("y")));
+    }
+
+    #[test]
+    fn erase_annotations_is_idempotent_and_removes_all() {
+        let e = Expr::var("x").anno(RelType::BoolR);
+        let erased = e.erase_annotations();
+        assert_eq!(erased, Expr::var("x"));
+        assert_eq!(erased.annotation_count(), 0);
+        assert_eq!(e.annotation_count(), 1);
+        assert_eq!(erased.erase_annotations(), erased);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(Expr::var("x").size(), 1);
+        assert_eq!(Expr::var("f").app(Expr::var("x")).size(), 3);
+    }
+
+    #[test]
+    fn prim_op_metadata() {
+        assert_eq!(PrimOp::Add.arity(), 2);
+        assert_eq!(PrimOp::Not.arity(), 1);
+        assert!(PrimOp::Eq.returns_bool());
+        assert!(!PrimOp::Add.returns_bool());
+        assert!(PrimOp::And.takes_bools());
+        assert!(!PrimOp::Leq.takes_bools());
+    }
+
+    #[test]
+    fn head_constructors_distinguish_shapes() {
+        assert_eq!(Expr::Nil.head_constructor(), "nil");
+        assert_ne!(
+            Expr::var("x").head_constructor(),
+            Expr::Unit.head_constructor()
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Abstract syntax for the BiRelCost language stack.
+//!
+//! This crate defines everything that is *syntax* in the paper:
+//!
+//! * [`types::UnaryType`] — the unary (DML-style) types `A` with `exec(k, t)`
+//!   effect annotations on arrows (§4, §5 of the paper),
+//! * [`types::RelType`] — the relational types `τ` with `diff(t)` effect
+//!   annotations, relational list refinements `list[n]^α τ`, the comonadic
+//!   `□ τ`, and the `U (A₁, A₂)` embedding of unary typing (§3–§5),
+//! * [`expr::Expr`] — the surface expressions shared by relSTLC, RelRef,
+//!   RelRefU and RelCost (expressions carry no index terms, exactly as in the
+//!   paper; programmers only write type annotations),
+//! * [`program::Program`] — sequences of top-level annotated definitions,
+//! * a lexer/parser ([`parser::parse_program`]) and pretty-printer for an
+//!   ML-like concrete syntax used by the benchmark suite and the CLI,
+//! * [`SystemLevel`] — which of the four systems of the paper a term should
+//!   be checked in.
+//!
+//! # Concrete syntax at a glance
+//!
+//! ```text
+//! def map : box(tv a ->[t] tv b) -> forall n::nat. forall al::nat.
+//!           list[n; al] tv a ->[t * al] list[n; al] tv b
+//! = fix map(f). Lam. Lam. lam l.
+//!     case l of nil -> nil | h :: tl -> cons(f h, map f [] [] tl);
+//! ```
+
+pub mod expr;
+pub mod parser;
+pub mod pretty;
+pub mod program;
+pub mod token;
+pub mod types;
+
+pub use expr::{Expr, PrimOp, Var};
+pub use parser::{parse_expr, parse_program, parse_rel_type, ParseError};
+pub use program::{Def, Program};
+pub use types::{CostBounds, RelType, SystemLevel, UnaryType};

@@ -1,0 +1,367 @@
+//! Pretty-printing of types and expressions back into the concrete syntax.
+//!
+//! The printer produces text that the parser accepts and that parses back to
+//! the same AST (checked by the round-trip property tests below); it is used
+//! by error messages, the CLI and the benchmark reports.
+
+use rel_constraint::Constr;
+
+use crate::expr::{Expr, PrimOp};
+use crate::types::{RelType, UnaryType};
+
+/// Renders a relational type.
+pub fn rel_type(t: &RelType) -> String {
+    rel_prec(t, 0)
+}
+
+// Precedence levels: 0 = top (quantifiers/constraints), 1 = arrow, 2 = product, 3 = atom.
+fn rel_prec(t: &RelType, prec: u8) -> String {
+    let s = match t {
+        RelType::UnitR => "unitr".to_string(),
+        RelType::BoolR => "boolr".to_string(),
+        RelType::IntR => "intr".to_string(),
+        RelType::TVar(v) => format!("tv {v}"),
+        RelType::Boxed(inner) => format!("box {}", rel_prec(inner, 3)),
+        RelType::List { len, diff, elem } => {
+            format!("list[{len}; {diff}] {}", rel_prec(elem, 3))
+        }
+        RelType::U(a, b) => format!("U({}, {})", unary_type(a), unary_type(b)),
+        RelType::Prod(a, b) => {
+            let s = format!("{} * {}", rel_prec(a, 2), rel_prec(b, 3));
+            return wrap(s, prec > 2);
+        }
+        RelType::Arrow(a, cost, b) => {
+            let cost_str = if cost.is_zero() {
+                String::new()
+            } else {
+                format!("[{cost}]")
+            };
+            let s = format!("{} ->{} {}", rel_prec(a, 2), cost_str, rel_prec(b, 1));
+            return wrap(s, prec > 1);
+        }
+        RelType::Forall(i, s, body) => {
+            let s = format!("forall {i} :: {s}. {}", rel_prec(body, 0));
+            return wrap(s, prec > 0);
+        }
+        RelType::Exists(i, s, body) => {
+            let s = format!("exists {i} :: {s}. {}", rel_prec(body, 0));
+            return wrap(s, prec > 0);
+        }
+        RelType::CAnd(c, body) => {
+            let s = format!("{{{}}} & {}", constr(c), rel_prec(body, 0));
+            return wrap(s, prec > 0);
+        }
+        RelType::CImpl(c, body) => {
+            let s = format!("{{{}}} => {}", constr(c), rel_prec(body, 0));
+            return wrap(s, prec > 0);
+        }
+    };
+    s
+}
+
+/// Renders a unary type.
+pub fn unary_type(t: &UnaryType) -> String {
+    unary_prec(t, 0)
+}
+
+fn unary_prec(t: &UnaryType, prec: u8) -> String {
+    match t {
+        UnaryType::Unit => "unit".to_string(),
+        UnaryType::Bool => "bool".to_string(),
+        UnaryType::Int => "int".to_string(),
+        UnaryType::TVar(v) => format!("tv {v}"),
+        UnaryType::List(n, elem) => format!("list[{n}] {}", unary_prec(elem, 3)),
+        UnaryType::Prod(a, b) => {
+            let s = format!("{} * {}", unary_prec(a, 2), unary_prec(b, 3));
+            wrap(s, prec > 2)
+        }
+        UnaryType::Arrow(a, cost, b) => {
+            let s = format!(
+                "{} ->[{}, {}] {}",
+                unary_prec(a, 2),
+                cost.lo,
+                cost.hi,
+                unary_prec(b, 1)
+            );
+            wrap(s, prec > 1)
+        }
+        UnaryType::Forall(i, s, body) => {
+            let s = format!("forall {i} :: {s}. {}", unary_prec(body, 0));
+            wrap(s, prec > 0)
+        }
+        UnaryType::Exists(i, s, body) => {
+            let s = format!("exists {i} :: {s}. {}", unary_prec(body, 0));
+            wrap(s, prec > 0)
+        }
+        UnaryType::CAnd(c, body) => {
+            let s = format!("{{{}}} & {}", constr(c), unary_prec(body, 0));
+            wrap(s, prec > 0)
+        }
+        UnaryType::CImpl(c, body) => {
+            let s = format!("{{{}}} => {}", constr(c), unary_prec(body, 0));
+            wrap(s, prec > 0)
+        }
+    }
+}
+
+/// Renders a constraint in the concrete syntax accepted by the parser.
+pub fn constr(c: &Constr) -> String {
+    match c {
+        Constr::Top => "tt".to_string(),
+        Constr::Bot => "ff".to_string(),
+        Constr::Eq(a, b) => format!("{a} = {b}"),
+        Constr::Leq(a, b) => format!("{a} <= {b}"),
+        Constr::Lt(a, b) => format!("{a} < {b}"),
+        Constr::And(cs) => {
+            let parts: Vec<String> = cs.iter().map(constr).collect();
+            format!("({})", parts.join(" and "))
+        }
+        Constr::Or(cs) => {
+            let parts: Vec<String> = cs.iter().map(constr).collect();
+            format!("({})", parts.join(" or "))
+        }
+        Constr::Not(c) => format!("not ({})", constr(c)),
+        Constr::Implies(a, b) => format!("(not ({}) or ({}))", constr(a), constr(b)),
+        Constr::Forall(q, c) => format!("(forall {} :: {}. {})", q.var, q.sort, constr(c)),
+        Constr::Exists(q, c) => format!("(exists {} :: {}. {})", q.var, q.sort, constr(c)),
+    }
+}
+
+/// Renders an expression.
+pub fn expr(e: &Expr) -> String {
+    expr_prec(e, 0)
+}
+
+// Precedence: 0 = top (binders), 1 = || , 2 = &&, 3 = comparisons, 4 = additive,
+// 5 = multiplicative, 6 = application, 7 = atom.
+fn expr_prec(e: &Expr, prec: u8) -> String {
+    match e {
+        Expr::Var(v) => v.name().to_string(),
+        Expr::Unit => "()".to_string(),
+        Expr::Bool(true) => "true".to_string(),
+        Expr::Bool(false) => "false".to_string(),
+        Expr::Int(n) => {
+            if *n < 0 {
+                format!("(0 - {})", -n)
+            } else {
+                n.to_string()
+            }
+        }
+        Expr::Nil => "nil".to_string(),
+        Expr::Cons(a, b) => format!("cons({}, {})", expr_prec(a, 0), expr_prec(b, 0)),
+        Expr::Pair(a, b) => format!("({}, {})", expr_prec(a, 0), expr_prec(b, 0)),
+        Expr::Anno(e, t, None) => format!("({} : {})", expr_prec(e, 0), rel_type(t)),
+        Expr::Anno(e, t, Some(c)) => {
+            format!("({} : {} @ {})", expr_prec(e, 0), rel_type(t), c)
+        }
+        Expr::Fst(e) => wrap(format!("fst {}", expr_prec(e, 7)), prec > 6),
+        Expr::Snd(e) => wrap(format!("snd {}", expr_prec(e, 7)), prec > 6),
+        Expr::CElim(e) => wrap(format!("celim {}", expr_prec(e, 7)), prec > 6),
+        Expr::Prim(PrimOp::Not, args) => {
+            wrap(format!("not {}", expr_prec(&args[0], 7)), prec > 6)
+        }
+        Expr::Prim(op, args) => {
+            let level = match op {
+                PrimOp::Or => 1,
+                PrimOp::And => 2,
+                PrimOp::Eq | PrimOp::Leq | PrimOp::Lt => 3,
+                PrimOp::Add | PrimOp::Sub => 4,
+                PrimOp::Mul | PrimOp::Div | PrimOp::Mod => 5,
+                PrimOp::Not => unreachable!("handled above"),
+            };
+            let s = format!(
+                "{} {} {}",
+                expr_prec(&args[0], level),
+                op.symbol(),
+                expr_prec(&args[1], level + 1)
+            );
+            wrap(s, prec > level)
+        }
+        Expr::App(f, a) => {
+            let s = format!("{} {}", expr_prec(f, 6), expr_prec(a, 7));
+            wrap(s, prec > 6)
+        }
+        Expr::IApp(f) => {
+            let s = format!("{} []", expr_prec(f, 6));
+            wrap(s, prec > 6)
+        }
+        Expr::Lam(x, body) => wrap(format!("lam {x}. {}", expr_prec(body, 0)), prec > 0),
+        Expr::ILam(body) => wrap(format!("Lam. {}", expr_prec(body, 0)), prec > 0),
+        Expr::Fix(f, x, body) => {
+            wrap(format!("fix {f}({x}). {}", expr_prec(body, 0)), prec > 0)
+        }
+        Expr::Let(x, a, b) => wrap(
+            format!("let {x} = {} in {}", expr_prec(a, 0), expr_prec(b, 0)),
+            prec > 0,
+        ),
+        Expr::If(c, t, f) => wrap(
+            format!(
+                "if {} then {} else {}",
+                expr_prec(c, 0),
+                expr_prec(t, 0),
+                expr_prec(f, 0)
+            ),
+            prec > 0,
+        ),
+        Expr::CaseList {
+            scrut,
+            nil_branch,
+            head,
+            tail,
+            cons_branch,
+        } => wrap(
+            format!(
+                "case {} of nil -> {} | {head} :: {tail} -> {}",
+                expr_prec(scrut, 0),
+                expr_prec(nil_branch, 0),
+                expr_prec(cons_branch, 0)
+            ),
+            prec > 0,
+        ),
+        Expr::Pack(e) => wrap(format!("pack {}", expr_prec(e, 7)), prec > 6),
+        Expr::Unpack(a, x, b) => wrap(
+            format!(
+                "unpack {} as {x} in {}",
+                expr_prec(a, 0),
+                expr_prec(b, 0)
+            ),
+            prec > 0,
+        ),
+        Expr::CLet(a, x, b) => wrap(
+            format!("clet {} as {x} in {}", expr_prec(a, 0), expr_prec(b, 0)),
+            prec > 0,
+        ),
+    }
+}
+
+fn wrap(s: String, needed: bool) -> String {
+    if needed {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_rel_type};
+    use crate::types::CostBounds;
+    use proptest::prelude::*;
+    use rel_index::{Idx, Sort};
+
+    #[test]
+    fn prints_simple_types() {
+        let t = RelType::list(Idx::var("n"), Idx::var("a"), RelType::IntR);
+        assert_eq!(rel_type(&t), "list[n; a] intr");
+        let t = RelType::arrow(RelType::BoolR, Idx::var("t"), RelType::BoolR);
+        assert_eq!(rel_type(&t), "boolr ->[t] boolr");
+        let t = RelType::arrow0(RelType::BoolR, RelType::BoolR);
+        assert_eq!(rel_type(&t), "boolr -> boolr");
+        let t = RelType::u(UnaryType::Bool, UnaryType::Int);
+        assert_eq!(rel_type(&t), "U(bool, int)");
+    }
+
+    #[test]
+    fn prints_expressions() {
+        let e = Expr::var("f").app(Expr::var("x")).iapp();
+        assert_eq!(expr(&e), "f x []");
+        let e = Expr::prim2(
+            PrimOp::Add,
+            Expr::Int(1),
+            Expr::prim2(PrimOp::Mul, Expr::Int(2), Expr::Int(3)),
+        );
+        assert_eq!(expr(&e), "1 + 2 * 3");
+    }
+
+    fn arb_rel_type() -> impl Strategy<Value = RelType> {
+        let leaf = prop_oneof![
+            Just(RelType::BoolR),
+            Just(RelType::IntR),
+            Just(RelType::UnitR),
+            Just(RelType::TVar("a".into())),
+            Just(RelType::u(UnaryType::Int, UnaryType::Bool)),
+            Just(RelType::u_same(UnaryType::list(
+                Idx::var("n"),
+                UnaryType::Int
+            ))),
+        ];
+        leaf.prop_recursive(3, 24, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| RelType::arrow(a, Idx::var("t"), b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| RelType::prod(a, b)),
+                inner.clone().prop_map(RelType::boxed),
+                inner
+                    .clone()
+                    .prop_map(|t| RelType::list(Idx::var("n"), Idx::var("al"), t)),
+                inner.clone().prop_map(|t| RelType::forall("i", Sort::Nat, t)),
+                inner.clone().prop_map(|t| {
+                    RelType::cand(
+                        rel_constraint::Constr::leq(Idx::var("b"), Idx::var("a")),
+                        t,
+                    )
+                }),
+            ]
+        })
+    }
+
+    fn arb_expr() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            Just(Expr::var("x")),
+            Just(Expr::var("f")),
+            Just(Expr::Unit),
+            Just(Expr::Bool(true)),
+            Just(Expr::Int(7)),
+            Just(Expr::Nil),
+        ];
+        leaf.prop_recursive(3, 32, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.app(b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::cons(a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::pair(a, b)),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::prim2(PrimOp::Add, a, b)),
+                (inner.clone(), inner.clone(), inner.clone())
+                    .prop_map(|(a, b, c)| Expr::if_then_else(a, b, c)),
+                inner.clone().prop_map(|e| Expr::lam("y", e)),
+                inner.clone().prop_map(|e| e.iapp()),
+                inner.clone().prop_map(|e| Expr::Fst(Box::new(e))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::let_in("z", a, b)),
+                (inner.clone(), inner.clone(), inner.clone()).prop_map(|(s, n, c)| {
+                    Expr::case_list(s, n, "h", "tl", c)
+                }),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn rel_types_round_trip(t in arb_rel_type()) {
+            let printed = rel_type(&t);
+            let reparsed = parse_rel_type(&printed)
+                .unwrap_or_else(|e| panic!("failed to reparse `{printed}`: {e}"));
+            prop_assert_eq!(reparsed, t);
+        }
+
+        #[test]
+        fn exprs_round_trip(e in arb_expr()) {
+            let printed = expr(&e);
+            let reparsed = parse_expr(&printed)
+                .unwrap_or_else(|err| panic!("failed to reparse `{printed}`: {err}"));
+            prop_assert_eq!(reparsed, e);
+        }
+    }
+
+    #[test]
+    fn unary_arrow_round_trips_with_exec_costs() {
+        let t = RelType::u_same(UnaryType::arrow(
+            UnaryType::Int,
+            CostBounds::new(Idx::var("k"), Idx::var("t")),
+            UnaryType::Int,
+        ));
+        let printed = rel_type(&t);
+        assert_eq!(parse_rel_type(&printed).unwrap(), t);
+    }
+}

@@ -1,0 +1,189 @@
+//! Top-level programs.
+//!
+//! A program is a sequence of definitions.  Each definition annotates its
+//! body (or pair of bodies) with a relational type, the only mandatory
+//! annotation in the bidirectional discipline.  Definitions are checked in
+//! order; earlier definitions are available (at their annotated type) in the
+//! typing context of later ones — this is how the `msort` example uses
+//! `bsplit` and `merge`.
+
+use std::fmt;
+
+use rel_constraint::Constr;
+use rel_index::Idx;
+
+use crate::expr::{Expr, Var};
+use crate::types::RelType;
+
+/// A top-level definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Def {
+    /// The definition's name.
+    pub name: Var,
+    /// The annotated relational type.
+    pub ty: RelType,
+    /// The relative-cost bound to check the definition against (defaults to
+    /// `0`: a top-level value relates to itself with no cost difference; the
+    /// interesting costs live on the arrows inside `ty`).
+    pub cost: Idx,
+    /// The left program.
+    pub left: Expr,
+    /// The right program; `None` means the definition relates `left` to
+    /// itself (the common case).  `Some` is used by genuinely 2-program
+    /// examples such as `find` (head-to-tail vs tail-to-head scan).
+    pub right: Option<Expr>,
+    /// Extra hypotheses assumed while checking this definition (the paper
+    /// supplies one such axiom — a divide-and-conquer recurrence — to the
+    /// constraint solver for `msort`-style examples).
+    pub axioms: Vec<Constr>,
+}
+
+impl Def {
+    /// Creates a definition relating `body` to itself at type `ty`.
+    pub fn new(name: impl Into<Var>, ty: RelType, body: Expr) -> Def {
+        Def {
+            name: name.into(),
+            ty,
+            cost: Idx::zero(),
+            left: body,
+            right: None,
+            axioms: Vec::new(),
+        }
+    }
+
+    /// Creates a definition relating two different programs.
+    pub fn relating(name: impl Into<Var>, ty: RelType, left: Expr, right: Expr) -> Def {
+        Def {
+            name: name.into(),
+            ty,
+            cost: Idx::zero(),
+            left,
+            right: Some(right),
+            axioms: Vec::new(),
+        }
+    }
+
+    /// Sets the relative-cost bound for the definition itself.
+    pub fn with_cost(mut self, cost: Idx) -> Def {
+        self.cost = cost;
+        self
+    }
+
+    /// Adds a solver axiom scoped to this definition.
+    pub fn with_axiom(mut self, axiom: Constr) -> Def {
+        self.axioms.push(axiom);
+        self
+    }
+
+    /// The right-hand program (the left one when the definition is reflexive).
+    pub fn right_or_left(&self) -> &Expr {
+        self.right.as_ref().unwrap_or(&self.left)
+    }
+
+    /// Number of explicit type annotations in the bodies, plus one for the
+    /// mandatory top-level type — the paper's "annotation effort" metric.
+    pub fn annotation_count(&self) -> usize {
+        1 + self.left.annotation_count()
+            + self.right.as_ref().map_or(0, Expr::annotation_count)
+    }
+}
+
+impl fmt::Display for Def {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "def {} : {}", self.name, crate::pretty::rel_type(&self.ty))
+    }
+}
+
+/// A program: an ordered sequence of definitions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// The definitions, in dependency order.
+    pub defs: Vec<Def>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Appends a definition.
+    pub fn push(&mut self, def: Def) -> &mut Self {
+        self.defs.push(def);
+        self
+    }
+
+    /// Looks up a definition by name.
+    pub fn def(&self, name: &str) -> Option<&Def> {
+        self.defs.iter().find(|d| d.name.name() == name)
+    }
+
+    /// Iterates over the definitions.
+    pub fn iter(&self) -> impl Iterator<Item = &Def> {
+        self.defs.iter()
+    }
+
+    /// Number of definitions.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Returns `true` if the program has no definitions.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Total annotation count across all definitions.
+    pub fn annotation_count(&self) -> usize {
+        self.defs.iter().map(Def::annotation_count).sum()
+    }
+}
+
+impl FromIterator<Def> for Program {
+    fn from_iter<I: IntoIterator<Item = Def>>(iter: I) -> Self {
+        Program {
+            defs: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_collect_and_look_up_defs() {
+        let p: Program = [
+            Def::new("id", RelType::arrow0(RelType::BoolR, RelType::BoolR), Expr::lam("x", Expr::var("x"))),
+            Def::new("k", RelType::BoolR, Expr::Bool(true)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(p.len(), 2);
+        assert!(p.def("id").is_some());
+        assert!(p.def("nope").is_none());
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn reflexive_defs_reuse_the_left_body() {
+        let d = Def::new("k", RelType::BoolR, Expr::Bool(true));
+        assert_eq!(d.right_or_left(), &Expr::Bool(true));
+        let d2 = Def::relating("two", RelType::bool_u(), Expr::Bool(true), Expr::Bool(false));
+        assert_eq!(d2.right_or_left(), &Expr::Bool(false));
+    }
+
+    #[test]
+    fn annotation_effort_counts_the_top_level_type() {
+        let d = Def::new("k", RelType::BoolR, Expr::Bool(true));
+        assert_eq!(d.annotation_count(), 1);
+        let d = Def::new(
+            "k",
+            RelType::BoolR,
+            Expr::Bool(true).anno(RelType::BoolR),
+        );
+        assert_eq!(d.annotation_count(), 2);
+        let p: Program = [d].into_iter().collect();
+        assert_eq!(p.annotation_count(), 2);
+    }
+}

@@ -1,0 +1,503 @@
+//! Lexer for the concrete syntax.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// An identifier or keyword (keywords are recognized by the parser).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `::`
+    ColonColon,
+    /// `=`
+    Equals,
+    /// `==`
+    EqEq,
+    /// `->`
+    Arrow,
+    /// `=>`
+    FatArrow,
+    /// `<=`
+    Leq,
+    /// `<`
+    Lt,
+    /// `>=`
+    Geq,
+    /// `>`
+    Gt,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `~`
+    Tilde,
+    /// `@`
+    At,
+    /// `\`
+    Backslash,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(n) => write!(f, "{n}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Semi => write!(f, ";"),
+            Token::Colon => write!(f, ":"),
+            Token::ColonColon => write!(f, "::"),
+            Token::Equals => write!(f, "="),
+            Token::EqEq => write!(f, "=="),
+            Token::Arrow => write!(f, "->"),
+            Token::FatArrow => write!(f, "=>"),
+            Token::Leq => write!(f, "<="),
+            Token::Lt => write!(f, "<"),
+            Token::Geq => write!(f, ">="),
+            Token::Gt => write!(f, ">"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+            Token::Amp => write!(f, "&"),
+            Token::Pipe => write!(f, "|"),
+            Token::Tilde => write!(f, "~"),
+            Token::At => write!(f, "@"),
+            Token::Backslash => write!(f, "\\"),
+        }
+    }
+}
+
+/// A token paired with its line number (1-based), for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Line on which the token starts.
+    pub line: usize,
+}
+
+/// Errors produced by the lexer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation of the problem.
+    pub message: String,
+    /// Line on which it occurred.
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a source string.
+///
+/// Comments run from `--` to the end of the line.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unrecognized characters or malformed integers.
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == '-' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == '>' => {
+                out.push(Spanned {
+                    token: Token::Arrow,
+                    line,
+                });
+                i += 2;
+            }
+            '-' => {
+                out.push(Spanned {
+                    token: Token::Minus,
+                    line,
+                });
+                i += 1;
+            }
+            '=' if i + 1 < bytes.len() && bytes[i + 1] == '=' => {
+                out.push(Spanned {
+                    token: Token::EqEq,
+                    line,
+                });
+                i += 2;
+            }
+            '=' if i + 1 < bytes.len() && bytes[i + 1] == '>' => {
+                out.push(Spanned {
+                    token: Token::FatArrow,
+                    line,
+                });
+                i += 2;
+            }
+            '=' => {
+                out.push(Spanned {
+                    token: Token::Equals,
+                    line,
+                });
+                i += 1;
+            }
+            '<' if i + 1 < bytes.len() && bytes[i + 1] == '=' => {
+                out.push(Spanned {
+                    token: Token::Leq,
+                    line,
+                });
+                i += 2;
+            }
+            '<' => {
+                out.push(Spanned {
+                    token: Token::Lt,
+                    line,
+                });
+                i += 1;
+            }
+            '>' if i + 1 < bytes.len() && bytes[i + 1] == '=' => {
+                out.push(Spanned {
+                    token: Token::Geq,
+                    line,
+                });
+                i += 2;
+            }
+            '>' => {
+                out.push(Spanned {
+                    token: Token::Gt,
+                    line,
+                });
+                i += 1;
+            }
+            ':' if i + 1 < bytes.len() && bytes[i + 1] == ':' => {
+                out.push(Spanned {
+                    token: Token::ColonColon,
+                    line,
+                });
+                i += 2;
+            }
+            ':' => {
+                out.push(Spanned {
+                    token: Token::Colon,
+                    line,
+                });
+                i += 1;
+            }
+            '&' if i + 1 < bytes.len() && bytes[i + 1] == '&' => {
+                out.push(Spanned {
+                    token: Token::AndAnd,
+                    line,
+                });
+                i += 2;
+            }
+            '&' => {
+                out.push(Spanned {
+                    token: Token::Amp,
+                    line,
+                });
+                i += 1;
+            }
+            '|' if i + 1 < bytes.len() && bytes[i + 1] == '|' => {
+                out.push(Spanned {
+                    token: Token::OrOr,
+                    line,
+                });
+                i += 2;
+            }
+            '|' => {
+                out.push(Spanned {
+                    token: Token::Pipe,
+                    line,
+                });
+                i += 1;
+            }
+            '(' => {
+                out.push(Spanned {
+                    token: Token::LParen,
+                    line,
+                });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned {
+                    token: Token::RParen,
+                    line,
+                });
+                i += 1;
+            }
+            '[' => {
+                out.push(Spanned {
+                    token: Token::LBracket,
+                    line,
+                });
+                i += 1;
+            }
+            ']' => {
+                out.push(Spanned {
+                    token: Token::RBracket,
+                    line,
+                });
+                i += 1;
+            }
+            '{' => {
+                out.push(Spanned {
+                    token: Token::LBrace,
+                    line,
+                });
+                i += 1;
+            }
+            '}' => {
+                out.push(Spanned {
+                    token: Token::RBrace,
+                    line,
+                });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned {
+                    token: Token::Comma,
+                    line,
+                });
+                i += 1;
+            }
+            '.' => {
+                out.push(Spanned {
+                    token: Token::Dot,
+                    line,
+                });
+                i += 1;
+            }
+            ';' => {
+                out.push(Spanned {
+                    token: Token::Semi,
+                    line,
+                });
+                i += 1;
+            }
+            '+' => {
+                out.push(Spanned {
+                    token: Token::Plus,
+                    line,
+                });
+                i += 1;
+            }
+            '*' => {
+                out.push(Spanned {
+                    token: Token::Star,
+                    line,
+                });
+                i += 1;
+            }
+            '/' => {
+                out.push(Spanned {
+                    token: Token::Slash,
+                    line,
+                });
+                i += 1;
+            }
+            '%' => {
+                out.push(Spanned {
+                    token: Token::Percent,
+                    line,
+                });
+                i += 1;
+            }
+            '~' => {
+                out.push(Spanned {
+                    token: Token::Tilde,
+                    line,
+                });
+                i += 1;
+            }
+            '@' => {
+                out.push(Spanned {
+                    token: Token::At,
+                    line,
+                });
+                i += 1;
+            }
+            '\\' => {
+                out.push(Spanned {
+                    token: Token::Backslash,
+                    line,
+                });
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let value = text.parse::<i64>().map_err(|_| LexError {
+                    message: format!("integer literal `{text}` is out of range"),
+                    line,
+                })?;
+                out.push(Spanned {
+                    token: Token::Int(value),
+                    line,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '\'')
+                {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                out.push(Spanned {
+                    token: Token::Ident(text),
+                    line,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    line,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_symbols_and_identifiers() {
+        assert_eq!(
+            toks("lam x . x"),
+            vec![
+                Token::Ident("lam".into()),
+                Token::Ident("x".into()),
+                Token::Dot,
+                Token::Ident("x".into())
+            ]
+        );
+        assert_eq!(
+            toks("a -> [3] b"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Arrow,
+                Token::LBracket,
+                Token::Int(3),
+                Token::RBracket,
+                Token::Ident("b".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_compound_operators() {
+        assert_eq!(toks("<= < == = :: : && & => ->"), vec![
+            Token::Leq,
+            Token::Lt,
+            Token::EqEq,
+            Token::Equals,
+            Token::ColonColon,
+            Token::Colon,
+            Token::AndAnd,
+            Token::Amp,
+            Token::FatArrow,
+            Token::Arrow,
+        ]);
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let spanned = tokenize("x -- comment\ny").unwrap();
+        assert_eq!(spanned.len(), 2);
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+    }
+
+    #[test]
+    fn minus_vs_arrow_vs_comment() {
+        assert_eq!(toks("a - b"), vec![
+            Token::Ident("a".into()),
+            Token::Minus,
+            Token::Ident("b".into())
+        ]);
+        assert_eq!(toks("a -> b"), vec![
+            Token::Ident("a".into()),
+            Token::Arrow,
+            Token::Ident("b".into())
+        ]);
+        assert_eq!(toks("a -- b"), vec![Token::Ident("a".into())]);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(tokenize("a # b").is_err());
+    }
+
+    #[test]
+    fn primes_are_part_of_identifiers() {
+        assert_eq!(toks("r'"), vec![Token::Ident("r'".into())]);
+    }
+}

@@ -1,0 +1,124 @@
+//! The evaluation-cost model.
+//!
+//! RelCost's operational semantics charges cost at elimination forms
+//! (function application, case analysis, conditionals, projections,
+//! primitive operations) and treats introduction forms as free.  The exact
+//! constants are a parameter of the system; what matters for the paper's
+//! results is that the *type system and the operational semantics agree*, so
+//! this module is the single source of truth consumed both by the unary
+//! typing rules (`rel-unary`, `birelcost`) and by the cost-instrumented
+//! evaluator (`rel-eval`).
+
+use rel_index::Idx;
+
+/// Evaluation cost constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Cost of a function application (β-reduction step).
+    pub app: u64,
+    /// Cost of a list case analysis.
+    pub case_list: u64,
+    /// Cost of a conditional.
+    pub if_then_else: u64,
+    /// Cost of a primitive operation.
+    pub prim: u64,
+    /// Cost of a `let` binding.
+    pub let_bind: u64,
+    /// Cost of a pair projection (`fst` / `snd`).
+    pub proj: u64,
+    /// Cost of eliminating a quantifier / existential / constraint wrapper
+    /// (`e []`, `unpack`, `clet`, `celim`) — zero in RelCost, where these are
+    /// erased at runtime.
+    pub index_elim: u64,
+}
+
+impl CostModel {
+    /// The cost model used throughout the reproduction: one unit per
+    /// application, case, conditional, primitive, let and projection;
+    /// index-level constructs are free.
+    pub const fn standard() -> CostModel {
+        CostModel {
+            app: 1,
+            case_list: 1,
+            if_then_else: 1,
+            prim: 1,
+            let_bind: 1,
+            proj: 1,
+            index_elim: 0,
+        }
+    }
+
+    /// A model in which every step is free — useful for testing the pure
+    /// refinement fragment (RelRef) where costs are irrelevant.
+    pub const fn free() -> CostModel {
+        CostModel {
+            app: 0,
+            case_list: 0,
+            if_then_else: 0,
+            prim: 0,
+            let_bind: 0,
+            proj: 0,
+            index_elim: 0,
+        }
+    }
+
+    /// The application cost as an index term.
+    pub fn app_idx(&self) -> Idx {
+        Idx::nat(self.app)
+    }
+
+    /// The list-case cost as an index term.
+    pub fn case_idx(&self) -> Idx {
+        Idx::nat(self.case_list)
+    }
+
+    /// The conditional cost as an index term.
+    pub fn if_idx(&self) -> Idx {
+        Idx::nat(self.if_then_else)
+    }
+
+    /// The primitive-operation cost as an index term.
+    pub fn prim_idx(&self) -> Idx {
+        Idx::nat(self.prim)
+    }
+
+    /// The let-binding cost as an index term.
+    pub fn let_idx(&self) -> Idx {
+        Idx::nat(self.let_bind)
+    }
+
+    /// The projection cost as an index term.
+    pub fn proj_idx(&self) -> Idx {
+        Idx::nat(self.proj)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_model_charges_eliminations() {
+        let m = CostModel::standard();
+        assert_eq!(m.app, 1);
+        assert_eq!(m.index_elim, 0);
+        assert_eq!(m.app_idx(), Idx::nat(1));
+    }
+
+    #[test]
+    fn free_model_charges_nothing() {
+        let m = CostModel::free();
+        assert_eq!(m.app + m.case_list + m.if_then_else + m.prim + m.let_bind + m.proj, 0);
+    }
+
+    #[test]
+    fn default_is_standard() {
+        assert_eq!(CostModel::default(), CostModel::standard());
+    }
+}

@@ -1,0 +1,240 @@
+//! Typing contexts.
+//!
+//! Both judgments of the paper share the same context structure: a context
+//! `∆` of universally quantified index variables, a set of assumed
+//! constraints `Φₐ`, and a variable environment (`Ω` mapping variables to
+//! unary types, or `Γ` mapping variables to relational types).
+
+use rel_constraint::Constr;
+use rel_index::{IdxVar, IdxVarGen, Sort};
+use rel_syntax::{RelType, UnaryType, Var};
+
+use crate::error::TypeError;
+
+/// A shared generator of fresh index variables (the `ψ` variables introduced
+/// by the algorithmic rules).  One generator is threaded through a whole
+/// checker run so generated names never collide.
+#[derive(Debug, Default)]
+pub struct FreshVars {
+    gen: IdxVarGen,
+}
+
+impl FreshVars {
+    /// Creates a fresh-variable generator.
+    pub fn new() -> FreshVars {
+        FreshVars::default()
+    }
+
+    /// A fresh existential size variable (sort `ℕ`).
+    pub fn size(&mut self, hint: &str) -> IdxVar {
+        self.gen.fresh(hint, Sort::Nat)
+    }
+
+    /// A fresh existential cost variable (sort `ℝ`).
+    pub fn cost(&mut self, hint: &str) -> IdxVar {
+        self.gen.fresh(hint, Sort::Real)
+    }
+
+    /// Number of variables generated so far (reported in statistics).
+    pub fn count(&self) -> u64 {
+        self.gen.count()
+    }
+}
+
+/// The unary typing context `∆; Φₐ; Ω`.
+#[derive(Debug, Clone)]
+pub struct UnaryCtx {
+    /// Universally quantified index variables with their sorts.
+    pub delta: Vec<(IdxVar, Sort)>,
+    /// Assumed constraints.
+    pub assumptions: Constr,
+    /// Program variables and their unary types (innermost last).
+    pub vars: Vec<(Var, UnaryType)>,
+    /// Which projection of a relational derivation this context belongs to
+    /// (1 = left run, 2 = right run).  Used to interpret relational type
+    /// annotations encountered during unary checking.
+    pub side: u8,
+}
+
+impl Default for UnaryCtx {
+    fn default() -> Self {
+        UnaryCtx::new()
+    }
+}
+
+impl UnaryCtx {
+    /// The empty context (left projection by default).
+    pub fn new() -> UnaryCtx {
+        UnaryCtx {
+            delta: Vec::new(),
+            assumptions: Constr::Top,
+            vars: Vec::new(),
+            side: 1,
+        }
+    }
+
+    /// Extends the context with a program variable.
+    pub fn bind_var(&self, x: Var, ty: UnaryType) -> UnaryCtx {
+        let mut ctx = self.clone();
+        ctx.vars.push((x, ty));
+        ctx
+    }
+
+    /// Extends the context with an index variable.
+    pub fn bind_idx(&self, i: IdxVar, sort: Sort) -> UnaryCtx {
+        let mut ctx = self.clone();
+        ctx.delta.push((i, sort));
+        ctx
+    }
+
+    /// Adds an assumption.
+    pub fn assume(&self, c: Constr) -> UnaryCtx {
+        let mut ctx = self.clone();
+        ctx.assumptions = ctx.assumptions.and(c);
+        ctx
+    }
+
+    /// Looks up a program variable (innermost binding wins).
+    pub fn lookup(&self, x: &Var) -> Result<&UnaryType, TypeError> {
+        self.vars
+            .iter()
+            .rev()
+            .find(|(y, _)| y == x)
+            .map(|(_, t)| t)
+            .ok_or_else(|| TypeError::UnboundVariable(x.name().to_string()))
+    }
+
+    /// The universally quantified index variables, for the solver.
+    pub fn universals(&self) -> Vec<(IdxVar, Sort)> {
+        self.delta.clone()
+    }
+}
+
+/// The relational typing context `∆; Φₐ; Γ`.
+#[derive(Debug, Clone, Default)]
+pub struct RelCtx {
+    /// Universally quantified index variables with their sorts.
+    pub delta: Vec<(IdxVar, Sort)>,
+    /// Assumed constraints.
+    pub assumptions: Constr,
+    /// Program variables and their relational types (innermost last).
+    pub vars: Vec<(Var, RelType)>,
+}
+
+impl RelCtx {
+    /// The empty context.
+    pub fn new() -> RelCtx {
+        RelCtx {
+            delta: Vec::new(),
+            assumptions: Constr::Top,
+            vars: Vec::new(),
+        }
+    }
+
+    /// Extends the context with a program variable.
+    pub fn bind_var(&self, x: Var, ty: RelType) -> RelCtx {
+        let mut ctx = self.clone();
+        ctx.vars.push((x, ty));
+        ctx
+    }
+
+    /// Extends the context with an index variable.
+    pub fn bind_idx(&self, i: IdxVar, sort: Sort) -> RelCtx {
+        let mut ctx = self.clone();
+        ctx.delta.push((i, sort));
+        ctx
+    }
+
+    /// Adds an assumption.
+    pub fn assume(&self, c: Constr) -> RelCtx {
+        let mut ctx = self.clone();
+        ctx.assumptions = ctx.assumptions.and(c);
+        ctx
+    }
+
+    /// Looks up a program variable (innermost binding wins).
+    pub fn lookup(&self, x: &Var) -> Result<&RelType, TypeError> {
+        self.vars
+            .iter()
+            .rev()
+            .find(|(y, _)| y == x)
+            .map(|(_, t)| t)
+            .ok_or_else(|| TypeError::UnboundVariable(x.name().to_string()))
+    }
+
+    /// The universally quantified index variables, for the solver.
+    pub fn universals(&self) -> Vec<(IdxVar, Sort)> {
+        self.delta.clone()
+    }
+
+    /// The unary projection `|Γ|ᵢ` of the context (paper §4): every binding's
+    /// type is projected to its left (`side = 1`) or right (`side = 2`) unary
+    /// type; `∆` and `Φₐ` are unchanged.
+    pub fn project(&self, side: u8) -> UnaryCtx {
+        UnaryCtx {
+            delta: self.delta.clone(),
+            assumptions: self.assumptions.clone(),
+            vars: self
+                .vars
+                .iter()
+                .map(|(x, t)| (x.clone(), t.project(side)))
+                .collect(),
+            side,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rel_index::Idx;
+
+    #[test]
+    fn lookup_finds_innermost_binding() {
+        let ctx = RelCtx::new()
+            .bind_var(Var::new("x"), RelType::BoolR)
+            .bind_var(Var::new("x"), RelType::IntR);
+        assert_eq!(ctx.lookup(&Var::new("x")).unwrap(), &RelType::IntR);
+        assert!(ctx.lookup(&Var::new("y")).is_err());
+    }
+
+    #[test]
+    fn binding_is_persistent_not_destructive() {
+        let base = RelCtx::new();
+        let extended = base.bind_var(Var::new("x"), RelType::BoolR);
+        assert!(base.lookup(&Var::new("x")).is_err());
+        assert!(extended.lookup(&Var::new("x")).is_ok());
+    }
+
+    #[test]
+    fn assumptions_accumulate() {
+        let ctx = RelCtx::new()
+            .assume(Constr::leq(Idx::var("a"), Idx::var("n")))
+            .assume(Constr::eq(Idx::var("n"), Idx::nat(3)));
+        assert_eq!(ctx.assumptions.atom_count(), 2);
+    }
+
+    #[test]
+    fn projection_projects_every_binding() {
+        let ctx = RelCtx::new()
+            .bind_var(Var::new("l"), RelType::list(Idx::var("n"), Idx::var("a"), RelType::IntR))
+            .bind_idx(IdxVar::new("n"), Sort::Nat);
+        let u = ctx.project(1);
+        assert_eq!(u.vars.len(), 1);
+        assert_eq!(
+            u.vars[0].1,
+            UnaryType::list(Idx::var("n"), UnaryType::Int)
+        );
+        assert_eq!(u.delta.len(), 1);
+    }
+
+    #[test]
+    fn fresh_vars_are_generated_with_sorted_hints() {
+        let mut fv = FreshVars::new();
+        let a = fv.cost("t");
+        let b = fv.size("i");
+        assert_ne!(a, b);
+        assert!(a.is_generated());
+        assert_eq!(fv.count(), 2);
+    }
+}

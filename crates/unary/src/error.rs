@@ -1,0 +1,121 @@
+//! Type errors shared by the unary and relational checkers.
+
+use std::fmt;
+
+/// A structural type error.
+///
+/// Constraint *violations* are not type errors: the bidirectional rules
+/// always succeed structurally and emit constraints, and it is the solver
+/// that decides whether the constraints hold.  `TypeError` covers the cases
+/// where no rule applies at all (unbound variables, arity mismatches,
+/// un-inferable expressions, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A variable was not bound in the typing context.
+    UnboundVariable(String),
+    /// The expression is an introduction form whose type cannot be inferred;
+    /// an annotation is required.
+    CannotInfer(String),
+    /// An elimination form was applied to a value of the wrong shape
+    /// (e.g. applying a non-function).
+    ShapeMismatch {
+        /// What the rule expected (e.g. "a function type").
+        expected: String,
+        /// What was actually found.
+        found: String,
+    },
+    /// Checking a term against a type whose head constructor does not match
+    /// the term's introduction form.
+    CheckMismatch {
+        /// The term's head constructor.
+        term: String,
+        /// The type it was checked against.
+        ty: String,
+    },
+    /// No subtyping path exists between two types.
+    NotASubtype {
+        /// Pretty-printed subtype candidate.
+        sub: String,
+        /// Pretty-printed supertype candidate.
+        sup: String,
+    },
+    /// The two related expressions are structurally dissimilar and no unary
+    /// fallback applies at the checked type.
+    StructurallyDissimilar {
+        /// Head constructor of the left expression.
+        left: String,
+        /// Head constructor of the right expression.
+        right: String,
+    },
+    /// A construct was used that the selected [`rel_syntax::SystemLevel`]
+    /// does not include.
+    UnsupportedAtLevel {
+        /// Description of the construct.
+        construct: String,
+        /// The active system level.
+        level: String,
+    },
+    /// Catch-all with a descriptive message.
+    Other(String),
+}
+
+impl TypeError {
+    /// Convenience constructor for [`TypeError::Other`].
+    pub fn other(msg: impl Into<String>) -> TypeError {
+        TypeError::Other(msg.into())
+    }
+
+    /// Convenience constructor for [`TypeError::ShapeMismatch`].
+    pub fn shape(expected: impl Into<String>, found: impl Into<String>) -> TypeError {
+        TypeError::ShapeMismatch {
+            expected: expected.into(),
+            found: found.into(),
+        }
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
+            TypeError::CannotInfer(what) => write!(
+                f,
+                "cannot infer a type for {what}; add a type annotation `(e : ty)`"
+            ),
+            TypeError::ShapeMismatch { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            TypeError::CheckMismatch { term, ty } => {
+                write!(f, "cannot check a `{term}` against the type `{ty}`")
+            }
+            TypeError::NotASubtype { sub, sup } => {
+                write!(f, "`{sub}` is not a subtype of `{sup}`")
+            }
+            TypeError::StructurallyDissimilar { left, right } => write!(
+                f,
+                "the related expressions are structurally dissimilar (`{left}` vs `{right}`) and no unary fallback applies"
+            ),
+            TypeError::UnsupportedAtLevel { construct, level } => {
+                write!(f, "{construct} is not available in {level}")
+            }
+            TypeError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = TypeError::UnboundVariable("zs".into());
+        assert!(e.to_string().contains("zs"));
+        let e = TypeError::shape("a function type", "boolr");
+        assert!(e.to_string().contains("function"));
+        let e = TypeError::CannotInfer("a lambda".into());
+        assert!(e.to_string().contains("annotation"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Unary (single-execution) typing for the BiRelCost stack.
+//!
+//! RelRefU and RelCost embed a DML-style *unary* refinement type system: the
+//! judgment `∆; Φₐ; Ω ⊢ᵗₖ e : A` types a single expression `e` at unary type
+//! `A` with a lower bound `k` and an upper bound `t` on its evaluation cost
+//! (§4–§5 of the paper).  The relational checker falls back to this system
+//! through the `switch` rule whenever relational reasoning does not apply
+//! (heuristic 5).
+//!
+//! This crate provides:
+//!
+//! * [`cost_model`] — the evaluation-cost constants shared by the type system
+//!   and the cost-instrumented evaluator,
+//! * [`ctx`] — typing contexts (index variables `∆`, assumptions `Φₐ`,
+//!   unary and relational variable environments),
+//! * [`error`] — the common type-error representation,
+//! * [`subtype`] — algorithmic unary subtyping (constraint-generating),
+//! * [`bidir`] — the bidirectional unary checker (`infer` / `check`), the
+//!   unary half of BiRelCost.
+
+pub mod bidir;
+pub mod cost_model;
+pub mod ctx;
+pub mod error;
+pub mod subtype;
+
+pub use bidir::{UnaryChecker, UnaryInference};
+pub use cost_model::CostModel;
+pub use ctx::{FreshVars, RelCtx, UnaryCtx};
+pub use error::TypeError;

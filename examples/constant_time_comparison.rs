@@ -1,0 +1,32 @@
+//! Constant-time comparison (the `comp` benchmark): relate a program to
+//! itself through exact unary cost bounds and validate empirically that two
+//! runs on different secrets have *identical* evaluation cost.
+//!
+//! Run with `cargo run --example constant_time_comparison`.
+
+use rel_eval::{eval, Env};
+use rel_suite::generators::{apply_spine, list_literal, Workload};
+use rel_suite::benchmark;
+use rel_syntax::parse_program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = benchmark("comp").expect("comp is part of the Table-1 suite");
+    let program = parse_program(bench.source)?;
+    let comp = program.def("comp").expect("comp definition");
+
+    println!("{:<6} {:>8} {:>12} {:>12} {:>8}", "n", "alpha", "cost(left)", "cost(right)", "diff");
+    for (n, alpha) in [(4usize, 1usize), (8, 3), (16, 8), (32, 32)] {
+        let w = Workload::generate(n, alpha, 0xC0);
+        let secret = list_literal(&w.left);
+        let run = |guess: &[i64]| {
+            let call = apply_spine(comp.left.clone(), 1, secret.clone()).app(list_literal(guess));
+            eval(&call, &Env::new()).unwrap().cost as i64
+        };
+        let left = run(&w.left);
+        let right = run(&w.right);
+        println!("{:<6} {:>8} {:>12} {:>12} {:>8}", n, w.differing, left, right, left - right);
+        assert_eq!(left, right, "comp must be constant time");
+    }
+    println!("comparison cost is independent of the compared values (relative cost 0)");
+    Ok(())
+}

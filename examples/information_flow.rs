@@ -1,0 +1,47 @@
+//! Relational typing as information-flow reasoning: `boolr` plays the role of
+//! "low" (public, equal in both runs) data and `U(bool, bool)` the role of
+//! "high" (secret, possibly different) data.  A program whose result is
+//! `boolr` cannot leak its `U` inputs — exactly the non-interference reading
+//! of relational refinement types sketched in the paper's introduction.
+//!
+//! Run with `cargo run --example information_flow`.
+
+use birelcost::Engine;
+use rel_syntax::parse_program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let engine = Engine::new();
+
+    // A public computation over public data: accepted at boolr → boolr.
+    let ok = parse_program(
+        "def public : boolr -> boolr = lam lo. if lo then false else true;",
+    )?;
+    assert!(engine.check_program(&ok).all_ok());
+    println!("public  : boolr -> boolr                      checked (no leak possible)");
+
+    // Branching on a secret and returning the branch result as public data
+    // must be rejected: the two runs may disagree on the secret.
+    let leak = parse_program(
+        "def leak : UU bool -> boolr = lam hi. if hi then true else false;",
+    )?;
+    assert!(!engine.check_program(&leak).all_ok());
+    println!("leak    : UU bool -> boolr                    rejected (explicit flow)");
+
+    // Branching on a secret is fine as long as the result is also secret.
+    let ok_high = parse_program(
+        "def launder : UU bool -> UU bool @ 1 = lam hi. if hi then false else true;",
+    )?;
+    assert!(engine.check_program(&ok_high).all_ok());
+    println!("launder : UU bool -> UU bool                  checked (secret stays secret)");
+
+    // Constant functions of a secret are public again: the two runs agree.
+    let constant = parse_program(
+        "def constant : UU bool -> boolr @ 1 = lam hi. if hi then true else true;",
+    )?;
+    let accepted = engine.check_program(&constant).all_ok();
+    println!(
+        "constant: UU bool -> boolr (constant result)  {}",
+        if accepted { "checked" } else { "rejected (conservative)" }
+    );
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Quickstart: parse a small relational program and type check it.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use birelcost::Engine;
+use rel_syntax::parse_program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two definitions: boolean negation (related to itself at the diagonal
+    // type) and the §3 `map` function with its relative-cost bound t·α.
+    let source = r#"
+        def negate : boolr -> boolr
+        = lam b. if b then false else true;
+
+        def map : forall t :: real. box(tv a ->[t] tv b) ->
+                  forall n :: nat. forall al :: nat.
+                  list[n; al] tv a ->[t * al] list[n; al] tv b
+        = Lam. fix map(f). Lam. Lam. lam l.
+            case l of
+              nil -> nil
+            | h :: tl -> cons(f h, map f [] [] tl);
+    "#;
+    let program = parse_program(source)?;
+    let report = Engine::new().check_program(&program);
+    for def in &report.defs {
+        println!(
+            "{:<8} {}  ({} annotations, {:?})",
+            def.name,
+            if def.ok { "checked" } else { "REJECTED" },
+            def.annotations,
+            def.timings.total()
+        );
+    }
+    assert!(report.all_ok());
+    println!("all definitions check");
+    Ok(())
+}

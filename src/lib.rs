@@ -1,0 +1,13 @@
+//! Umbrella package for the BiRelCost reproduction: re-exports the workspace
+//! crates so examples and integration tests have a single entry point.
+//!
+//! See the individual crates for the substance:
+//! [`birelcost`] (the checker), [`rel_syntax`], [`rel_constraint`],
+//! [`rel_unary`], [`rel_index`], [`rel_eval`] and [`rel_suite`].
+pub use birelcost;
+pub use rel_constraint;
+pub use rel_eval;
+pub use rel_index;
+pub use rel_suite;
+pub use rel_syntax;
+pub use rel_unary;

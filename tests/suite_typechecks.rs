@@ -1,0 +1,73 @@
+//! Experiment E3: the benchmark suite type checks (for the subset whose
+//! bounds the native solver discharges; see EXPERIMENTS.md for the others),
+//! and deliberately wrong bounds are rejected.
+
+use birelcost::Engine;
+use rel_suite::{all_benchmarks, VerificationStatus};
+use rel_syntax::parse_program;
+
+#[test]
+fn verified_benchmarks_check_end_to_end() {
+    let engine = Engine::new();
+    for b in all_benchmarks() {
+        if b.status != VerificationStatus::Verified {
+            continue;
+        }
+        let program = parse_program(b.source).unwrap();
+        let report = engine.check_program(&program);
+        assert!(report.all_ok(), "{} failed: {:?}", b.name, report);
+    }
+}
+
+#[test]
+fn every_benchmark_parses() {
+    // Running the engine on the not-yet-verified divide-and-conquer
+    // benchmarks is exercised by the (opt-in) Table-1 bench rather than the
+    // test suite: their constraint problems take the numeric solver layer
+    // minutes, not milliseconds.  Here we assert the whole suite parses.
+    for b in all_benchmarks() {
+        let program = parse_program(b.source).unwrap();
+        assert!(!program.is_empty(), "{}", b.name);
+    }
+}
+
+#[test]
+fn unsound_variants_are_rejected() {
+    let engine = Engine::new();
+    // map with a zero relative-cost bound (the paper's bound is t·α).
+    let unsound = r#"
+        def map : forall t :: real. box(tv a ->[t] tv b) ->
+                  forall n :: nat. forall al :: nat.
+                  list[n; al] tv a ->[0] list[n; al] tv b
+        = Lam. fix map(f). Lam. Lam. lam l.
+            case l of nil -> nil | h :: tl -> cons(f h, map f [] [] tl);
+    "#;
+    let report = engine.check_program(&parse_program(unsound).unwrap());
+    assert!(!report.all_ok());
+
+    // append with a wrong output length.
+    let unsound = r#"
+        def append : unitr -> forall n :: nat. forall a :: nat.
+                     list[n; a] (UU int) ->
+                     forall m :: nat. forall b :: nat.
+                     list[m; b] (UU int) ->[0] list[n + m + 1; a + b] (UU int)
+        = fix append(u). Lam. Lam. lam l1. Lam. Lam. lam l2.
+            case l1 of nil -> l2 | h :: t -> cons(h, append () [] [] t [] [] l2);
+    "#;
+    let report = engine.check_program(&parse_program(unsound).unwrap());
+    assert!(!report.all_ok());
+}
+
+#[test]
+fn annotation_effort_is_one_per_definition() {
+    // §6: annotations are only needed at top-level definitions.
+    for b in all_benchmarks() {
+        let program = parse_program(b.source).unwrap();
+        assert_eq!(
+            program.annotation_count(),
+            program.len(),
+            "{} should need exactly one annotation per definition",
+            b.name
+        );
+    }
+}
