@@ -1,0 +1,77 @@
+//! Batch-checking throughput of the `rel-service` subsystem.
+//!
+//! Three measurements over the same replicated-suite workload
+//! (`rel_suite::batch_benchmark_sources`): sequential checking without a
+//! cache (the pre-service baseline), the worker pool with a cold shared
+//! validity cache, and the worker pool re-checking with a warm cache.  The
+//! cache hit/miss counters are printed once so throughput numbers can be read
+//! against cache effectiveness.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use birelcost::Engine;
+use rel_service::{check_batch, BatchJob, Service, ServiceConfig};
+use rel_suite::batch_benchmark_sources;
+
+fn workload() -> Vec<BatchJob> {
+    batch_benchmark_sources(3, true, 42)
+        .into_iter()
+        .map(|(name, source)| BatchJob::new(name, source))
+        .collect()
+}
+
+fn batch_throughput(c: &mut Criterion) {
+    let jobs = workload();
+    let workers = rel_service::available_workers().min(8);
+    println!(
+        "\nbatch workload: {} jobs, {} workers",
+        jobs.len(),
+        workers
+    );
+
+    c.bench_function("batch_sequential_uncached", |b| {
+        let engine = Engine::new();
+        b.iter(|| check_batch(&engine, &jobs, 1));
+    });
+
+    c.bench_function("batch_parallel_cold_cache", |b| {
+        b.iter(|| {
+            // A fresh service per iteration keeps the cache cold.
+            let service = Service::new(ServiceConfig {
+                workers,
+                cache_shards: 16,
+            });
+            service.check_batch(&jobs)
+        });
+    });
+
+    c.bench_function("batch_parallel_warm_cache", |b| {
+        let service = Service::new(ServiceConfig {
+            workers,
+            cache_shards: 16,
+        });
+        service.check_batch(&jobs); // warm-up pass populates the cache
+        b.iter(|| service.check_batch(&jobs));
+    });
+
+    let service = Service::new(ServiceConfig {
+        workers,
+        cache_shards: 16,
+    });
+    service.check_batch(&jobs);
+    service.check_batch(&jobs);
+    let stats = service.cache_stats();
+    println!(
+        "validity cache after two passes: {} hits / {} misses / {} entries ({:.0}% hit rate)",
+        stats.hits,
+        stats.misses,
+        stats.entries,
+        stats.hit_rate() * 100.0
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = batch_throughput
+}
+criterion_main!(benches);

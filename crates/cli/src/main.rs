@@ -1,55 +1,124 @@
 //! `birelcost` — command-line front end for the BiRelCost checker.
 //!
 //! ```text
-//! birelcost check FILE...      type check one or more .rc programs
-//! birelcost table1             re-run the Table-1 benchmark suite
-//! birelcost list               list the bundled benchmarks
+//! birelcost check FILE...          type check one or more .rc programs
+//! birelcost check --jobs N FILE... check files concurrently on N workers,
+//!                                  sharing one constraint-validity cache
+//! birelcost serve [--jobs N]       newline-delimited JSON daemon on
+//!                                  stdin/stdout: {"check": "<source>"} ->
+//!                                  per-def verdicts, timings, cache stats
+//! birelcost table1                 re-run the Table-1 benchmark suite
+//! birelcost list                   list the bundled benchmarks
 //! ```
 
 use std::env;
 use std::fs;
+use std::io;
 use std::process::ExitCode;
 
 use birelcost::Engine;
+use rel_service::{serve, BatchJob, BatchStats, Service, ServiceConfig};
 use rel_suite::{all_benchmarks, VerificationStatus};
 use rel_syntax::parse_program;
+
+const USAGE: &str = "usage: birelcost <check [--jobs N] FILE...|serve [--jobs N]|table1|list>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     match args.split_first() {
-        Some((cmd, rest)) if cmd == "check" => check_files(rest),
+        Some((cmd, rest)) if cmd == "check" => match parse_jobs(rest) {
+            // Without --jobs, `check` stays sequential (the seed behaviour).
+            Ok((jobs, files)) => check_files(&files, jobs.unwrap_or(1)),
+            Err(e) => usage_error(&e),
+        },
+        Some((cmd, rest)) if cmd == "serve" => match parse_jobs(rest) {
+            // The daemon defaults to the machine's parallelism: it exists to
+            // serve traffic, and `{"batch": ...}` requests should use the
+            // cores without an explicit flag.
+            Ok((jobs, extra)) if extra.is_empty() => {
+                serve_stdio(jobs.unwrap_or_else(rel_service::available_workers))
+            }
+            Ok(_) => usage_error("serve takes no positional arguments"),
+            Err(e) => usage_error(&e),
+        },
         Some((cmd, _)) if cmd == "table1" => table1(),
         Some((cmd, _)) if cmd == "list" => list(),
-        _ => {
-            eprintln!("usage: birelcost <check FILE...|table1|list>");
-            ExitCode::from(2)
-        }
+        _ => usage_error("unknown command"),
     }
 }
 
-fn check_files(files: &[String]) -> ExitCode {
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("birelcost: {message}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Extracts `--jobs N` from an argument list (`None` when absent — each
+/// subcommand picks its own default).
+fn parse_jobs(args: &[String]) -> Result<(Option<usize>, Vec<String>), String> {
+    let mut jobs = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--jobs" || arg == "-j" {
+            let n = it
+                .next()
+                .ok_or_else(|| format!("{arg} requires a number"))?;
+            jobs = Some(
+                n.parse::<usize>()
+                    .map_err(|_| format!("invalid worker count `{n}`"))?
+                    .max(1),
+            );
+        } else if let Some(n) = arg.strip_prefix("--jobs=") {
+            jobs = Some(
+                n.parse::<usize>()
+                    .map_err(|_| format!("invalid worker count `{n}`"))?
+                    .max(1),
+            );
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((jobs, rest))
+}
+
+fn service_with(workers: usize) -> Service {
+    Service::new(ServiceConfig {
+        workers,
+        ..ServiceConfig::default()
+    })
+}
+
+fn check_files(files: &[String], workers: usize) -> ExitCode {
     if files.is_empty() {
         eprintln!("birelcost check: no input files");
         return ExitCode::from(2);
     }
-    let engine = Engine::new();
+
+    // Read everything up front so I/O failures are reported per file and the
+    // batch itself is pure checking work.
+    let mut jobs = Vec::new();
     let mut ok = true;
     for file in files {
-        let source = match fs::read_to_string(file) {
-            Ok(s) => s,
+        match fs::read_to_string(file) {
+            Ok(source) => jobs.push(BatchJob::new(file.clone(), source)),
             Err(e) => {
                 eprintln!("{file}: cannot read: {e}");
                 ok = false;
-                continue;
             }
-        };
-        match parse_program(&source) {
+        }
+    }
+
+    let service = service_with(workers);
+    let results = service.check_batch(&jobs);
+    for result in &results {
+        let file = &result.name;
+        match &result.outcome {
             Err(e) => {
                 eprintln!("{file}: {e}");
                 ok = false;
             }
-            Ok(program) => {
-                let report = engine.check_program(&program);
+            Ok(report) => {
                 for def in &report.defs {
                     let status = if def.ok { "ok" } else { "FAIL" };
                     println!(
@@ -69,10 +138,43 @@ fn check_files(files: &[String]) -> ExitCode {
             }
         }
     }
+
+    if workers > 1 {
+        let stats = BatchStats::of(&results);
+        let cache = service.cache_stats();
+        println!(
+            "checked {} file(s) on {workers} workers: {}/{} defs ok, cache {} hit(s) / {} miss(es)",
+            results.len(),
+            stats.defs_ok,
+            stats.defs,
+            cache.hits,
+            cache.misses
+        );
+    }
+
     if ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+fn serve_stdio(workers: usize) -> ExitCode {
+    let service = service_with(workers);
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    match serve(&service, stdin.lock(), stdout.lock()) {
+        Ok(summary) => {
+            eprintln!(
+                "birelcost serve: handled {} request(s), {} error(s)",
+                summary.requests, summary.errors
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("birelcost serve: I/O error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -21,11 +21,13 @@
 //!    bounded-numeric fallback).  See DESIGN.md §4 for the substitution
 //!    rationale.
 
+pub mod cache;
 pub mod constr;
 pub mod exelim;
 pub mod lemmas;
 pub mod solver;
 
+pub use cache::{CacheStats, QueryKey, QueryRef, ShardedValidityCache, ValidityCache};
 pub use constr::{Constr, Quantified};
 pub use exelim::{eliminate_existentials, ExElimOutcome, ExElimStats};
 pub use solver::{SolveConfig, SolveStats, Solver, Validity};

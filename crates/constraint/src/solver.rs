@@ -18,6 +18,7 @@
 //! breakdown reported by the engine.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -25,6 +26,7 @@ use rand::{Rng, SeedableRng};
 
 use rel_index::{Atom, Extended, Idx, IdxEnv, IdxVar, LinExpr, Rational, Sort};
 
+use crate::cache::{QueryRef, ValidityCache};
 use crate::constr::Constr;
 use crate::exelim;
 use crate::lemmas;
@@ -66,6 +68,25 @@ impl Default for SolveConfig {
     }
 }
 
+impl SolveConfig {
+    /// A stable fingerprint of every field that can influence a verdict.
+    /// Mixed into cache keys: verdicts are only reusable between solvers
+    /// running the *same* configuration (a laxer config must never leak
+    /// `Valid` into a stricter one).
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = crate::cache::Fnv1a::default();
+        h.write_u64(self.nat_grid_max);
+        h.write_u64(self.max_grid_points as u64);
+        h.write_u64(self.random_points as u64);
+        h.write_u64(self.inner_quantifier_bound);
+        h.write_u8(self.numeric_is_decisive as u8);
+        h.write_u64(self.rng_seed);
+        h.write_u64(self.max_exelim_attempts as u64);
+        h.finish()
+    }
+}
+
 /// Statistics accumulated across solver queries.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SolveStats {
@@ -79,6 +100,10 @@ pub struct SolveStats {
     pub points_evaluated: usize,
     /// Candidate substitutions attempted during existential elimination.
     pub exelim_attempts: usize,
+    /// Entailment queries answered from the validity cache.
+    pub cache_hits: usize,
+    /// Entailment queries that consulted the validity cache and missed.
+    pub cache_misses: usize,
     /// Wall-clock time spent eliminating existentials.
     pub exelim_time: Duration,
     /// Wall-clock time spent in constraint solving (excluding ∃-elimination).
@@ -107,10 +132,19 @@ impl Validity {
 }
 
 /// The constraint solver.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Solver {
     config: SolveConfig,
+    /// `config.fingerprint()`, computed once — it is on the cache hot path.
+    config_fingerprint: u64,
     stats: SolveStats,
+    cache: Option<Arc<dyn ValidityCache>>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::with_config(SolveConfig::default())
+    }
 }
 
 impl Solver {
@@ -122,9 +156,25 @@ impl Solver {
     /// Creates a solver with an explicit configuration.
     pub fn with_config(config: SolveConfig) -> Solver {
         Solver {
+            config_fingerprint: config.fingerprint(),
             config,
             stats: SolveStats::default(),
+            cache: None,
         }
+    }
+
+    /// Attaches a shared validity cache, consulted before every entailment
+    /// query (including the structural sub-queries `entails` decomposes into)
+    /// and populated with every verdict computed.  Sound because the solver is
+    /// deterministic: its randomized numeric layer runs from a fixed seed.
+    pub fn with_cache(mut self, cache: Arc<dyn ValidityCache>) -> Solver {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached validity cache, if any.
+    pub fn cache(&self) -> Option<&Arc<dyn ValidityCache>> {
+        self.cache.as_ref()
     }
 
     /// The configuration in use.
@@ -154,11 +204,45 @@ impl Solver {
         goal: &Constr,
     ) -> Validity {
         self.stats.queries += 1;
+        let goal = simplify(goal);
+        if goal.is_top() {
+            return Validity::Valid;
+        }
+        // Consult the shared validity cache (when attached) on the canonical
+        // form of the query.  Structural sub-queries recurse back through
+        // `entails`, so conjuncts and implication bodies are memoized
+        // individually — that is what lets verdicts transfer across
+        // definitions that share sub-derivations, not just across identical
+        // top-level queries.  The lookup borrows the constraints; nothing is
+        // cloned unless a freshly computed verdict is stored.  (The Arc
+        // clone releases the borrow of `self.cache` so one canonicalized
+        // query serves both the lookup and the store.)
+        if let Some(cache) = self.cache.clone() {
+            let query = QueryRef::new(self.config_fingerprint, universals, hyp, &goal);
+            if let Some(verdict) = cache.lookup(&query) {
+                self.stats.cache_hits += 1;
+                return verdict;
+            }
+            self.stats.cache_misses += 1;
+            let verdict = self.entails_simplified(universals, hyp, &goal);
+            cache.store(&query, verdict.clone());
+            verdict
+        } else {
+            self.entails_simplified(universals, hyp, &goal)
+        }
+    }
+
+    /// The uncached entailment check on an already-simplified goal.
+    fn entails_simplified(
+        &mut self,
+        universals: &[(IdxVar, Sort)],
+        hyp: &Constr,
+        goal: &Constr,
+    ) -> Validity {
         // Decompose the goal structurally first so existential elimination is
         // applied to the smallest possible subproblems (each sub-derivation's
         // existentials stay together, but unrelated conjuncts are separated).
-        let goal = simplify(goal);
-        match &goal {
+        match goal {
             Constr::Top => return Validity::Valid,
             Constr::And(cs) => {
                 for c in cs {
@@ -184,12 +268,12 @@ impl Solver {
         let ex_vars = goal.existential_vars();
         if ex_vars.is_empty() {
             let start = Instant::now();
-            let v = self.entails_no_exists(universals, hyp, &goal);
+            let v = self.entails_no_exists(universals, hyp, goal);
             self.stats.solving_time += start.elapsed();
             v
         } else {
             let start = Instant::now();
-            let outcome = exelim::eliminate_existentials(self, universals, hyp, &goal);
+            let outcome = exelim::eliminate_existentials(self, universals, hyp, goal);
             self.stats.exelim_time += start.elapsed();
             match outcome.validity {
                 Some(v) => v,
@@ -199,7 +283,7 @@ impl Solver {
                     // couple of leftover variables; otherwise report failure.
                     if ex_vars.len() <= 2 {
                         let start = Instant::now();
-                        let v = self.numeric_check(universals, hyp, &goal);
+                        let v = self.numeric_check(universals, hyp, goal);
                         self.stats.solving_time += start.elapsed();
                         v
                     } else {
@@ -791,6 +875,46 @@ mod tests {
         );
         let keep = Constr::leq(Idx::var("n"), Idx::nat(3));
         assert_eq!(simplify(&keep), keep);
+    }
+
+    #[test]
+    fn cached_solver_agrees_with_uncached_and_reports_hits() {
+        use crate::cache::{ShardedValidityCache, ValidityCache};
+        let cache = Arc::new(ShardedValidityCache::new());
+        let u = nat_vars(&["n", "a"]);
+        let hyp = Constr::leq(Idx::var("a"), Idx::var("n"));
+        let goals = [
+            Constr::leq(Idx::var("a"), Idx::var("n") + Idx::one()),
+            Constr::leq(Idx::var("n"), Idx::nat(3)),
+            Constr::exists(
+                "i",
+                Sort::Nat,
+                Constr::eq(Idx::var("i"), Idx::var("n") + Idx::one())
+                    .and(Constr::leq(Idx::var("n"), Idx::var("i"))),
+            ),
+        ];
+
+        let mut plain = Solver::new();
+        let mut cached = Solver::new().with_cache(cache.clone());
+        for goal in &goals {
+            // Cold pass: every verdict matches the uncached solver.
+            assert_eq!(
+                plain.entails(&u, &hyp, goal),
+                cached.entails(&u, &hyp, goal)
+            );
+        }
+        assert_eq!(cached.stats().cache_hits, 0);
+        let misses_after_cold = cached.stats().cache_misses;
+        assert!(misses_after_cold > 0);
+
+        // Warm pass: same queries, all answered from the cache.
+        let mut warm = Solver::new().with_cache(cache.clone());
+        for goal in &goals {
+            assert_eq!(plain.entails(&u, &hyp, goal), warm.entails(&u, &hyp, goal));
+        }
+        assert!(warm.stats().cache_hits > 0);
+        assert_eq!(warm.stats().cache_misses, 0);
+        assert!(cache.stats().entries > 0);
     }
 
     #[test]

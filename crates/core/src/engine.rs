@@ -2,9 +2,10 @@
 //! elimination and constraint solving, with the per-phase timing breakdown
 //! reported in Table 1 of the paper.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rel_constraint::{Constr, SolveConfig, Solver};
+use rel_constraint::{Constr, SolveConfig, Solver, ValidityCache};
 use rel_index::Idx;
 use rel_syntax::{Def, Program, SystemLevel};
 use rel_unary::RelCtx;
@@ -48,6 +49,11 @@ pub struct DefReport {
     pub existential_vars: u64,
     /// Number of explicit annotations in the definition (annotation effort).
     pub annotations: usize,
+    /// Entailment queries answered from the shared validity cache (0 when no
+    /// cache is attached).
+    pub cache_hits: usize,
+    /// Entailment queries that consulted the validity cache and missed.
+    pub cache_misses: usize,
 }
 
 /// The outcome of checking a whole program.
@@ -72,16 +78,32 @@ impl ProgramReport {
     pub fn total_time(&self) -> Duration {
         self.defs.iter().map(|d| d.timings.total()).sum()
     }
+
+    /// Total validity-cache hits across all definitions.
+    pub fn cache_hits(&self) -> usize {
+        self.defs.iter().map(|d| d.cache_hits).sum()
+    }
+
+    /// Total validity-cache misses across all definitions.
+    pub fn cache_misses(&self) -> usize {
+        self.defs.iter().map(|d| d.cache_misses).sum()
+    }
 }
 
 /// The BiRelCost engine: checks programs definition by definition,
 /// accumulating earlier definitions in the typing context (this is how the
 /// `msort` example uses `bsplit` and `merge`).
+///
+/// The engine holds no mutable state — checking goes through `&self` — so one
+/// instance can be shared across worker threads behind an [`Arc`].  When a
+/// [`ValidityCache`] is attached it is consulted by every solver the engine
+/// spawns, letting concurrent batch checks share constraint verdicts.
 #[derive(Debug, Clone)]
 pub struct Engine {
     checker: RelChecker,
     solve_config: SolveConfig,
     level: SystemLevel,
+    cache: Option<Arc<dyn ValidityCache>>,
 }
 
 impl Default for Engine {
@@ -98,7 +120,21 @@ impl Engine {
             checker: RelChecker::new(),
             solve_config: SolveConfig::default(),
             level: SystemLevel::RelCost,
+            cache: None,
         }
+    }
+
+    /// Attaches a shared constraint-validity cache.  Every solver the engine
+    /// creates (both the checking-phase solver and the final entailment
+    /// solver) consults it before solving and publishes its verdicts to it.
+    pub fn with_cache(mut self, cache: Arc<dyn ValidityCache>) -> Engine {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached validity cache, if any.
+    pub fn cache(&self) -> Option<&Arc<dyn ValidityCache>> {
+        self.cache.as_ref()
     }
 
     /// Overrides the heuristics configuration (used by the ablation bench).
@@ -162,7 +198,7 @@ impl Engine {
 
         let mut sess = Session {
             fresh: rel_unary::FreshVars::new(),
-            solver: Solver::with_config(self.solve_config.clone()),
+            solver: self.new_solver(),
         };
         let start = Instant::now();
         let generated = self.checker.check(
@@ -187,10 +223,12 @@ impl Engine {
                 constraint_atoms: 0,
                 existential_vars: sess.fresh.count(),
                 annotations: def.annotation_count(),
+                cache_hits: sess.solver.stats().cache_hits,
+                cache_misses: sess.solver.stats().cache_misses,
             },
             Ok(constraint) => {
                 let atoms = constraint.atom_count();
-                let mut solver = Solver::with_config(self.solve_config.clone());
+                let mut solver = self.new_solver();
                 let verdict = solver.entails(&ctx.universals(), &ctx.assumptions, &constraint);
                 let stats = solver.stats();
                 DefReport {
@@ -209,8 +247,19 @@ impl Engine {
                     constraint_atoms: atoms,
                     existential_vars: sess.fresh.count(),
                     annotations: def.annotation_count(),
+                    cache_hits: stats.cache_hits + sess.solver.stats().cache_hits,
+                    cache_misses: stats.cache_misses + sess.solver.stats().cache_misses,
                 }
             }
+        }
+    }
+
+    /// A solver configured like this engine (and sharing its cache, if any).
+    fn new_solver(&self) -> Solver {
+        let solver = Solver::with_config(self.solve_config.clone());
+        match &self.cache {
+            Some(cache) => solver.with_cache(Arc::clone(cache)),
+            None => solver,
         }
     }
 
@@ -268,6 +317,30 @@ mod tests {
         "#;
         let report = check(src);
         assert!(report.all_ok(), "{report:?}");
+    }
+
+    #[test]
+    fn cached_engine_matches_uncached_verdicts_and_hits_on_rerun() {
+        use rel_constraint::{ShardedValidityCache, ValidityCache};
+        let src = r#"
+            def not2 : boolr -> boolr = lam b. if b then false else true;
+            def use : boolr -> boolr = lam b. not2 (not2 b);
+        "#;
+        let program = parse_program(src).unwrap();
+        let plain = Engine::new().check_program(&program);
+
+        let cache = Arc::new(ShardedValidityCache::new());
+        let engine = Engine::new().with_cache(cache.clone());
+        let cold = engine.check_program(&program);
+        let warm = engine.check_program(&program);
+
+        for (p, c) in plain.defs.iter().zip(&cold.defs) {
+            assert_eq!(p.ok, c.ok, "cache changed the verdict of {}", p.name);
+        }
+        assert_eq!(cold.cache_hits(), 0);
+        assert!(cold.cache_misses() > 0);
+        assert!(warm.cache_hits() > 0, "warm rerun must hit the cache");
+        assert!(cache.stats().entries > 0);
     }
 
     #[test]

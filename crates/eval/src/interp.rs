@@ -3,7 +3,7 @@
 use std::fmt;
 use std::rc::Rc;
 
-use rel_syntax::{Expr, PrimOp, Var};
+use rel_syntax::{Expr, PrimOp};
 use rel_unary::CostModel;
 
 use crate::value::{Env, Value};

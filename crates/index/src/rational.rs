@@ -347,7 +347,7 @@ impl Extended {
             Extended::Finite(q) => {
                 if q.is_integer() {
                     let e = q.numerator();
-                    if e >= 0 && e < 62 {
+                    if (0..62).contains(&e) {
                         Extended::Finite(Rational::from_int(1i64 << e))
                     } else if e < 0 && e > -62 {
                         Extended::Finite(Rational::new(1, 1i64 << (-e)))

@@ -1,0 +1,187 @@
+//! The batch scheduler: checks many programs concurrently on a worker pool.
+//!
+//! Jobs are claimed from a shared atomic counter (work stealing is pointless
+//! here: jobs are coarse and the counter is contention-free), checked on plain
+//! `std::thread` workers, and results are returned in submission order.  All
+//! workers share one [`Engine`] — the engine is stateless across calls — and
+//! therefore one validity cache, which is where the cross-request speedup
+//! comes from.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use birelcost::{Engine, ProgramReport};
+use rel_syntax::parse_program;
+
+/// One unit of work: a named source program to check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchJob {
+    /// Client-chosen job label (reported back verbatim).
+    pub name: String,
+    /// BiRelCost surface syntax.
+    pub source: String,
+}
+
+impl BatchJob {
+    /// Creates a job.
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> BatchJob {
+        BatchJob {
+            name: name.into(),
+            source: source.into(),
+        }
+    }
+}
+
+/// The outcome of one job.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// The job's label.
+    pub name: String,
+    /// Per-definition reports, or the parse error that prevented checking.
+    pub outcome: Result<ProgramReport, String>,
+    /// Wall-clock time for this job (parse + check).
+    pub wall: Duration,
+}
+
+impl BatchResult {
+    /// `true` when the job parsed and every definition checked.
+    pub fn ok(&self) -> bool {
+        matches!(&self.outcome, Ok(report) if report.all_ok())
+    }
+}
+
+/// Aggregate statistics over one batch run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Number of jobs processed.
+    pub jobs: usize,
+    /// Jobs that parsed and fully checked.
+    pub jobs_ok: usize,
+    /// Total definitions checked across all jobs.
+    pub defs: usize,
+    /// Definitions that checked.
+    pub defs_ok: usize,
+    /// Validity-cache hits across all jobs.
+    pub cache_hits: usize,
+    /// Validity-cache misses across all jobs.
+    pub cache_misses: usize,
+}
+
+impl BatchStats {
+    /// Accumulates the stats of a batch of results.
+    pub fn of(results: &[BatchResult]) -> BatchStats {
+        let mut stats = BatchStats {
+            jobs: results.len(),
+            ..BatchStats::default()
+        };
+        for r in results {
+            if r.ok() {
+                stats.jobs_ok += 1;
+            }
+            if let Ok(report) = &r.outcome {
+                stats.defs += report.defs.len();
+                stats.defs_ok += report.defs.iter().filter(|d| d.ok).count();
+                stats.cache_hits += report.cache_hits();
+                stats.cache_misses += report.cache_misses();
+            }
+        }
+        stats
+    }
+}
+
+/// Checks one job (parse + check) with timing.
+pub fn check_job(engine: &Engine, job: &BatchJob) -> BatchResult {
+    let start = Instant::now();
+    let outcome = match parse_program(&job.source) {
+        Ok(program) => Ok(engine.check_program(&program)),
+        Err(e) => Err(format!("parse error: {e}")),
+    };
+    BatchResult {
+        name: job.name.clone(),
+        outcome,
+        wall: start.elapsed(),
+    }
+}
+
+/// Checks `jobs` on `workers` threads, returning results in submission order.
+///
+/// `workers == 0` or `workers == 1` degrade to a sequential in-thread loop
+/// (no threads spawned), so callers can use one code path for both modes.
+pub fn check_batch(engine: &Engine, jobs: &[BatchJob], workers: usize) -> Vec<BatchResult> {
+    if workers <= 1 || jobs.len() <= 1 {
+        return jobs.iter().map(|job| check_job(engine, job)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<BatchResult>>> = Mutex::new((0..jobs.len()).map(|_| None).collect());
+    let workers = workers.min(jobs.len());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let result = check_job(engine, &jobs[i]);
+                results.lock().expect("batch results poisoned")[i] = Some(result);
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .expect("batch results poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every job index was claimed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs() -> Vec<BatchJob> {
+        vec![
+            BatchJob::new("id", "def id : boolr -> boolr = lam x. x;"),
+            BatchJob::new("bad-parse", "def broken : boolr ="),
+            BatchJob::new("ill-typed", "def bad : boolr = 3;"),
+            BatchJob::new(
+                "two-defs",
+                r#"
+                    def not2 : boolr -> boolr = lam b. if b then false else true;
+                    def use : boolr -> boolr = lam b. not2 (not2 b);
+                "#,
+            ),
+        ]
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let engine = Engine::new();
+        let seq = check_batch(&engine, &jobs(), 1);
+        let par = check_batch(&engine, &jobs(), 4);
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.name, p.name, "order must be submission order");
+            assert_eq!(s.ok(), p.ok());
+            assert_eq!(s.outcome.is_err(), p.outcome.is_err());
+        }
+        assert!(seq[0].ok());
+        assert!(seq[1].outcome.is_err());
+        assert!(!seq[2].ok());
+        assert!(seq[3].ok());
+    }
+
+    #[test]
+    fn batch_stats_aggregate() {
+        let engine = Engine::new();
+        let results = check_batch(&engine, &jobs(), 2);
+        let stats = BatchStats::of(&results);
+        assert_eq!(stats.jobs, 4);
+        assert_eq!(stats.jobs_ok, 2);
+        assert_eq!(stats.defs, 4); // id + bad + not2 + use (parse failure has none)
+        assert_eq!(stats.defs_ok, 3);
+    }
+}

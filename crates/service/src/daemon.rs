@@ -1,0 +1,182 @@
+//! The daemon front end: a newline-delimited JSON request/response protocol.
+//!
+//! One request per line on the reader, one response per line on the writer —
+//! the shape external load harnesses want for sustained traffic.  Requests:
+//!
+//! ```text
+//! {"check": "<source>"}            check a program, report per-def verdicts
+//! {"check": "<source>", "id": X}   same, echoing X back in the response
+//! {"batch": ["<src>", ...]}        check several programs on the worker pool
+//! {"stats": true}                  report service/cache counters
+//! ```
+//!
+//! Every response carries `"cache"` counters so a harness can watch hit rates
+//! climb as traffic warms the validity cache.  Malformed lines produce an
+//! `{"error": ...}` response instead of killing the session: a serving
+//! process must survive bad input.
+
+use std::io::{BufRead, Write};
+
+use birelcost::{DefReport, ProgramReport};
+
+use crate::json::{self, Value};
+use crate::service::Service;
+
+/// Counters for one `serve` session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Lines processed.
+    pub requests: usize,
+    /// Requests answered with an `error` field.
+    pub errors: usize,
+}
+
+/// Runs the request/response loop until the reader is exhausted.
+pub fn serve<R: BufRead, W: Write>(
+    service: &Service,
+    reader: R,
+    mut writer: W,
+) -> std::io::Result<ServeSummary> {
+    let mut summary = ServeSummary::default();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        summary.requests += 1;
+        let response = respond(service, &line);
+        if response.get("error").is_some() {
+            summary.errors += 1;
+        }
+        writeln!(writer, "{response}")?;
+        writer.flush()?;
+    }
+    Ok(summary)
+}
+
+/// Computes the response for one request line.
+pub fn respond(service: &Service, line: &str) -> Value {
+    let request = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            return Value::obj([("error", Value::Str(format!("malformed request: {e}")))])
+        }
+    };
+    let id = request.get("id").cloned();
+    let mut response = match dispatch(service, &request) {
+        Ok(fields) => fields,
+        Err(message) => Value::obj([("error", Value::Str(message))]),
+    };
+    if let (Some(id), Value::Obj(fields)) = (id, &mut response) {
+        fields.insert(0, ("id".to_string(), id));
+    }
+    response
+}
+
+fn dispatch(service: &Service, request: &Value) -> Result<Value, String> {
+    if let Some(source) = request.get("check") {
+        let source = source
+            .as_str()
+            .ok_or_else(|| "the `check` field must be a string of source code".to_string())?;
+        return Ok(check_response(service, source));
+    }
+    if let Some(batch) = request.get("batch") {
+        let Value::Arr(items) = batch else {
+            return Err("the `batch` field must be an array of source strings".to_string());
+        };
+        let sources: Vec<&str> = items
+            .iter()
+            .map(|v| v.as_str().ok_or_else(|| "batch items must be strings".to_string()))
+            .collect::<Result<_, _>>()?;
+        return Ok(batch_response(service, &sources));
+    }
+    if request.get("stats").is_some() {
+        return Ok(Value::obj([("cache", cache_value(service))]));
+    }
+    Err("unknown request: expected `check`, `batch` or `stats`".to_string())
+}
+
+fn check_response(service: &Service, source: &str) -> Value {
+    match service.check_source(source) {
+        Ok(report) => Value::obj([
+            ("ok", Value::Bool(report.all_ok())),
+            ("defs", defs_value(&report)),
+            ("cache", cache_value(service)),
+        ]),
+        Err(e) => Value::obj([
+            ("error", Value::Str(e)),
+            ("cache", cache_value(service)),
+        ]),
+    }
+}
+
+fn batch_response(service: &Service, sources: &[&str]) -> Value {
+    let jobs: Vec<crate::batch::BatchJob> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, src)| crate::batch::BatchJob::new(format!("job-{i}"), *src))
+        .collect();
+    let results = service.check_batch(&jobs);
+    let stats = crate::batch::BatchStats::of(&results);
+    Value::obj([
+        ("ok", Value::Bool(results.iter().all(|r| r.ok()))),
+        (
+            "jobs",
+            Value::Arr(
+                results
+                    .iter()
+                    .map(|r| match &r.outcome {
+                        Ok(report) => Value::obj([
+                            ("name", Value::Str(r.name.clone())),
+                            ("ok", Value::Bool(report.all_ok())),
+                            ("defs", defs_value(report)),
+                        ]),
+                        Err(e) => Value::obj([
+                            ("name", Value::Str(r.name.clone())),
+                            ("ok", Value::Bool(false)),
+                            ("error", Value::Str(e.clone())),
+                        ]),
+                    })
+                    .collect(),
+            ),
+        ),
+        ("jobs_ok", Value::Int(stats.jobs_ok as i64)),
+        ("cache", cache_value(service)),
+    ])
+}
+
+fn defs_value(report: &ProgramReport) -> Value {
+    Value::Arr(report.defs.iter().map(def_value).collect())
+}
+
+fn def_value(def: &DefReport) -> Value {
+    Value::obj([
+        ("name", Value::Str(def.name.clone())),
+        ("ok", Value::Bool(def.ok)),
+        (
+            "error",
+            match &def.error {
+                Some(e) => Value::Str(e.clone()),
+                None => Value::Null,
+            },
+        ),
+        ("typecheck_us", Value::Int(def.timings.typecheck.as_micros() as i64)),
+        (
+            "exelim_us",
+            Value::Int(def.timings.existential_elim.as_micros() as i64),
+        ),
+        ("solving_us", Value::Int(def.timings.solving.as_micros() as i64)),
+        ("constraint_atoms", Value::Int(def.constraint_atoms as i64)),
+        ("cache_hits", Value::Int(def.cache_hits as i64)),
+        ("cache_misses", Value::Int(def.cache_misses as i64)),
+    ])
+}
+
+fn cache_value(service: &Service) -> Value {
+    let stats = service.cache_stats();
+    Value::obj([
+        ("hits", Value::Int(stats.hits as i64)),
+        ("misses", Value::Int(stats.misses as i64)),
+        ("entries", Value::Int(stats.entries as i64)),
+    ])
+}

@@ -1,0 +1,111 @@
+//! The serving subsystem tying engine, worker pool and validity cache
+//! together.
+
+use std::sync::Arc;
+
+use birelcost::{Engine, ProgramReport};
+use rel_constraint::{CacheStats, ShardedValidityCache, ValidityCache};
+use rel_syntax::parse_program;
+
+use crate::batch::{check_batch, BatchJob, BatchResult};
+
+/// Configuration of a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads for batch checking (1 = sequential).
+    pub workers: usize,
+    /// Shards of the validity cache.
+    pub cache_shards: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: available_workers(),
+            cache_shards: 16,
+        }
+    }
+}
+
+/// Picks a default worker count from the machine's parallelism.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A checking service: a shared [`Engine`], a shared validity cache, and a
+/// worker pool width.  Cheap to clone (everything is behind [`Arc`]s); safe to
+/// drive from multiple threads.
+#[derive(Debug, Clone)]
+pub struct Service {
+    engine: Arc<Engine>,
+    cache: Arc<ShardedValidityCache>,
+    workers: usize,
+}
+
+impl Default for Service {
+    fn default() -> Self {
+        Service::new(ServiceConfig::default())
+    }
+}
+
+impl Service {
+    /// Builds a service with a default engine.
+    pub fn new(config: ServiceConfig) -> Service {
+        Service::with_engine(Engine::new(), config)
+    }
+
+    /// Builds a service around an explicitly configured engine.  The engine
+    /// is re-wired to the service's shared validity cache.
+    pub fn with_engine(engine: Engine, config: ServiceConfig) -> Service {
+        let cache = Arc::new(ShardedValidityCache::with_shards(config.cache_shards));
+        let engine = engine.with_cache(cache.clone());
+        Service {
+            engine: Arc::new(engine),
+            cache,
+            workers: config.workers.max(1),
+        }
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The worker-pool width used by [`Service::check_batch`].
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Parses and checks one program, sharing the validity cache.
+    pub fn check_source(&self, source: &str) -> Result<ProgramReport, String> {
+        match parse_program(source) {
+            Ok(program) => Ok(self.engine.check_program(&program)),
+            Err(e) => Err(format!("parse error: {e}")),
+        }
+    }
+
+    /// Checks a batch of jobs on the worker pool, in submission order.
+    pub fn check_batch(&self, jobs: &[BatchJob]) -> Vec<BatchResult> {
+        check_batch(&self.engine, jobs, self.workers)
+    }
+
+    /// Process-wide cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops all memoized verdicts (counters are kept).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+}
+
+// The whole point of the service is sharing the engine across workers; keep
+// that property checked at compile time.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Service>();
+    assert_send_sync::<Engine>();
+};

@@ -1,0 +1,102 @@
+//! Concurrency test: a batch over the bundled benchmark suite on a multi-
+//! worker pool must produce verdicts identical to plain sequential checking,
+//! and a warm validity cache must actually get hit.
+
+use birelcost::Engine;
+use rel_service::{BatchJob, Service, ServiceConfig};
+use rel_suite::{all_benchmarks, VerificationStatus};
+use rel_syntax::parse_program;
+
+/// Two replicas of every *verified* benchmark.  The unverified programs are
+/// excluded for the same reason the seed's own suite test excludes them:
+/// their constraint problems take the numeric solver layer minutes, not
+/// milliseconds (see tests/suite_typechecks.rs).  Replicas give the scheduler
+/// more jobs than workers and give the cache repeats to hit.
+fn suite_jobs() -> Vec<BatchJob> {
+    let mut jobs = Vec::new();
+    for copy in 0..2 {
+        jobs.extend(
+            all_benchmarks()
+                .into_iter()
+                .filter(|b| b.status == VerificationStatus::Verified)
+                .map(|b| BatchJob::new(format!("{}#{copy}", b.name), b.source)),
+        );
+    }
+    jobs
+}
+
+/// Per-def verdicts of one batch run, flattened as (job, def, ok) triples.
+fn verdicts(results: &[rel_service::BatchResult]) -> Vec<(String, String, bool)> {
+    results
+        .iter()
+        .flat_map(|r| {
+            let report = r.outcome.as_ref().expect("all benchmarks parse");
+            report
+                .defs
+                .iter()
+                .map(|d| (r.name.clone(), d.name.clone(), d.ok))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_batch_matches_sequential_and_warm_cache_hits() {
+    // Baseline: the plain engine, no cache, no threads — the seed behaviour.
+    let engine = Engine::new();
+    let baseline: Vec<(String, String, bool)> = suite_jobs()
+        .iter()
+        .flat_map(|job| {
+            let program = parse_program(&job.source).expect("benchmark parses");
+            engine
+                .check_program(&program)
+                .defs
+                .iter()
+                .map(|d| (job.name.clone(), d.name.clone(), d.ok))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    // 4 workers regardless of the host's parallelism: the scheduler must be
+    // correct even when threads outnumber cores.
+    let service = Service::new(ServiceConfig {
+        workers: 4,
+        cache_shards: 8,
+    });
+    let jobs = suite_jobs();
+
+    let cold = service.check_batch(&jobs);
+    assert_eq!(
+        verdicts(&cold),
+        baseline,
+        "cold concurrent batch diverged from sequential checking"
+    );
+
+    // Warm pass: identical verdicts again, now served from the cache.
+    let hits_before = service.cache_stats().hits;
+    let warm = service.check_batch(&jobs);
+    assert_eq!(
+        verdicts(&warm),
+        baseline,
+        "warm concurrent batch diverged from sequential checking"
+    );
+    let stats = service.cache_stats();
+    assert!(
+        stats.hits > hits_before,
+        "warm batch over the suite must hit the validity cache (stats: {stats:?})"
+    );
+    assert!(stats.entries > 0);
+}
+
+#[test]
+fn repeated_concurrent_batches_are_deterministic() {
+    let service = Service::new(ServiceConfig {
+        workers: 4,
+        cache_shards: 8,
+    });
+    let jobs = suite_jobs();
+    let first = verdicts(&service.check_batch(&jobs));
+    for _ in 0..2 {
+        assert_eq!(verdicts(&service.check_batch(&jobs)), first);
+    }
+}

@@ -1,0 +1,155 @@
+//! End-to-end tests of the newline-delimited JSON protocol: the exact loop
+//! `birelcost serve` runs, driven over in-memory readers/writers.
+
+use std::io::Cursor;
+
+use rel_service::json::{self, Value};
+use rel_service::{serve, Service, ServiceConfig};
+
+fn service() -> Service {
+    Service::new(ServiceConfig {
+        workers: 2,
+        cache_shards: 4,
+    })
+}
+
+/// Runs the daemon loop over a scripted session, returning one parsed JSON
+/// response per request line.
+fn drive(service: &Service, lines: &[&str]) -> Vec<Value> {
+    let input = lines.join("\n");
+    let mut output = Vec::new();
+    let summary = serve(service, Cursor::new(input), &mut output).expect("in-memory I/O");
+    let text = String::from_utf8(output).expect("responses are UTF-8");
+    let responses: Vec<Value> = text
+        .lines()
+        .map(|l| json::parse(l).expect("every response line is valid JSON"))
+        .collect();
+    assert_eq!(
+        summary.requests,
+        responses.len(),
+        "one response per request"
+    );
+    responses
+}
+
+#[test]
+fn answers_consecutive_check_requests() {
+    let service = service();
+    let src = "def id : boolr -> boolr = lam x. x;";
+    let req = format!("{{\"check\": \"{src}\"}}");
+    let responses = drive(&service, &[&req, &req, &req]);
+    assert_eq!(responses.len(), 3);
+    for r in &responses {
+        assert_eq!(r.get("ok"), Some(&Value::Bool(true)));
+        let Some(Value::Arr(defs)) = r.get("defs") else {
+            panic!("missing defs array in {r}");
+        };
+        assert_eq!(defs.len(), 1);
+        assert_eq!(defs[0].get("name").and_then(Value::as_str), Some("id"));
+        assert_eq!(defs[0].get("ok"), Some(&Value::Bool(true)));
+        assert!(defs[0].get("typecheck_us").and_then(Value::as_int).is_some());
+        assert!(r.get("cache").is_some(), "responses carry cache counters");
+    }
+}
+
+#[test]
+fn reports_parse_errors_without_dying() {
+    let service = service();
+    let responses = drive(
+        &service,
+        &[
+            r#"{"check": "def broken : boolr =", "id": "bad"}"#,
+            r#"{"check": "def ok : boolr = true;", "id": "good"}"#,
+        ],
+    );
+    assert_eq!(responses[0].get("id").and_then(Value::as_str), Some("bad"));
+    let err = responses[0]
+        .get("error")
+        .and_then(Value::as_str)
+        .expect("parse failure is reported in `error`");
+    assert!(err.contains("parse error"), "got: {err}");
+    // The session survived and the next request still checks.
+    assert_eq!(responses[1].get("id").and_then(Value::as_str), Some("good"));
+    assert_eq!(responses[1].get("ok"), Some(&Value::Bool(true)));
+}
+
+#[test]
+fn survives_malformed_and_unknown_requests() {
+    let service = service();
+    let responses = drive(
+        &service,
+        &[
+            "this is not json",
+            r#"{"frobnicate": 1}"#,
+            r#"{"check": 42}"#,
+            r#"{"batch": "not an array"}"#,
+            r#"{"check": "def ok : boolr = true;"}"#,
+        ],
+    );
+    for r in &responses[..4] {
+        assert!(
+            r.get("error").and_then(Value::as_str).is_some(),
+            "expected an error response, got {r}"
+        );
+    }
+    assert_eq!(responses[4].get("ok"), Some(&Value::Bool(true)));
+}
+
+#[test]
+fn multi_def_programs_report_per_def_verdicts_in_order() {
+    let service = service();
+    let src = r#"\ndef not2 : boolr -> boolr = lam b. if b then false else true;\ndef use : boolr -> boolr = lam b. not2 (not2 b);\ndef bad : boolr = 3;\n"#;
+    let req = format!("{{\"check\": \"{src}\"}}");
+    let responses = drive(&service, &[&req]);
+    assert_eq!(responses[0].get("ok"), Some(&Value::Bool(false)));
+    let Some(Value::Arr(defs)) = responses[0].get("defs") else {
+        panic!("missing defs");
+    };
+    let names: Vec<&str> = defs
+        .iter()
+        .map(|d| d.get("name").and_then(Value::as_str).unwrap())
+        .collect();
+    assert_eq!(names, ["not2", "use", "bad"]);
+    assert_eq!(defs[0].get("ok"), Some(&Value::Bool(true)));
+    assert_eq!(defs[1].get("ok"), Some(&Value::Bool(true)));
+    assert_eq!(defs[2].get("ok"), Some(&Value::Bool(false)));
+    assert!(defs[2].get("error").and_then(Value::as_str).is_some());
+}
+
+#[test]
+fn cache_counters_climb_across_requests() {
+    let service = service();
+    let src = r#"\ndef not2 : boolr -> boolr = lam b. if b then false else true;\ndef use : boolr -> boolr = lam b. not2 (not2 b);\n"#;
+    let req = format!("{{\"check\": \"{src}\"}}");
+    let responses = drive(&service, &[&req, &req, r#"{"stats": true}"#]);
+
+    let hits = |r: &Value| {
+        r.get("cache")
+            .and_then(|c| c.get("hits"))
+            .and_then(Value::as_int)
+            .expect("cache.hits")
+    };
+    assert_eq!(hits(&responses[0]), 0, "first request is all misses");
+    assert!(hits(&responses[1]) > 0, "second request hits the cache");
+    assert!(hits(&responses[2]) > 0, "stats request reports the counters");
+}
+
+#[test]
+fn batch_requests_check_on_the_worker_pool() {
+    let service = service();
+    let ok = "def ok : boolr = true;";
+    let bad = "def broken : boolr =";
+    let req = format!("{{\"batch\": [\"{ok}\", \"{bad}\", \"{ok}\"]}}");
+    let responses = drive(&service, &[&req]);
+    let r = &responses[0];
+    assert_eq!(r.get("ok"), Some(&Value::Bool(false)));
+    assert_eq!(r.get("jobs_ok").and_then(Value::as_int), Some(2));
+    let Some(Value::Arr(jobs)) = r.get("jobs") else {
+        panic!("missing jobs");
+    };
+    assert_eq!(jobs.len(), 3);
+    assert_eq!(jobs[0].get("ok"), Some(&Value::Bool(true)));
+    assert_eq!(jobs[1].get("ok"), Some(&Value::Bool(false)));
+    assert!(jobs[1].get("error").and_then(Value::as_str).is_some());
+    assert_eq!(jobs[2].get("ok"), Some(&Value::Bool(true)));
+}

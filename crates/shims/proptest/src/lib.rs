@@ -1,0 +1,259 @@
+//! Minimal, dependency-free shim for the subset of the `proptest` API the
+//! workspace tests use.  The container has no registry access, so the real
+//! crate cannot be vendored.  This stand-in keeps the source-level surface —
+//! `Strategy`, `Just`, integer ranges, tuples, `prop_oneof!`, `prop_map`,
+//! `prop_recursive`, and the `proptest!` test macro — but generates cases from
+//! a fixed-seed splitmix64 stream (256 cases per property) instead of doing
+//! adaptive shrinking.  Failures therefore reproduce deterministically, which
+//! is what the round-trip/normalization properties in this workspace need.
+
+use std::rc::Rc;
+
+/// Deterministic case generator (splitmix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from a test-specific label.
+    pub fn from_label(label: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A value-generation strategy.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Applies a function to every generated value.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let inner = self;
+        BoxedStrategy(Rc::new(move |rng| f(inner.generate(rng))))
+    }
+
+    /// Builds a recursive strategy by unrolling `depth` levels of `expand`
+    /// over the leaf strategy `self`, mixing leaves back in at every level so
+    /// generated trees vary in size.  (`_size`/`_branch` are accepted for
+    /// source compatibility with the real API and ignored.)
+    fn prop_recursive<F>(self, depth: u32, _size: u32, _branch: u32, expand: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Clone + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> BoxedStrategy<Self::Value>,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let expanded = expand(strat);
+            let leaf = leaf.clone();
+            strat = BoxedStrategy(Rc::new(move |rng| {
+                if rng.pick(4) == 0 {
+                    leaf.generate(rng)
+                } else {
+                    expanded.generate(rng)
+                }
+            }));
+        }
+        strat
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let inner = self;
+        BoxedStrategy(Rc::new(move |rng| inner.generate(rng)))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                debug_assert!(self.start < self.end);
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i32, i64, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Picks uniformly among strategies with a common value type.
+pub fn union<T: 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty());
+    BoxedStrategy(Rc::new(move |rng| {
+        let i = rng.pick(arms.len());
+        arms[i].generate(rng)
+    }))
+}
+
+/// Mirrors `proptest::prop_oneof!`: a uniform choice among the given arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Mirrors `proptest::proptest!`: each property runs 256 deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(#[test] fn $name:ident ( $($var:ident in $strat:expr),+ $(,)? ) $body:block)+) => {$(
+        #[test]
+        fn $name() {
+            let mut rng = $crate::TestRng::from_label(stringify!($name));
+            for case in 0..256u32 {
+                let _ = case;
+                $(let $var = $crate::Strategy::generate(&$strat, &mut rng);)+
+                $body
+            }
+        }
+    )+};
+}
+
+/// Mirrors `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Mirrors `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// The one-stop import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, union, BoxedStrategy, Just, Strategy,
+        TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn arb_small() -> impl Strategy<Value = u64> {
+        prop_oneof![Just(1u64), Just(2u64), 10u64..20]
+    }
+
+    proptest! {
+        #[test]
+        fn generated_values_come_from_the_arms(v in arb_small()) {
+            assert!(v == 1 || v == 2 || (10..20).contains(&v));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(pair in (0u64..5, 0i64..5).prop_map(|(a, b)| (a as i64) + b) ) {
+            assert!((0..9).contains(&pair));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate_and_vary() {
+        #[derive(Clone, Debug, PartialEq)]
+        enum Tree {
+            Leaf(u64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0u64..4).prop_map(Tree::Leaf).prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::from_label("trees");
+        let mut max_depth = 0;
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 3);
+            max_depth = max_depth.max(depth(&t));
+        }
+        assert!(max_depth >= 1, "recursion never expanded");
+    }
+}

@@ -57,6 +57,36 @@ pub fn perturb_list(base: &[i64], alpha: usize, seed: u64) -> Vec<i64> {
     out
 }
 
+/// A named batch of benchmark sources for service-throughput testing:
+/// `copies` replicas of every bundled benchmark (only the verified ones when
+/// `only_verified` is set — the unverified programs exercise slow failure
+/// paths that drown a throughput measurement), deterministically shuffled so
+/// replicas of one benchmark don't run back-to-back.  Replicas make the
+/// workload realistic for cache experiments: production traffic re-submits
+/// the same definitions constantly.
+pub fn batch_benchmark_sources(
+    copies: usize,
+    only_verified: bool,
+    seed: u64,
+) -> Vec<(String, String)> {
+    let mut jobs: Vec<(String, String)> = Vec::new();
+    for c in 0..copies {
+        for b in crate::programs::all_benchmarks() {
+            if only_verified && b.status != crate::programs::VerificationStatus::Verified {
+                continue;
+            }
+            jobs.push((format!("{}#{c}", b.name), b.source.to_string()));
+        }
+    }
+    // Fisher–Yates with the deterministic generator.
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..jobs.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        jobs.swap(i, j);
+    }
+    jobs
+}
+
 /// Builds the surface-syntax literal for an integer list.
 pub fn list_literal(items: &[i64]) -> Expr {
     items
@@ -88,6 +118,23 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.differing <= 4);
         assert_eq!(a.left.len(), 16);
+    }
+
+    #[test]
+    fn batch_workloads_cover_the_suite_and_are_deterministic() {
+        let a = batch_benchmark_sources(2, false, 7);
+        let b = batch_benchmark_sources(2, false, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2 * crate::all_benchmarks().len());
+        // Every replica keeps its source intact and gets a distinct name.
+        let mut names: Vec<&str> = a.iter().map(|(n, _)| n.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), a.len());
+
+        let verified = batch_benchmark_sources(1, true, 7);
+        assert!(!verified.is_empty());
+        assert!(verified.len() < crate::all_benchmarks().len());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 pub mod generators;
 pub mod programs;
 
-pub use generators::{perturb_list, random_int_list, Workload};
+pub use generators::{batch_benchmark_sources, perturb_list, random_int_list, Workload};
 pub use programs::{all_benchmarks, benchmark, Benchmark, VerificationStatus};
 
 #[cfg(test)]

@@ -247,7 +247,6 @@ mod tests {
     use super::*;
     use crate::parser::{parse_expr, parse_rel_type};
     use crate::types::CostBounds;
-    use proptest::prelude::*;
     use rel_index::{Idx, Sort};
 
     #[test]
@@ -274,83 +273,95 @@ mod tests {
         assert_eq!(expr(&e), "1 + 2 * 3");
     }
 
-    fn arb_rel_type() -> impl Strategy<Value = RelType> {
-        let leaf = prop_oneof![
-            Just(RelType::BoolR),
-            Just(RelType::IntR),
-            Just(RelType::UnitR),
-            Just(RelType::TVar("a".into())),
-            Just(RelType::u(UnaryType::Int, UnaryType::Bool)),
-            Just(RelType::u_same(UnaryType::list(
-                Idx::var("n"),
-                UnaryType::Int
-            ))),
-        ];
-        leaf.prop_recursive(3, 24, 2, |inner| {
-            prop_oneof![
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| RelType::arrow(a, Idx::var("t"), b)),
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| RelType::prod(a, b)),
-                inner.clone().prop_map(RelType::boxed),
-                inner
-                    .clone()
-                    .prop_map(|t| RelType::list(Idx::var("n"), Idx::var("al"), t)),
-                inner.clone().prop_map(|t| RelType::forall("i", Sort::Nat, t)),
-                inner.clone().prop_map(|t| {
-                    RelType::cand(
-                        rel_constraint::Constr::leq(Idx::var("b"), Idx::var("a")),
-                        t,
-                    )
-                }),
-            ]
-        })
+    // A tiny deterministic generator standing in for proptest strategies: a
+    // seeded stream drives recursive construction over the same constructor
+    // alternatives the original strategies covered.
+    struct Gen(rand::rngs::StdRng);
+
+    impl Gen {
+        fn new(seed: u64) -> Gen {
+            use rand::SeedableRng;
+            Gen(rand::rngs::StdRng::seed_from_u64(seed))
+        }
+
+        fn pick(&mut self, n: u64) -> u64 {
+            use rand::Rng;
+            self.0.gen_range(0..n)
+        }
     }
 
-    fn arb_expr() -> impl Strategy<Value = Expr> {
-        let leaf = prop_oneof![
-            Just(Expr::var("x")),
-            Just(Expr::var("f")),
-            Just(Expr::Unit),
-            Just(Expr::Bool(true)),
-            Just(Expr::Int(7)),
-            Just(Expr::Nil),
-        ];
-        leaf.prop_recursive(3, 32, 2, |inner| {
-            prop_oneof![
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.app(b)),
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::cons(a, b)),
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::pair(a, b)),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Expr::prim2(PrimOp::Add, a, b)),
-                (inner.clone(), inner.clone(), inner.clone())
-                    .prop_map(|(a, b, c)| Expr::if_then_else(a, b, c)),
-                inner.clone().prop_map(|e| Expr::lam("y", e)),
-                inner.clone().prop_map(|e| e.iapp()),
-                inner.clone().prop_map(|e| Expr::Fst(Box::new(e))),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Expr::let_in("z", a, b)),
-                (inner.clone(), inner.clone(), inner.clone()).prop_map(|(s, n, c)| {
-                    Expr::case_list(s, n, "h", "tl", c)
-                }),
-            ]
-        })
+    fn arb_rel_type(g: &mut Gen, depth: usize) -> RelType {
+        if depth == 0 || g.pick(3) == 0 {
+            return match g.pick(6) {
+                0 => RelType::BoolR,
+                1 => RelType::IntR,
+                2 => RelType::UnitR,
+                3 => RelType::TVar("a".into()),
+                4 => RelType::u(UnaryType::Int, UnaryType::Bool),
+                _ => RelType::u_same(UnaryType::list(Idx::var("n"), UnaryType::Int)),
+            };
+        }
+        let d = depth - 1;
+        match g.pick(6) {
+            0 => RelType::arrow(arb_rel_type(g, d), Idx::var("t"), arb_rel_type(g, d)),
+            1 => RelType::prod(arb_rel_type(g, d), arb_rel_type(g, d)),
+            2 => RelType::boxed(arb_rel_type(g, d)),
+            3 => RelType::list(Idx::var("n"), Idx::var("al"), arb_rel_type(g, d)),
+            4 => RelType::forall("i", Sort::Nat, arb_rel_type(g, d)),
+            _ => RelType::cand(
+                rel_constraint::Constr::leq(Idx::var("b"), Idx::var("a")),
+                arb_rel_type(g, d),
+            ),
+        }
     }
 
-    proptest! {
-        #[test]
-        fn rel_types_round_trip(t in arb_rel_type()) {
+    fn arb_expr(g: &mut Gen, depth: usize) -> Expr {
+        if depth == 0 || g.pick(3) == 0 {
+            return match g.pick(6) {
+                0 => Expr::var("x"),
+                1 => Expr::var("f"),
+                2 => Expr::Unit,
+                3 => Expr::Bool(true),
+                4 => Expr::Int(7),
+                _ => Expr::Nil,
+            };
+        }
+        let d = depth - 1;
+        match g.pick(10) {
+            0 => arb_expr(g, d).app(arb_expr(g, d)),
+            1 => Expr::cons(arb_expr(g, d), arb_expr(g, d)),
+            2 => Expr::pair(arb_expr(g, d), arb_expr(g, d)),
+            3 => Expr::prim2(PrimOp::Add, arb_expr(g, d), arb_expr(g, d)),
+            4 => Expr::if_then_else(arb_expr(g, d), arb_expr(g, d), arb_expr(g, d)),
+            5 => Expr::lam("y", arb_expr(g, d)),
+            6 => arb_expr(g, d).iapp(),
+            7 => Expr::Fst(Box::new(arb_expr(g, d))),
+            8 => Expr::let_in("z", arb_expr(g, d), arb_expr(g, d)),
+            _ => Expr::case_list(arb_expr(g, d), arb_expr(g, d), "h", "tl", arb_expr(g, d)),
+        }
+    }
+
+    #[test]
+    fn rel_types_round_trip() {
+        let mut g = Gen::new(0xC0FFEE);
+        for _ in 0..256 {
+            let t = arb_rel_type(&mut g, 3);
             let printed = rel_type(&t);
             let reparsed = parse_rel_type(&printed)
                 .unwrap_or_else(|e| panic!("failed to reparse `{printed}`: {e}"));
-            prop_assert_eq!(reparsed, t);
+            assert_eq!(reparsed, t, "printed as `{printed}`");
         }
+    }
 
-        #[test]
-        fn exprs_round_trip(e in arb_expr()) {
+    #[test]
+    fn exprs_round_trip() {
+        let mut g = Gen::new(0xBEEF);
+        for _ in 0..256 {
+            let e = arb_expr(&mut g, 3);
             let printed = expr(&e);
             let reparsed = parse_expr(&printed)
                 .unwrap_or_else(|err| panic!("failed to reparse `{printed}`: {err}"));
-            prop_assert_eq!(reparsed, e);
+            assert_eq!(reparsed, e, "printed as `{printed}`");
         }
     }
 
