@@ -1,0 +1,157 @@
+//! Numeric-layer grid checking: tree evaluation vs the compiled bytecode.
+//!
+//! The workload is two numeric-heavy entailments the symbolic layer cannot
+//! discharge, with the two constraint shapes that dominate the suite's
+//! numeric checks:
+//!
+//! * a merge-sort-style recurrence bound whose goal compares an opaque
+//!   summation (`Σ min(a, 2^i)`) against a non-linear bound, and
+//! * a pointwise disjunction (the shape heuristic 1 produces when it joins
+//!   the consC/consNC derivations with ∨).
+//!
+//! Each check sweeps the full 3-variable grid (31³ = 29 791 points, the
+//! regime the unverified-suite checks live in) plus the randomized phase,
+//! through `use_compiled_eval = false` (the tree-walking reference
+//! evaluator) and through the default compiled path.  Besides the
+//! criterion-style report, the bench writes a machine-readable summary to
+//! `BENCH_numeric.json` at the workspace root so the perf trajectory can be
+//! tracked across PRs, and asserts the ≥5× acceptance bar for the compiled
+//! layer.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rel_constraint::{Constr, SolveConfig, Solver};
+use rel_index::{Idx, IdxVar, Sort};
+
+fn universals() -> Vec<(IdxVar, Sort)> {
+    vec![
+        (IdxVar::new("n"), Sort::Nat),
+        (IdxVar::new("a"), Sort::Nat),
+        (IdxVar::new("b"), Sort::Nat),
+    ]
+}
+
+/// The two queries of the workload, as (hypothesis, goal) pairs.  Both are
+/// valid, and only the numeric layer can see that.
+fn queries() -> Vec<(Constr, Constr)> {
+    // Σ_{i=0}^{b} min(a, 2^i)  ≤  n·a + n + 1   when b ≤ a ≤ n
+    // (the sum is at most (b+1)·a ≤ (n+1)·a ≤ n·a + n).
+    let hyp = Constr::leq(Idx::var("a"), Idx::var("n"))
+        .and(Constr::leq(Idx::var("b"), Idx::var("a")));
+    let sum = Idx::sum(
+        "i",
+        Idx::zero(),
+        Idx::var("b"),
+        Idx::min(Idx::var("a"), Idx::pow2(Idx::var("i"))),
+    );
+    let recurrence = Constr::leq(
+        sum,
+        Idx::var("n") * Idx::var("a") + Idx::var("n") + Idx::one(),
+    );
+    // n ≤ 20  ∨  n + a ≥ 15 — valid pointwise only.
+    let disjunction = Constr::leq(Idx::var("n"), Idx::nat(20))
+        .or(Constr::geq(Idx::var("n") + Idx::var("a"), Idx::nat(15)));
+    vec![(hyp, recurrence), (Constr::Top, disjunction)]
+}
+
+/// An enlarged grid (31³ = 29 791 points): the regime the unverified-suite
+/// checks live in, where per-check fixed costs (the symbolic attempt, lemma
+/// saturation — identical on both paths) are noise and the per-point
+/// evaluator dominates.
+fn grid_config() -> SolveConfig {
+    SolveConfig {
+        nat_grid_max: 30,
+        max_grid_points: 29_791,
+        ..SolveConfig::default()
+    }
+}
+
+fn tree_config() -> SolveConfig {
+    SolveConfig {
+        use_compiled_eval: false,
+        ..grid_config()
+    }
+}
+
+/// One full pass over the workload from a fresh solver (compile + sweep for
+/// the compiled path, pure interpretation for the tree path).
+fn run_workload(config: &SolveConfig) -> usize {
+    let mut solver = Solver::with_config(config.clone());
+    let u = universals();
+    for (hyp, goal) in &queries() {
+        assert!(
+            solver.entails(&u, hyp, goal).is_valid(),
+            "the bench workload must be valid"
+        );
+    }
+    assert!(
+        solver.stats().numeric_checks >= 2,
+        "the bench workload must reach the numeric layer"
+    );
+    solver.stats().points_evaluated
+}
+
+/// Mean nanoseconds per workload pass over `samples` runs.
+fn measure(config: &SolveConfig, samples: u32) -> f64 {
+    run_workload(config); // warm-up (and correctness assertion)
+    let start = Instant::now();
+    for _ in 0..samples {
+        run_workload(config);
+    }
+    start.elapsed().as_nanos() as f64 / samples as f64
+}
+
+fn solver_grid(c: &mut Criterion) {
+    let points = run_workload(&grid_config());
+    println!("\nsolver_grid workload: {points} grid+random points per pass");
+
+    c.bench_function("solver_grid/tree_eval", |b| {
+        let config = tree_config();
+        b.iter(|| run_workload(&config));
+    });
+    c.bench_function("solver_grid/compiled_eval", |b| {
+        let config = grid_config();
+        b.iter(|| run_workload(&config));
+    });
+    // A warm program cache (the serving steady state: the bytecode is
+    // memoized, every check is sweep-only).
+    c.bench_function("solver_grid/compiled_eval_warm_program", |b| {
+        let mut solver = Solver::with_config(grid_config());
+        let u = universals();
+        let queries = queries();
+        b.iter(|| {
+            for (hyp, goal) in &queries {
+                assert!(solver.entails(&u, hyp, goal).is_valid());
+            }
+        });
+    });
+
+    // Machine-readable summary for the perf trajectory.
+    let samples = 10;
+    let tree_ns = measure(&tree_config(), samples);
+    let compiled_ns = measure(&grid_config(), samples);
+    let speedup = tree_ns / compiled_ns;
+    let json = format!(
+        "{{\n  \"bench\": \"solver_grid\",\n  \"points_per_pass\": {points},\n  \
+         \"samples\": {samples},\n  \"tree_ns_per_pass\": {tree_ns:.0},\n  \
+         \"compiled_ns_per_pass\": {compiled_ns:.0},\n  \"speedup\": {speedup:.2}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_numeric.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}:\n{json}"),
+        Err(e) => eprintln!("could not write {path}: {e}\n{json}"),
+    }
+    assert!(
+        speedup >= 5.0,
+        "compiled numeric layer must be >= 5x the tree evaluator, got {speedup:.2}x"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = solver_grid
+}
+criterion_main!(benches);

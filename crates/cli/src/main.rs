@@ -143,12 +143,15 @@ fn check_files(files: &[String], workers: usize) -> ExitCode {
         let stats = BatchStats::of(&results);
         let cache = service.cache_stats();
         println!(
-            "checked {} file(s) on {workers} workers: {}/{} defs ok, cache {} hit(s) / {} miss(es)",
+            "checked {} file(s) on {workers} workers: {}/{} defs ok, cache {} hit(s) / {} miss(es), \
+             {} numeric program(s) compiled ({} reused)",
             results.len(),
             stats.defs_ok,
             stats.defs,
             cache.hits,
-            cache.misses
+            cache.misses,
+            stats.programs_compiled,
+            stats.program_cache_hits
         );
     }
 
@@ -181,8 +184,8 @@ fn serve_stdio(workers: usize) -> ExitCode {
 fn table1() -> ExitCode {
     let engine = Engine::new();
     println!(
-        "{:<10} {:>10} {:>12} {:>14} {:>12}  result",
-        "Benchmark", "total(s)", "typecheck(s)", "exist.elim(s)", "solving(s)"
+        "{:<10} {:>10} {:>12} {:>14} {:>12} {:>9} {:>9}  result",
+        "Benchmark", "total(s)", "typecheck(s)", "exist.elim(s)", "solving(s)", "points", "programs"
     );
     for b in all_benchmarks() {
         let program = match parse_program(b.source) {
@@ -198,12 +201,14 @@ fn table1() -> ExitCode {
             .map(|d| d.timings)
             .unwrap_or_default();
         println!(
-            "{:<10} {:>10.3} {:>12.3} {:>14.3} {:>12.3}  {}",
+            "{:<10} {:>10.3} {:>12.3} {:>14.3} {:>12.3} {:>9} {:>9}  {}",
             b.name,
             report.total_time().as_secs_f64(),
             timings.typecheck.as_secs_f64(),
             timings.existential_elim.as_secs_f64(),
             timings.solving.as_secs_f64(),
+            report.points_evaluated(),
+            report.programs_compiled(),
             if report.all_ok() { "checked" } else { "not verified" }
         );
     }

@@ -197,10 +197,10 @@ pub fn eliminate_existentials(
         if let Some(resolved) = resolved {
             stats.attempts += 1;
             solver.note_exelim_attempt();
-            let mut instantiated = matrix.clone();
-            for (v, idx) in &resolved {
-                instantiated = instantiated.subst(v, idx);
-            }
+            // One traversal for the whole assignment — `resolve_mutual`
+            // guarantees the replacements mention no existential variables,
+            // which is exactly `subst_all`'s precondition.
+            let instantiated = matrix.subst_all(&resolved);
             if solver
                 .entails_no_exists(universals, hyp, &instantiated)
                 .is_valid()

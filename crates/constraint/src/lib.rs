@@ -22,12 +22,14 @@
 //!    rationale.
 
 pub mod cache;
+pub mod compile;
 pub mod constr;
 pub mod exelim;
 pub mod lemmas;
 pub mod solver;
 
 pub use cache::{CacheStats, QueryKey, QueryRef, ShardedValidityCache, ValidityCache};
+pub use compile::{compile_query, CompiledQuery, EvalFrame, Val};
 pub use constr::{Constr, Quantified};
 pub use exelim::{eliminate_existentials, ExElimOutcome, ExElimStats};
 pub use solver::{SolveConfig, SolveStats, Solver, Validity};

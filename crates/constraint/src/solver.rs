@@ -17,7 +17,10 @@
 //! The statistics collected ([`SolveStats`]) feed the Table-1 style timing
 //! breakdown reported by the engine.
 
-use std::collections::BTreeSet;
+use std::borrow::Cow;
+use std::collections::{BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -26,7 +29,8 @@ use rand::{Rng, SeedableRng};
 
 use rel_index::{Atom, Extended, Idx, IdxEnv, IdxVar, LinExpr, Rational, Sort};
 
-use crate::cache::{QueryRef, ValidityCache};
+use crate::cache::{Fnv1a, QueryRef, ValidityCache};
+use crate::compile::{compile_query, CompiledQuery, Val};
 use crate::constr::Constr;
 use crate::exelim;
 use crate::lemmas;
@@ -52,6 +56,21 @@ pub struct SolveConfig {
     /// Cap on candidate-substitution combinations during existential
     /// elimination.
     pub max_exelim_attempts: usize,
+    /// Evaluate numeric queries through the compiled bytecode of
+    /// [`crate::compile`] (the default).  `false` selects the tree-walking
+    /// evaluator — kept as the reference implementation and for the
+    /// `solver_grid` benchmark's before/after comparison.
+    pub use_compiled_eval: bool,
+    /// Minimum number of grid points before the sweep is chunked across
+    /// worker threads.  The default (`usize::MAX`) keeps the sweep on the
+    /// calling thread: with the default 4 000-point cap a compiled sweep is
+    /// far cheaper than thread startup, and batch services parallelize
+    /// across queries already.  Services checking with enlarged grids lower
+    /// this to spread one huge query across cores.
+    pub parallel_grid_min_points: usize,
+    /// Worker threads for a chunked grid sweep (`0` = the machine's
+    /// available parallelism).
+    pub parallel_grid_threads: usize,
 }
 
 impl Default for SolveConfig {
@@ -64,6 +83,9 @@ impl Default for SolveConfig {
             numeric_is_decisive: true,
             rng_seed: 0xB1DE_C057,
             max_exelim_attempts: 128,
+            use_compiled_eval: true,
+            parallel_grid_min_points: usize::MAX,
+            parallel_grid_threads: 0,
         }
     }
 }
@@ -74,8 +96,7 @@ impl SolveConfig {
     /// running the *same* configuration (a laxer config must never leak
     /// `Valid` into a stricter one).
     pub fn fingerprint(&self) -> u64 {
-        use std::hash::Hasher;
-        let mut h = crate::cache::Fnv1a::default();
+        let mut h = Fnv1a::default();
         h.write_u64(self.nat_grid_max);
         h.write_u64(self.max_grid_points as u64);
         h.write_u64(self.random_points as u64);
@@ -83,6 +104,12 @@ impl SolveConfig {
         h.write_u8(self.numeric_is_decisive as u8);
         h.write_u64(self.rng_seed);
         h.write_u64(self.max_exelim_attempts as u64);
+        // `use_compiled_eval` and the parallel-sweep knobs are deliberately
+        // *not* mixed in: they select an evaluation strategy, not a verdict.
+        // The compiled evaluator is verdict-identical to the tree evaluator
+        // (differential-tested), and a chunked sweep reports the same
+        // lowest-index counterexample as a sequential one, so solvers that
+        // differ only in these fields may share cached verdicts.
         h.finish()
     }
 }
@@ -104,6 +131,11 @@ pub struct SolveStats {
     pub cache_hits: usize,
     /// Entailment queries that consulted the validity cache and missed.
     pub cache_misses: usize,
+    /// Numeric queries lowered to bytecode (program-cache misses).
+    pub programs_compiled: usize,
+    /// Numeric queries whose compiled program was reused from the
+    /// program cache.
+    pub program_cache_hits: usize,
     /// Wall-clock time spent eliminating existentials.
     pub exelim_time: Duration,
     /// Wall-clock time spent in constraint solving (excluding ∃-elimination).
@@ -131,6 +163,22 @@ impl Validity {
     }
 }
 
+/// One memoized compiled program, stored next to its full key so program
+/// hash collisions can never alias two queries onto one bytecode.
+#[derive(Debug)]
+struct ProgramEntry {
+    universals: Vec<(IdxVar, Sort)>,
+    hyp: Constr,
+    goal: Constr,
+    program: Arc<CompiledQuery>,
+}
+
+/// Entry cap of the per-solver program cache.  Solvers live for one
+/// definition (engines spawn a fresh one per def), so the cap only matters
+/// for unusually long-lived solvers; it is cleared wholesale when full,
+/// like a validity-cache shard.
+const MAX_CACHED_PROGRAMS: usize = 4_096;
+
 /// The constraint solver.
 #[derive(Debug)]
 pub struct Solver {
@@ -139,6 +187,11 @@ pub struct Solver {
     config_fingerprint: u64,
     stats: SolveStats,
     cache: Option<Arc<dyn ValidityCache>>,
+    /// Compiled-program memo, keyed on the stable structural hash of
+    /// `(universals, hyp, goal)` with full-key verification (the same
+    /// collision discipline as the validity cache, see DESIGN.md §5.1).
+    programs: HashMap<u64, Vec<ProgramEntry>>,
+    cached_program_count: usize,
 }
 
 impl Default for Solver {
@@ -160,6 +213,8 @@ impl Solver {
             config,
             stats: SolveStats::default(),
             cache: None,
+            programs: HashMap::new(),
+            cached_program_count: 0,
         }
     }
 
@@ -203,8 +258,24 @@ impl Solver {
         hyp: &Constr,
         goal: &Constr,
     ) -> Validity {
-        self.stats.queries += 1;
         let goal = simplify(goal);
+        self.entails_canonical(universals, hyp, &goal)
+    }
+
+    /// [`Solver::entails`] on a goal that is already in simplified form.
+    ///
+    /// Structural recursion goes through this entry point: `simplify` is
+    /// idempotent and recursive, so the sub-goals of a simplified goal are
+    /// themselves simplified and re-simplifying them at every decomposition
+    /// level would rebuild the same trees over and over (one full clone per
+    /// level in the seed).
+    fn entails_canonical(
+        &mut self,
+        universals: &[(IdxVar, Sort)],
+        hyp: &Constr,
+        goal: &Constr,
+    ) -> Validity {
+        self.stats.queries += 1;
         if goal.is_top() {
             return Validity::Valid;
         }
@@ -218,17 +289,17 @@ impl Solver {
         // clone releases the borrow of `self.cache` so one canonicalized
         // query serves both the lookup and the store.)
         if let Some(cache) = self.cache.clone() {
-            let query = QueryRef::new(self.config_fingerprint, universals, hyp, &goal);
+            let query = QueryRef::new(self.config_fingerprint, universals, hyp, goal);
             if let Some(verdict) = cache.lookup(&query) {
                 self.stats.cache_hits += 1;
                 return verdict;
             }
             self.stats.cache_misses += 1;
-            let verdict = self.entails_simplified(universals, hyp, &goal);
+            let verdict = self.entails_simplified(universals, hyp, goal);
             cache.store(&query, verdict.clone());
             verdict
         } else {
-            self.entails_simplified(universals, hyp, &goal)
+            self.entails_simplified(universals, hyp, goal)
         }
     }
 
@@ -246,7 +317,7 @@ impl Solver {
             Constr::Top => return Validity::Valid,
             Constr::And(cs) => {
                 for c in cs {
-                    match self.entails(universals, hyp, c) {
+                    match self.entails_canonical(universals, hyp, c) {
                         Validity::Valid => {}
                         other => return other,
                     }
@@ -255,12 +326,12 @@ impl Solver {
             }
             Constr::Implies(a, b) => {
                 let hyp = hyp.clone().and((**a).clone());
-                return self.entails(universals, &hyp, b);
+                return self.entails_canonical(universals, &hyp, b);
             }
             Constr::Forall(q, c) => {
                 let mut universals = universals.to_vec();
                 universals.push((q.var.clone(), q.sort));
-                return self.entails(&universals, hyp, c);
+                return self.entails_canonical(&universals, hyp, c);
             }
             _ => {}
         }
@@ -302,11 +373,24 @@ impl Solver {
         goal: &Constr,
     ) -> Validity {
         let goal = simplify(goal);
-        match &goal {
+        self.no_exists_canonical(universals, hyp, &goal)
+    }
+
+    /// [`Solver::entails_no_exists`] on an already-simplified goal; the
+    /// structural recursion below stays here so each decomposition level
+    /// reuses the one simplification done at entry instead of rebuilding
+    /// the goal tree per level.
+    fn no_exists_canonical(
+        &mut self,
+        universals: &[(IdxVar, Sort)],
+        hyp: &Constr,
+        goal: &Constr,
+    ) -> Validity {
+        match goal {
             Constr::Top => Validity::Valid,
             Constr::And(cs) => {
                 for c in cs {
-                    match self.entails_no_exists(universals, hyp, c) {
+                    match self.no_exists_canonical(universals, hyp, c) {
                         Validity::Valid => {}
                         other => return other,
                     }
@@ -315,12 +399,12 @@ impl Solver {
             }
             Constr::Implies(a, b) => {
                 let hyp = hyp.clone().and((**a).clone());
-                self.entails_no_exists(universals, &hyp, b)
+                self.no_exists_canonical(universals, &hyp, b)
             }
             Constr::Forall(q, c) => {
                 let mut universals = universals.to_vec();
                 universals.push((q.var.clone(), q.sort));
-                self.entails_no_exists(&universals, hyp, c)
+                self.no_exists_canonical(&universals, hyp, c)
             }
             Constr::Or(cs) => {
                 // Sufficient condition: one disjunct is entailed on its own.
@@ -333,30 +417,30 @@ impl Solver {
                             self.stats.symbolic_hits += 1;
                             return Validity::Valid;
                         }
-                    } else if self.entails(universals, hyp, c).is_valid() {
+                    } else if self.entails_canonical(universals, hyp, c).is_valid() {
                         return Validity::Valid;
                     }
                 }
                 if goal.existential_vars().is_empty() {
-                    self.numeric_check(universals, hyp, &goal)
+                    self.numeric_check(universals, hyp, goal)
                 } else {
                     Validity::Invalid(None)
                 }
             }
             Constr::Eq(_, _) | Constr::Leq(_, _) | Constr::Lt(_, _) | Constr::Bot | Constr::Not(_) => {
                 if self
-                    .symbolic_entails(universals, hyp, &goal)
+                    .symbolic_entails(universals, hyp, goal)
                     .unwrap_or(false)
                 {
                     self.stats.symbolic_hits += 1;
                     return Validity::Valid;
                 }
-                self.numeric_check(universals, hyp, &goal)
+                self.numeric_check(universals, hyp, goal)
             }
             Constr::Exists(_, _) => {
                 // Residual existential (can only happen when called directly):
                 // defer to the numeric layer's bounded search.
-                self.numeric_check(universals, hyp, &goal)
+                self.numeric_check(universals, hyp, goal)
             }
         }
     }
@@ -373,21 +457,27 @@ impl Solver {
         hyp: &Constr,
         goal: &Constr,
     ) -> Option<bool> {
-        let mut facts = conjuncts(hyp);
+        // Hypothesis conjuncts are *borrowed*: most symbolic attempts never
+        // need an owned copy of them (cloning here was one of the seed's
+        // hottest allocation sites — the hypothesis grows with the typing
+        // context and is decomposed at every level).
+        let mut facts: Vec<&Constr> = conjuncts(hyp);
         // Saturate with lemmas about the non-linear atoms in sight.
         let mut atoms: BTreeSet<Atom> = lemmas::atoms_of_constr(hyp);
         atoms.extend(lemmas::atoms_of_constr(goal));
-        facts.extend(lemmas::saturate(&atoms));
+        let lemma_facts = lemmas::saturate(&atoms);
+        facts.extend(lemma_facts.iter());
 
-        // Use hypothesis equalities on variables as rewrites.
-        let (rewrites, ineq_facts) = split_rewrites(&facts);
+        // Use hypothesis equalities on variables as rewrites; facts that a
+        // rewrite does not touch stay borrowed.
+        let (rewrites, rest) = split_rewrites(&facts);
         let goal = apply_rewrites(goal, &rewrites);
-        let ineq_facts: Vec<Constr> = ineq_facts
+        let ineq_facts: Vec<Cow<'_, Constr>> = rest
             .iter()
             .map(|c| apply_rewrites(c, &rewrites))
             .collect();
 
-        match &goal {
+        match goal.as_ref() {
             Constr::Eq(a, b) => {
                 let d = LinExpr::of_idx(a).sub(&LinExpr::of_idx(b));
                 Some(d == LinExpr::zero())
@@ -420,7 +510,7 @@ impl Solver {
 
     /// Greedy positive-combination search: is `target ≥ 0` derivable from the
     /// facts (each read as `rhs − lhs ≥ 0`) plus non-negativity of atoms?
-    fn prove_nonneg(&self, mut target: LinExpr, facts: &[Constr]) -> bool {
+    fn prove_nonneg(&self, mut target: LinExpr, facts: &[Cow<'_, Constr>]) -> bool {
         if target.is_syntactically_nonneg() {
             return true;
         }
@@ -428,7 +518,7 @@ impl Solver {
         // Equalities contribute both directions.
         let mut fact_exprs: Vec<LinExpr> = Vec::new();
         for c in facts {
-            match c {
+            match c.as_ref() {
                 Constr::Leq(a, b) | Constr::Lt(a, b) => {
                     fact_exprs.push(LinExpr::of_idx(b).sub(&LinExpr::of_idx(a)));
                 }
@@ -489,6 +579,13 @@ impl Solver {
     // ----------------------------------------------------------------------
 
     /// Bounded-exhaustive plus randomized check of `∀ universals. hyp ⟹ goal`.
+    ///
+    /// The default path compiles the implication **once** to the flat
+    /// bytecode of [`crate::compile`] (memoized in the program cache) and
+    /// re-evaluates that program — with a single reused evaluation frame —
+    /// at every grid and random point.  `use_compiled_eval = false` selects
+    /// the tree-walking reference evaluator.  Verdicts and counterexamples
+    /// are identical either way (differential-tested).
     fn numeric_check(
         &mut self,
         universals: &[(IdxVar, Sort)],
@@ -496,43 +593,291 @@ impl Solver {
         goal: &Constr,
     ) -> Validity {
         self.stats.numeric_checks += 1;
-        let bound = self.config.inner_quantifier_bound;
-        let formula = hyp.clone().implies(goal.clone());
-        let vars: Vec<(IdxVar, Sort)> = universals.to_vec();
+        if self.config.use_compiled_eval {
+            self.numeric_check_compiled(universals, hyp, goal)
+        } else {
+            self.numeric_check_tree(universals, hyp, goal)
+        }
+    }
 
-        if vars.is_empty() {
+    fn decisive(&self) -> Validity {
+        if self.config.numeric_is_decisive {
+            Validity::Valid
+        } else {
+            Validity::Unknown
+        }
+    }
+
+    /// Adaptive per-variable grid size so the total stays under the cap.
+    fn per_var_grid(&self, vars: usize) -> u64 {
+        let k = vars as u32;
+        let mut per_var = self.config.nat_grid_max + 1;
+        while (per_var as u128).pow(k) > self.config.max_grid_points as u128 && per_var > 3 {
+            per_var -= 1;
+        }
+        per_var
+    }
+
+    /// Looks up (or compiles and memoizes) the bytecode of one query.
+    fn lookup_or_compile(
+        &mut self,
+        universals: &[(IdxVar, Sort)],
+        hyp: &Constr,
+        goal: &Constr,
+    ) -> Arc<CompiledQuery> {
+        let mut h = Fnv1a::default();
+        universals.hash(&mut h);
+        hyp.hash(&mut h);
+        goal.hash(&mut h);
+        let key = h.finish();
+        if let Some(entries) = self.programs.get(&key) {
+            if let Some(e) = entries
+                .iter()
+                .find(|e| e.universals == universals && e.hyp == *hyp && e.goal == *goal)
+            {
+                self.stats.program_cache_hits += 1;
+                return Arc::clone(&e.program);
+            }
+        }
+        let program = Arc::new(compile_query(universals, hyp, goal));
+        self.stats.programs_compiled += 1;
+        if self.cached_program_count >= MAX_CACHED_PROGRAMS {
+            self.programs.clear();
+            self.cached_program_count = 0;
+        }
+        self.programs.entry(key).or_default().push(ProgramEntry {
+            universals: universals.to_vec(),
+            hyp: hyp.clone(),
+            goal: goal.clone(),
+            program: Arc::clone(&program),
+        });
+        self.cached_program_count += 1;
+        program
+    }
+
+    fn numeric_check_compiled(
+        &mut self,
+        universals: &[(IdxVar, Sort)],
+        hyp: &Constr,
+        goal: &Constr,
+    ) -> Validity {
+        let bound = self.config.inner_quantifier_bound;
+        let program = self.lookup_or_compile(universals, hyp, goal);
+
+        if universals.is_empty() {
+            let mut frame = program.new_frame();
             self.stats.points_evaluated += 1;
-            let ok = formula.eval_bounded(&IdxEnv::new(), bound);
-            return if ok {
-                if self.config.numeric_is_decisive {
-                    Validity::Valid
-                } else {
-                    Validity::Unknown
-                }
+            return if program.eval(&mut frame, bound) {
+                self.decisive()
             } else {
                 Validity::Invalid(Some(IdxEnv::new()))
             };
         }
 
-        // Adaptive per-variable grid size so the total stays under the cap.
-        let k = vars.len() as u32;
-        let mut per_var = self.config.nat_grid_max + 1;
-        while (per_var as u128).pow(k) > self.config.max_grid_points as u128 && per_var > 3 {
-            per_var -= 1;
-        }
+        let per_var = self.per_var_grid(universals.len());
+        let total = (per_var as u128).pow(universals.len() as u32);
+        let parallel = total >= self.config.parallel_grid_min_points as u128
+            && u64::try_from(total).is_ok()
+            && self.grid_threads() > 1;
 
-        let mut counterexample = None;
-        let mut grid_env = vec![0u64; vars.len()];
-        'grid: loop {
+        let mut frame = program.new_frame();
+        let failing = if parallel {
+            self.grid_sweep_parallel(&program, universals.len(), per_var, total as u64, bound)
+        } else {
+            self.grid_sweep_sequential(&program, &mut frame, universals.len(), per_var, bound)
+        };
+        if let Some(idx) = failing {
+            let coords = decode_grid_point(idx, per_var, universals.len());
             let env = IdxEnv::from_pairs(
-                vars.iter()
-                    .zip(grid_env.iter())
+                universals
+                    .iter()
+                    .zip(&coords)
                     .map(|((v, _), n)| (v.clone(), Extended::from(*n))),
             );
+            return Validity::Invalid(Some(env));
+        }
+
+        // Randomized phase: same seeded stream as the tree evaluator, but
+        // points that already lie on the exhaustively-swept grid are skipped
+        // (they cannot change the verdict and used to inflate
+        // `points_evaluated`).  The stream is always consumed in full so
+        // skipping never shifts later samples.
+        if self.config.random_points > 0 {
+            let mut rng = StdRng::seed_from_u64(self.config.rng_seed);
+            let mut sample = vec![Extended::ZERO; universals.len()];
+            let mut point = vec![Val::int(0); universals.len()];
+            for _ in 0..self.config.random_points {
+                if draw_random_point(&mut rng, universals, per_var, &mut sample) {
+                    continue;
+                }
+                for (p, e) in point.iter_mut().zip(&sample) {
+                    *p = Val::from_ext(*e);
+                }
+                self.stats.points_evaluated += 1;
+                if !program.eval_point(&mut frame, &point, bound) {
+                    return Validity::Invalid(Some(program.point_env(universals, &point)));
+                }
+            }
+        }
+
+        self.decisive()
+    }
+
+    /// Sweeps the whole grid on the calling thread with one reused frame;
+    /// returns the index of the first failing point.
+    fn grid_sweep_sequential(
+        &mut self,
+        program: &CompiledQuery,
+        frame: &mut crate::compile::EvalFrame,
+        vars: usize,
+        per_var: u64,
+        bound: u64,
+    ) -> Option<u64> {
+        let mut coords = vec![0u64; vars];
+        let mut index = 0u64;
+        let mut evaluated = 0usize;
+        // Seed every universal slot once; the odometer then rewrites only
+        // the slots whose coordinate actually changed (~1 per point).
+        // Non-owner entries (shadowed duplicate names) never write: their
+        // slot belongs to the last entry of the name, exactly the tree
+        // evaluator's last-binding-wins environment.
+        for i in 0..vars {
+            frame.set_slot(program.universal_slot(i), Val::int(0));
+        }
+        let owns = |i: usize| program.universal_owner(i);
+        let failing = 'grid: loop {
+            evaluated += 1;
+            if !program.eval(frame, bound) {
+                break Some(index);
+            }
+            index += 1;
+            // Advance the odometer (coordinate 0 fastest).
+            let mut i = 0;
+            loop {
+                if i == coords.len() {
+                    break 'grid None;
+                }
+                coords[i] += 1;
+                if coords[i] < per_var {
+                    if owns(i) {
+                        frame.set_slot(program.universal_slot(i), Val::int(coords[i] as i64));
+                    }
+                    break;
+                }
+                coords[i] = 0;
+                if owns(i) {
+                    frame.set_slot(program.universal_slot(i), Val::int(0));
+                }
+                i += 1;
+            }
+        };
+        self.stats.points_evaluated += evaluated;
+        failing
+    }
+
+    fn grid_threads(&self) -> usize {
+        if self.config.parallel_grid_threads > 0 {
+            self.config.parallel_grid_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Chunks the grid across scoped worker threads (one compiled program,
+    /// one frame per worker).  Deterministic: the *lowest-index* failing
+    /// point wins, which is exactly the point the sequential sweep reports.
+    fn grid_sweep_parallel(
+        &mut self,
+        program: &CompiledQuery,
+        vars: usize,
+        per_var: u64,
+        total: u64,
+        bound: u64,
+    ) -> Option<u64> {
+        let threads = self.grid_threads().min(total as usize).max(1);
+        let chunk = total.div_ceil(threads as u64);
+        let best = AtomicU64::new(u64::MAX);
+        let evaluated = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let lo = t as u64 * chunk;
+                let hi = (lo + chunk).min(total);
+                let (best, evaluated) = (&best, &evaluated);
+                scope.spawn(move || {
+                    let mut frame = program.new_frame();
+                    let mut point = vec![Val::int(0); vars];
+                    let mut local = 0u64;
+                    for idx in lo..hi {
+                        // A failure in an earlier chunk makes this one moot.
+                        if local.is_multiple_of(256) && best.load(Ordering::Relaxed) < lo {
+                            break;
+                        }
+                        decode_grid_point_into(idx, per_var, &mut point);
+                        local += 1;
+                        if !program.eval_point(&mut frame, &point, bound) {
+                            best.fetch_min(idx, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    evaluated.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        });
+        match best.load(Ordering::Relaxed) {
+            u64::MAX => {
+                // Valid on the whole grid: every chunk swept fully.
+                self.stats.points_evaluated += evaluated.load(Ordering::Relaxed) as usize;
+                None
+            }
+            idx => {
+                // A counterexample: workers race, so the number of points
+                // *touched* is timing-dependent.  Report the
+                // sequential-equivalent count (everything up to and
+                // including the lowest failing index) so `SolveStats` stays
+                // deterministic — the property DESIGN.md promises of batch
+                // runs — and agrees with a sequential sweep of the same
+                // query.
+                self.stats.points_evaluated += (idx + 1) as usize;
+                Some(idx)
+            }
+        }
+    }
+
+    /// The tree-walking reference path (`use_compiled_eval = false`): same
+    /// verdicts, one `Box`-tree interpretation per point.  One environment
+    /// is reused across all points (rebinding in place) instead of the
+    /// seed's fresh `IdxEnv` per point.
+    fn numeric_check_tree(
+        &mut self,
+        universals: &[(IdxVar, Sort)],
+        hyp: &Constr,
+        goal: &Constr,
+    ) -> Validity {
+        let bound = self.config.inner_quantifier_bound;
+        let formula = hyp.clone().implies(goal.clone());
+        let vars = universals;
+
+        if vars.is_empty() {
+            self.stats.points_evaluated += 1;
+            return if formula.eval_bounded(&IdxEnv::new(), bound) {
+                self.decisive()
+            } else {
+                Validity::Invalid(Some(IdxEnv::new()))
+            };
+        }
+
+        let per_var = self.per_var_grid(vars.len());
+        let mut env = IdxEnv::new();
+        let mut grid_env = vec![0u64; vars.len()];
+        'grid: loop {
+            for ((v, _), n) in vars.iter().zip(&grid_env) {
+                env.bind(v.clone(), Extended::from(*n));
+            }
             self.stats.points_evaluated += 1;
             if !formula.eval_bounded(&env, bound) {
-                counterexample = Some(env);
-                break 'grid;
+                return Validity::Invalid(Some(env));
             }
             // Advance the odometer.
             let mut i = 0;
@@ -549,36 +894,25 @@ impl Solver {
             }
         }
 
-        if counterexample.is_none() && self.config.random_points > 0 {
+        if self.config.random_points > 0 {
             let mut rng = StdRng::seed_from_u64(self.config.rng_seed);
+            let mut sample = vec![Extended::ZERO; vars.len()];
             for _ in 0..self.config.random_points {
-                let env = IdxEnv::from_pairs(vars.iter().map(|(v, s)| {
-                    let val: Extended = match s {
-                        Sort::Nat => Extended::from(rng.gen_range(0..64u64)),
-                        Sort::Real => {
-                            Extended::Finite(Rational::new(rng.gen_range(0..128i64), 2))
-                        }
-                    };
-                    (v.clone(), val)
-                }));
+                // Grid-coincident samples were already evaluated exhaustively.
+                if draw_random_point(&mut rng, vars, per_var, &mut sample) {
+                    continue;
+                }
+                for ((v, _), e) in vars.iter().zip(&sample) {
+                    env.bind(v.clone(), *e);
+                }
                 self.stats.points_evaluated += 1;
                 if !formula.eval_bounded(&env, bound) {
-                    counterexample = Some(env);
-                    break;
+                    return Validity::Invalid(Some(env));
                 }
             }
         }
 
-        match counterexample {
-            Some(env) => Validity::Invalid(Some(env)),
-            None => {
-                if self.config.numeric_is_decisive {
-                    Validity::Valid
-                } else {
-                    Validity::Unknown
-                }
-            }
-        }
+        self.decisive()
     }
 
     /// Records one candidate-substitution attempt (called by `exelim`).
@@ -591,10 +925,62 @@ impl Solver {
 // Helpers
 // --------------------------------------------------------------------------
 
-/// Flattens the top-level conjunctive structure of a hypothesis into atoms.
-fn conjuncts(c: &Constr) -> Vec<Constr> {
+/// Draws one random sample point from the seeded stream (the same draws, in
+/// the same order, as the seed solver), returning `true` when every
+/// coordinate already lies on the exhaustive grid (integer-valued and below
+/// `per_var`).  Both numeric paths share this helper so their streams — and
+/// therefore verdicts, counterexamples and `points_evaluated` — stay in
+/// lockstep structurally rather than by convention.
+fn draw_random_point(
+    rng: &mut StdRng,
+    vars: &[(IdxVar, Sort)],
+    per_var: u64,
+    out: &mut [Extended],
+) -> bool {
+    let mut on_grid = true;
+    for (slot, (_, sort)) in out.iter_mut().zip(vars) {
+        *slot = match sort {
+            Sort::Nat => {
+                let n = rng.gen_range(0..64u64);
+                on_grid &= n < per_var;
+                Extended::from(n)
+            }
+            Sort::Real => {
+                let q = Rational::new(rng.gen_range(0..128i64), 2);
+                on_grid &= q.is_integer() && (q.numerator() as u64) < per_var;
+                Extended::Finite(q)
+            }
+        };
+    }
+    on_grid
+}
+
+/// Decodes a grid-point index into odometer coordinates (coordinate 0 is
+/// the fastest-cycling digit, matching the sequential sweep's order).
+fn decode_grid_point(idx: u64, per_var: u64, vars: usize) -> Vec<u64> {
+    let mut coords = vec![0u64; vars];
+    let mut rest = idx;
+    for c in coords.iter_mut() {
+        *c = rest % per_var;
+        rest /= per_var;
+    }
+    coords
+}
+
+/// [`decode_grid_point`] straight into a frame point vector.
+fn decode_grid_point_into(idx: u64, per_var: u64, point: &mut [Val]) {
+    let mut rest = idx;
+    for p in point.iter_mut() {
+        *p = Val::int((rest % per_var) as i64);
+        rest /= per_var;
+    }
+}
+
+/// Flattens the top-level conjunctive structure of a hypothesis into atoms,
+/// borrowing them from the hypothesis (no clones on this path).
+fn conjuncts(c: &Constr) -> Vec<&Constr> {
     let mut out = Vec::new();
-    fn go(c: &Constr, out: &mut Vec<Constr>) {
+    fn go<'a>(c: &'a Constr, out: &mut Vec<&'a Constr>) {
         match c {
             Constr::Top => {}
             Constr::And(cs) => {
@@ -602,7 +988,7 @@ fn conjuncts(c: &Constr) -> Vec<Constr> {
                     go(c, out);
                 }
             }
-            other => out.push(other.clone()),
+            other => out.push(other),
         }
     }
     go(c, &mut out);
@@ -610,11 +996,11 @@ fn conjuncts(c: &Constr) -> Vec<Constr> {
 }
 
 /// Splits hypothesis facts into variable rewrites (`x = I` with `x ∉ I`) and
-/// the remaining inequality facts.
-fn split_rewrites(facts: &[Constr]) -> (Vec<(IdxVar, Idx)>, Vec<Constr>) {
+/// the remaining (still borrowed) inequality facts.
+fn split_rewrites<'a>(facts: &[&'a Constr]) -> (Vec<(IdxVar, Idx)>, Vec<&'a Constr>) {
     let mut rewrites: Vec<(IdxVar, Idx)> = Vec::new();
     let mut rest = Vec::new();
-    for f in facts {
+    for f in facts.iter().copied() {
         match f {
             Constr::Eq(Idx::Var(v), rhs) if !rhs.mentions(v) => {
                 rewrites.push((v.clone(), rhs.clone()));
@@ -622,7 +1008,7 @@ fn split_rewrites(facts: &[Constr]) -> (Vec<(IdxVar, Idx)>, Vec<Constr>) {
             Constr::Eq(lhs, Idx::Var(v)) if !lhs.mentions(v) => {
                 rewrites.push((v.clone(), lhs.clone()));
             }
-            other => rest.push(other.clone()),
+            other => rest.push(other),
         }
     }
     // Close the rewrites under each other (bounded iterations): a rewrite's
@@ -640,11 +1026,19 @@ fn split_rewrites(facts: &[Constr]) -> (Vec<(IdxVar, Idx)>, Vec<Constr>) {
     (rewrites, rest)
 }
 
-/// Applies variable rewrites throughout a constraint.
-fn apply_rewrites(c: &Constr, rewrites: &[(IdxVar, Idx)]) -> Constr {
-    rewrites
-        .iter()
-        .fold(c.clone(), |acc, (v, i)| acc.subst(v, i))
+/// Applies variable rewrites throughout a constraint, borrowing the input
+/// when no rewrite variable occurs in it (the common case for most facts).
+fn apply_rewrites<'a>(c: &'a Constr, rewrites: &[(IdxVar, Idx)]) -> Cow<'a, Constr> {
+    if !rewrites.iter().any(|(v, _)| c.mentions(v)) {
+        return Cow::Borrowed(c);
+    }
+    let mut acc = Cow::Borrowed(c);
+    for (v, i) in rewrites {
+        if acc.mentions(v) {
+            acc = Cow::Owned(acc.subst(v, i));
+        }
+    }
+    acc
 }
 
 /// Constant-folds atomic comparisons and simplifies trivial connectives.
@@ -703,7 +1097,18 @@ pub fn simplify(c: &Constr) -> Constr {
         }
         Constr::And(cs) => Constr::conj(cs.iter().map(simplify)),
         Constr::Or(cs) => Constr::disj(cs.iter().map(simplify)),
-        Constr::Not(c) => simplify(c).negate(),
+        // `negate` flips comparisons (¬(a < b) becomes b ≤ a) without
+        // re-folding them, so simplify the flipped form once more: this is
+        // what makes `simplify` idempotent, the invariant the solver's
+        // canonical entry points (`entails_canonical`,
+        // `no_exists_canonical`) rely on to skip re-simplification at every
+        // decomposition level.  A `Not` result is the opaque case (e.g.
+        // ¬(a = b)) whose operand is already simplified — recursing on it
+        // would loop.
+        Constr::Not(c) => match simplify(c).negate() {
+            negated @ Constr::Not(_) => negated,
+            negated => simplify(&negated),
+        },
         Constr::Implies(a, b) => simplify(a).implies(simplify(b)),
         Constr::Forall(q, c) => Constr::forall(q.var.clone(), q.sort, simplify(c)),
         Constr::Exists(q, c) => Constr::exists(q.var.clone(), q.sort, simplify(c)),
@@ -915,6 +1320,129 @@ mod tests {
         assert!(warm.stats().cache_hits > 0);
         assert_eq!(warm.stats().cache_misses, 0);
         assert!(cache.stats().entries > 0);
+    }
+
+    /// A goal the symbolic layer cannot touch (disjunction valid only
+    /// pointwise), so every solver path below exercises the numeric layer.
+    fn pointwise_goal() -> Constr {
+        Constr::leq(Idx::var("n"), Idx::nat(8)).or(Constr::geq(Idx::var("n"), Idx::nat(5)))
+    }
+
+    #[test]
+    fn compiled_and_tree_numeric_paths_agree() {
+        let tree_config = SolveConfig {
+            use_compiled_eval: false,
+            ..SolveConfig::default()
+        };
+        let u = nat_vars(&["n", "a"]);
+        let hyp = Constr::leq(Idx::var("a"), Idx::var("n"));
+        let goals = [
+            pointwise_goal(),
+            // Valid, with a summation forcing the inner loops.
+            Constr::leq(
+                Idx::sum(
+                    "i",
+                    Idx::zero(),
+                    Idx::var("a"),
+                    Idx::min(Idx::var("a"), Idx::pow2(Idx::var("i"))),
+                ),
+                Idx::var("n") * Idx::var("a") + Idx::var("n") + Idx::one(),
+            ),
+            // Invalid: both paths must report the *same* counterexample.
+            Constr::leq(Idx::var("n") * Idx::var("n"), Idx::var("n") + Idx::nat(20)),
+            // Inner quantifier.
+            Constr::forall(
+                "m",
+                Sort::Nat,
+                Constr::leq(Idx::var("m"), Idx::var("m") + Idx::var("n")),
+            ),
+        ];
+        for goal in &goals {
+            let mut compiled = Solver::new();
+            let mut tree = Solver::with_config(tree_config.clone());
+            assert_eq!(
+                compiled.entails(&u, &hyp, goal),
+                tree.entails(&u, &hyp, goal),
+                "compiled and tree verdicts diverge on {goal}"
+            );
+            assert_eq!(
+                compiled.stats().points_evaluated,
+                tree.stats().points_evaluated,
+                "evaluation-point counts diverge on {goal}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_grid_sweep_matches_sequential() {
+        let parallel_config = SolveConfig {
+            parallel_grid_min_points: 2,
+            parallel_grid_threads: 4,
+            ..SolveConfig::default()
+        };
+        let u = nat_vars(&["n", "a", "b"]);
+        let hyp = Constr::leq(Idx::var("b"), Idx::var("a"));
+        let goals = [
+            // Valid on the whole grid (full sweep in every chunk).
+            Constr::leq(Idx::var("b"), Idx::var("a") + Idx::var("n")),
+            // Fails deep into the grid: the lowest-index counterexample must
+            // match the sequential one exactly.
+            Constr::leq(Idx::var("n") + Idx::var("a"), Idx::nat(13)),
+            // Fails immediately.
+            Constr::lt(Idx::var("n"), Idx::zero()),
+        ];
+        for goal in &goals {
+            let mut seq = Solver::new();
+            let mut par = Solver::with_config(parallel_config.clone());
+            assert_eq!(
+                seq.entails(&u, &hyp, goal),
+                par.entails(&u, &hyp, goal),
+                "parallel sweep diverges on {goal}"
+            );
+        }
+        // Both configurations share one fingerprint: verdicts are exchangeable.
+        assert_eq!(
+            SolveConfig::default().fingerprint(),
+            parallel_config.fingerprint()
+        );
+    }
+
+    #[test]
+    fn program_cache_reuses_compiled_queries() {
+        let mut s = Solver::new();
+        let u = nat_vars(&["n"]);
+        let goal = pointwise_goal();
+        assert!(s.entails(&u, &Constr::Top, &goal).is_valid());
+        assert_eq!(s.stats().programs_compiled, 1);
+        assert_eq!(s.stats().program_cache_hits, 0);
+        // Same query again (no validity cache attached, so the numeric layer
+        // re-runs): the bytecode is reused, not recompiled.
+        assert!(s.entails(&u, &Constr::Top, &goal).is_valid());
+        assert_eq!(s.stats().programs_compiled, 1);
+        assert_eq!(s.stats().program_cache_hits, 1);
+    }
+
+    #[test]
+    fn random_points_on_the_grid_are_not_recounted() {
+        // One universal: the exhaustive grid covers 0..=10, and random Nat
+        // samples land in 0..64 — the ones below 11 are skipped.  Both
+        // evaluator paths must agree on the resulting point count.
+        let u = nat_vars(&["n"]);
+        let goal = pointwise_goal();
+        let mut compiled = Solver::new();
+        compiled.entails(&u, &Constr::Top, &goal);
+        let mut tree = Solver::with_config(SolveConfig {
+            use_compiled_eval: false,
+            ..SolveConfig::default()
+        });
+        tree.entails(&u, &Constr::Top, &goal);
+        assert_eq!(
+            compiled.stats().points_evaluated,
+            tree.stats().points_evaluated
+        );
+        // 11 grid points plus at most 64 off-grid random points.
+        assert!(compiled.stats().points_evaluated > 11);
+        assert!(compiled.stats().points_evaluated < 11 + 64);
     }
 
     #[test]

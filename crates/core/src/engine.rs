@@ -54,6 +54,14 @@ pub struct DefReport {
     pub cache_hits: usize,
     /// Entailment queries that consulted the validity cache and missed.
     pub cache_misses: usize,
+    /// Numeric queries lowered to bytecode by the solver's compiled numeric
+    /// layer (program-cache misses).
+    pub programs_compiled: usize,
+    /// Numeric queries whose compiled program was reused from the solver's
+    /// program cache.
+    pub program_cache_hits: usize,
+    /// Grid + random points evaluated by the numeric layer.
+    pub points_evaluated: usize,
 }
 
 /// The outcome of checking a whole program.
@@ -87,6 +95,21 @@ impl ProgramReport {
     /// Total validity-cache misses across all definitions.
     pub fn cache_misses(&self) -> usize {
         self.defs.iter().map(|d| d.cache_misses).sum()
+    }
+
+    /// Total numeric queries compiled to bytecode across all definitions.
+    pub fn programs_compiled(&self) -> usize {
+        self.defs.iter().map(|d| d.programs_compiled).sum()
+    }
+
+    /// Total compiled-program cache hits across all definitions.
+    pub fn program_cache_hits(&self) -> usize {
+        self.defs.iter().map(|d| d.program_cache_hits).sum()
+    }
+
+    /// Total numeric grid/random points evaluated across all definitions.
+    pub fn points_evaluated(&self) -> usize {
+        self.defs.iter().map(|d| d.points_evaluated).sum()
     }
 }
 
@@ -225,6 +248,9 @@ impl Engine {
                 annotations: def.annotation_count(),
                 cache_hits: sess.solver.stats().cache_hits,
                 cache_misses: sess.solver.stats().cache_misses,
+                programs_compiled: sess.solver.stats().programs_compiled,
+                program_cache_hits: sess.solver.stats().program_cache_hits,
+                points_evaluated: sess.solver.stats().points_evaluated,
             },
             Ok(constraint) => {
                 let atoms = constraint.atom_count();
@@ -249,6 +275,12 @@ impl Engine {
                     annotations: def.annotation_count(),
                     cache_hits: stats.cache_hits + sess.solver.stats().cache_hits,
                     cache_misses: stats.cache_misses + sess.solver.stats().cache_misses,
+                    programs_compiled: stats.programs_compiled
+                        + sess.solver.stats().programs_compiled,
+                    program_cache_hits: stats.program_cache_hits
+                        + sess.solver.stats().program_cache_hits,
+                    points_evaluated: stats.points_evaluated
+                        + sess.solver.stats().points_evaluated,
                 }
             }
         }

@@ -41,14 +41,16 @@
 pub mod eval;
 pub mod linear;
 pub mod normalize;
+pub mod pool;
 pub mod rational;
 pub mod sort;
 pub mod term;
 pub mod var;
 
-pub use eval::{EvalError, IdxEnv};
+pub use eval::{EvalError, IdxEnv, MAX_SUM_TERMS};
 pub use linear::{Atom, LinExpr};
-pub use normalize::normalize;
+pub use normalize::{normalize, normalize_tree};
+pub use pool::{IdxId, IdxPool};
 pub use rational::{Extended, Rational};
 pub use sort::Sort;
 pub use term::Idx;

@@ -1,0 +1,607 @@
+//! Hash-consed index terms: an arena interner with `u32` node ids.
+//!
+//! The solver's numeric layer evaluates the same index terms thousands of
+//! times (once per grid point), and its symbolic layer normalizes the same
+//! sub-terms at every structural decomposition level.  The `Box`-tree
+//! [`Idx`] representation makes both walks allocation-heavy: every
+//! `normalize` rebuilds the tree and every structural equality re-compares
+//! it.  [`IdxPool`] stores each distinct term exactly once in a flat arena:
+//!
+//! * **O(1) structural equality** — two terms are equal iff their [`IdxId`]s
+//!   are equal (interning deduplicates structurally identical subtrees);
+//! * **cached free-variable sets** — computed bottom-up once per node at
+//!   interning time, shared via `Arc` between nodes;
+//! * **memoized normalization** — `normalize` over ids is computed once per
+//!   node and reused for every later occurrence of the same sub-term, which
+//!   is what makes the solver's repeated `simplify` passes cheap.
+//!
+//! The pool mirrors the fold rules of [`crate::normalize`] exactly; the
+//! property tests in that module (and the differential test below) pin the
+//! two implementations together.
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::eval::{EvalError, IdxEnv};
+use crate::rational::{Extended, Rational};
+use crate::term::Idx;
+use crate::var::IdxVar;
+
+/// A handle to an interned index term.  Ids are only meaningful relative to
+/// the [`IdxPool`] that produced them; two ids from the same pool are equal
+/// iff the terms are structurally equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IdxId(u32);
+
+impl IdxId {
+    /// The raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One arena node: the [`Idx`] constructors with children replaced by ids.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// An index variable.
+    Var(IdxVar),
+    /// A rational literal.
+    Const(Rational),
+    /// Positive infinity.
+    Infty,
+    /// `a + b`.
+    Add(IdxId, IdxId),
+    /// `a - b`.
+    Sub(IdxId, IdxId),
+    /// `a * b`.
+    Mul(IdxId, IdxId),
+    /// `a / b`.
+    Div(IdxId, IdxId),
+    /// `⌈a⌉`.
+    Ceil(IdxId),
+    /// `⌊a⌋`.
+    Floor(IdxId),
+    /// `min(a, b)`.
+    Min(IdxId, IdxId),
+    /// `max(a, b)`.
+    Max(IdxId, IdxId),
+    /// `log2 a`.
+    Log2(IdxId),
+    /// `2^a`.
+    Pow2(IdxId),
+    /// `Σ_{var = lo}^{hi} body`.
+    Sum {
+        /// Bound summation variable.
+        var: IdxVar,
+        /// Lower bound (inclusive).
+        lo: IdxId,
+        /// Upper bound (inclusive).
+        hi: IdxId,
+        /// Summand.
+        body: IdxId,
+    },
+}
+
+/// A hash-consing arena for index terms.
+#[derive(Debug, Default)]
+pub struct IdxPool {
+    nodes: Vec<Node>,
+    /// Dedup index: node hash → candidate ids, verified against the arena
+    /// (so each `Node` is stored exactly once, in `nodes`, rather than a
+    /// second time as a map key; hash collisions cannot alias nodes).
+    ids: HashMap<u64, Vec<IdxId>>,
+    free_vars: Vec<Arc<BTreeSet<IdxVar>>>,
+    norm_memo: Vec<Option<IdxId>>,
+}
+
+fn node_hash(node: &Node) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    node.hash(&mut h);
+    h.finish()
+}
+
+impl IdxPool {
+    /// An empty pool.
+    pub fn new() -> IdxPool {
+        IdxPool::default()
+    }
+
+    /// Number of distinct nodes interned so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node behind an id.
+    pub fn node(&self, id: IdxId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Interns a node, deduplicating against all earlier nodes.
+    pub fn intern_node(&mut self, node: Node) -> IdxId {
+        let hash = node_hash(&node);
+        if let Some(bucket) = self.ids.get(&hash) {
+            if let Some(&id) = bucket.iter().find(|id| self.nodes[id.index()] == node) {
+                return id;
+            }
+        }
+        let id = IdxId(u32::try_from(self.nodes.len()).expect("index-term pool overflow"));
+        let fv = self.compute_free_vars(&node);
+        self.nodes.push(node);
+        self.ids.entry(hash).or_default().push(id);
+        self.free_vars.push(fv);
+        self.norm_memo.push(None);
+        id
+    }
+
+    /// Interns a tree term bottom-up, sharing every duplicated subtree.
+    pub fn intern(&mut self, idx: &Idx) -> IdxId {
+        let node = match idx {
+            Idx::Var(v) => Node::Var(v.clone()),
+            Idx::Const(q) => Node::Const(*q),
+            Idx::Infty => Node::Infty,
+            Idx::Add(a, b) => Node::Add(self.intern(a), self.intern(b)),
+            Idx::Sub(a, b) => Node::Sub(self.intern(a), self.intern(b)),
+            Idx::Mul(a, b) => Node::Mul(self.intern(a), self.intern(b)),
+            Idx::Div(a, b) => Node::Div(self.intern(a), self.intern(b)),
+            Idx::Ceil(a) => Node::Ceil(self.intern(a)),
+            Idx::Floor(a) => Node::Floor(self.intern(a)),
+            Idx::Min(a, b) => Node::Min(self.intern(a), self.intern(b)),
+            Idx::Max(a, b) => Node::Max(self.intern(a), self.intern(b)),
+            Idx::Log2(a) => Node::Log2(self.intern(a)),
+            Idx::Pow2(a) => Node::Pow2(self.intern(a)),
+            Idx::Sum { var, lo, hi, body } => Node::Sum {
+                var: var.clone(),
+                lo: self.intern(lo),
+                hi: self.intern(hi),
+                body: self.intern(body),
+            },
+        };
+        self.intern_node(node)
+    }
+
+    /// Reconstructs the tree form of an interned term.
+    pub fn to_idx(&self, id: IdxId) -> Idx {
+        match self.node(id).clone() {
+            Node::Var(v) => Idx::Var(v),
+            Node::Const(q) => Idx::Const(q),
+            Node::Infty => Idx::Infty,
+            Node::Add(a, b) => Idx::Add(Box::new(self.to_idx(a)), Box::new(self.to_idx(b))),
+            Node::Sub(a, b) => Idx::Sub(Box::new(self.to_idx(a)), Box::new(self.to_idx(b))),
+            Node::Mul(a, b) => Idx::Mul(Box::new(self.to_idx(a)), Box::new(self.to_idx(b))),
+            Node::Div(a, b) => Idx::Div(Box::new(self.to_idx(a)), Box::new(self.to_idx(b))),
+            Node::Ceil(a) => Idx::Ceil(Box::new(self.to_idx(a))),
+            Node::Floor(a) => Idx::Floor(Box::new(self.to_idx(a))),
+            Node::Min(a, b) => Idx::Min(Box::new(self.to_idx(a)), Box::new(self.to_idx(b))),
+            Node::Max(a, b) => Idx::Max(Box::new(self.to_idx(a)), Box::new(self.to_idx(b))),
+            Node::Log2(a) => Idx::Log2(Box::new(self.to_idx(a))),
+            Node::Pow2(a) => Idx::Pow2(Box::new(self.to_idx(a))),
+            Node::Sum { var, lo, hi, body } => Idx::Sum {
+                var,
+                lo: Box::new(self.to_idx(lo)),
+                hi: Box::new(self.to_idx(hi)),
+                body: Box::new(self.to_idx(body)),
+            },
+        }
+    }
+
+    /// The cached free-variable set of an interned term.
+    pub fn free_vars(&self, id: IdxId) -> &Arc<BTreeSet<IdxVar>> {
+        &self.free_vars[id.index()]
+    }
+
+    fn compute_free_vars(&self, node: &Node) -> Arc<BTreeSet<IdxVar>> {
+        // Children are already interned, so their sets are cached; leaf and
+        // single-child cases share the child's Arc outright.
+        let empty = || Arc::new(BTreeSet::new());
+        match node {
+            Node::Var(v) => Arc::new(BTreeSet::from([v.clone()])),
+            Node::Const(_) | Node::Infty => empty(),
+            Node::Ceil(a) | Node::Floor(a) | Node::Log2(a) | Node::Pow2(a) => {
+                Arc::clone(&self.free_vars[a.index()])
+            }
+            Node::Add(a, b)
+            | Node::Sub(a, b)
+            | Node::Mul(a, b)
+            | Node::Div(a, b)
+            | Node::Min(a, b)
+            | Node::Max(a, b) => {
+                let fa = &self.free_vars[a.index()];
+                let fb = &self.free_vars[b.index()];
+                if fb.is_subset(fa) {
+                    Arc::clone(fa)
+                } else if fa.is_subset(fb) {
+                    Arc::clone(fb)
+                } else {
+                    Arc::new(fa.union(fb).cloned().collect())
+                }
+            }
+            Node::Sum { var, lo, hi, body } => {
+                let mut set: BTreeSet<IdxVar> = self.free_vars[body.index()]
+                    .iter()
+                    .filter(|v| *v != var)
+                    .cloned()
+                    .collect();
+                set.extend(self.free_vars[lo.index()].iter().cloned());
+                set.extend(self.free_vars[hi.index()].iter().cloned());
+                Arc::new(set)
+            }
+        }
+    }
+
+    /// Returns `Some(q)` when the interned term is a literal constant.
+    pub fn as_const(&self, id: IdxId) -> Option<Extended> {
+        match self.node(id) {
+            Node::Const(q) => Some(Extended::Finite(*q)),
+            Node::Infty => Some(Extended::Infinity),
+            _ => None,
+        }
+    }
+
+    fn lift(&mut self, e: Extended) -> IdxId {
+        match e {
+            Extended::Finite(q) => self.intern_node(Node::Const(q)),
+            Extended::Infinity => self.intern_node(Node::Infty),
+        }
+    }
+
+    /// Memoized normalization over ids, mirroring [`crate::normalize`]'s fold
+    /// rules exactly (pinned by the differential property test below).
+    pub fn normalize(&mut self, id: IdxId) -> IdxId {
+        if let Some(n) = self.norm_memo[id.index()] {
+            return n;
+        }
+        let result = match self.node(id).clone() {
+            Node::Var(_) | Node::Const(_) | Node::Infty => id,
+            Node::Add(a, b) => {
+                let (a, b) = (self.normalize(a), self.normalize(b));
+                self.fold_add(a, b)
+            }
+            Node::Sub(a, b) => {
+                let (a, b) = (self.normalize(a), self.normalize(b));
+                self.fold_sub(a, b)
+            }
+            Node::Mul(a, b) => {
+                let (a, b) = (self.normalize(a), self.normalize(b));
+                self.fold_mul(a, b)
+            }
+            Node::Div(a, b) => {
+                let (a, b) = (self.normalize(a), self.normalize(b));
+                self.fold_div(a, b)
+            }
+            Node::Ceil(a) => {
+                let a = self.normalize(a);
+                self.fold_round(a, true)
+            }
+            Node::Floor(a) => {
+                let a = self.normalize(a);
+                self.fold_round(a, false)
+            }
+            Node::Min(a, b) => {
+                let (a, b) = (self.normalize(a), self.normalize(b));
+                self.fold_min(a, b)
+            }
+            Node::Max(a, b) => {
+                let (a, b) = (self.normalize(a), self.normalize(b));
+                self.fold_max(a, b)
+            }
+            Node::Log2(a) => {
+                let a = self.normalize(a);
+                match self.as_const(a) {
+                    Some(x) => self.lift(x.log2_total()),
+                    None => self.intern_node(Node::Log2(a)),
+                }
+            }
+            Node::Pow2(a) => {
+                let a = self.normalize(a);
+                match self.as_const(a) {
+                    Some(x) => self.lift(x.pow2_total()),
+                    None => self.intern_node(Node::Pow2(a)),
+                }
+            }
+            Node::Sum { var, lo, hi, body } => {
+                let lo = self.normalize(lo);
+                let hi = self.normalize(hi);
+                let body = self.normalize(body);
+                self.intern_node(Node::Sum { var, lo, hi, body })
+            }
+        };
+        self.norm_memo[id.index()] = Some(result);
+        // A normal form normalizes to itself; seeding the memo for the result
+        // saves the re-walk when the normalized term is interned elsewhere.
+        self.norm_memo[result.index()] = Some(result);
+        result
+    }
+
+    fn fold_add(&mut self, a: IdxId, b: IdxId) -> IdxId {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(x), Some(y)) => self.lift(x + y),
+            (Some(x), None) if x.is_zero() => b,
+            (None, Some(y)) if y.is_zero() => a,
+            _ => self.intern_node(Node::Add(a, b)),
+        }
+    }
+
+    fn fold_sub(&mut self, a: IdxId, b: IdxId) -> IdxId {
+        if a == b {
+            return self.lift(Extended::ZERO);
+        }
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(x), Some(y)) => self.lift(x - y),
+            (None, Some(y)) if y.is_zero() => a,
+            _ => self.intern_node(Node::Sub(a, b)),
+        }
+    }
+
+    fn fold_mul(&mut self, a: IdxId, b: IdxId) -> IdxId {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(x), Some(y)) => self.lift(x * y),
+            (Some(x), _) if x.is_zero() => self.lift(Extended::ZERO),
+            (_, Some(y)) if y.is_zero() => self.lift(Extended::ZERO),
+            (Some(x), None) if x == Extended::ONE => b,
+            (None, Some(y)) if y == Extended::ONE => a,
+            _ => self.intern_node(Node::Mul(a, b)),
+        }
+    }
+
+    fn fold_div(&mut self, a: IdxId, b: IdxId) -> IdxId {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(x), Some(y)) if !y.is_zero() => self.lift(x / y),
+            (Some(x), _) if x.is_zero() => self.lift(Extended::ZERO),
+            (None, Some(y)) if y == Extended::ONE => a,
+            _ => self.intern_node(Node::Div(a, b)),
+        }
+    }
+
+    fn fold_round(&mut self, a: IdxId, ceil: bool) -> IdxId {
+        if let Some(x) = self.as_const(a) {
+            return self.lift(if ceil { x.ceil() } else { x.floor() });
+        }
+        if matches!(self.node(a), Node::Ceil(_) | Node::Floor(_)) {
+            return a;
+        }
+        self.intern_node(if ceil { Node::Ceil(a) } else { Node::Floor(a) })
+    }
+
+    fn fold_min(&mut self, a: IdxId, b: IdxId) -> IdxId {
+        if a == b {
+            return a;
+        }
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(x), Some(y)) => self.lift(x.min(y)),
+            (Some(Extended::Infinity), _) => b,
+            (_, Some(Extended::Infinity)) => a,
+            _ => self.intern_node(Node::Min(a, b)),
+        }
+    }
+
+    fn fold_max(&mut self, a: IdxId, b: IdxId) -> IdxId {
+        if a == b {
+            return a;
+        }
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(x), Some(y)) => self.lift(x.max(y)),
+            (Some(Extended::Infinity), _) | (_, Some(Extended::Infinity)) => {
+                self.intern_node(Node::Infty)
+            }
+            (Some(x), None) if x.is_zero() => b,
+            (None, Some(y)) if y.is_zero() => a,
+            _ => self.intern_node(Node::Max(a, b)),
+        }
+    }
+
+    /// Evaluates an interned term under `env`, with the exact semantics of
+    /// [`Idx::eval`] (including its error cases).
+    ///
+    /// Part of the pool's public API for callers that keep terms interned;
+    /// the solver's production numeric path does not use it — grid
+    /// evaluation goes through the bytecode layer (`rel-constraint`'s
+    /// `compile` module), and the tree fallback deliberately stays on
+    /// [`Idx::eval`] as the unpooled reference.  The unit tests below pin
+    /// this implementation to [`Idx::eval`].
+    pub fn eval(&self, id: IdxId, env: &IdxEnv) -> Result<Extended, EvalError> {
+        match self.node(id) {
+            Node::Var(v) => env
+                .lookup(v)
+                .ok_or_else(|| EvalError::UnboundVariable(v.clone())),
+            Node::Const(q) => Ok(Extended::Finite(*q)),
+            Node::Infty => Ok(Extended::Infinity),
+            Node::Add(a, b) => Ok(self.eval(*a, env)? + self.eval(*b, env)?),
+            Node::Sub(a, b) => Ok(self.eval(*a, env)? - self.eval(*b, env)?),
+            Node::Mul(a, b) => Ok(self.eval(*a, env)? * self.eval(*b, env)?),
+            Node::Div(a, b) => Ok(self.eval(*a, env)? / self.eval(*b, env)?),
+            Node::Ceil(a) => Ok(self.eval(*a, env)?.ceil()),
+            Node::Floor(a) => Ok(self.eval(*a, env)?.floor()),
+            Node::Min(a, b) => Ok(self.eval(*a, env)?.min(self.eval(*b, env)?)),
+            Node::Max(a, b) => Ok(self.eval(*a, env)?.max(self.eval(*b, env)?)),
+            Node::Log2(a) => Ok(self.eval(*a, env)?.log2_total()),
+            Node::Pow2(a) => Ok(self.eval(*a, env)?.pow2_total()),
+            Node::Sum { var, lo, hi, body } => {
+                // Mirrors the tree evaluator's bounded iteration and guards
+                // (`MAX_SUM_TERMS` in `crate::eval`), evaluating the interned
+                // body directly instead of rebuilding a tree.
+                let lo = self.eval(*lo, env)?;
+                let hi = self.eval(*hi, env)?;
+                let (lo, hi) = match (lo.finite(), hi.finite()) {
+                    (Some(l), Some(h)) => (l, h),
+                    _ => return Err(EvalError::InfiniteSumBound),
+                };
+                let lo = lo.ceil().numerator();
+                let hi = hi.floor().numerator();
+                if hi < lo {
+                    return Ok(Extended::ZERO);
+                }
+                let count = (hi - lo + 1) as u64;
+                if count > crate::eval::MAX_SUM_TERMS {
+                    return Err(EvalError::SumRangeTooLarge(count));
+                }
+                let mut acc = Extended::ZERO;
+                let mut inner = env.clone();
+                for k in lo..=hi {
+                    inner.bind(var.clone(), Extended::from(k));
+                    acc = acc + self.eval(*body, &inner)?;
+                }
+                Ok(acc)
+            }
+        }
+    }
+}
+
+/// Node-count cap for the shared per-thread pool used by
+/// [`normalize_cached`]; when interning grows past it the pool is dropped
+/// wholesale (epoch eviction, same policy as the validity cache).
+const THREAD_POOL_MAX_NODES: usize = 1 << 20;
+
+thread_local! {
+    static THREAD_POOL: std::cell::RefCell<IdxPool> = std::cell::RefCell::new(IdxPool::new());
+}
+
+/// Normalizes through the calling thread's shared pool: repeated
+/// normalization of the same (sub-)terms — the common case in the solver,
+/// which re-simplifies goals at every decomposition level — reduces to memo
+/// lookups instead of tree rebuilds.  Produces exactly the same term as the
+/// tree-walking [`crate::normalize::normalize_tree`].
+pub fn normalize_cached(idx: &Idx) -> Idx {
+    THREAD_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() > THREAD_POOL_MAX_NODES {
+            *pool = IdxPool::new();
+        }
+        let id = pool.intern(idx);
+        let normed = pool.normalize(id);
+        pool.to_idx(normed)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize_tree;
+    use proptest::prelude::*;
+
+    #[test]
+    fn interning_deduplicates_structurally_equal_terms() {
+        let mut pool = IdxPool::new();
+        let a = Idx::var("n") + Idx::nat(1);
+        let b = Idx::var("n") + Idx::nat(1);
+        assert_eq!(pool.intern(&a), pool.intern(&b));
+        // n, 1, n + 1 — three distinct nodes in total.
+        assert_eq!(pool.len(), 3);
+        let c = Idx::var("n") + Idx::nat(2);
+        assert_ne!(pool.intern(&a), pool.intern(&c));
+    }
+
+    #[test]
+    fn shared_subterms_are_stored_once() {
+        let mut pool = IdxPool::new();
+        let sub = Idx::half_ceil(Idx::var("n"));
+        let t = sub.clone() + sub.clone() * sub.clone();
+        pool.intern(&t);
+        // ceil(n/2) appears three times but the arena holds it once:
+        // n, 2, n/2, ceil(n/2), mul, add.
+        assert_eq!(pool.len(), 6);
+    }
+
+    #[test]
+    fn round_trip_preserves_terms() {
+        let mut pool = IdxPool::new();
+        let t = Idx::sum(
+            "i",
+            Idx::zero(),
+            Idx::log2(Idx::var("n")),
+            Idx::pow2(Idx::var("i")) - Idx::min(Idx::var("a"), Idx::var("i")),
+        );
+        let id = pool.intern(&t);
+        assert_eq!(pool.to_idx(id), t);
+    }
+
+    #[test]
+    fn free_vars_are_cached_and_respect_binders() {
+        let mut pool = IdxPool::new();
+        let t = Idx::sum("i", Idx::zero(), Idx::var("h"), Idx::var("i") * Idx::var("a"));
+        let id = pool.intern(&t);
+        let fv = pool.free_vars(id);
+        assert!(fv.contains(&IdxVar::new("h")));
+        assert!(fv.contains(&IdxVar::new("a")));
+        assert!(!fv.contains(&IdxVar::new("i")));
+        assert_eq!(**pool.free_vars(id), t.free_vars());
+    }
+
+    #[test]
+    fn pool_eval_matches_tree_eval() {
+        let mut pool = IdxPool::new();
+        let t = Idx::sum(
+            "i",
+            Idx::zero(),
+            Idx::var("n"),
+            Idx::pow2(Idx::var("i")) + Idx::var("a"),
+        ) / Idx::nat(3);
+        let id = pool.intern(&t);
+        let env = IdxEnv::from_pairs([("n", Extended::from(4)), ("a", Extended::from(1))]);
+        assert_eq!(pool.eval(id, &env), t.eval(&env));
+        assert_eq!(
+            pool.eval(id, &IdxEnv::new()),
+            Err(EvalError::UnboundVariable(IdxVar::new("n")))
+        );
+    }
+
+    #[test]
+    fn normalize_cached_matches_tree_normalize() {
+        let t = (Idx::nat(1) + Idx::nat(2)) * Idx::var("n") + Idx::zero() * Idx::var("a");
+        assert_eq!(normalize_cached(&t), normalize_tree(&t));
+    }
+
+    fn arb_idx() -> impl Strategy<Value = Idx> {
+        let leaf = prop_oneof![
+            (0u64..6).prop_map(Idx::nat),
+            Just(Idx::infty()),
+            Just(Idx::var("n")),
+            Just(Idx::var("a")),
+            Just(Idx::var("b")),
+        ];
+        leaf.prop_recursive(3, 24, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a / b),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Idx::min(a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Idx::max(a, b)),
+                inner.clone().prop_map(Idx::ceil),
+                inner.clone().prop_map(Idx::floor),
+                inner.clone().prop_map(Idx::log2),
+                inner.clone().prop_map(|a| Idx::pow2(Idx::min(a, Idx::nat(5)))),
+                // Σ exercises the binder paths: free-var filtering, the
+                // normalize memo across shared subterms, and shadowing (the
+                // bound `n` shadows the free variable of the same name).
+                (inner.clone(), inner.clone())
+                    .prop_map(|(hi, body)| Idx::sum("n", Idx::zero(), hi, body)),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn pool_normalize_agrees_with_tree_normalize(idx in arb_idx()) {
+            let mut pool = IdxPool::new();
+            let id = pool.intern(&idx);
+            let normed = pool.normalize(id);
+            prop_assert_eq!(pool.to_idx(normed), normalize_tree(&idx));
+            // And again through the shared thread-local pool (memoized path).
+            prop_assert_eq!(normalize_cached(&idx), normalize_tree(&idx));
+        }
+
+        #[test]
+        fn pool_free_vars_agree_with_tree_free_vars(idx in arb_idx()) {
+            let mut pool = IdxPool::new();
+            let id = pool.intern(&idx);
+            prop_assert_eq!((**pool.free_vars(id)).clone(), idx.free_vars());
+        }
+    }
+}

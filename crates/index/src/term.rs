@@ -283,10 +283,75 @@ impl Idx {
         }
     }
 
-    /// Simultaneous substitution given by a map from variables to terms.
-    pub fn subst_map(&self, map: &BTreeMap<IdxVar, Idx>) -> Idx {
-        map.iter()
-            .fold(self.clone(), |acc, (v, i)| acc.subst(v, i))
+    /// Simultaneous substitution given by a map from variables to terms, in
+    /// **one traversal** (the sequential fold over [`Idx::subst`] cloned the
+    /// whole tree once per variable).
+    ///
+    /// Requires that no replacement mentions a substituted variable (the
+    /// form produced by the solver's existential elimination, which resolves
+    /// mutual references first); under that precondition simultaneous and
+    /// sequential application agree, which is also how the rare
+    /// binder-capture case is handled.  Callers substituting into many
+    /// terms with one map should validate the map once themselves (see
+    /// [`crate::pool`]-level callers such as `Constr::subst_all`) — this
+    /// entry point does not re-check it.
+    pub fn subst_all(&self, map: &BTreeMap<IdxVar, Idx>) -> Idx {
+        if map.is_empty() {
+            return self.clone();
+        }
+        self.subst_all_inner(map)
+    }
+
+    fn subst_all_inner(&self, map: &BTreeMap<IdxVar, Idx>) -> Idx {
+        match self {
+            Idx::Var(v) => map.get(v).cloned().unwrap_or_else(|| self.clone()),
+            Idx::Const(_) | Idx::Infty => self.clone(),
+            Idx::Add(a, b) => Idx::Add(
+                Box::new(a.subst_all_inner(map)),
+                Box::new(b.subst_all_inner(map)),
+            ),
+            Idx::Sub(a, b) => Idx::Sub(
+                Box::new(a.subst_all_inner(map)),
+                Box::new(b.subst_all_inner(map)),
+            ),
+            Idx::Mul(a, b) => Idx::Mul(
+                Box::new(a.subst_all_inner(map)),
+                Box::new(b.subst_all_inner(map)),
+            ),
+            Idx::Div(a, b) => Idx::Div(
+                Box::new(a.subst_all_inner(map)),
+                Box::new(b.subst_all_inner(map)),
+            ),
+            Idx::Min(a, b) => Idx::Min(
+                Box::new(a.subst_all_inner(map)),
+                Box::new(b.subst_all_inner(map)),
+            ),
+            Idx::Max(a, b) => Idx::Max(
+                Box::new(a.subst_all_inner(map)),
+                Box::new(b.subst_all_inner(map)),
+            ),
+            Idx::Ceil(a) => Idx::Ceil(Box::new(a.subst_all_inner(map))),
+            Idx::Floor(a) => Idx::Floor(Box::new(a.subst_all_inner(map))),
+            Idx::Log2(a) => Idx::Log2(Box::new(a.subst_all_inner(map))),
+            Idx::Pow2(a) => Idx::Pow2(Box::new(a.subst_all_inner(map))),
+            Idx::Sum { var, .. } => {
+                if map.contains_key(var) || map.values().any(|r| r.mentions(var)) {
+                    // Shadowing or capture risk at this binder: fall back to
+                    // the capture-avoiding single substitution, pairwise
+                    // (equivalent under the documented precondition).
+                    map.iter().fold(self.clone(), |acc, (v, i)| acc.subst(v, i))
+                } else if let Idx::Sum { var, lo, hi, body } = self {
+                    Idx::Sum {
+                        var: var.clone(),
+                        lo: Box::new(lo.subst_all_inner(map)),
+                        hi: Box::new(hi.subst_all_inner(map)),
+                        body: Box::new(body.subst_all_inner(map)),
+                    }
+                } else {
+                    unreachable!()
+                }
+            }
+        }
     }
 
     /// Number of AST nodes — used for diagnostics and as a proptest size hint.

@@ -66,6 +66,10 @@ pub struct BatchStats {
     pub cache_hits: usize,
     /// Validity-cache misses across all jobs.
     pub cache_misses: usize,
+    /// Numeric queries compiled to bytecode across all jobs.
+    pub programs_compiled: usize,
+    /// Compiled programs reused from solver program caches across all jobs.
+    pub program_cache_hits: usize,
 }
 
 impl BatchStats {
@@ -84,6 +88,8 @@ impl BatchStats {
                 stats.defs_ok += report.defs.iter().filter(|d| d.ok).count();
                 stats.cache_hits += report.cache_hits();
                 stats.cache_misses += report.cache_misses();
+                stats.programs_compiled += report.programs_compiled();
+                stats.program_cache_hits += report.program_cache_hits();
             }
         }
         stats

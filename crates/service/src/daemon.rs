@@ -169,6 +169,12 @@ fn def_value(def: &DefReport) -> Value {
         ("constraint_atoms", Value::Int(def.constraint_atoms as i64)),
         ("cache_hits", Value::Int(def.cache_hits as i64)),
         ("cache_misses", Value::Int(def.cache_misses as i64)),
+        ("programs_compiled", Value::Int(def.programs_compiled as i64)),
+        (
+            "program_cache_hits",
+            Value::Int(def.program_cache_hits as i64),
+        ),
+        ("points_evaluated", Value::Int(def.points_evaluated as i64)),
     ])
 }
 

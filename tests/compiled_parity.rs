@@ -1,0 +1,86 @@
+//! Whole-suite parity of the compiled numeric layer.
+//!
+//! Runs every *verified* Table-1 benchmark through two engines that differ
+//! only in `SolveConfig::use_compiled_eval` and asserts that the compiled
+//! bytecode path is observationally identical to the tree-walking reference
+//! path: same per-definition verdicts, same validity-cache hit/miss
+//! counters, same numeric point counts, and identical warm-cache behaviour
+//! (the two configurations share a fingerprint, so verdicts are
+//! exchangeable between them by design).
+
+use std::sync::Arc;
+
+use birelcost::Engine;
+use rel_constraint::{ShardedValidityCache, SolveConfig, ValidityCache};
+use rel_suite::{all_benchmarks, VerificationStatus};
+
+#[test]
+fn compiled_and_tree_solvers_agree_across_the_verified_suite() {
+    let compiled_cache = Arc::new(ShardedValidityCache::new());
+    let tree_cache = Arc::new(ShardedValidityCache::new());
+    let compiled = Engine::new().with_cache(compiled_cache.clone());
+    let tree = Engine::new()
+        .with_solve_config(SolveConfig {
+            use_compiled_eval: false,
+            ..SolveConfig::default()
+        })
+        .with_cache(tree_cache.clone());
+
+    for b in all_benchmarks() {
+        if b.status != VerificationStatus::Verified {
+            // Same exclusion as the seed's suite test: the unverified
+            // benchmarks take the numeric solver minutes.
+            continue;
+        }
+        let program = rel_syntax::parse_program(b.source).unwrap();
+        let rc = compiled.check_program(&program);
+        let rt = tree.check_program(&program);
+        assert_eq!(rc.defs.len(), rt.defs.len(), "{}: def counts differ", b.name);
+        for (dc, dt) in rc.defs.iter().zip(&rt.defs) {
+            assert_eq!(
+                dc.ok, dt.ok,
+                "{}::{}: compiled and tree verdicts diverge",
+                b.name, dc.name
+            );
+            assert_eq!(
+                (dc.cache_hits, dc.cache_misses),
+                (dt.cache_hits, dt.cache_misses),
+                "{}::{}: validity-cache counters diverge",
+                b.name,
+                dc.name
+            );
+            assert_eq!(
+                dc.points_evaluated, dt.points_evaluated,
+                "{}::{}: numeric point counts diverge",
+                b.name, dc.name
+            );
+        }
+    }
+
+    // The caches must have warmed identically: every query sequence, hit and
+    // stored verdict matched between the two solver paths.
+    let (sc, st) = (compiled_cache.stats(), tree_cache.stats());
+    assert_eq!(sc.hits, st.hits, "cache hit totals diverge");
+    assert_eq!(sc.misses, st.misses, "cache miss totals diverge");
+    assert_eq!(sc.entries, st.entries, "cache entry totals diverge");
+    assert!(sc.entries > 0, "the suite should populate the cache");
+}
+
+#[test]
+fn compiled_layer_actually_compiles_on_the_suite() {
+    // Sanity check that the suite exercises the bytecode path at all: at
+    // least one verified benchmark must reach the numeric layer.
+    let engine = Engine::new();
+    let mut programs = 0;
+    for b in all_benchmarks() {
+        if b.status != VerificationStatus::Verified {
+            continue;
+        }
+        let program = rel_syntax::parse_program(b.source).unwrap();
+        programs += engine.check_program(&program).programs_compiled();
+    }
+    assert!(
+        programs > 0,
+        "no verified benchmark reached the compiled numeric layer"
+    );
+}
