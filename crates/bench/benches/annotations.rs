@@ -21,11 +21,16 @@ fn annotations(c: &mut Criterion) {
         parsed.push(program);
     }
     c.bench_function("annotation_count", |bench| {
-        bench.iter(|| parsed.iter().map(rel_syntax::Program::annotation_count).sum::<usize>());
+        bench.iter(|| {
+            parsed
+                .iter()
+                .map(rel_syntax::Program::annotation_count)
+                .sum::<usize>()
+        });
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
     targets = annotations

@@ -22,11 +22,7 @@ fn workload() -> Vec<BatchJob> {
 fn batch_throughput(c: &mut Criterion) {
     let jobs = workload();
     let workers = rel_service::available_workers().min(8);
-    println!(
-        "\nbatch workload: {} jobs, {} workers",
-        jobs.len(),
-        workers
-    );
+    println!("\nbatch workload: {} jobs, {} workers", jobs.len(), workers);
 
     c.bench_function("batch_sequential_uncached", |b| {
         let engine = Engine::new();

@@ -8,10 +8,7 @@ use rel_constraint::{Constr, Solver};
 use rel_index::{Idx, IdxVar, Sort};
 
 fn solver(c: &mut Criterion) {
-    let universals = vec![
-        (IdxVar::new("n"), Sort::Nat),
-        (IdxVar::new("a"), Sort::Nat),
-    ];
+    let universals = vec![(IdxVar::new("n"), Sort::Nat), (IdxVar::new("a"), Sort::Nat)];
     c.bench_function("solve_linear_goal", |b| {
         let goal = Constr::leq(Idx::var("a"), Idx::var("a") + Idx::var("n"));
         b.iter(|| {
@@ -43,7 +40,10 @@ fn solver(c: &mut Criterion) {
             .and(Constr::leq(Idx::nat(2), Idx::var("n")));
         let lhs = Idx::half_ceil(Idx::var("n"))
             + big_q(Idx::half_ceil(Idx::var("n")), Idx::var("beta"))
-            + big_q(Idx::half_floor(Idx::var("n")), Idx::var("alpha") - Idx::var("beta"));
+            + big_q(
+                Idx::half_floor(Idx::var("n")),
+                Idx::var("alpha") - Idx::var("beta"),
+            );
         let goal = Constr::leq(lhs, big_q(Idx::var("n"), Idx::var("alpha")));
         b.iter(|| {
             let mut s = Solver::new();
@@ -52,7 +52,7 @@ fn solver(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
     targets = solver

@@ -11,7 +11,10 @@ use rel_syntax::parse_program;
 fn relative_cost(c: &mut Criterion) {
     let program = parse_program(rel_suite::benchmark("appSum").unwrap().source).unwrap();
     let def = program.def("suml").unwrap();
-    println!("\n{:<8} {:>8} {:>14} {:>14}", "n", "alpha", "measured |Δcost|", "bound (0)");
+    println!(
+        "\n{:<8} {:>8} {:>14} {:>14}",
+        "n", "alpha", "measured |Δcost|", "bound (0)"
+    );
     for (n, alpha) in [(8usize, 2usize), (16, 4), (32, 8), (64, 16)] {
         let w = Workload::generate(n, alpha, 42);
         let run = |items: &[i64]| {
@@ -20,7 +23,10 @@ fn relative_cost(c: &mut Criterion) {
         };
         let diff = (run(&w.left) - run(&w.right)).abs();
         println!("{:<8} {:>8} {:>14} {:>14}", n, w.differing, diff, 0);
-        assert_eq!(diff, 0, "suml is structure-synchronous: relative cost must be 0");
+        assert_eq!(
+            diff, 0,
+            "suml is structure-synchronous: relative cost must be 0"
+        );
     }
     let w = Workload::generate(64, 8, 7);
     c.bench_function("eval_suml_64", |bench| {
@@ -31,7 +37,7 @@ fn relative_cost(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
     targets = relative_cost

@@ -38,8 +38,8 @@ fn universals() -> Vec<(IdxVar, Sort)> {
 fn queries() -> Vec<(Constr, Constr)> {
     // Σ_{i=0}^{b} min(a, 2^i)  ≤  n·a + n + 1   when b ≤ a ≤ n
     // (the sum is at most (b+1)·a ≤ (n+1)·a ≤ n·a + n).
-    let hyp = Constr::leq(Idx::var("a"), Idx::var("n"))
-        .and(Constr::leq(Idx::var("b"), Idx::var("a")));
+    let hyp =
+        Constr::leq(Idx::var("a"), Idx::var("n")).and(Constr::leq(Idx::var("b"), Idx::var("a")));
     let sum = Idx::sum(
         "i",
         Idx::zero(),

@@ -27,7 +27,10 @@ fn table1(c: &mut Criterion) {
         }
         // One instrumented run for the printed table row.
         let report = engine.check_program(&program);
-        let timings = report.def(b.main_def).map(|d| d.timings).unwrap_or_default();
+        let timings = report
+            .def(b.main_def)
+            .map(|d| d.timings)
+            .unwrap_or_default();
         println!(
             "{:<10} {:>10.3} {:>12.3} {:>14.3} {:>12.3}  {}",
             b.name,
@@ -35,7 +38,11 @@ fn table1(c: &mut Criterion) {
             timings.typecheck.as_secs_f64(),
             timings.existential_elim.as_secs_f64(),
             timings.solving.as_secs_f64(),
-            if report.all_ok() { "checked" } else { "not verified" }
+            if report.all_ok() {
+                "checked"
+            } else {
+                "not verified"
+            }
         );
         // Criterion timing of the full pipeline.
         group.bench_function(b.name, |bench| {
@@ -45,7 +52,7 @@ fn table1(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
     targets = table1

@@ -1,43 +1,51 @@
 //! `birelcost` — command-line front end for the BiRelCost checker.
 //!
 //! ```text
-//! birelcost check FILE...          type check one or more .rc programs
-//! birelcost check --jobs N FILE... check files concurrently on N workers,
-//!                                  sharing one constraint-validity cache
-//! birelcost serve [--jobs N]       newline-delimited JSON daemon on
+//! birelcost check [FLAGS] FILE...  type check one or more .rc programs
+//! birelcost serve [FLAGS]          newline-delimited JSON daemon on
 //!                                  stdin/stdout: {"check": "<source>"} ->
 //!                                  per-def verdicts, timings, cache stats
 //! birelcost table1                 re-run the Table-1 benchmark suite
 //! birelcost list                   list the bundled benchmarks
+//!
+//! FLAGS (shared by check and serve):
+//!   --jobs N, -j N       worker threads (check: default 1; serve: all cores)
+//!   --cache-file PATH    warm-start persistence: load the snapshot at PATH
+//!                        (if any) before checking, save it back afterwards
+//!                        (serve: periodically and on shutdown).  Unchanged
+//!                        definitions are skipped; everything else reuses the
+//!                        persisted validity cache and program memo.
 //! ```
 
 use std::env;
 use std::fs;
 use std::io;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use birelcost::Engine;
 use rel_service::{serve, BatchJob, BatchStats, Service, ServiceConfig};
 use rel_suite::{all_benchmarks, VerificationStatus};
 use rel_syntax::parse_program;
 
-const USAGE: &str = "usage: birelcost <check [--jobs N] FILE...|serve [--jobs N]|table1|list>";
+const USAGE: &str =
+    "usage: birelcost <check [--jobs N] [--cache-file PATH] FILE...|serve [--jobs N] [--cache-file PATH]|table1|list>";
+
+/// How often the daemon flushes its warm state to the cache file.
+const SERVE_FLUSH_INTERVAL: Duration = Duration::from_secs(60);
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     match args.split_first() {
-        Some((cmd, rest)) if cmd == "check" => match parse_jobs(rest) {
+        Some((cmd, rest)) if cmd == "check" => match Flags::parse(rest) {
             // Without --jobs, `check` stays sequential (the seed behaviour).
-            Ok((jobs, files)) => check_files(&files, jobs.unwrap_or(1)),
+            Ok((flags, files)) => check_files(&files, &flags),
             Err(e) => usage_error(&e),
         },
-        Some((cmd, rest)) if cmd == "serve" => match parse_jobs(rest) {
-            // The daemon defaults to the machine's parallelism: it exists to
-            // serve traffic, and `{"batch": ...}` requests should use the
-            // cores without an explicit flag.
-            Ok((jobs, extra)) if extra.is_empty() => {
-                serve_stdio(jobs.unwrap_or_else(rel_service::available_workers))
-            }
+        Some((cmd, rest)) if cmd == "serve" => match Flags::parse(rest) {
+            Ok((flags, extra)) if extra.is_empty() => serve_stdio(&flags),
             Ok(_) => usage_error("serve takes no positional arguments"),
             Err(e) => usage_error(&e),
         },
@@ -53,47 +61,97 @@ fn usage_error(message: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
-/// Extracts `--jobs N` from an argument list (`None` when absent — each
-/// subcommand picks its own default).
-fn parse_jobs(args: &[String]) -> Result<(Option<usize>, Vec<String>), String> {
-    let mut jobs = None;
-    let mut rest = Vec::new();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        if arg == "--jobs" || arg == "-j" {
-            let n = it
-                .next()
-                .ok_or_else(|| format!("{arg} requires a number"))?;
-            jobs = Some(
-                n.parse::<usize>()
-                    .map_err(|_| format!("invalid worker count `{n}`"))?
-                    .max(1),
-            );
-        } else if let Some(n) = arg.strip_prefix("--jobs=") {
-            jobs = Some(
-                n.parse::<usize>()
-                    .map_err(|_| format!("invalid worker count `{n}`"))?
-                    .max(1),
-            );
-        } else {
-            rest.push(arg.clone());
-        }
-    }
-    Ok((jobs, rest))
+/// The flags shared by the `check` and `serve` subcommands, parsed in one
+/// place so each flag (and its `--flag=value` spelling) is handled once.
+#[derive(Debug, Default)]
+struct Flags {
+    /// Worker threads (`None` — each subcommand picks its own default).
+    jobs: Option<usize>,
+    /// Warm-start snapshot path.
+    cache_file: Option<String>,
 }
 
-fn service_with(workers: usize) -> Service {
-    Service::new(ServiceConfig {
+impl Flags {
+    /// Splits an argument list into recognized flags and positional rest.
+    fn parse(args: &[String]) -> Result<(Flags, Vec<String>), String> {
+        let mut flags = Flags::default();
+        let mut rest = Vec::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut flag_value =
+                |name: &str, short: Option<&str>| -> Result<Option<String>, String> {
+                    if arg == name || short.is_some_and(|s| arg == s) {
+                        return match it.next() {
+                            Some(v) => Ok(Some(v.clone())),
+                            None => Err(format!("{arg} requires a value")),
+                        };
+                    }
+                    Ok(arg
+                        .strip_prefix(name)
+                        .and_then(|r| r.strip_prefix('='))
+                        .map(str::to_string))
+                };
+            if let Some(n) = flag_value("--jobs", Some("-j"))? {
+                flags.jobs = Some(
+                    n.parse::<usize>()
+                        .map_err(|_| format!("invalid worker count `{n}`"))?
+                        .max(1),
+                );
+            } else if let Some(path) = flag_value("--cache-file", None)? {
+                flags.cache_file = Some(path);
+            } else if arg.starts_with('-') {
+                return Err(format!("unknown flag `{arg}`"));
+            } else {
+                rest.push(arg.clone());
+            }
+        }
+        Ok((flags, rest))
+    }
+}
+
+/// Builds the service for one invocation: worker pool plus, when requested,
+/// the warm-start snapshot (load errors are warnings — a bad cache file
+/// means a cold start, never a failed run).
+fn service_with(workers: usize, cache_file: Option<&str>) -> Service {
+    let service = Service::new(ServiceConfig {
         workers,
         ..ServiceConfig::default()
-    })
+    });
+    if let Some(path) = cache_file {
+        let outcome = service.attach_cache_file(path);
+        match &outcome.warning {
+            Some(warning) => eprintln!("birelcost: {warning} (starting cold)"),
+            None => eprintln!(
+                "birelcost: cache-file {path}: loaded {} verdict(s), {} def hash(es), {} program(s)",
+                outcome.verdicts, outcome.defs, outcome.programs
+            ),
+        }
+    }
+    service
 }
 
-fn check_files(files: &[String], workers: usize) -> ExitCode {
+/// Saves the warm state back to the attached cache file, reporting failures
+/// without failing the run.
+fn flush_cache(service: &Service) {
+    if service.cache_file().is_none() {
+        return;
+    }
+    match service.save_cache() {
+        Ok(verdicts) => eprintln!(
+            "birelcost: cache-file {}: saved {verdicts} verdict(s), {} def hash(es)",
+            service.cache_file().unwrap().display(),
+            service.def_index().len()
+        ),
+        Err(e) => eprintln!("birelcost: {e}"),
+    }
+}
+
+fn check_files(files: &[String], flags: &Flags) -> ExitCode {
     if files.is_empty() {
         eprintln!("birelcost check: no input files");
         return ExitCode::from(2);
     }
+    let workers = flags.jobs.unwrap_or(1);
 
     // Read everything up front so I/O failures are reported per file and the
     // batch itself is pure checking work.
@@ -109,7 +167,7 @@ fn check_files(files: &[String], workers: usize) -> ExitCode {
         }
     }
 
-    let service = service_with(workers);
+    let service = service_with(workers, flags.cache_file.as_deref());
     let results = service.check_batch(&jobs);
     for result in &results {
         let file = &result.name;
@@ -121,8 +179,13 @@ fn check_files(files: &[String], workers: usize) -> ExitCode {
             Ok(report) => {
                 for def in &report.defs {
                     let status = if def.ok { "ok" } else { "FAIL" };
+                    let unchanged = if def.skipped_unchanged {
+                        "  [unchanged, skipped]"
+                    } else {
+                        ""
+                    };
                     println!(
-                        "{file}: {:<12} {:<4}  total {:?}  (tc {:?}, exelim {:?}, solve {:?})",
+                        "{file}: {:<12} {:<4}  total {:?}  (tc {:?}, exelim {:?}, solve {:?}){unchanged}",
                         def.name,
                         status,
                         def.timings.total(),
@@ -139,8 +202,8 @@ fn check_files(files: &[String], workers: usize) -> ExitCode {
         }
     }
 
+    let stats = BatchStats::of(&results);
     if workers > 1 {
-        let stats = BatchStats::of(&results);
         let cache = service.cache_stats();
         println!(
             "checked {} file(s) on {workers} workers: {}/{} defs ok, cache {} hit(s) / {} miss(es), \
@@ -154,6 +217,21 @@ fn check_files(files: &[String], workers: usize) -> ExitCode {
             stats.program_cache_hits
         );
     }
+    if flags.cache_file.is_some() {
+        // One machine-greppable line for warm-start harnesses (CI smoke
+        // asserts on these counters).
+        println!(
+            "warm-start: defs={} cache_hits={} cache_misses={} skipped_unchanged={} \
+             programs_compiled={} program_cache_hits={}",
+            stats.defs,
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.skipped_unchanged,
+            stats.programs_compiled,
+            stats.program_cache_hits
+        );
+        flush_cache(&service);
+    }
 
     if ok {
         ExitCode::SUCCESS
@@ -162,11 +240,49 @@ fn check_files(files: &[String], workers: usize) -> ExitCode {
     }
 }
 
-fn serve_stdio(workers: usize) -> ExitCode {
-    let service = service_with(workers);
+fn serve_stdio(flags: &Flags) -> ExitCode {
+    // The daemon defaults to the machine's parallelism: it exists to serve
+    // traffic, and `{"batch": ...}` requests should use the cores without an
+    // explicit flag.
+    let workers = flags.jobs.unwrap_or_else(rel_service::available_workers);
+    let service = service_with(workers, flags.cache_file.as_deref());
+
+    // Periodic flusher: a long-running daemon should not lose its warm state
+    // to a crash or kill.  The thread wakes every second to notice shutdown
+    // promptly but only flushes once per SERVE_FLUSH_INTERVAL.
+    let stop = Arc::new(AtomicBool::new(false));
+    let flusher = flags.cache_file.is_some().then(|| {
+        let service = service.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut since_flush = Duration::ZERO;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_secs(1));
+                since_flush += Duration::from_secs(1);
+                if since_flush >= SERVE_FLUSH_INTERVAL {
+                    since_flush = Duration::ZERO;
+                    // Dirty-checked: an idle daemon does not rewrite an
+                    // unchanged snapshot every interval.
+                    if let Err(e) = service.save_cache_if_dirty() {
+                        eprintln!("birelcost serve: periodic flush failed: {e}");
+                    }
+                }
+            }
+        })
+    });
+
     let stdin = io::stdin();
     let stdout = io::stdout();
-    match serve(&service, stdin.lock(), stdout.lock()) {
+    let outcome = serve(&service, stdin.lock(), stdout.lock());
+    stop.store(true, Ordering::Relaxed);
+    if let Some(handle) = flusher {
+        let _ = handle.join();
+    }
+    // On-shutdown flush: the final state includes everything the periodic
+    // flushes may have missed.
+    flush_cache(&service);
+
+    match outcome {
         Ok(summary) => {
             eprintln!(
                 "birelcost serve: handled {} request(s), {} error(s)",
@@ -185,7 +301,13 @@ fn table1() -> ExitCode {
     let engine = Engine::new();
     println!(
         "{:<10} {:>10} {:>12} {:>14} {:>12} {:>9} {:>9}  result",
-        "Benchmark", "total(s)", "typecheck(s)", "exist.elim(s)", "solving(s)", "points", "programs"
+        "Benchmark",
+        "total(s)",
+        "typecheck(s)",
+        "exist.elim(s)",
+        "solving(s)",
+        "points",
+        "programs"
     );
     for b in all_benchmarks() {
         let program = match parse_program(b.source) {
@@ -209,7 +331,11 @@ fn table1() -> ExitCode {
             timings.solving.as_secs_f64(),
             report.points_evaluated(),
             report.programs_compiled(),
-            if report.all_ok() { "checked" } else { "not verified" }
+            if report.all_ok() {
+                "checked"
+            } else {
+                "not verified"
+            }
         );
     }
     ExitCode::SUCCESS

@@ -106,7 +106,11 @@ impl<'a> QueryRef<'a> {
     pub fn to_key(&self) -> QueryKey {
         QueryKey {
             config_fingerprint: self.config_fingerprint,
-            universals: self.canonical_universals.iter().map(|u| (*u).clone()).collect(),
+            universals: self
+                .canonical_universals
+                .iter()
+                .map(|u| (*u).clone())
+                .collect(),
             hyp: self.hyp.clone(),
             goal: self.goal.clone(),
         }
@@ -140,6 +144,39 @@ impl QueryKey {
         QueryRef::new(config_fingerprint, universals, hyp, goal).to_key()
     }
 
+    /// Reassembles a key from decoded parts (snapshot loading).  The
+    /// universals are re-canonicalized, so a key decoded from a well-formed
+    /// snapshot is byte-for-byte the key that was serialized, and a key from
+    /// a hand-built snapshot still upholds the canonical-form invariant.
+    pub fn from_parts(
+        config_fingerprint: u64,
+        universals: Vec<(IdxVar, Sort)>,
+        hyp: Constr,
+        goal: Constr,
+    ) -> QueryKey {
+        QueryKey::new(config_fingerprint, &universals, &hyp, &goal)
+    }
+
+    /// The fingerprint of the solver configuration the verdict is keyed to.
+    pub fn config_fingerprint(&self) -> u64 {
+        self.config_fingerprint
+    }
+
+    /// The canonical universally quantified context.
+    pub fn universals(&self) -> &[(IdxVar, Sort)] {
+        &self.universals
+    }
+
+    /// The hypothesis constraint.
+    pub fn hyp(&self) -> &Constr {
+        &self.hyp
+    }
+
+    /// The goal constraint.
+    pub fn goal(&self) -> &Constr {
+        &self.goal
+    }
+
     /// The stable 64-bit structural hash (agrees with the borrowed view's).
     pub fn stable_hash(&self) -> u64 {
         let mut h = Fnv1a::default();
@@ -170,9 +207,11 @@ impl fmt::Debug for QueryKey {
 }
 
 /// FNV-1a: a stable hasher, unlike `DefaultHasher` whose keys are
-/// unspecified.  Shared by the cache and `SolveConfig::fingerprint`.
+/// unspecified.  Shared by the cache, `SolveConfig::fingerprint`, the
+/// engine's per-definition input hashes and the snapshot checksum of
+/// `rel-persist` — every hash that must be reproducible across processes.
 #[derive(Default)]
-pub(crate) struct Fnv1a {
+pub struct Fnv1a {
     state: u64,
 }
 
@@ -274,7 +313,10 @@ impl ShardedValidityCache {
 
     /// A cache with explicit shard count and per-shard entry cap (both
     /// rounded up to at least 1).
-    pub fn with_shards_and_capacity(n: usize, max_entries_per_shard: usize) -> ShardedValidityCache {
+    pub fn with_shards_and_capacity(
+        n: usize,
+        max_entries_per_shard: usize,
+    ) -> ShardedValidityCache {
         let n = n.max(1);
         ShardedValidityCache {
             shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
@@ -298,6 +340,25 @@ impl ShardedValidityCache {
             self.entries.fetch_sub(shard.len as u64, Ordering::Relaxed);
             shard.len = 0;
         }
+    }
+
+    /// Clones out every memoized verdict (snapshot saving).  Entries are
+    /// returned in a deterministic order — shards in index order, buckets by
+    /// hash, entries in insertion order — so two exports of the same cache
+    /// contents serialize identically.
+    pub fn export_entries(&self) -> Vec<(QueryKey, Validity)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            let mut hashes: Vec<u64> = shard.buckets.keys().copied().collect();
+            hashes.sort_unstable();
+            for h in hashes {
+                for (k, v) in &shard.buckets[&h] {
+                    out.push((k.clone(), v.clone()));
+                }
+            }
+        }
+        out
     }
 
     /// Stores a verdict under an owned key (out-of-band population; the
@@ -445,9 +506,15 @@ mod tests {
     fn shadowed_quantifiers_keep_only_the_innermost_binding() {
         let g = goal(3);
         // ∀ n::Nat. ∀ n::Real — the inner Real binding shadows the Nat one…
-        let nat_then_real = [(IdxVar::new("n"), Sort::Nat), (IdxVar::new("n"), Sort::Real)];
+        let nat_then_real = [
+            (IdxVar::new("n"), Sort::Nat),
+            (IdxVar::new("n"), Sort::Real),
+        ];
         // …and the reverse nesting shadows the other way round.
-        let real_then_nat = [(IdxVar::new("n"), Sort::Real), (IdxVar::new("n"), Sort::Nat)];
+        let real_then_nat = [
+            (IdxVar::new("n"), Sort::Real),
+            (IdxVar::new("n"), Sort::Nat),
+        ];
         let a = QueryKey::new(CFG, &nat_then_real, &Constr::Top, &g);
         let b = QueryKey::new(CFG, &real_then_nat, &Constr::Top, &g);
         assert_ne!(a, b, "different innermost sorts must not share a key");

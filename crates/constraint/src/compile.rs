@@ -628,9 +628,12 @@ impl CompiledQuery {
     /// Reconstructs the (universals-only) environment of a point, for
     /// counterexample reporting.
     pub fn point_env(&self, universals: &[(IdxVar, Sort)], point: &[Val]) -> IdxEnv {
-        IdxEnv::from_pairs(universals.iter().zip(point).filter_map(|((v, _), val)| {
-            val.to_ext().map(|e| (v.clone(), e))
-        }))
+        IdxEnv::from_pairs(
+            universals
+                .iter()
+                .zip(point)
+                .filter_map(|((v, _), val)| val.to_ext().map(|e| (v.clone(), e))),
+        )
     }
 }
 
@@ -808,12 +811,18 @@ impl Compiler {
                 self.compile_idx(hi);
                 let slot = self.alloc_slot(var);
                 let init = self.ops.len();
-                self.ops.push(Op::SumInit { slot, end: u32::MAX });
+                self.ops.push(Op::SumInit {
+                    slot,
+                    end: u32::MAX,
+                });
                 let body_pc = self.here();
                 self.scope.push((var.clone(), slot));
                 self.compile_idx(body);
                 self.scope.pop();
-                self.ops.push(Op::SumStep { slot, body: body_pc });
+                self.ops.push(Op::SumStep {
+                    slot,
+                    body: body_pc,
+                });
                 self.patch(init);
             }
         }
@@ -942,11 +951,7 @@ impl Compiler {
 /// Compiles the implication `hyp ⟹ goal` under the given universally
 /// quantified prefix.  The hypothesis short-circuits: points where it fails
 /// never evaluate the goal.
-pub fn compile_query(
-    universals: &[(IdxVar, Sort)],
-    hyp: &Constr,
-    goal: &Constr,
-) -> CompiledQuery {
+pub fn compile_query(universals: &[(IdxVar, Sort)], hyp: &Constr, goal: &Constr) -> CompiledQuery {
     let mut c = Compiler {
         ops: Vec::new(),
         consts: Vec::new(),
@@ -1080,8 +1085,7 @@ mod tests {
     fn nested_negation_and_implication() {
         let u = nat_universals(&["n"]);
         let goal = Constr::Not(Box::new(
-            Constr::leq(Idx::var("n"), Idx::nat(4))
-                .implies(Constr::lt(Idx::var("n"), Idx::nat(2))),
+            Constr::leq(Idx::var("n"), Idx::nat(4)).implies(Constr::lt(Idx::var("n"), Idx::nat(2))),
         ));
         for n in 0..8 {
             check_parity(&u, &Constr::Top, &goal, &[n], 8);
@@ -1167,10 +1171,7 @@ mod tests {
 
     #[test]
     fn duplicate_universals_are_last_binding_wins() {
-        let u = vec![
-            (IdxVar::new("n"), Sort::Nat),
-            (IdxVar::new("n"), Sort::Nat),
-        ];
+        let u = vec![(IdxVar::new("n"), Sort::Nat), (IdxVar::new("n"), Sort::Nat)];
         let goal = Constr::eq(Idx::var("n"), Idx::nat(7));
         // The tree env binds in list order, so the second value wins.
         assert!(check_parity(&u, &Constr::Top, &goal, &[3, 7], 8));

@@ -313,12 +313,8 @@ impl Constr {
             Constr::Eq(a, b) => Constr::Eq(a.subst_all(map), b.subst_all(map)),
             Constr::Leq(a, b) => Constr::Leq(a.subst_all(map), b.subst_all(map)),
             Constr::Lt(a, b) => Constr::Lt(a.subst_all(map), b.subst_all(map)),
-            Constr::And(cs) => {
-                Constr::And(cs.iter().map(|c| c.subst_all_inner(map)).collect())
-            }
-            Constr::Or(cs) => {
-                Constr::Or(cs.iter().map(|c| c.subst_all_inner(map)).collect())
-            }
+            Constr::And(cs) => Constr::And(cs.iter().map(|c| c.subst_all_inner(map)).collect()),
+            Constr::Or(cs) => Constr::Or(cs.iter().map(|c| c.subst_all_inner(map)).collect()),
             Constr::Not(c) => Constr::Not(Box::new(c.subst_all_inner(map))),
             Constr::Implies(a, b) => Constr::Implies(
                 Box::new(a.subst_all_inner(map)),
@@ -553,11 +549,7 @@ mod tests {
         let env = IdxEnv::from_pairs([("n", Extended::from(5))]);
         let c = Constr::leq(n("n"), Idx::nat(10));
         assert!(c.eval_bounded(&env, 8));
-        let c = Constr::forall(
-            "i",
-            Sort::Nat,
-            Constr::leq(n("i"), Idx::nat(8)),
-        );
+        let c = Constr::forall("i", Sort::Nat, Constr::leq(n("i"), Idx::nat(8)));
         assert!(c.eval_bounded(&env, 8));
         let c = Constr::exists("i", Sort::Nat, Constr::eq(n("i"), Idx::nat(20)));
         assert!(!c.eval_bounded(&env, 8));

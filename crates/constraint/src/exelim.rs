@@ -131,7 +131,9 @@ fn solve_linear_for(v: &IdxVar, a: &Idx, b: &Idx) -> Option<Idx> {
     // diff = coeff·v + rest = 0  ⟹  v = −rest / coeff.
     let mut rest = diff.clone();
     rest.coeffs.remove(&v_atom);
-    let solution = rest.scale(rel_index::Rational::from_int(-1) / coeff).to_idx();
+    let solution = rest
+        .scale(rel_index::Rational::from_int(-1) / coeff)
+        .to_idx();
     if solution.mentions(v) {
         None
     } else {
@@ -319,7 +321,8 @@ mod tests {
                     .and(Constr::leq(Idx::var("beta"), Idx::var("alpha"))),
             ),
         );
-        let hyp = Constr::leq(Idx::one(), Idx::var("n")).and(Constr::leq(Idx::one(), Idx::var("alpha")));
+        let hyp =
+            Constr::leq(Idx::one(), Idx::var("n")).and(Constr::leq(Idx::one(), Idx::var("alpha")));
         let out = eliminate_existentials(&mut s, &u, &hyp, &goal);
         assert!(matches!(out.validity, Some(Validity::Valid)));
         let w = out.witness.unwrap();
@@ -337,7 +340,8 @@ mod tests {
         let goal = Constr::exists(
             "t2",
             Sort::Real,
-            Constr::leq(Idx::var("t2"), Idx::var("t")).and(Constr::leq(Idx::zero(), Idx::var("t2"))),
+            Constr::leq(Idx::var("t2"), Idx::var("t"))
+                .and(Constr::leq(Idx::zero(), Idx::var("t2"))),
         );
         let out = eliminate_existentials(&mut s, &u, &Constr::Top, &goal);
         assert!(matches!(out.validity, Some(Validity::Valid)));

@@ -201,9 +201,7 @@ mod tests {
         );
         let atoms = atoms_of_constr(&c);
         assert!(atoms.contains(&Atom(Idx::half_ceil(Idx::var("n")))));
-        assert!(atoms
-            .iter()
-            .any(|a| matches!(a.0, Idx::Min(_, _))));
+        assert!(atoms.iter().any(|a| matches!(a.0, Idx::Min(_, _))));
         assert!(atoms.contains(&Atom(Idx::pow2(Idx::var("i")))));
         assert!(atoms.contains(&Atom(Idx::var("n"))));
     }

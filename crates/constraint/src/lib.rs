@@ -28,8 +28,10 @@ pub mod exelim;
 pub mod lemmas;
 pub mod solver;
 
-pub use cache::{CacheStats, QueryKey, QueryRef, ShardedValidityCache, ValidityCache};
+pub use cache::{CacheStats, Fnv1a, QueryKey, QueryRef, ShardedValidityCache, ValidityCache};
 pub use compile::{compile_query, CompiledQuery, EvalFrame, Val};
 pub use constr::{Constr, Quantified};
 pub use exelim::{eliminate_existentials, ExElimOutcome, ExElimStats};
-pub use solver::{SolveConfig, SolveStats, Solver, Validity};
+pub use solver::{
+    ProgramCacheStats, ProgramKey, SharedProgramCache, SolveConfig, SolveStats, Solver, Validity,
+};

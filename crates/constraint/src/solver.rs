@@ -21,7 +21,7 @@ use std::borrow::Cow;
 use std::collections::{BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -165,12 +165,234 @@ impl Validity {
 
 /// One memoized compiled program, stored next to its full key so program
 /// hash collisions can never alias two queries onto one bytecode.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ProgramEntry {
     universals: Vec<(IdxVar, Sort)>,
     hyp: Constr,
     goal: Constr,
     program: Arc<CompiledQuery>,
+}
+
+/// The full key of one compiled numeric query, as exported for snapshots.
+///
+/// Compilation is deterministic and cheap next to solving, so snapshots
+/// persist the *keys* of the program memo rather than the bytecode itself:
+/// loading recompiles each key once ([`SharedProgramCache::warm`]) and the
+/// first checks of the new process start with a hot program cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramKey {
+    /// The universally quantified context of the query.
+    pub universals: Vec<(IdxVar, Sort)>,
+    /// The hypothesis constraint.
+    pub hyp: Constr,
+    /// The goal constraint.
+    pub goal: Constr,
+}
+
+impl ProgramKey {
+    fn stable_hash(&self) -> u64 {
+        program_key_hash(&self.universals, &self.hyp, &self.goal)
+    }
+}
+
+fn program_key_hash(universals: &[(IdxVar, Sort)], hyp: &Constr, goal: &Constr) -> u64 {
+    let mut h = Fnv1a::default();
+    universals.hash(&mut h);
+    hyp.hash(&mut h);
+    goal.hash(&mut h);
+    h.finish()
+}
+
+/// Counters of a [`SharedProgramCache`] (monotone, process-wide).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProgramCacheStats {
+    /// Lookups answered with an already-compiled program.
+    pub hits: u64,
+    /// Lookups that missed (the caller compiled and published).
+    pub misses: u64,
+    /// Programs currently stored.
+    pub entries: u64,
+}
+
+/// A compiled-program memo shared across solvers.
+///
+/// The per-[`Solver`] program cache dies with its solver — and engines spawn
+/// a fresh solver per definition, so without sharing, every definition (and
+/// every daemon request) recompiles the numeric queries it has in common
+/// with its neighbours.  Attaching one `SharedProgramCache` to an engine
+/// (mirroring the validity cache) makes the bytecode survive across
+/// definitions, requests and — via [`SharedProgramCache::export_keys`] and
+/// [`SharedProgramCache::warm`] in `rel-persist` snapshots — processes.
+///
+/// Sharding and the clear-when-full eviction mirror
+/// [`crate::cache::ShardedValidityCache`]; entries store their full key, so
+/// hash collisions can never alias two queries onto one bytecode.
+pub struct SharedProgramCache {
+    shards: Vec<Mutex<ProgramShard>>,
+    max_entries_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    entries: AtomicU64,
+}
+
+impl Default for SharedProgramCache {
+    // Hand-written (like ShardedValidityCache's): a derived Default would
+    // build a zero-shard cache whose first lookup divides by zero.
+    fn default() -> Self {
+        SharedProgramCache::new()
+    }
+}
+
+#[derive(Default)]
+struct ProgramShard {
+    buckets: HashMap<u64, Vec<ProgramEntry>>,
+    len: usize,
+}
+
+impl SharedProgramCache {
+    /// Default shard count (8) and per-shard capacity (2 048 programs).
+    pub fn new() -> SharedProgramCache {
+        SharedProgramCache::with_shards_and_capacity(8, 2_048)
+    }
+
+    /// A cache with explicit shard count and per-shard entry cap (both
+    /// rounded up to at least 1).
+    pub fn with_shards_and_capacity(n: usize, max_entries_per_shard: usize) -> SharedProgramCache {
+        SharedProgramCache {
+            shards: (0..n.max(1))
+                .map(|_| Mutex::new(ProgramShard::default()))
+                .collect(),
+            max_entries_per_shard: max_entries_per_shard.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            entries: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, hash: u64) -> &Mutex<ProgramShard> {
+        &self.shards[(hash % self.shards.len() as u64) as usize]
+    }
+
+    fn lookup(
+        &self,
+        hash: u64,
+        universals: &[(IdxVar, Sort)],
+        hyp: &Constr,
+        goal: &Constr,
+    ) -> Option<Arc<CompiledQuery>> {
+        let shard = self.shard(hash).lock().expect("program shard poisoned");
+        let found = shard.buckets.get(&hash).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|e| e.universals == universals && e.hyp == *hyp && e.goal == *goal)
+                .map(|e| Arc::clone(&e.program))
+        });
+        drop(shard);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn insert(&self, hash: u64, entry: ProgramEntry) {
+        let mut shard = self.shard(hash).lock().expect("program shard poisoned");
+        if shard.len >= self.max_entries_per_shard {
+            shard.buckets.clear();
+            self.entries.fetch_sub(shard.len as u64, Ordering::Relaxed);
+            shard.len = 0;
+        }
+        let bucket = shard.buckets.entry(hash).or_default();
+        if bucket
+            .iter()
+            .any(|e| e.universals == entry.universals && e.hyp == entry.hyp && e.goal == entry.goal)
+        {
+            return;
+        }
+        bucket.push(entry);
+        shard.len += 1;
+        self.entries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Compiles (if absent) the program for one query key — snapshot loading
+    /// replays exported keys through this to warm the cache.  The compile
+    /// happens outside the shard lock; a racing warm of the same key is
+    /// deduplicated by [`SharedProgramCache::insert`].
+    pub fn warm(&self, key: &ProgramKey) {
+        let hash = key.stable_hash();
+        {
+            let shard = self.shard(hash).lock().expect("program shard poisoned");
+            if let Some(bucket) = shard.buckets.get(&hash) {
+                if bucket.iter().any(|e| {
+                    e.universals == key.universals && e.hyp == key.hyp && e.goal == key.goal
+                }) {
+                    return;
+                }
+            }
+        }
+        let program = Arc::new(compile_query(&key.universals, &key.hyp, &key.goal));
+        self.insert(
+            hash,
+            ProgramEntry {
+                universals: key.universals.clone(),
+                hyp: key.hyp.clone(),
+                goal: key.goal.clone(),
+                program,
+            },
+        );
+    }
+
+    /// Clones out every program key, in a deterministic order (shards in
+    /// index order, buckets by hash) — snapshot saving.
+    pub fn export_keys(&self) -> Vec<ProgramKey> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("program shard poisoned");
+            let mut hashes: Vec<u64> = shard.buckets.keys().copied().collect();
+            hashes.sort_unstable();
+            for h in hashes {
+                for e in &shard.buckets[&h] {
+                    out.push(ProgramKey {
+                        universals: e.universals.clone(),
+                        hyp: e.hyp.clone(),
+                        goal: e.goal.clone(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Drops every stored program (counters are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("program shard poisoned");
+            shard.buckets.clear();
+            self.entries.fetch_sub(shard.len as u64, Ordering::Relaxed);
+            shard.len = 0;
+        }
+    }
+
+    /// Current effectiveness counters.
+    pub fn stats(&self) -> ProgramCacheStats {
+        ProgramCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedProgramCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("SharedProgramCache")
+            .field("shards", &self.shards.len())
+            .field("entries", &s.entries)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .finish()
+    }
 }
 
 /// Entry cap of the per-solver program cache.  Solvers live for one
@@ -192,6 +414,9 @@ pub struct Solver {
     /// collision discipline as the validity cache, see DESIGN.md §5.1).
     programs: HashMap<u64, Vec<ProgramEntry>>,
     cached_program_count: usize,
+    /// Optional cross-solver program memo, consulted after the local map
+    /// misses and published to after every compile.
+    shared_programs: Option<Arc<SharedProgramCache>>,
 }
 
 impl Default for Solver {
@@ -215,6 +440,7 @@ impl Solver {
             cache: None,
             programs: HashMap::new(),
             cached_program_count: 0,
+            shared_programs: None,
         }
     }
 
@@ -230,6 +456,16 @@ impl Solver {
     /// The attached validity cache, if any.
     pub fn cache(&self) -> Option<&Arc<dyn ValidityCache>> {
         self.cache.as_ref()
+    }
+
+    /// Attaches a shared compiled-program memo, consulted when the solver's
+    /// own program map misses and published to after every compile.  Safe to
+    /// share between solvers of *different* configurations: the bytecode of a
+    /// query is a pure function of `(universals, hyp, goal)` — configuration
+    /// only decides which points it is evaluated at.
+    pub fn with_program_cache(mut self, programs: Arc<SharedProgramCache>) -> Solver {
+        self.shared_programs = Some(programs);
+        self
     }
 
     /// The configuration in use.
@@ -427,7 +663,11 @@ impl Solver {
                     Validity::Invalid(None)
                 }
             }
-            Constr::Eq(_, _) | Constr::Leq(_, _) | Constr::Lt(_, _) | Constr::Bot | Constr::Not(_) => {
+            Constr::Eq(_, _)
+            | Constr::Leq(_, _)
+            | Constr::Lt(_, _)
+            | Constr::Bot
+            | Constr::Not(_) => {
                 if self
                     .symbolic_entails(universals, hyp, goal)
                     .unwrap_or(false)
@@ -472,20 +712,17 @@ impl Solver {
         // rewrite does not touch stay borrowed.
         let (rewrites, rest) = split_rewrites(&facts);
         let goal = apply_rewrites(goal, &rewrites);
-        let ineq_facts: Vec<Cow<'_, Constr>> = rest
-            .iter()
-            .map(|c| apply_rewrites(c, &rewrites))
-            .collect();
+        let ineq_facts: Vec<Cow<'_, Constr>> =
+            rest.iter().map(|c| apply_rewrites(c, &rewrites)).collect();
 
         match goal.as_ref() {
             Constr::Eq(a, b) => {
                 let d = LinExpr::of_idx(a).sub(&LinExpr::of_idx(b));
                 Some(d == LinExpr::zero())
             }
-            Constr::Leq(a, b) => Some(self.prove_nonneg(
-                LinExpr::of_idx(b).sub(&LinExpr::of_idx(a)),
-                &ineq_facts,
-            )),
+            Constr::Leq(a, b) => {
+                Some(self.prove_nonneg(LinExpr::of_idx(b).sub(&LinExpr::of_idx(a)), &ineq_facts))
+            }
             Constr::Lt(a, b) => {
                 // For the integer-valued index terms of RelCost, a < b is
                 // a + 1 ≤ b; for costs we require strict slack in the constant.
@@ -493,9 +730,7 @@ impl Solver {
                 let strict = LinExpr::of_idx(&(b.clone() - a.clone() - Idx::one()));
                 Some(
                     self.prove_nonneg(strict, &ineq_facts)
-                        || (d.coeffs.is_empty()
-                            && matches!(d.constant, Extended::Infinity)
-                            )
+                        || (d.coeffs.is_empty() && matches!(d.constant, Extended::Infinity))
                         || matches!(d.as_finite_constant(), Some(q) if q > Rational::ZERO),
                 )
             }
@@ -625,11 +860,7 @@ impl Solver {
         hyp: &Constr,
         goal: &Constr,
     ) -> Arc<CompiledQuery> {
-        let mut h = Fnv1a::default();
-        universals.hash(&mut h);
-        hyp.hash(&mut h);
-        goal.hash(&mut h);
-        let key = h.finish();
+        let key = program_key_hash(universals, hyp, goal);
         if let Some(entries) = self.programs.get(&key) {
             if let Some(e) = entries
                 .iter()
@@ -639,18 +870,40 @@ impl Solver {
                 return Arc::clone(&e.program);
             }
         }
-        let program = Arc::new(compile_query(universals, hyp, goal));
-        self.stats.programs_compiled += 1;
+        // The local map missed: try the cross-solver memo (a hit there is
+        // still a program-cache hit from this solver's point of view), and
+        // only compile when both layers miss.  Either way the program is
+        // memoized locally so repeats within this solver stay lock-free.
+        let (program, fresh) = match self
+            .shared_programs
+            .as_ref()
+            .and_then(|shared| shared.lookup(key, universals, hyp, goal))
+        {
+            Some(program) => {
+                self.stats.program_cache_hits += 1;
+                (program, false)
+            }
+            None => {
+                self.stats.programs_compiled += 1;
+                (Arc::new(compile_query(universals, hyp, goal)), true)
+            }
+        };
         if self.cached_program_count >= MAX_CACHED_PROGRAMS {
             self.programs.clear();
             self.cached_program_count = 0;
         }
-        self.programs.entry(key).or_default().push(ProgramEntry {
+        let entry = ProgramEntry {
             universals: universals.to_vec(),
             hyp: hyp.clone(),
             goal: goal.clone(),
             program: Arc::clone(&program),
-        });
+        };
+        if fresh {
+            if let Some(shared) = &self.shared_programs {
+                shared.insert(key, entry.clone());
+            }
+        }
+        self.programs.entry(key).or_default().push(entry);
         self.cached_program_count += 1;
         program
     }
@@ -1203,8 +1456,8 @@ mod tests {
         let mut s = Solver::new();
         let u = nat_vars(&["n"]);
         // (n ≥ 3) → (1 ≤ n)
-        let goal = Constr::geq(Idx::var("n"), Idx::nat(3))
-            .implies(Constr::leq(Idx::one(), Idx::var("n")));
+        let goal =
+            Constr::geq(Idx::var("n"), Idx::nat(3)).implies(Constr::leq(Idx::one(), Idx::var("n")));
         assert!(s.entails(&u, &Constr::Top, &goal).is_valid());
         // ∀ m. m ≤ m + n
         let goal = Constr::forall(
@@ -1224,7 +1477,8 @@ mod tests {
             .or(Constr::eq(Idx::var("n"), Idx::nat(17)));
         assert!(s.entails(&u, &Constr::Top, &goal).is_valid());
         // A disjunction valid only pointwise (n ≤ 8 ∨ n ≥ 5) is settled numerically.
-        let goal = Constr::leq(Idx::var("n"), Idx::nat(8)).or(Constr::geq(Idx::var("n"), Idx::nat(5)));
+        let goal =
+            Constr::leq(Idx::var("n"), Idx::nat(8)).or(Constr::geq(Idx::var("n"), Idx::nat(5)));
         assert!(s.entails(&u, &Constr::Top, &goal).is_valid());
         assert!(s.stats().numeric_checks >= 1);
     }
@@ -1274,10 +1528,7 @@ mod tests {
             simplify(&Constr::eq(Idx::nat(2) + Idx::nat(2), Idx::nat(4))),
             Constr::Top
         );
-        assert_eq!(
-            simplify(&Constr::lt(Idx::nat(4), Idx::nat(3))),
-            Constr::Bot
-        );
+        assert_eq!(simplify(&Constr::lt(Idx::nat(4), Idx::nat(3))), Constr::Bot);
         let keep = Constr::leq(Idx::var("n"), Idx::nat(3));
         assert_eq!(simplify(&keep), keep);
     }
@@ -1420,6 +1671,38 @@ mod tests {
         assert!(s.entails(&u, &Constr::Top, &goal).is_valid());
         assert_eq!(s.stats().programs_compiled, 1);
         assert_eq!(s.stats().program_cache_hits, 1);
+    }
+
+    #[test]
+    fn shared_program_cache_spans_solvers_and_warms_from_keys() {
+        let shared = Arc::new(SharedProgramCache::new());
+        let u = nat_vars(&["n"]);
+        let goal = pointwise_goal();
+
+        let mut first = Solver::new().with_program_cache(Arc::clone(&shared));
+        assert!(first.entails(&u, &Constr::Top, &goal).is_valid());
+        assert_eq!(first.stats().programs_compiled, 1);
+        assert_eq!(shared.stats().entries, 1);
+
+        // A *different* solver instance reuses the published bytecode.
+        let mut second = Solver::new().with_program_cache(Arc::clone(&shared));
+        assert!(second.entails(&u, &Constr::Top, &goal).is_valid());
+        assert_eq!(second.stats().programs_compiled, 0);
+        assert_eq!(second.stats().program_cache_hits, 1);
+
+        // Export/warm round-trip: a fresh cache warmed from the exported
+        // keys serves the query without any solver compiling it.
+        let keys = shared.export_keys();
+        assert_eq!(keys.len(), 1);
+        let warmed = Arc::new(SharedProgramCache::new());
+        for k in &keys {
+            warmed.warm(k);
+        }
+        assert_eq!(warmed.stats().entries, 1);
+        let mut third = Solver::new().with_program_cache(Arc::clone(&warmed));
+        assert!(third.entails(&u, &Constr::Top, &goal).is_valid());
+        assert_eq!(third.stats().programs_compiled, 0);
+        assert_eq!(third.stats().program_cache_hits, 1);
     }
 
     #[test]

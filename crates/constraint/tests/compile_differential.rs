@@ -42,9 +42,15 @@ fn arb_idx() -> BoxedStrategy<Idx> {
             inner.clone().prop_map(Idx::floor),
             inner.clone().prop_map(Idx::log2),
             // Keep exponents small so pow2 stays meaningful on the grid.
-            inner.clone().prop_map(|x| Idx::pow2(Idx::min(x, Idx::nat(6)))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(hi, body)| Idx::sum("s", Idx::zero(), Idx::min(hi, Idx::nat(8)), body)),
+            inner
+                .clone()
+                .prop_map(|x| Idx::pow2(Idx::min(x, Idx::nat(6)))),
+            (inner.clone(), inner.clone()).prop_map(|(hi, body)| Idx::sum(
+                "s",
+                Idx::zero(),
+                Idx::min(hi, Idx::nat(8)),
+                body
+            )),
         ]
     })
     .boxed()
@@ -68,12 +74,14 @@ fn arb_constr() -> BoxedStrategy<Constr> {
             (inner.clone(), inner.clone())
                 .prop_map(|(x, y)| Constr::Implies(Box::new(x), Box::new(y))),
             inner.clone().prop_map(|x| Constr::Not(Box::new(x))),
-            inner
-                .clone()
-                .prop_map(|x| Constr::Forall(rel_constraint::Quantified::new("q", Sort::Nat), Box::new(x))),
-            inner
-                .clone()
-                .prop_map(|x| Constr::Exists(rel_constraint::Quantified::new("w", Sort::Nat), Box::new(x))),
+            inner.clone().prop_map(|x| Constr::Forall(
+                rel_constraint::Quantified::new("q", Sort::Nat),
+                Box::new(x)
+            )),
+            inner.clone().prop_map(|x| Constr::Exists(
+                rel_constraint::Quantified::new("w", Sort::Nat),
+                Box::new(x)
+            )),
         ]
     })
     .boxed()

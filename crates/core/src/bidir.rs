@@ -387,11 +387,7 @@ impl RelChecker {
                 let cc = self.check(sess, &ctx_c, c1, c2, ty, &budget)?;
                 let branches = Constr::eq(n.clone(), Idx::zero())
                     .implies(cnil)
-                    .and(Constr::forall(
-                        i,
-                        Sort::Nat,
-                        guard_nc.implies(cnc),
-                    ))
+                    .and(Constr::forall(i, Sort::Nat, guard_nc.implies(cnc)))
                     .and(Constr::forall(
                         i2,
                         Sort::Nat,
@@ -419,9 +415,7 @@ impl RelChecker {
             }
             (Expr::Unpack(p1, x1, k1), Expr::Unpack(p2, x2, k2)) => {
                 if x1 != x2 {
-                    return Err(TypeError::other(
-                        "related unpacks must bind the same name",
-                    ));
+                    return Err(TypeError::other("related unpacks must bind the same name"));
                 }
                 let packed = self.infer(sess, ctx, p1, p2)?;
                 let (i, s, inner) = match expose(&packed.ty) {
@@ -435,9 +429,7 @@ impl RelChecker {
                 };
                 let skolem = sess.fresh.size("sk");
                 let inner = inner.subst_idx(&i, &Idx::Var(skolem.clone()));
-                let ctx = ctx
-                    .bind_idx(skolem.clone(), s)
-                    .bind_var(x1.clone(), inner);
+                let ctx = ctx.bind_idx(skolem.clone(), s).bind_var(x1.clone(), inner);
                 let budget = cost.clone() - packed.cost.clone();
                 let body = self.check(sess, &ctx, k1, k2, ty, &budget)?;
                 Ok(wrap_exists(
@@ -447,9 +439,7 @@ impl RelChecker {
             }
             (Expr::CLet(g1, x1, k1), Expr::CLet(g2, x2, k2)) => {
                 if x1 != x2 {
-                    return Err(TypeError::other(
-                        "related clets must bind the same name",
-                    ));
+                    return Err(TypeError::other("related clets must bind the same name"));
                 }
                 let guarded = self.infer(sess, ctx, g1, g2)?;
                 let (cond, inner) = match expose(&guarded.ty) {
@@ -633,7 +623,14 @@ impl RelChecker {
         let k2 = sess.fresh.cost("sw");
         let left: UnaryCtx = ctx.project(1);
         let right: UnaryCtx = ctx.project(2);
-        let c1 = unary.check(&mut sess.fresh, &left, e1, a1, &Idx::zero(), &Idx::Var(t1.clone()))?;
+        let c1 = unary.check(
+            &mut sess.fresh,
+            &left,
+            e1,
+            a1,
+            &Idx::zero(),
+            &Idx::Var(t1.clone()),
+        )?;
         let c2 = unary.check(
             &mut sess.fresh,
             &right,

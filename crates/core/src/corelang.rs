@@ -99,9 +99,7 @@ impl CoreExpr {
             CoreExpr::Unit => Expr::Unit,
             CoreExpr::Bool(b) => Expr::Bool(*b),
             CoreExpr::Int(n) => Expr::Int(*n),
-            CoreExpr::If(c, t, f) => {
-                Expr::if_then_else(c.erase(), t.erase(), f.erase())
-            }
+            CoreExpr::If(c, t, f) => Expr::if_then_else(c.erase(), t.erase(), f.erase()),
             CoreExpr::Lam(x, b) => Expr::lam(x.clone(), b.erase()),
             CoreExpr::Fix(f, x, b) => Expr::fix(f.clone(), x.clone(), b.erase()),
             CoreExpr::App(f, a) => f.erase().app(a.erase()),
@@ -157,7 +155,11 @@ impl CoreExpr {
             | CoreExpr::Pack(_, _) => 1,
             _ => 0,
         };
-        own + self.children().iter().map(|c| c.marker_count()).sum::<usize>()
+        own + self
+            .children()
+            .iter()
+            .map(|c| c.marker_count())
+            .sum::<usize>()
     }
 
     fn children(&self) -> Vec<&CoreExpr> {
@@ -244,16 +246,22 @@ pub fn embed_naive(e: &Expr) -> CoreExpr {
         Expr::Pair(a, b) => CoreExpr::Pair(Box::new(embed_naive(a)), Box::new(embed_naive(b))),
         Expr::Fst(e) => CoreExpr::Fst(Box::new(embed_naive(e))),
         Expr::Snd(e) => CoreExpr::Snd(Box::new(embed_naive(e))),
-        Expr::Let(x, a, b) => {
-            CoreExpr::Let(x.clone(), Box::new(embed_naive(a)), Box::new(embed_naive(b)))
-        }
+        Expr::Let(x, a, b) => CoreExpr::Let(
+            x.clone(),
+            Box::new(embed_naive(a)),
+            Box::new(embed_naive(b)),
+        ),
         Expr::Pack(e) => CoreExpr::Pack(Idx::zero(), Box::new(embed_naive(e))),
-        Expr::Unpack(a, x, b) => {
-            CoreExpr::Unpack(Box::new(embed_naive(a)), x.clone(), Box::new(embed_naive(b)))
-        }
-        Expr::CLet(a, x, b) => {
-            CoreExpr::CLet(Box::new(embed_naive(a)), x.clone(), Box::new(embed_naive(b)))
-        }
+        Expr::Unpack(a, x, b) => CoreExpr::Unpack(
+            Box::new(embed_naive(a)),
+            x.clone(),
+            Box::new(embed_naive(b)),
+        ),
+        Expr::CLet(a, x, b) => CoreExpr::CLet(
+            Box::new(embed_naive(a)),
+            x.clone(),
+            Box::new(embed_naive(b)),
+        ),
         Expr::CElim(e) => CoreExpr::CElim(Box::new(embed_naive(e))),
         Expr::Anno(e, _, _) => embed_naive(e),
     }

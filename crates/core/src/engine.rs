@@ -2,10 +2,12 @@
 //! elimination and constraint solving, with the per-phase timing breakdown
 //! reported in Table 1 of the paper.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use rel_constraint::{Constr, SolveConfig, Solver, ValidityCache};
+use rel_constraint::{Constr, Fnv1a, SharedProgramCache, SolveConfig, Solver, ValidityCache};
 use rel_index::Idx;
 use rel_syntax::{Def, Program, SystemLevel};
 use rel_unary::RelCtx;
@@ -62,6 +64,14 @@ pub struct DefReport {
     pub program_cache_hits: usize,
     /// Grid + random points evaluated by the numeric layer.
     pub points_evaluated: usize,
+    /// Stable hash of the checking inputs for this definition (elaborated
+    /// definition + interfaces of the definitions before it + engine
+    /// configuration); `0` when no [`DefIndex`] was in play.
+    pub input_hash: u64,
+    /// `true` when the definition was not re-checked because a [`DefIndex`]
+    /// already recorded a verdict for the same `input_hash`.  All timing and
+    /// solver counters are zero for such a report.
+    pub skipped_unchanged: bool,
 }
 
 /// The outcome of checking a whole program.
@@ -111,6 +121,123 @@ impl ProgramReport {
     pub fn points_evaluated(&self) -> usize {
         self.defs.iter().map(|d| d.points_evaluated).sum()
     }
+
+    /// Number of definitions skipped because their input hash was unchanged.
+    pub fn skipped_unchanged(&self) -> usize {
+        self.defs.iter().filter(|d| d.skipped_unchanged).count()
+    }
+}
+
+/// The verdict a [`DefIndex`] remembers for one definition input hash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredDef {
+    /// The definition's name when the verdict was recorded (diagnostics
+    /// only; the hash is the key).
+    pub name: String,
+    /// Whether the definition checked.
+    pub ok: bool,
+    /// The recorded error message when it did not.
+    pub error: Option<String>,
+}
+
+/// Per-definition verdict memory for incremental re-checking.
+///
+/// The key is [`DefReport::input_hash`] paired with an independently seeded
+/// verify hash — together a 128-bit digest of everything a definition's
+/// verdict depends on: the elaborated definition itself (both bodies, type,
+/// cost bound, axioms), the *interfaces* (name + type) of the definitions
+/// before it in its program, and the engine fingerprint
+/// ([`Engine::fingerprint`]).  A lookup replays a verdict only when *both*
+/// hashes match (see `HashChain` for the collision discussion).  Re-checking
+/// a program through [`Engine::check_program_with`] skips any definition
+/// whose digest is already recorded and replays the stored verdict,
+/// reporting it as `skipped_unchanged` — zero constraint generation, zero
+/// solver work.
+///
+/// Thread-safe: one index is shared across the workers of a batch run, and
+/// `rel-persist` snapshots carry it across processes.  Bounded like the
+/// other memo layers: when the entry cap is reached the index is
+/// wholesale-cleared before insert (epoch eviction), so a long-running
+/// daemon fed a stream of distinct programs cannot grow it — or the
+/// snapshots that serialize it — without bound.
+#[derive(Debug)]
+pub struct DefIndex {
+    entries: Mutex<HashMap<u64, (u64, StoredDef)>>,
+    max_entries: usize,
+}
+
+impl Default for DefIndex {
+    fn default() -> Self {
+        DefIndex::new()
+    }
+}
+
+impl DefIndex {
+    /// Default entry cap: 65 536 definitions, far above any one program and
+    /// small next to the validity cache it accompanies.
+    const DEFAULT_MAX_ENTRIES: usize = 65_536;
+
+    /// An empty index with the default capacity.
+    pub fn new() -> DefIndex {
+        DefIndex::with_capacity(DefIndex::DEFAULT_MAX_ENTRIES)
+    }
+
+    /// An empty index with an explicit entry cap (rounded up to at least 1).
+    pub fn with_capacity(max_entries: usize) -> DefIndex {
+        DefIndex {
+            entries: Mutex::new(HashMap::new()),
+            max_entries: max_entries.max(1),
+        }
+    }
+
+    /// Number of recorded definitions.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("def index poisoned").len()
+    }
+
+    /// `true` when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The stored verdict for an input digest; `None` when the primary hash
+    /// is unknown *or* the verify hash disagrees (a primary-hash collision —
+    /// treated as a miss, never replayed).
+    pub fn lookup(&self, input_hash: u64, verify_hash: u64) -> Option<StoredDef> {
+        self.entries
+            .lock()
+            .expect("def index poisoned")
+            .get(&input_hash)
+            .filter(|(v, _)| *v == verify_hash)
+            .map(|(_, d)| d.clone())
+    }
+
+    /// Records (or overwrites) a verdict, epoch-clearing a full index first.
+    pub fn insert(&self, input_hash: u64, verify_hash: u64, def: StoredDef) {
+        let mut entries = self.entries.lock().expect("def index poisoned");
+        if entries.len() >= self.max_entries && !entries.contains_key(&input_hash) {
+            entries.clear();
+        }
+        entries.insert(input_hash, (verify_hash, def));
+    }
+
+    /// Clones out every entry, sorted by hash (deterministic snapshots).
+    pub fn export(&self) -> Vec<(u64, u64, StoredDef)> {
+        let mut out: Vec<(u64, u64, StoredDef)> = self
+            .entries
+            .lock()
+            .expect("def index poisoned")
+            .iter()
+            .map(|(h, (v, d))| (*h, *v, d.clone()))
+            .collect();
+        out.sort_by_key(|(h, _, _)| *h);
+        out
+    }
+
+    /// Drops every entry.
+    pub fn clear(&self) {
+        self.entries.lock().expect("def index poisoned").clear();
+    }
 }
 
 /// The BiRelCost engine: checks programs definition by definition,
@@ -127,6 +254,7 @@ pub struct Engine {
     solve_config: SolveConfig,
     level: SystemLevel,
     cache: Option<Arc<dyn ValidityCache>>,
+    programs: Option<Arc<SharedProgramCache>>,
 }
 
 impl Default for Engine {
@@ -144,6 +272,7 @@ impl Engine {
             solve_config: SolveConfig::default(),
             level: SystemLevel::RelCost,
             cache: None,
+            programs: None,
         }
     }
 
@@ -158,6 +287,19 @@ impl Engine {
     /// The attached validity cache, if any.
     pub fn cache(&self) -> Option<&Arc<dyn ValidityCache>> {
         self.cache.as_ref()
+    }
+
+    /// Attaches a shared compiled-program memo: every solver the engine
+    /// creates reuses bytecode compiled by any other solver (across
+    /// definitions, batch workers and daemon requests).
+    pub fn with_program_cache(mut self, programs: Arc<SharedProgramCache>) -> Engine {
+        self.programs = Some(programs);
+        self
+    }
+
+    /// The attached compiled-program memo, if any.
+    pub fn program_cache(&self) -> Option<&Arc<SharedProgramCache>> {
+        self.programs.as_ref()
     }
 
     /// Overrides the heuristics configuration (used by the ablation bench).
@@ -190,12 +332,66 @@ impl Engine {
         &self.checker
     }
 
+    /// A stable fingerprint of every engine knob that can influence a
+    /// verdict: the solver configuration, the system level, and the
+    /// checker's cost model and heuristics.  Keys [`DefIndex`] input hashes
+    /// and `rel-persist` snapshot headers: verdicts recorded under one
+    /// fingerprint are never replayed under another.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::default();
+        h.write_u64(self.solve_config.fingerprint());
+        format!("{:?}", self.level).hash(&mut h);
+        format!("{:?}", self.checker).hash(&mut h);
+        h.finish()
+    }
+
     /// Checks a whole program.
     pub fn check_program(&self, program: &Program) -> ProgramReport {
+        self.check_program_with(program, None)
+    }
+
+    /// Checks a whole program, optionally against a [`DefIndex`].
+    ///
+    /// With an index, each definition's input hash is computed first (a
+    /// formatting pass over the AST — no constraint generation): a recorded
+    /// hash replays the stored verdict as a `skipped_unchanged` report with
+    /// zero solver work, and a fresh hash is checked normally and recorded.
+    /// Without an index this is exactly [`Engine::check_program`].
+    pub fn check_program_with(&self, program: &Program, index: Option<&DefIndex>) -> ProgramReport {
         let mut ctx = RelCtx::new();
         let mut report = ProgramReport::default();
+        // `chain` folds the interfaces (name + type) of the definitions seen
+        // so far into each subsequent input hash: a definition's verdict
+        // depends on the typing context it is checked in, so editing an
+        // earlier interface must re-check every later definition.
+        let mut chain = index.map(|_| HashChain::root(self.fingerprint()));
         for def in program.iter() {
-            let def_report = self.check_def_in(&ctx, def);
+            let def_report = match (index, chain) {
+                (Some(index), Some(c)) => {
+                    let (input_hash, verify_hash) = c.def_input_hash(def);
+                    match index.lookup(input_hash, verify_hash) {
+                        Some(stored) => skipped_report(def, input_hash, stored),
+                        None => {
+                            let mut r = self.check_def_in(&ctx, def);
+                            r.input_hash = input_hash;
+                            index.insert(
+                                input_hash,
+                                verify_hash,
+                                StoredDef {
+                                    name: r.name.clone(),
+                                    ok: r.ok,
+                                    error: r.error.clone(),
+                                },
+                            );
+                            r
+                        }
+                    }
+                }
+                _ => self.check_def_in(&ctx, def),
+            };
+            if let Some(c) = chain.as_mut() {
+                *c = c.extend_interface(def);
+            }
             ctx = ctx.bind_var(def.name.clone(), def.ty.clone());
             report.defs.push(def_report);
         }
@@ -251,6 +447,8 @@ impl Engine {
                 programs_compiled: sess.solver.stats().programs_compiled,
                 program_cache_hits: sess.solver.stats().program_cache_hits,
                 points_evaluated: sess.solver.stats().points_evaluated,
+                input_hash: 0,
+                skipped_unchanged: false,
             },
             Ok(constraint) => {
                 let atoms = constraint.atom_count();
@@ -279,20 +477,24 @@ impl Engine {
                         + sess.solver.stats().programs_compiled,
                     program_cache_hits: stats.program_cache_hits
                         + sess.solver.stats().program_cache_hits,
-                    points_evaluated: stats.points_evaluated
-                        + sess.solver.stats().points_evaluated,
+                    points_evaluated: stats.points_evaluated + sess.solver.stats().points_evaluated,
+                    input_hash: 0,
+                    skipped_unchanged: false,
                 }
             }
         }
     }
 
-    /// A solver configured like this engine (and sharing its cache, if any).
+    /// A solver configured like this engine (and sharing its caches, if any).
     fn new_solver(&self) -> Solver {
-        let solver = Solver::with_config(self.solve_config.clone());
-        match &self.cache {
-            Some(cache) => solver.with_cache(Arc::clone(cache)),
-            None => solver,
+        let mut solver = Solver::with_config(self.solve_config.clone());
+        if let Some(cache) = &self.cache {
+            solver = solver.with_cache(Arc::clone(cache));
         }
+        if let Some(programs) = &self.programs {
+            solver = solver.with_program_cache(Arc::clone(programs));
+        }
+        solver
     }
 
     fn describe_failure(&self, constraint: &Constr) -> String {
@@ -300,6 +502,94 @@ impl Engine {
             "the generated constraints ({} atomic comparisons) are not valid",
             constraint.atom_count()
         )
+    }
+}
+
+/// Salt separating the verify-hash stream from the primary one (an
+/// arbitrary odd constant, 2⁶⁴/φ).
+const VERIFY_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The rolling context hash behind definition input hashes: two
+/// independently seeded FNV-1a streams over the engine fingerprint and the
+/// interfaces (name + type) of the definitions seen so far.
+///
+/// Two streams because the def index replays verdicts *by hash* — the full
+/// input (a rendering of the whole AST plus context) is deliberately not
+/// stored, unlike the other memo layers whose keys are small.  A single
+/// 64-bit hash would make an accidental collision replay the wrong verdict
+/// silently; the paired 128 bits push accidental collisions out of reach
+/// (~2⁻⁶⁴ at birthday scale for any feasible index size).  FNV is not
+/// collision-*resistant* against an adversary crafting sources, so a
+/// deployment checking hostile input at scale should upgrade this to a
+/// keyed hash with a per-snapshot secret — the two-stream structure is the
+/// seam for it.
+///
+/// Definitions are serialized via their `Debug` rendering — deterministic
+/// and total; `Debug`-identical definitions check identically by
+/// construction.  Cross-*version* stability is governed by the snapshot
+/// format version, not by this hash (see DESIGN.md §6).
+#[derive(Debug, Clone, Copy)]
+struct HashChain {
+    primary: u64,
+    verify: u64,
+}
+
+impl HashChain {
+    /// The chain at the start of a program.
+    fn root(engine_fingerprint: u64) -> HashChain {
+        HashChain {
+            primary: engine_fingerprint,
+            verify: fold(VERIFY_SALT, engine_fingerprint, ""),
+        }
+    }
+
+    /// The `(input_hash, verify_hash)` pair of one definition in this
+    /// context.
+    fn def_input_hash(&self, def: &Def) -> (u64, u64) {
+        let rendered = format!("{def:?}");
+        (
+            fold(0, self.primary, &rendered),
+            fold(VERIFY_SALT, self.verify, &rendered),
+        )
+    }
+
+    /// The chain after this definition's interface (name + type) enters the
+    /// typing context.
+    fn extend_interface(&self, def: &Def) -> HashChain {
+        let interface = format!("{:?}|{:?}", def.name, def.ty);
+        HashChain {
+            primary: fold(0, self.primary, &interface),
+            verify: fold(VERIFY_SALT, self.verify, &interface),
+        }
+    }
+}
+
+/// One FNV-1a fold of `(salt, seed, payload)`.
+fn fold(salt: u64, seed: u64, payload: &str) -> u64 {
+    let mut h = Fnv1a::default();
+    h.write_u64(salt);
+    h.write_u64(seed);
+    payload.hash(&mut h);
+    h.finish()
+}
+
+/// The report replayed for a definition whose input hash is unchanged.
+fn skipped_report(def: &Def, input_hash: u64, stored: StoredDef) -> DefReport {
+    DefReport {
+        name: def.name.name().to_string(),
+        ok: stored.ok,
+        error: stored.error,
+        timings: PhaseTimings::default(),
+        constraint_atoms: 0,
+        existential_vars: 0,
+        annotations: def.annotation_count(),
+        cache_hits: 0,
+        cache_misses: 0,
+        programs_compiled: 0,
+        program_cache_hits: 0,
+        points_evaluated: 0,
+        input_hash,
+        skipped_unchanged: true,
     }
 }
 
@@ -373,6 +663,163 @@ mod tests {
         assert!(cold.cache_misses() > 0);
         assert!(warm.cache_hits() > 0, "warm rerun must hit the cache");
         assert!(cache.stats().entries > 0);
+    }
+
+    #[test]
+    fn incremental_recheck_skips_unchanged_defs_with_zero_solver_work() {
+        let src = r#"
+            def not2 : boolr -> boolr = lam b. if b then false else true;
+            def use : boolr -> boolr = lam b. not2 (not2 b);
+        "#;
+        let program = parse_program(src).unwrap();
+        let engine = Engine::new();
+        let index = DefIndex::new();
+
+        let cold = engine.check_program_with(&program, Some(&index));
+        assert!(cold.all_ok());
+        assert_eq!(cold.skipped_unchanged(), 0);
+        assert_eq!(index.len(), 2);
+        for d in &cold.defs {
+            assert_ne!(d.input_hash, 0);
+        }
+
+        let warm = engine.check_program_with(&program, Some(&index));
+        assert!(warm.all_ok());
+        assert_eq!(warm.skipped_unchanged(), 2);
+        for (c, w) in cold.defs.iter().zip(&warm.defs) {
+            assert_eq!(c.ok, w.ok);
+            assert_eq!(c.input_hash, w.input_hash, "hashes must be reproducible");
+            assert!(w.skipped_unchanged);
+            // Zero solver work of any kind for a skipped definition.
+            assert_eq!(w.points_evaluated, 0);
+            assert_eq!(w.cache_misses, 0);
+            assert_eq!(w.programs_compiled, 0);
+            assert_eq!(w.timings.total(), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn editing_an_earlier_interface_recheck_later_defs() {
+        let base = r#"
+            def not2 : boolr -> boolr = lam b. if b then false else true;
+            def use : boolr -> boolr = lam b. not2 (not2 b);
+        "#;
+        // Same `use` source text, but the interface it sees changed (the
+        // body of not2 is different — its interface string is the same, so
+        // only not2 itself re-checks)…
+        let body_edit = r#"
+            def not2 : boolr -> boolr = lam b. if b then false else false;
+            def use : boolr -> boolr = lam b. not2 (not2 b);
+        "#;
+        let engine = Engine::new();
+        let index = DefIndex::new();
+        engine.check_program_with(&parse_program(base).unwrap(), Some(&index));
+
+        let edited = engine.check_program_with(&parse_program(body_edit).unwrap(), Some(&index));
+        assert!(
+            !edited.defs[0].skipped_unchanged,
+            "edited def must re-check"
+        );
+        assert!(
+            edited.defs[1].skipped_unchanged,
+            "unchanged def behind an unchanged interface is skipped"
+        );
+
+        // …whereas a changed *type* on not2 re-checks `use` too.
+        let iface_edit = r#"
+            def not2 : boolr ->[1] boolr = lam b. if b then false else true;
+            def use : boolr -> boolr = lam b. not2 (not2 b);
+        "#;
+        let edited = engine.check_program_with(&parse_program(iface_edit).unwrap(), Some(&index));
+        assert!(!edited.defs[0].skipped_unchanged);
+        assert!(
+            !edited.defs[1].skipped_unchanged,
+            "an interface edit invalidates every later definition"
+        );
+    }
+
+    #[test]
+    fn def_index_epoch_evicts_at_capacity() {
+        let stored = |n: u64| StoredDef {
+            name: format!("d{n}"),
+            ok: true,
+            error: None,
+        };
+        let index = DefIndex::with_capacity(2);
+        for h in 0..3 {
+            index.insert(h, h + 100, stored(h));
+        }
+        // The third insert cleared the full index first.
+        assert_eq!(index.len(), 1);
+        assert!(index.lookup(2, 102).is_some());
+        assert!(index.lookup(0, 100).is_none());
+        // Overwriting a recorded hash never evicts.
+        index.insert(2, 102, stored(9));
+        index.insert(2, 102, stored(10));
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.lookup(2, 102).unwrap().name, "d10");
+    }
+
+    #[test]
+    fn def_index_rejects_primary_hash_collisions() {
+        let index = DefIndex::new();
+        index.insert(
+            7,
+            1111,
+            StoredDef {
+                name: "real".to_string(),
+                ok: true,
+                error: None,
+            },
+        );
+        // Same primary hash, different verify hash: a collision — a miss,
+        // never a replay of the wrong definition's verdict.
+        assert!(index.lookup(7, 2222).is_none());
+        assert!(index.lookup(7, 1111).is_some());
+    }
+
+    #[test]
+    fn different_engine_configs_never_share_def_hashes() {
+        let program = parse_program("def id : boolr -> boolr = lam x. x;").unwrap();
+        let index = DefIndex::new();
+        Engine::new().check_program_with(&program, Some(&index));
+        let relref = Engine::new()
+            .at_level(SystemLevel::RelRef)
+            .check_program_with(&program, Some(&index));
+        assert!(
+            !relref.defs[0].skipped_unchanged,
+            "a RelRef engine must not replay RelCost verdicts"
+        );
+        assert_ne!(Engine::new().fingerprint(), {
+            Engine::new().at_level(SystemLevel::RelRef).fingerprint()
+        });
+    }
+
+    #[test]
+    fn shared_program_cache_is_wired_through_the_engine() {
+        use rel_constraint::SharedProgramCache;
+        // A def whose constraints reach the numeric layer, so bytecode gets
+        // compiled: a cost-bound claim settled by grid evaluation.
+        let src = "def two : UU int @ 2 = 1 + 1 + 1 ~ 3;";
+        let program = parse_program(src).unwrap();
+        let programs = Arc::new(SharedProgramCache::new());
+        let engine = Engine::new().with_program_cache(Arc::clone(&programs));
+
+        let first = engine.check_program(&program);
+        assert!(first.all_ok());
+        let compiled_cold = first.programs_compiled();
+
+        let second = engine.check_program(&program);
+        assert!(second.all_ok());
+        assert_eq!(
+            second.programs_compiled(),
+            0,
+            "every program must come from the shared memo on the second run"
+        );
+        if compiled_cold > 0 {
+            assert!(second.program_cache_hits() > 0);
+            assert!(programs.stats().entries > 0);
+        }
     }
 
     #[test]

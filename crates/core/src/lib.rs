@@ -40,6 +40,6 @@ pub mod relstlc;
 pub mod subtype;
 
 pub use bidir::{RelChecker, RelInference, Session};
-pub use engine::{DefReport, Engine, PhaseTimings, ProgramReport};
+pub use engine::{DefIndex, DefReport, Engine, PhaseTimings, ProgramReport, StoredDef};
 pub use heuristics::Heuristics;
 pub use subtype::rel_subtype;

@@ -142,14 +142,34 @@ mod tests {
 
     #[test]
     fn identical_booleans_relate_at_boolr_and_boolu() {
-        assert!(declarative(&vec![], &e("true"), &e("true"), &StlcType::BoolR));
-        assert!(declarative(&vec![], &e("true"), &e("true"), &StlcType::BoolU));
+        assert!(declarative(
+            &vec![],
+            &e("true"),
+            &e("true"),
+            &StlcType::BoolR
+        ));
+        assert!(declarative(
+            &vec![],
+            &e("true"),
+            &e("true"),
+            &StlcType::BoolU
+        ));
     }
 
     #[test]
     fn different_booleans_relate_only_at_boolu() {
-        assert!(!declarative(&vec![], &e("true"), &e("false"), &StlcType::BoolR));
-        assert!(declarative(&vec![], &e("true"), &e("false"), &StlcType::BoolU));
+        assert!(!declarative(
+            &vec![],
+            &e("true"),
+            &e("false"),
+            &StlcType::BoolR
+        ));
+        assert!(declarative(
+            &vec![],
+            &e("true"),
+            &e("false"),
+            &StlcType::BoolU
+        ));
     }
 
     #[test]
@@ -199,14 +219,14 @@ mod tests {
     #[test]
     fn application_uses_checking_for_arguments() {
         let ctx = vec![
-            (Var::new("f"), StlcType::arrow(StlcType::BoolU, StlcType::BoolR)),
+            (
+                Var::new("f"),
+                StlcType::arrow(StlcType::BoolU, StlcType::BoolR),
+            ),
             (Var::new("x"), StlcType::BoolR),
         ];
         // f x : the argument x (boolr) is accepted where boolu is expected.
-        assert_eq!(
-            infer(&ctx, &e("f x"), &e("f x")).unwrap(),
-            StlcType::BoolR
-        );
+        assert_eq!(infer(&ctx, &e("f x"), &e("f x")).unwrap(), StlcType::BoolR);
     }
 
     #[test]

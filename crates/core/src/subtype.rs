@@ -144,11 +144,7 @@ pub fn rel_subtype(sub: &RelType, sup: &RelType) -> Result<Constr, TypeError> {
             }
             if let RelType::Boxed(inner2) = e2.as_ref() {
                 if let Ok(c) = rel_subtype(e1, inner2) {
-                    paths.push(
-                        base.clone()
-                            .and(c)
-                            .and(Constr::eq(a1.clone(), Idx::zero())),
-                    );
+                    paths.push(base.clone().and(c).and(Constr::eq(a1.clone(), Idx::zero())));
                 }
             }
             or_paths(paths, sub, sup)
@@ -313,7 +309,12 @@ mod tests {
             RelType::arrow(RelType::BoolR, Idx::var("t"), RelType::IntR),
         ] {
             assert!(
-                holds(&t, &t, &[("n", Sort::Nat), ("a", Sort::Nat), ("t", Sort::Real)], Constr::Top),
+                holds(
+                    &t,
+                    &t,
+                    &[("n", Sort::Nat), ("a", Sort::Nat), ("t", Sort::Real)],
+                    Constr::Top
+                ),
                 "expected {t:?} ⊑ {t:?}"
             );
         }
@@ -322,7 +323,12 @@ mod tests {
     #[test]
     fn boolr_is_a_subtype_of_boolu_but_not_conversely() {
         assert!(holds(&RelType::BoolR, &RelType::bool_u(), &[], Constr::Top));
-        assert!(!holds(&RelType::bool_u(), &RelType::BoolR, &[], Constr::Top));
+        assert!(!holds(
+            &RelType::bool_u(),
+            &RelType::BoolR,
+            &[],
+            Constr::Top
+        ));
     }
 
     #[test]
@@ -336,13 +342,23 @@ mod tests {
             &[("n", Sort::Nat), ("a", Sort::Nat)],
             Constr::leq(Idx::var("a"), Idx::var("n"))
         ));
-        assert!(!holds(&sub, &sup, &[("n", Sort::Nat), ("a", Sort::Nat)], Constr::Top));
+        assert!(!holds(
+            &sub,
+            &sup,
+            &[("n", Sort::Nat), ("a", Sort::Nat)],
+            Constr::Top
+        ));
     }
 
     #[test]
     fn boxed_types_strip_and_distribute() {
         // □τ ⊑ τ  (rule T)
-        assert!(holds(&RelType::boxed(RelType::BoolR), &RelType::BoolR, &[], Constr::Top));
+        assert!(holds(
+            &RelType::boxed(RelType::BoolR),
+            &RelType::BoolR,
+            &[],
+            Constr::Top
+        ));
         // □(τ₁ →diff(t) τ₂) ⊑ □τ₁ →diff(0) □τ₂
         let sub = RelType::boxed(RelType::arrow(RelType::IntR, Idx::var("t"), RelType::IntR));
         let sup = RelType::arrow(
@@ -358,8 +374,18 @@ mod tests {
 
     #[test]
     fn diagonal_base_types_are_their_own_box() {
-        assert!(holds(&RelType::IntR, &RelType::boxed(RelType::IntR), &[], Constr::Top));
-        assert!(holds(&RelType::UnitR, &RelType::boxed(RelType::UnitR), &[], Constr::Top));
+        assert!(holds(
+            &RelType::IntR,
+            &RelType::boxed(RelType::IntR),
+            &[],
+            Constr::Top
+        ));
+        assert!(holds(
+            &RelType::UnitR,
+            &RelType::boxed(RelType::UnitR),
+            &[],
+            Constr::Top
+        ));
         // But an unrelated pair is not.
         assert!(!holds(
             &RelType::bool_u(),
@@ -372,10 +398,19 @@ mod tests {
     #[test]
     fn lists_box_exactly_when_they_have_no_differences() {
         // list[n]^a (U int) ⊑ □(list[n]^a (U int)) holds under a = 0 (rules l2 + l).
-        let sub = RelType::list(Idx::var("n"), Idx::var("a"), RelType::u_same(UnaryType::Int));
+        let sub = RelType::list(
+            Idx::var("n"),
+            Idx::var("a"),
+            RelType::u_same(UnaryType::Int),
+        );
         let sup = RelType::boxed(sub.clone());
         let u = [("n", Sort::Nat), ("a", Sort::Nat)];
-        assert!(holds(&sub, &sup, &u, Constr::eq(Idx::var("a"), Idx::zero())));
+        assert!(holds(
+            &sub,
+            &sup,
+            &u,
+            Constr::eq(Idx::var("a"), Idx::zero())
+        ));
         assert!(!holds(&sub, &sup, &u, Constr::Top));
     }
 
@@ -387,7 +422,12 @@ mod tests {
             UnaryType::list(Idx::var("n"), UnaryType::Int),
             UnaryType::list(Idx::var("n"), UnaryType::Int),
         );
-        assert!(holds(&sub, &sup, &[("n", Sort::Nat), ("a", Sort::Nat)], Constr::Top));
+        assert!(holds(
+            &sub,
+            &sup,
+            &[("n", Sort::Nat), ("a", Sort::Nat)],
+            Constr::Top
+        ));
     }
 
     #[test]
@@ -397,7 +437,11 @@ mod tests {
             UnaryType::list(Idx::var("n"), UnaryType::Int),
             UnaryType::list(Idx::var("n"), UnaryType::Int),
         );
-        let sup = RelType::list(Idx::var("n"), Idx::var("n"), RelType::u_same(UnaryType::Int));
+        let sup = RelType::list(
+            Idx::var("n"),
+            Idx::var("n"),
+            RelType::u_same(UnaryType::Int),
+        );
         assert!(holds(&sub, &sup, &[("n", Sort::Nat)], Constr::Top));
     }
 

@@ -82,7 +82,10 @@ impl fmt::Display for EvalError {
             EvalError::UnboundVariable(v) => write!(f, "unbound index variable `{v}`"),
             EvalError::InfiniteSumBound => write!(f, "summation bound evaluated to infinity"),
             EvalError::SumRangeTooLarge(n) => {
-                write!(f, "summation range of {n} terms exceeds the evaluation limit")
+                write!(
+                    f,
+                    "summation range of {n} terms exceeds the evaluation limit"
+                )
             }
         }
     }
@@ -171,8 +174,14 @@ mod tests {
     #[test]
     fn ceil_floor_and_halves() {
         let e = env(&[("n", 7)]);
-        assert_eq!(Idx::half_ceil(Idx::var("n")).eval(&e).unwrap(), Extended::from(4));
-        assert_eq!(Idx::half_floor(Idx::var("n")).eval(&e).unwrap(), Extended::from(3));
+        assert_eq!(
+            Idx::half_ceil(Idx::var("n")).eval(&e).unwrap(),
+            Extended::from(4)
+        );
+        assert_eq!(
+            Idx::half_floor(Idx::var("n")).eval(&e).unwrap(),
+            Extended::from(3)
+        );
     }
 
     #[test]

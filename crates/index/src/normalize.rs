@@ -142,11 +142,7 @@ fn fold_max(a: Idx, b: Idx) -> Idx {
     }
 }
 
-fn fold_unary_const(
-    a: Idx,
-    rebuild: fn(Box<Idx>) -> Idx,
-    op: fn(Extended) -> Extended,
-) -> Idx {
+fn fold_unary_const(a: Idx, rebuild: fn(Box<Idx>) -> Idx, op: fn(Extended) -> Extended) -> Idx {
     match a.as_const() {
         Some(x) => lift(op(x)),
         None => rebuild(Box::new(a)),
@@ -202,10 +198,7 @@ mod tests {
 
     #[test]
     fn definitely_equal_sees_through_arithmetic() {
-        assert!(definitely_equal(
-            &(Idx::nat(1) + Idx::nat(2)),
-            &Idx::nat(3)
-        ));
+        assert!(definitely_equal(&(Idx::nat(1) + Idx::nat(2)), &Idx::nat(3)));
         assert!(!definitely_equal(&Idx::var("n"), &Idx::var("m")));
     }
 

@@ -524,7 +524,12 @@ mod tests {
     #[test]
     fn free_vars_are_cached_and_respect_binders() {
         let mut pool = IdxPool::new();
-        let t = Idx::sum("i", Idx::zero(), Idx::var("h"), Idx::var("i") * Idx::var("a"));
+        let t = Idx::sum(
+            "i",
+            Idx::zero(),
+            Idx::var("h"),
+            Idx::var("i") * Idx::var("a"),
+        );
         let id = pool.intern(&t);
         let fv = pool.free_vars(id);
         assert!(fv.contains(&IdxVar::new("h")));
@@ -576,12 +581,18 @@ mod tests {
                 inner.clone().prop_map(Idx::ceil),
                 inner.clone().prop_map(Idx::floor),
                 inner.clone().prop_map(Idx::log2),
-                inner.clone().prop_map(|a| Idx::pow2(Idx::min(a, Idx::nat(5)))),
+                inner
+                    .clone()
+                    .prop_map(|a| Idx::pow2(Idx::min(a, Idx::nat(5)))),
                 // Σ exercises the binder paths: free-var filtering, the
                 // normalize memo across shared subterms, and shadowing (the
                 // bound `n` shadows the free variable of the same name).
-                (inner.clone(), inner.clone())
-                    .prop_map(|(hi, body)| Idx::sum("n", Idx::zero(), hi, body)),
+                (inner.clone(), inner.clone()).prop_map(|(hi, body)| Idx::sum(
+                    "n",
+                    Idx::zero(),
+                    hi,
+                    body
+                )),
             ]
         })
     }

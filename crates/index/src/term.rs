@@ -174,14 +174,16 @@ impl Idx {
                 acc.insert(v.clone());
             }
             Idx::Const(_) | Idx::Infty => {}
-            Idx::Add(a, b) | Idx::Sub(a, b) | Idx::Mul(a, b) | Idx::Div(a, b) | Idx::Min(a, b)
+            Idx::Add(a, b)
+            | Idx::Sub(a, b)
+            | Idx::Mul(a, b)
+            | Idx::Div(a, b)
+            | Idx::Min(a, b)
             | Idx::Max(a, b) => {
                 a.collect_free_vars(acc);
                 b.collect_free_vars(acc);
             }
-            Idx::Ceil(a) | Idx::Floor(a) | Idx::Log2(a) | Idx::Pow2(a) => {
-                a.collect_free_vars(acc)
-            }
+            Idx::Ceil(a) | Idx::Floor(a) | Idx::Log2(a) | Idx::Pow2(a) => a.collect_free_vars(acc),
             Idx::Sum { var, lo, hi, body } => {
                 lo.collect_free_vars(acc);
                 hi.collect_free_vars(acc);
@@ -198,7 +200,11 @@ impl Idx {
         match self {
             Idx::Var(w) => w == v,
             Idx::Const(_) | Idx::Infty => false,
-            Idx::Add(a, b) | Idx::Sub(a, b) | Idx::Mul(a, b) | Idx::Div(a, b) | Idx::Min(a, b)
+            Idx::Add(a, b)
+            | Idx::Sub(a, b)
+            | Idx::Mul(a, b)
+            | Idx::Div(a, b)
+            | Idx::Min(a, b)
             | Idx::Max(a, b) => a.mentions(v) || b.mentions(v),
             Idx::Ceil(a) | Idx::Floor(a) | Idx::Log2(a) | Idx::Pow2(a) => a.mentions(v),
             Idx::Sum { var, lo, hi, body } => {
@@ -250,7 +256,12 @@ impl Idx {
             Idx::Floor(a) => Idx::Floor(Box::new(a.subst(var, replacement))),
             Idx::Log2(a) => Idx::Log2(Box::new(a.subst(var, replacement))),
             Idx::Pow2(a) => Idx::Pow2(Box::new(a.subst(var, replacement))),
-            Idx::Sum { var: b, lo, hi, body } => {
+            Idx::Sum {
+                var: b,
+                lo,
+                hi,
+                body,
+            } => {
                 let lo = lo.subst(var, replacement);
                 let hi = hi.subst(var, replacement);
                 if b == var {
@@ -358,7 +369,11 @@ impl Idx {
     pub fn size(&self) -> usize {
         match self {
             Idx::Var(_) | Idx::Const(_) | Idx::Infty => 1,
-            Idx::Add(a, b) | Idx::Sub(a, b) | Idx::Mul(a, b) | Idx::Div(a, b) | Idx::Min(a, b)
+            Idx::Add(a, b)
+            | Idx::Sub(a, b)
+            | Idx::Mul(a, b)
+            | Idx::Div(a, b)
+            | Idx::Min(a, b)
             | Idx::Max(a, b) => 1 + a.size() + b.size(),
             Idx::Ceil(a) | Idx::Floor(a) | Idx::Log2(a) | Idx::Pow2(a) => 1 + a.size(),
             Idx::Sum { lo, hi, body, .. } => 1 + lo.size() + hi.size() + body.size(),
@@ -445,7 +460,12 @@ mod tests {
 
     #[test]
     fn free_vars_ignores_bound_summation_variable() {
-        let s = Idx::sum("i", Idx::zero(), Idx::var("h"), Idx::var("i") * Idx::var("alpha"));
+        let s = Idx::sum(
+            "i",
+            Idx::zero(),
+            Idx::var("h"),
+            Idx::var("i") * Idx::var("alpha"),
+        );
         let fv = s.free_vars();
         assert!(fv.contains(&IdxVar::new("h")));
         assert!(fv.contains(&IdxVar::new("alpha")));
@@ -454,7 +474,12 @@ mod tests {
 
     #[test]
     fn subst_replaces_free_occurrences_only() {
-        let s = Idx::sum("i", Idx::zero(), Idx::var("n"), Idx::var("i") + Idx::var("n"));
+        let s = Idx::sum(
+            "i",
+            Idx::zero(),
+            Idx::var("n"),
+            Idx::var("i") + Idx::var("n"),
+        );
         let replaced = s.subst(&IdxVar::new("n"), &Idx::nat(5));
         match replaced {
             Idx::Sum { hi, body, .. } => {

@@ -1,0 +1,26 @@
+//! `rel-persist` — warm-start persistence for the BiRelCost pipeline.
+//!
+//! The PR-1 validity cache and the PR-2 compiled-program memo make *warm*
+//! checks dramatically cheaper than cold ones, but both lived only in
+//! process memory: every `birelcost check` and every daemon restart started
+//! cold.  This crate makes the warm state survive the process, the way
+//! modular relational verifiers reuse previously discharged obligations
+//! across runs: a [`Snapshot`] captures the validity cache, the program
+//! memo's keys and the engine's per-definition input hashes, serializes
+//! them with an in-tree binary codec (the workspace is offline — no serde),
+//! and verifies magic / format version / engine fingerprint / checksum
+//! before trusting anything read back.
+//!
+//! Soundness is inherited from the caches being persisted: verdicts are pure
+//! functions of the query and the solver configuration (the fingerprint in
+//! the header and in every [`rel_constraint::QueryKey`]), so replaying them
+//! into a same-configuration process is exactly as sound as the in-memory
+//! memoization.  A snapshot that fails *any* validation is rejected whole —
+//! the caller warns and starts cold; a stale or corrupt cache file can slow
+//! a run down but never change a verdict.
+
+pub mod codec;
+pub mod snapshot;
+
+pub use codec::{DecodeError, Reader, Writer};
+pub use snapshot::{Snapshot, SnapshotError, FORMAT_VERSION, MAGIC};

@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use birelcost::{Engine, ProgramReport};
+use birelcost::{DefIndex, Engine, ProgramReport};
 use rel_syntax::parse_program;
 
 /// One unit of work: a named source program to check.
@@ -70,6 +70,8 @@ pub struct BatchStats {
     pub programs_compiled: usize,
     /// Compiled programs reused from solver program caches across all jobs.
     pub program_cache_hits: usize,
+    /// Definitions skipped by incremental re-checking (unchanged input hash).
+    pub skipped_unchanged: usize,
 }
 
 impl BatchStats {
@@ -90,6 +92,7 @@ impl BatchStats {
                 stats.cache_misses += report.cache_misses();
                 stats.programs_compiled += report.programs_compiled();
                 stats.program_cache_hits += report.program_cache_hits();
+                stats.skipped_unchanged += report.skipped_unchanged();
             }
         }
         stats
@@ -98,9 +101,16 @@ impl BatchStats {
 
 /// Checks one job (parse + check) with timing.
 pub fn check_job(engine: &Engine, job: &BatchJob) -> BatchResult {
+    check_job_with(engine, None, job)
+}
+
+/// [`check_job`] with an optional [`DefIndex`] for incremental re-checking:
+/// definitions whose input hash the index already records are skipped and
+/// replayed (see `Engine::check_program_with`).
+pub fn check_job_with(engine: &Engine, index: Option<&DefIndex>, job: &BatchJob) -> BatchResult {
     let start = Instant::now();
     let outcome = match parse_program(&job.source) {
-        Ok(program) => Ok(engine.check_program(&program)),
+        Ok(program) => Ok(engine.check_program_with(&program, index)),
         Err(e) => Err(format!("parse error: {e}")),
     };
     BatchResult {
@@ -115,12 +125,28 @@ pub fn check_job(engine: &Engine, job: &BatchJob) -> BatchResult {
 /// `workers == 0` or `workers == 1` degrade to a sequential in-thread loop
 /// (no threads spawned), so callers can use one code path for both modes.
 pub fn check_batch(engine: &Engine, jobs: &[BatchJob], workers: usize) -> Vec<BatchResult> {
+    check_batch_with(engine, None, jobs, workers)
+}
+
+/// [`check_batch`] with an optional shared [`DefIndex`] (thread-safe; the
+/// workers race to record fresh hashes, which is benign — both would record
+/// the same verdict).
+pub fn check_batch_with(
+    engine: &Engine,
+    index: Option<&DefIndex>,
+    jobs: &[BatchJob],
+    workers: usize,
+) -> Vec<BatchResult> {
     if workers <= 1 || jobs.len() <= 1 {
-        return jobs.iter().map(|job| check_job(engine, job)).collect();
+        return jobs
+            .iter()
+            .map(|job| check_job_with(engine, index, job))
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<BatchResult>>> = Mutex::new((0..jobs.len()).map(|_| None).collect());
+    let results: Mutex<Vec<Option<BatchResult>>> =
+        Mutex::new((0..jobs.len()).map(|_| None).collect());
     let workers = workers.min(jobs.len());
 
     std::thread::scope(|scope| {
@@ -130,7 +156,7 @@ pub fn check_batch(engine: &Engine, jobs: &[BatchJob], workers: usize) -> Vec<Ba
                 if i >= jobs.len() {
                     break;
                 }
-                let result = check_job(engine, &jobs[i]);
+                let result = check_job_with(engine, index, &jobs[i]);
                 results.lock().expect("batch results poisoned")[i] = Some(result);
             });
         }

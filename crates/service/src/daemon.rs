@@ -8,6 +8,10 @@
 //! {"check": "<source>", "id": X}   same, echoing X back in the response
 //! {"batch": ["<src>", ...]}        check several programs on the worker pool
 //! {"stats": true}                  report service/cache counters
+//! {"cache": "stats"}               full cache counters (validity + programs
+//!                                  + persistence loads/saves)
+//! {"cache": "flush"}               snapshot the warm state to the cache file
+//! {"cache": "clear"}               drop all memoized state
 //! ```
 //!
 //! Every response carries `"cache"` counters so a harness can watch hit rates
@@ -58,9 +62,7 @@ pub fn serve<R: BufRead, W: Write>(
 pub fn respond(service: &Service, line: &str) -> Value {
     let request = match json::parse(line) {
         Ok(v) => v,
-        Err(e) => {
-            return Value::obj([("error", Value::Str(format!("malformed request: {e}")))])
-        }
+        Err(e) => return Value::obj([("error", Value::Str(format!("malformed request: {e}")))]),
     };
     let id = request.get("id").cloned();
     let mut response = match dispatch(service, &request) {
@@ -86,14 +88,48 @@ fn dispatch(service: &Service, request: &Value) -> Result<Value, String> {
         };
         let sources: Vec<&str> = items
             .iter()
-            .map(|v| v.as_str().ok_or_else(|| "batch items must be strings".to_string()))
+            .map(|v| {
+                v.as_str()
+                    .ok_or_else(|| "batch items must be strings".to_string())
+            })
             .collect::<Result<_, _>>()?;
         return Ok(batch_response(service, &sources));
     }
     if request.get("stats").is_some() {
         return Ok(Value::obj([("cache", cache_value(service))]));
     }
-    Err("unknown request: expected `check`, `batch` or `stats`".to_string())
+    if let Some(command) = request.get("cache") {
+        let command = command.as_str().ok_or_else(|| {
+            "the `cache` field must be \"stats\", \"flush\" or \"clear\"".to_string()
+        })?;
+        return cache_command(service, command);
+    }
+    Err("unknown request: expected `check`, `batch`, `stats` or `cache`".to_string())
+}
+
+/// Handles `{"cache": "stats" | "flush" | "clear"}`.
+fn cache_command(service: &Service, command: &str) -> Result<Value, String> {
+    match command {
+        "stats" => Ok(Value::obj([("cache", full_cache_value(service))])),
+        "flush" => {
+            let verdicts = service.save_cache()?;
+            Ok(Value::obj([
+                ("flushed", Value::Bool(true)),
+                ("verdicts", Value::Int(verdicts as i64)),
+                ("cache", full_cache_value(service)),
+            ]))
+        }
+        "clear" => {
+            service.clear_cache();
+            Ok(Value::obj([
+                ("cleared", Value::Bool(true)),
+                ("cache", full_cache_value(service)),
+            ]))
+        }
+        other => Err(format!(
+            "unknown cache command `{other}`: expected \"stats\", \"flush\" or \"clear\""
+        )),
+    }
 }
 
 fn check_response(service: &Service, source: &str) -> Value {
@@ -103,10 +139,7 @@ fn check_response(service: &Service, source: &str) -> Value {
             ("defs", defs_value(&report)),
             ("cache", cache_value(service)),
         ]),
-        Err(e) => Value::obj([
-            ("error", Value::Str(e)),
-            ("cache", cache_value(service)),
-        ]),
+        Err(e) => Value::obj([("error", Value::Str(e)), ("cache", cache_value(service))]),
     }
 }
 
@@ -160,21 +193,31 @@ fn def_value(def: &DefReport) -> Value {
                 None => Value::Null,
             },
         ),
-        ("typecheck_us", Value::Int(def.timings.typecheck.as_micros() as i64)),
+        (
+            "typecheck_us",
+            Value::Int(def.timings.typecheck.as_micros() as i64),
+        ),
         (
             "exelim_us",
             Value::Int(def.timings.existential_elim.as_micros() as i64),
         ),
-        ("solving_us", Value::Int(def.timings.solving.as_micros() as i64)),
+        (
+            "solving_us",
+            Value::Int(def.timings.solving.as_micros() as i64),
+        ),
         ("constraint_atoms", Value::Int(def.constraint_atoms as i64)),
         ("cache_hits", Value::Int(def.cache_hits as i64)),
         ("cache_misses", Value::Int(def.cache_misses as i64)),
-        ("programs_compiled", Value::Int(def.programs_compiled as i64)),
+        (
+            "programs_compiled",
+            Value::Int(def.programs_compiled as i64),
+        ),
         (
             "program_cache_hits",
             Value::Int(def.program_cache_hits as i64),
         ),
         ("points_evaluated", Value::Int(def.points_evaluated as i64)),
+        ("skipped_unchanged", Value::Bool(def.skipped_unchanged)),
     ])
 }
 
@@ -184,5 +227,32 @@ fn cache_value(service: &Service) -> Value {
         ("hits", Value::Int(stats.hits as i64)),
         ("misses", Value::Int(stats.misses as i64)),
         ("entries", Value::Int(stats.entries as i64)),
+    ])
+}
+
+/// The `{"cache": "stats"}` payload: validity-cache counters plus the
+/// program memo, def index and persistence-layer counters.
+fn full_cache_value(service: &Service) -> Value {
+    let validity = service.cache_stats();
+    let programs = service.program_cache_stats();
+    let persist = service.persist_stats();
+    Value::obj([
+        ("hits", Value::Int(validity.hits as i64)),
+        ("misses", Value::Int(validity.misses as i64)),
+        ("entries", Value::Int(validity.entries as i64)),
+        ("evictions", Value::Int(validity.evictions as i64)),
+        ("program_hits", Value::Int(programs.hits as i64)),
+        ("program_misses", Value::Int(programs.misses as i64)),
+        ("program_entries", Value::Int(programs.entries as i64)),
+        ("def_entries", Value::Int(service.def_index().len() as i64)),
+        ("loads", Value::Int(persist.loads as i64)),
+        ("saves", Value::Int(persist.saves as i64)),
+        (
+            "file",
+            match &persist.path {
+                Some(p) => Value::Str(p.display().to_string()),
+                None => Value::Null,
+            },
+        ),
     ])
 }

@@ -290,8 +290,7 @@ impl Parser<'_> {
                                 if !(0xDC00..0xE000).contains(&lo) {
                                     return Err(self.error("invalid low surrogate"));
                                 }
-                                let code =
-                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
                                 char::from_u32(code)
                             } else {
                                 char::from_u32(hi)
@@ -403,7 +402,9 @@ mod tests {
         let v = parse(r#"{"check": "def f;", "opts": {"jobs": 4}, "tags": [1, 2]}"#).unwrap();
         assert_eq!(v.get("check").and_then(Value::as_str), Some("def f;"));
         assert_eq!(
-            v.get("opts").and_then(|o| o.get("jobs")).and_then(Value::as_int),
+            v.get("opts")
+                .and_then(|o| o.get("jobs"))
+                .and_then(Value::as_int),
             Some(4)
         );
         assert_eq!(
@@ -416,7 +417,10 @@ mod tests {
     fn string_escapes_round_trip() {
         let original = "line1\nline2\ttab \"quoted\" back\\slash \u{8} \u{1F600}";
         let serialized = Value::Str(original.to_string()).to_string();
-        assert_eq!(parse(&serialized).unwrap(), Value::Str(original.to_string()));
+        assert_eq!(
+            parse(&serialized).unwrap(),
+            Value::Str(original.to_string())
+        );
         // Explicit surrogate-pair escape decodes to the astral char.
         assert_eq!(
             parse(r#""😀""#).unwrap(),
@@ -429,14 +433,25 @@ mod tests {
         let v = Value::obj([
             ("ok", Value::Bool(true)),
             ("count", Value::Int(3)),
-            ("names", Value::Arr(vec![Value::Str("a b".into()), Value::Null])),
+            (
+                "names",
+                Value::Arr(vec![Value::Str("a b".into()), Value::Null]),
+            ),
         ]);
         assert_eq!(parse(&v.to_string()).unwrap(), v);
     }
 
     #[test]
     fn rejects_malformed_input() {
-        for bad in ["", "{", "{\"a\" 1}", "[1,", "\"unterminated", "truex", "01x"] {
+        for bad in [
+            "",
+            "{",
+            "{\"a\" 1}",
+            "[1,",
+            "\"unterminated",
+            "truex",
+            "01x",
+        ] {
             assert!(parse(bad).is_err(), "accepted `{bad}`");
         }
     }

@@ -41,6 +41,8 @@ pub mod daemon;
 pub mod json;
 pub mod service;
 
-pub use batch::{check_batch, check_job, BatchJob, BatchResult, BatchStats};
+pub use batch::{
+    check_batch, check_batch_with, check_job, check_job_with, BatchJob, BatchResult, BatchStats,
+};
 pub use daemon::{respond, serve, ServeSummary};
-pub use service::{available_workers, Service, ServiceConfig};
+pub use service::{available_workers, LoadOutcome, PersistStats, Service, ServiceConfig};

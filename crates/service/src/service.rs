@@ -1,13 +1,18 @@
-//! The serving subsystem tying engine, worker pool and validity cache
-//! together.
+//! The serving subsystem tying engine, worker pool, validity cache, program
+//! memo and warm-start persistence together.
 
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
-use birelcost::{Engine, ProgramReport};
-use rel_constraint::{CacheStats, ShardedValidityCache, ValidityCache};
+use birelcost::{DefIndex, Engine, ProgramReport};
+use rel_constraint::{
+    CacheStats, ProgramCacheStats, ShardedValidityCache, SharedProgramCache, ValidityCache,
+};
+use rel_persist::Snapshot;
 use rel_syntax::parse_program;
 
-use crate::batch::{check_batch, BatchJob, BatchResult};
+use crate::batch::{check_batch_with, BatchJob, BatchResult};
 
 /// Configuration of a [`Service`].
 #[derive(Debug, Clone)]
@@ -34,13 +39,76 @@ pub fn available_workers() -> usize {
         .unwrap_or(1)
 }
 
-/// A checking service: a shared [`Engine`], a shared validity cache, and a
-/// worker pool width.  Cheap to clone (everything is behind [`Arc`]s); safe to
-/// drive from multiple threads.
+/// Persistence counters and the configured snapshot path.
+#[derive(Debug, Default)]
+struct PersistState {
+    /// The snapshot file, once configured via [`Service::attach_cache_file`].
+    path: Option<PathBuf>,
+    /// Successful snapshot loads.
+    loads: u64,
+    /// Successful snapshot saves.
+    saves: u64,
+    /// Verdicts restored by the last successful load.
+    loaded_verdicts: u64,
+    /// Definition hashes restored by the last successful load.
+    loaded_defs: u64,
+    /// Program keys recompiled by the last successful load.
+    loaded_programs: u64,
+    /// [`Service::warm_stamp`] at the last save (dirty tracking for the
+    /// periodic flusher).
+    last_saved_stamp: Option<u64>,
+}
+
+/// A point-in-time summary of the persistence layer (returned by
+/// [`Service::persist_stats`], surfaced by the daemon's `{"cache":"stats"}`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PersistStats {
+    /// The configured snapshot file, if any.
+    pub path: Option<PathBuf>,
+    /// Successful snapshot loads.
+    pub loads: u64,
+    /// Successful snapshot saves.
+    pub saves: u64,
+    /// Verdicts restored by the last successful load.
+    pub loaded_verdicts: u64,
+    /// Definition hashes restored by the last successful load.
+    pub loaded_defs: u64,
+    /// Program keys recompiled by the last successful load.
+    pub loaded_programs: u64,
+}
+
+/// What [`Service::attach_cache_file`] found on disk.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadOutcome {
+    /// Verdicts restored into the validity cache.
+    pub verdicts: u64,
+    /// Definition input hashes restored into the def index.
+    pub defs: u64,
+    /// Compiled-program keys recompiled into the program memo.
+    pub programs: u64,
+    /// `None` when the snapshot loaded (or the file did not exist);
+    /// otherwise the reason the file was rejected — the service started
+    /// cold, which is safe, but the caller should surface the warning.
+    pub warning: Option<String>,
+}
+
+/// A checking service: a shared [`Engine`], a shared validity cache and
+/// compiled-program memo, a per-definition verdict index for incremental
+/// re-checking, optional disk persistence for all three, and a worker pool
+/// width.  Cheap to clone (everything is behind [`Arc`]s); safe to drive
+/// from multiple threads.
 #[derive(Debug, Clone)]
 pub struct Service {
     engine: Arc<Engine>,
     cache: Arc<ShardedValidityCache>,
+    programs: Arc<SharedProgramCache>,
+    defs: Arc<DefIndex>,
+    /// Incremental re-checking (skip defs with recorded input hashes) is
+    /// opt-in: it turns on when a cache file is attached, because a plain
+    /// in-memory service should re-check — and therefore re-*measure* —
+    /// every definition, exactly like the seed.
+    incremental: Arc<AtomicBool>,
+    persist: Arc<Mutex<PersistState>>,
     workers: usize,
 }
 
@@ -57,13 +125,20 @@ impl Service {
     }
 
     /// Builds a service around an explicitly configured engine.  The engine
-    /// is re-wired to the service's shared validity cache.
+    /// is re-wired to the service's shared validity cache and program memo.
     pub fn with_engine(engine: Engine, config: ServiceConfig) -> Service {
         let cache = Arc::new(ShardedValidityCache::with_shards(config.cache_shards));
-        let engine = engine.with_cache(cache.clone());
+        let programs = Arc::new(SharedProgramCache::new());
+        let engine = engine
+            .with_cache(cache.clone())
+            .with_program_cache(programs.clone());
         Service {
             engine: Arc::new(engine),
             cache,
+            programs,
+            defs: Arc::new(DefIndex::new()),
+            incremental: Arc::new(AtomicBool::new(false)),
+            persist: Arc::new(Mutex::new(PersistState::default())),
             workers: config.workers.max(1),
         }
     }
@@ -78,17 +153,44 @@ impl Service {
         self.workers
     }
 
-    /// Parses and checks one program, sharing the validity cache.
+    /// The definition-verdict index used for incremental re-checking.
+    pub fn def_index(&self) -> &Arc<DefIndex> {
+        &self.defs
+    }
+
+    /// Turns incremental re-checking on or off explicitly (it is switched
+    /// on automatically by [`Service::attach_cache_file`]).
+    pub fn set_incremental(&self, on: bool) {
+        self.incremental.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether checks consult the def index.
+    pub fn incremental(&self) -> bool {
+        self.incremental.load(Ordering::Relaxed)
+    }
+
+    fn active_index(&self) -> Option<&DefIndex> {
+        if self.incremental() {
+            Some(&self.defs)
+        } else {
+            None
+        }
+    }
+
+    /// Parses and checks one program, sharing the validity cache (and, in
+    /// warm-start mode, skipping unchanged definitions).
     pub fn check_source(&self, source: &str) -> Result<ProgramReport, String> {
         match parse_program(source) {
-            Ok(program) => Ok(self.engine.check_program(&program)),
+            Ok(program) => Ok(self
+                .engine
+                .check_program_with(&program, self.active_index())),
             Err(e) => Err(format!("parse error: {e}")),
         }
     }
 
     /// Checks a batch of jobs on the worker pool, in submission order.
     pub fn check_batch(&self, jobs: &[BatchJob]) -> Vec<BatchResult> {
-        check_batch(&self.engine, jobs, self.workers)
+        check_batch_with(&self.engine, self.active_index(), jobs, self.workers)
     }
 
     /// Process-wide cache counters.
@@ -96,9 +198,143 @@ impl Service {
         self.cache.stats()
     }
 
-    /// Drops all memoized verdicts (counters are kept).
+    /// Process-wide compiled-program memo counters.
+    pub fn program_cache_stats(&self) -> ProgramCacheStats {
+        self.programs.stats()
+    }
+
+    /// Persistence counters (loads/saves and what the last load restored).
+    pub fn persist_stats(&self) -> PersistStats {
+        let p = self.persist.lock().expect("persist state poisoned");
+        PersistStats {
+            path: p.path.clone(),
+            loads: p.loads,
+            saves: p.saves,
+            loaded_verdicts: p.loaded_verdicts,
+            loaded_defs: p.loaded_defs,
+            loaded_programs: p.loaded_programs,
+        }
+    }
+
+    /// Drops all memoized state: verdicts, compiled programs and definition
+    /// hashes (counters are kept).
     pub fn clear_cache(&self) {
         self.cache.clear();
+        self.programs.clear();
+        self.defs.clear();
+    }
+
+    /// Configures warm-start persistence: remembers `path` for
+    /// [`Service::save_cache`], switches incremental re-checking on, and —
+    /// when a snapshot already exists at the path — restores it.
+    ///
+    /// A missing file is a clean cold start.  A rejected file (corrupt,
+    /// wrong version, different engine fingerprint) is *also* a cold start:
+    /// the outcome carries the warning, the path stays configured, and the
+    /// next save overwrites the bad file with a good one.
+    pub fn attach_cache_file(&self, path: impl Into<PathBuf>) -> LoadOutcome {
+        let path = path.into();
+        self.set_incremental(true);
+        let outcome = match Snapshot::load(&path, self.engine.fingerprint()) {
+            Ok(None) => LoadOutcome::default(),
+            Ok(Some(snapshot)) => {
+                snapshot.restore(&self.cache, &self.programs, &self.defs);
+                let mut p = self.persist.lock().expect("persist state poisoned");
+                p.loads += 1;
+                p.loaded_verdicts = snapshot.verdicts.len() as u64;
+                p.loaded_defs = snapshot.defs.len() as u64;
+                p.loaded_programs = snapshot.programs.len() as u64;
+                LoadOutcome {
+                    verdicts: snapshot.verdicts.len() as u64,
+                    defs: snapshot.defs.len() as u64,
+                    programs: snapshot.programs.len() as u64,
+                    warning: None,
+                }
+            }
+            Err(e) => LoadOutcome {
+                warning: Some(format!("ignoring cache file {}: {e}", path.display())),
+                ..LoadOutcome::default()
+            },
+        };
+        self.persist.lock().expect("persist state poisoned").path = Some(path);
+        outcome
+    }
+
+    /// The configured snapshot path, if any.
+    pub fn cache_file(&self) -> Option<PathBuf> {
+        self.persist
+            .lock()
+            .expect("persist state poisoned")
+            .path
+            .clone()
+    }
+
+    /// Snapshots the current warm state to the configured cache file.
+    /// Returns the number of verdicts written.
+    ///
+    /// # Errors
+    ///
+    /// When no cache file is configured, or the write fails.
+    pub fn save_cache(&self) -> Result<u64, String> {
+        let mut p = self.persist.lock().expect("persist state poisoned");
+        let path = p
+            .path
+            .clone()
+            .ok_or_else(|| "no cache file configured".to_string())?;
+        self.save_locked(&mut p, &path)
+    }
+
+    /// [`Service::save_cache`], unless nothing was memoized since the last
+    /// save — the periodic daemon flusher goes through this so an idle
+    /// daemon does not re-serialize and rewrite an unchanged snapshot every
+    /// interval.  Returns whether a save actually happened.
+    pub fn save_cache_if_dirty(&self) -> Result<bool, String> {
+        let mut p = self.persist.lock().expect("persist state poisoned");
+        let path = p
+            .path
+            .clone()
+            .ok_or_else(|| "no cache file configured".to_string())?;
+        if p.last_saved_stamp == Some(self.warm_stamp()) {
+            return Ok(false);
+        }
+        self.save_locked(&mut p, &path)?;
+        Ok(true)
+    }
+
+    /// The save path proper.  Runs under the persist lock, which serializes
+    /// concurrent in-process savers (periodic flusher vs. `{"cache":
+    /// "flush"}`); cross-process savers are safe via the unique-tmp-name
+    /// rename in [`Snapshot::save`].
+    fn save_locked(&self, p: &mut PersistState, path: &Path) -> Result<u64, String> {
+        // Stamp *before* capturing: state memoized concurrently during the
+        // capture/write window must count as unsaved (the next dirty check
+        // re-saves it), never as persisted.
+        let stamp = self.warm_stamp();
+        let snapshot = Snapshot::capture(
+            self.engine.fingerprint(),
+            &self.cache,
+            &self.programs,
+            &self.defs,
+        );
+        let verdicts = snapshot.verdicts.len() as u64;
+        snapshot
+            .save(path)
+            .map_err(|e| format!("cannot write cache file {}: {e}", path.display()))?;
+        p.saves += 1;
+        p.last_saved_stamp = Some(stamp);
+        Ok(verdicts)
+    }
+
+    /// A cheap monotone stamp of the memoized state: misses count freshly
+    /// computed verdicts/programs (every store follows a miss), and the def
+    /// count moves on every newly recorded definition.  Equal stamps ⇒
+    /// nothing new to persist.
+    fn warm_stamp(&self) -> u64 {
+        self.cache
+            .stats()
+            .misses
+            .wrapping_add(self.programs.stats().misses)
+            .wrapping_add(self.defs.len() as u64)
     }
 }
 

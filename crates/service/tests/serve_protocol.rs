@@ -47,7 +47,10 @@ fn answers_consecutive_check_requests() {
         assert_eq!(defs.len(), 1);
         assert_eq!(defs[0].get("name").and_then(Value::as_str), Some("id"));
         assert_eq!(defs[0].get("ok"), Some(&Value::Bool(true)));
-        assert!(defs[0].get("typecheck_us").and_then(Value::as_int).is_some());
+        assert!(defs[0]
+            .get("typecheck_us")
+            .and_then(Value::as_int)
+            .is_some());
         assert!(r.get("cache").is_some(), "responses carry cache counters");
     }
 }
@@ -131,7 +134,10 @@ fn cache_counters_climb_across_requests() {
     };
     assert_eq!(hits(&responses[0]), 0, "first request is all misses");
     assert!(hits(&responses[1]) > 0, "second request hits the cache");
-    assert!(hits(&responses[2]) > 0, "stats request reports the counters");
+    assert!(
+        hits(&responses[2]) > 0,
+        "stats request reports the counters"
+    );
 }
 
 #[test]

@@ -1,0 +1,198 @@
+//! Warm-start persistence end to end at the service layer: snapshot save and
+//! restore across *service instances* (standing in for processes), the
+//! incremental skip path, and the daemon's `{"cache": ...}` commands.
+
+use std::path::PathBuf;
+
+use rel_service::{json::Value, respond, Service, ServiceConfig};
+
+const SRC: &str = r#"
+    def not2 : boolr -> boolr = lam b. if b then false else true;
+    def use : boolr -> boolr = lam b. not2 (not2 b);
+"#;
+
+/// The same two definitions under fresh names: unchanged-def skipping does
+/// not apply (new input hashes), but every entailment query is identical —
+/// the shape of an edited file re-using a persisted validity cache.
+const SRC_RENAMED: &str = r#"
+    def negate : boolr -> boolr = lam b. if b then false else true;
+    def twice : boolr -> boolr = lam b. negate (negate b);
+"#;
+
+fn service() -> Service {
+    Service::new(ServiceConfig {
+        workers: 1,
+        cache_shards: 4,
+    })
+}
+
+fn temp_cache_file(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("birelcost-warm-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("cache.birelcost")
+}
+
+#[test]
+fn second_service_instance_starts_warm_from_the_snapshot() {
+    let path = temp_cache_file("restart");
+    let _ = std::fs::remove_file(&path);
+
+    // First "process": cold check, then save.
+    let first = service();
+    let outcome = first.attach_cache_file(&path);
+    assert_eq!(outcome.warning, None);
+    assert_eq!(outcome.verdicts, 0, "no snapshot yet");
+    let cold = first.check_source(SRC).unwrap();
+    assert!(cold.all_ok());
+    assert_eq!(cold.skipped_unchanged(), 0);
+    assert!(cold.cache_misses() > 0);
+    first.save_cache().unwrap();
+    assert!(path.exists());
+
+    // Second "process": loads the snapshot and skips every unchanged def —
+    // zero solver work of any kind.
+    let second = service();
+    let outcome = second.attach_cache_file(&path);
+    assert_eq!(outcome.warning, None);
+    assert!(outcome.verdicts > 0, "snapshot must carry verdicts");
+    assert_eq!(outcome.defs, 2, "snapshot must carry both def hashes");
+    let warm = second.check_source(SRC).unwrap();
+    assert!(warm.all_ok());
+    assert_eq!(warm.skipped_unchanged(), 2);
+    assert_eq!(warm.points_evaluated(), 0);
+    assert_eq!(warm.cache_misses(), 0);
+    assert_eq!(warm.programs_compiled(), 0);
+
+    // Third "process", checking a *renamed* copy: defs re-check (new
+    // hashes) but the persisted validity cache answers their queries.
+    let third = service();
+    third.attach_cache_file(&path);
+    let renamed = third.check_source(SRC_RENAMED).unwrap();
+    assert!(renamed.all_ok());
+    assert_eq!(renamed.skipped_unchanged(), 0);
+    assert!(
+        renamed.cache_hits() > 0,
+        "identical queries from renamed defs must hit the persisted cache"
+    );
+    assert_eq!(
+        renamed.cache_misses(),
+        0,
+        "every entailment of the renamed copy was persisted"
+    );
+}
+
+#[test]
+fn corrupt_snapshots_degrade_to_a_cold_start_with_a_warning() {
+    let path = temp_cache_file("corrupt");
+    std::fs::write(&path, b"definitely not a snapshot").unwrap();
+
+    let service = service();
+    let outcome = service.attach_cache_file(&path);
+    let warning = outcome.warning.expect("corrupt file must warn");
+    assert!(warning.contains("ignoring cache file"), "got: {warning}");
+
+    // The service still works (cold), and the next save replaces the bad
+    // file with a loadable one.
+    assert!(service.check_source(SRC).unwrap().all_ok());
+    service.save_cache().unwrap();
+    let recovered = Service::default().attach_cache_file(&path);
+    assert_eq!(recovered.warning, None);
+    assert!(recovered.verdicts > 0);
+}
+
+#[test]
+fn dirty_checked_flush_skips_when_nothing_changed() {
+    let path = temp_cache_file("dirty");
+    let _ = std::fs::remove_file(&path);
+    let service = service();
+
+    // No cache file configured: an error, like save_cache.
+    assert!(service.save_cache_if_dirty().is_err());
+
+    service.attach_cache_file(&path);
+    service.check_source(SRC).unwrap();
+    assert_eq!(service.save_cache_if_dirty(), Ok(true), "first flush saves");
+    assert_eq!(
+        service.save_cache_if_dirty(),
+        Ok(false),
+        "idle flush is skipped"
+    );
+    assert_eq!(service.persist_stats().saves, 1);
+
+    // New work re-dirties the state.
+    service.check_source(SRC_RENAMED).unwrap();
+    assert_eq!(service.save_cache_if_dirty(), Ok(true));
+    assert_eq!(service.persist_stats().saves, 2);
+
+    // An explicit save always writes, and resets the dirty stamp.
+    service.save_cache().unwrap();
+    assert_eq!(service.persist_stats().saves, 3);
+    assert_eq!(service.save_cache_if_dirty(), Ok(false));
+}
+
+#[test]
+fn daemon_cache_commands_stats_flush_clear() {
+    let path = temp_cache_file("daemon");
+    let _ = std::fs::remove_file(&path);
+    let service = service();
+    service.attach_cache_file(&path);
+
+    let check = respond(&service, &format!("{}", check_request(SRC)));
+    assert_eq!(check.get("ok"), Some(&Value::Bool(true)));
+
+    // stats: full counters, including the def index and the configured file.
+    let stats = respond(&service, r#"{"cache": "stats"}"#);
+    let cache = stats.get("cache").expect("cache object");
+    assert_eq!(cache.get("def_entries").and_then(Value::as_int), Some(2));
+    assert_eq!(cache.get("saves").and_then(Value::as_int), Some(0));
+    assert!(cache.get("entries").and_then(Value::as_int).unwrap() > 0);
+    assert!(cache.get("file").and_then(Value::as_str).is_some());
+
+    // flush: writes the snapshot and reports it.
+    let flush = respond(&service, r#"{"cache": "flush"}"#);
+    assert_eq!(flush.get("flushed"), Some(&Value::Bool(true)));
+    assert!(flush.get("verdicts").and_then(Value::as_int).unwrap() > 0);
+    assert!(path.exists());
+    let stats = respond(&service, r#"{"cache": "stats"}"#);
+    assert_eq!(
+        stats
+            .get("cache")
+            .unwrap()
+            .get("saves")
+            .and_then(Value::as_int),
+        Some(1)
+    );
+
+    // clear: every memoized layer drops to empty.
+    let clear = respond(&service, r#"{"cache": "clear"}"#);
+    assert_eq!(clear.get("cleared"), Some(&Value::Bool(true)));
+    let cache = clear.get("cache").unwrap();
+    assert_eq!(cache.get("entries").and_then(Value::as_int), Some(0));
+    assert_eq!(cache.get("def_entries").and_then(Value::as_int), Some(0));
+    assert_eq!(
+        cache.get("program_entries").and_then(Value::as_int),
+        Some(0)
+    );
+
+    // An unknown cache command is an error response, not a dead daemon.
+    let bad = respond(&service, r#"{"cache": "explode"}"#);
+    assert!(bad
+        .get("error")
+        .and_then(Value::as_str)
+        .unwrap()
+        .contains("explode"));
+
+    // A daemon without a cache file reports flush as an error.
+    let no_file = Service::default();
+    let flush = respond(&no_file, r#"{"cache": "flush"}"#);
+    assert!(flush
+        .get("error")
+        .and_then(Value::as_str)
+        .unwrap()
+        .contains("no cache file"));
+}
+
+/// Builds a `{"check": SRC}` request line with proper JSON escaping.
+fn check_request(source: &str) -> Value {
+    Value::Obj(vec![("check".to_string(), Value::Str(source.to_string()))])
+}

@@ -61,7 +61,13 @@ pub trait Strategy {
     /// over the leaf strategy `self`, mixing leaves back in at every level so
     /// generated trees vary in size.  (`_size`/`_branch` are accepted for
     /// source compatibility with the real API and ignored.)
-    fn prop_recursive<F>(self, depth: u32, _size: u32, _branch: u32, expand: F) -> BoxedStrategy<Self::Value>
+    fn prop_recursive<F>(
+        self,
+        depth: u32,
+        _size: u32,
+        _branch: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
     where
         Self: Sized + Clone + 'static,
         Self::Value: 'static,
@@ -243,10 +249,11 @@ mod tests {
                 Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
             }
         }
-        let strat = (0u64..4).prop_map(Tree::Leaf).prop_recursive(3, 16, 2, |inner| {
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
-        });
+        let strat = (0u64..4)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
         let mut rng = TestRng::from_label("trees");
         let mut max_depth = 0;
         for _ in 0..200 {

@@ -23,7 +23,12 @@ mod tests {
     fn every_benchmark_parses() {
         for b in all_benchmarks() {
             let parsed = rel_syntax::parse_program(b.source);
-            assert!(parsed.is_ok(), "benchmark {} fails to parse: {:?}", b.name, parsed.err());
+            assert!(
+                parsed.is_ok(),
+                "benchmark {} fails to parse: {:?}",
+                b.name,
+                parsed.err()
+            );
             assert!(!parsed.unwrap().is_empty());
         }
     }
@@ -32,8 +37,8 @@ mod tests {
     fn names_match_the_paper_table() {
         let names: Vec<&str> = all_benchmarks().iter().map(|b| b.name).collect();
         for expected in [
-            "filter", "append", "rev", "map", "comp", "sam", "find", "2Dcount", "ssort",
-            "bsplit", "flatten", "appSum", "merge", "zip", "msort", "bfold",
+            "filter", "append", "rev", "map", "comp", "sam", "find", "2Dcount", "ssort", "bsplit",
+            "flatten", "appSum", "merge", "zip", "msort", "bfold",
         ] {
             assert!(names.contains(&expected), "missing benchmark {expected}");
         }
@@ -70,6 +75,9 @@ mod tests {
         let changed = perturb_list(&base, 5, 11);
         assert_eq!(changed.len(), 32);
         let diffs = base.iter().zip(&changed).filter(|(a, b)| a != b).count();
-        assert!(diffs <= 5, "expected at most 5 differing positions, got {diffs}");
+        assert!(
+            diffs <= 5,
+            "expected at most 5 differing positions, got {diffs}"
+        );
     }
 }

@@ -279,19 +279,16 @@ impl Expr {
         match self {
             Expr::Anno(e, _, _) => e.erase_annotations(),
             Expr::Var(_) | Expr::Unit | Expr::Bool(_) | Expr::Int(_) | Expr::Nil => self.clone(),
-            Expr::Prim(op, args) => Expr::Prim(
-                *op,
-                args.iter().map(Expr::erase_annotations).collect(),
-            ),
+            Expr::Prim(op, args) => {
+                Expr::Prim(*op, args.iter().map(Expr::erase_annotations).collect())
+            }
             Expr::If(a, b, c) => Expr::If(
                 Box::new(a.erase_annotations()),
                 Box::new(b.erase_annotations()),
                 Box::new(c.erase_annotations()),
             ),
             Expr::Lam(x, e) => Expr::Lam(x.clone(), Box::new(e.erase_annotations())),
-            Expr::Fix(f, x, e) => {
-                Expr::Fix(f.clone(), x.clone(), Box::new(e.erase_annotations()))
-            }
+            Expr::Fix(f, x, e) => Expr::Fix(f.clone(), x.clone(), Box::new(e.erase_annotations())),
             Expr::App(a, b) => Expr::App(
                 Box::new(a.erase_annotations()),
                 Box::new(b.erase_annotations()),

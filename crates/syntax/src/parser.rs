@@ -978,9 +978,15 @@ mod tests {
         let t = parse_rel_type("list[n; a] intr ->[a * 2] list[n; a] intr").unwrap();
         match t {
             RelType::Arrow(l, cost, r) => {
-                assert_eq!(*l, RelType::list(Idx::var("n"), Idx::var("a"), RelType::IntR));
+                assert_eq!(
+                    *l,
+                    RelType::list(Idx::var("n"), Idx::var("a"), RelType::IntR)
+                );
                 assert_eq!(cost, Idx::var("a") * Idx::nat(2));
-                assert_eq!(*r, RelType::list(Idx::var("n"), Idx::var("a"), RelType::IntR));
+                assert_eq!(
+                    *r,
+                    RelType::list(Idx::var("n"), Idx::var("a"), RelType::IntR)
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1131,7 +1137,10 @@ mod tests {
         let err = parse_program("def broken : boolr =\n  lam . x;").unwrap_err();
         assert_eq!(err.line, 2);
         assert!(parse_expr("cons(1 2)").is_err());
-        assert!(parse_rel_type("list[n] intr").is_err(), "relational lists need both refinements");
+        assert!(
+            parse_rel_type("list[n] intr").is_err(),
+            "relational lists need both refinements"
+        );
     }
 
     #[test]

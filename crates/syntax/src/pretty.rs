@@ -157,9 +157,7 @@ fn expr_prec(e: &Expr, prec: u8) -> String {
         Expr::Fst(e) => wrap(format!("fst {}", expr_prec(e, 7)), prec > 6),
         Expr::Snd(e) => wrap(format!("snd {}", expr_prec(e, 7)), prec > 6),
         Expr::CElim(e) => wrap(format!("celim {}", expr_prec(e, 7)), prec > 6),
-        Expr::Prim(PrimOp::Not, args) => {
-            wrap(format!("not {}", expr_prec(&args[0], 7)), prec > 6)
-        }
+        Expr::Prim(PrimOp::Not, args) => wrap(format!("not {}", expr_prec(&args[0], 7)), prec > 6),
         Expr::Prim(op, args) => {
             let level = match op {
                 PrimOp::Or => 1,
@@ -187,9 +185,7 @@ fn expr_prec(e: &Expr, prec: u8) -> String {
         }
         Expr::Lam(x, body) => wrap(format!("lam {x}. {}", expr_prec(body, 0)), prec > 0),
         Expr::ILam(body) => wrap(format!("Lam. {}", expr_prec(body, 0)), prec > 0),
-        Expr::Fix(f, x, body) => {
-            wrap(format!("fix {f}({x}). {}", expr_prec(body, 0)), prec > 0)
-        }
+        Expr::Fix(f, x, body) => wrap(format!("fix {f}({x}). {}", expr_prec(body, 0)), prec > 0),
         Expr::Let(x, a, b) => wrap(
             format!("let {x} = {} in {}", expr_prec(a, 0), expr_prec(b, 0)),
             prec > 0,
@@ -220,11 +216,7 @@ fn expr_prec(e: &Expr, prec: u8) -> String {
         ),
         Expr::Pack(e) => wrap(format!("pack {}", expr_prec(e, 7)), prec > 6),
         Expr::Unpack(a, x, b) => wrap(
-            format!(
-                "unpack {} as {x} in {}",
-                expr_prec(a, 0),
-                expr_prec(b, 0)
-            ),
+            format!("unpack {} as {x} in {}", expr_prec(a, 0), expr_prec(b, 0)),
             prec > 0,
         ),
         Expr::CLet(a, x, b) => wrap(

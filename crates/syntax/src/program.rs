@@ -83,14 +83,18 @@ impl Def {
     /// Number of explicit type annotations in the bodies, plus one for the
     /// mandatory top-level type — the paper's "annotation effort" metric.
     pub fn annotation_count(&self) -> usize {
-        1 + self.left.annotation_count()
-            + self.right.as_ref().map_or(0, Expr::annotation_count)
+        1 + self.left.annotation_count() + self.right.as_ref().map_or(0, Expr::annotation_count)
     }
 }
 
 impl fmt::Display for Def {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "def {} : {}", self.name, crate::pretty::rel_type(&self.ty))
+        write!(
+            f,
+            "def {} : {}",
+            self.name,
+            crate::pretty::rel_type(&self.ty)
+        )
     }
 }
 
@@ -154,7 +158,11 @@ mod tests {
     #[test]
     fn programs_collect_and_look_up_defs() {
         let p: Program = [
-            Def::new("id", RelType::arrow0(RelType::BoolR, RelType::BoolR), Expr::lam("x", Expr::var("x"))),
+            Def::new(
+                "id",
+                RelType::arrow0(RelType::BoolR, RelType::BoolR),
+                Expr::lam("x", Expr::var("x")),
+            ),
             Def::new("k", RelType::BoolR, Expr::Bool(true)),
         ]
         .into_iter()
@@ -169,7 +177,12 @@ mod tests {
     fn reflexive_defs_reuse_the_left_body() {
         let d = Def::new("k", RelType::BoolR, Expr::Bool(true));
         assert_eq!(d.right_or_left(), &Expr::Bool(true));
-        let d2 = Def::relating("two", RelType::bool_u(), Expr::Bool(true), Expr::Bool(false));
+        let d2 = Def::relating(
+            "two",
+            RelType::bool_u(),
+            Expr::Bool(true),
+            Expr::Bool(false),
+        );
         assert_eq!(d2.right_or_left(), &Expr::Bool(false));
     }
 
@@ -177,11 +190,7 @@ mod tests {
     fn annotation_effort_counts_the_top_level_type() {
         let d = Def::new("k", RelType::BoolR, Expr::Bool(true));
         assert_eq!(d.annotation_count(), 1);
-        let d = Def::new(
-            "k",
-            RelType::BoolR,
-            Expr::Bool(true).anno(RelType::BoolR),
-        );
+        let d = Def::new("k", RelType::BoolR, Expr::Bool(true).anno(RelType::BoolR));
         assert_eq!(d.annotation_count(), 2);
         let p: Program = [d].into_iter().collect();
         assert_eq!(p.annotation_count(), 2);

@@ -425,7 +425,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]
@@ -454,18 +458,21 @@ mod tests {
 
     #[test]
     fn distinguishes_compound_operators() {
-        assert_eq!(toks("<= < == = :: : && & => ->"), vec![
-            Token::Leq,
-            Token::Lt,
-            Token::EqEq,
-            Token::Equals,
-            Token::ColonColon,
-            Token::Colon,
-            Token::AndAnd,
-            Token::Amp,
-            Token::FatArrow,
-            Token::Arrow,
-        ]);
+        assert_eq!(
+            toks("<= < == = :: : && & => ->"),
+            vec![
+                Token::Leq,
+                Token::Lt,
+                Token::EqEq,
+                Token::Equals,
+                Token::ColonColon,
+                Token::Colon,
+                Token::AndAnd,
+                Token::Amp,
+                Token::FatArrow,
+                Token::Arrow,
+            ]
+        );
     }
 
     #[test]
@@ -478,16 +485,22 @@ mod tests {
 
     #[test]
     fn minus_vs_arrow_vs_comment() {
-        assert_eq!(toks("a - b"), vec![
-            Token::Ident("a".into()),
-            Token::Minus,
-            Token::Ident("b".into())
-        ]);
-        assert_eq!(toks("a -> b"), vec![
-            Token::Ident("a".into()),
-            Token::Arrow,
-            Token::Ident("b".into())
-        ]);
+        assert_eq!(
+            toks("a - b"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Minus,
+                Token::Ident("b".into())
+            ]
+        );
+        assert_eq!(
+            toks("a -> b"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Arrow,
+                Token::Ident("b".into())
+            ]
+        );
         assert_eq!(toks("a -- b"), vec![Token::Ident("a".into())]);
     }
 

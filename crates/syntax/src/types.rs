@@ -499,12 +499,8 @@ impl RelType {
                     (**b).clone()
                 }
             }
-            RelType::Forall(i, s, t) => {
-                UnaryType::Forall(i.clone(), *s, Box::new(t.project(side)))
-            }
-            RelType::Exists(i, s, t) => {
-                UnaryType::Exists(i.clone(), *s, Box::new(t.project(side)))
-            }
+            RelType::Forall(i, s, t) => UnaryType::Forall(i.clone(), *s, Box::new(t.project(side))),
+            RelType::Exists(i, s, t) => UnaryType::Exists(i.clone(), *s, Box::new(t.project(side))),
             RelType::CAnd(c, t) => UnaryType::CAnd(c.clone(), Box::new(t.project(side))),
             RelType::CImpl(c, t) => UnaryType::CImpl(c.clone(), Box::new(t.project(side))),
         }
@@ -571,10 +567,7 @@ mod tests {
     fn projection_forgets_relational_refinements() {
         // |list[n]^α intr|₁ = list[n] int
         let t = sample_list_type();
-        assert_eq!(
-            t.project(1),
-            UnaryType::list(Idx::var("n"), UnaryType::Int)
-        );
+        assert_eq!(t.project(1), UnaryType::list(Idx::var("n"), UnaryType::Int));
         // |U (bool, int)|₂ = int
         let t = RelType::u(UnaryType::Bool, UnaryType::Int);
         assert_eq!(t.project(1), UnaryType::Bool);
@@ -611,9 +604,6 @@ mod tests {
     fn sizes_count_constructors() {
         assert_eq!(RelType::BoolR.size(), 1);
         assert_eq!(sample_list_type().size(), 2);
-        assert_eq!(
-            RelType::arrow0(RelType::BoolR, RelType::BoolR).size(),
-            3
-        );
+        assert_eq!(RelType::arrow0(RelType::BoolR, RelType::BoolR).size(), 3);
     }
 }

@@ -138,8 +138,9 @@ impl UnaryChecker {
                 let c = self.check(fresh, &ctx, body, a2, &cost.lo, &cost.hi)?;
                 Ok(c.and(self.value_cost(lo, hi)))
             }
-            (Expr::Nil, UnaryType::List(n, _)) => Ok(Constr::eq(n.clone(), Idx::zero())
-                .and(self.value_cost(lo, hi))),
+            (Expr::Nil, UnaryType::List(n, _)) => {
+                Ok(Constr::eq(n.clone(), Idx::zero()).and(self.value_cost(lo, hi)))
+            }
             (Expr::Cons(h, t), UnaryType::List(n, elem)) => {
                 // The head gets an existential share of the upper budget; the
                 // whole lower budget flows into the tail (sound, since costs
@@ -162,24 +163,15 @@ impl UnaryChecker {
                     .and(ct)
                     .and(Constr::eq(n.clone(), Idx::Var(i.clone()) + Idx::one()))
                     .and(Constr::leq(Idx::zero(), Idx::Var(th.clone())));
-                Ok(wrap_existentials(
-                    total,
-                    [(i, Sort::Nat), (th, Sort::Real)],
-                ))
+                Ok(wrap_existentials(total, [(i, Sort::Nat), (th, Sort::Real)]))
             }
             (Expr::Pair(a, b), UnaryType::Prod(ta, tb)) => {
                 // Symmetrically to cons: the second component gets an
                 // existential share of the upper budget, the lower budget
                 // flows into the first component.
                 let tbb = fresh.cost("tq");
-                let ca = self.check(
-                    fresh,
-                    ctx,
-                    a,
-                    ta,
-                    lo,
-                    &(hi.clone() - Idx::Var(tbb.clone())),
-                )?;
+                let ca =
+                    self.check(fresh, ctx, a, ta, lo, &(hi.clone() - Idx::Var(tbb.clone())))?;
                 let cb = self.check(fresh, ctx, b, tb, &Idx::zero(), &Idx::Var(tbb.clone()))?;
                 let total = ca
                     .and(cb)
@@ -269,9 +261,7 @@ impl UnaryChecker {
                 };
                 let skolem = fresh.size("sk");
                 let inner = inner.subst_idx(&i, &Idx::Var(skolem.clone()));
-                let ctx = ctx
-                    .bind_idx(skolem.clone(), s)
-                    .bind_var(x.clone(), inner);
+                let ctx = ctx.bind_idx(skolem.clone(), s).bind_var(x.clone(), inner);
                 let blo = lo.clone() - p.lo.clone();
                 let bhi = hi.clone() - p.hi.clone();
                 let c = self.check(fresh, &ctx, body, ty, &blo, &bhi)?;
@@ -291,7 +281,9 @@ impl UnaryChecker {
                         ))
                     }
                 };
-                let ctx = ctx.assume(cond.clone()).bind_var(x.clone(), (*inner).clone());
+                let ctx = ctx
+                    .assume(cond.clone())
+                    .bind_var(x.clone(), (*inner).clone());
                 let blo = lo.clone() - g.lo.clone();
                 let bhi = hi.clone() - g.hi.clone();
                 let c = self.check(fresh, &ctx, body, ty, &blo, &bhi)?;
@@ -379,7 +371,14 @@ impl UnaryChecker {
                     }
                 };
                 let (ka, ta) = (fresh.cost("ka"), fresh.cost("ta"));
-                let ca = self.check(fresh, ctx, a, &a1, &Idx::Var(ka.clone()), &Idx::Var(ta.clone()))?;
+                let ca = self.check(
+                    fresh,
+                    ctx,
+                    a,
+                    &a1,
+                    &Idx::Var(ka.clone()),
+                    &Idx::Var(ta.clone()),
+                )?;
                 let step = self.cost_model.app_idx();
                 let mut existentials = fi.existentials;
                 existentials.push(Quantified::new(ka.clone(), Sort::Real));
@@ -469,7 +468,14 @@ impl UnaryChecker {
             Expr::Anno(inner, rel_ty, _) => {
                 let ty = rel_ty.project(ctx.side);
                 let (k, t) = (fresh.cost("ak"), fresh.cost("at"));
-                let c = self.check(fresh, ctx, inner, &ty, &Idx::Var(k.clone()), &Idx::Var(t.clone()))?;
+                let c = self.check(
+                    fresh,
+                    ctx,
+                    inner,
+                    &ty,
+                    &Idx::Var(k.clone()),
+                    &Idx::Var(t.clone()),
+                )?;
                 Ok(UnaryInference {
                     ty,
                     lo: Idx::Var(k.clone()),
@@ -659,8 +665,7 @@ mod tests {
                 ),
             ),
         );
-        let poly_src =
-            "fix len(u). Lam. lam l. case l of nil -> 0 | h :: tl -> 1 + len () [] tl";
+        let poly_src = "fix len(u). Lam. lam l. case l of nil -> 0 | h :: tl -> 1 + len () [] tl";
         assert!(check_ok(poly_src, poly_ty, 0, 0));
     }
 

@@ -114,7 +114,10 @@ mod tests {
     #[test]
     fn free_model_charges_nothing() {
         let m = CostModel::free();
-        assert_eq!(m.app + m.case_list + m.if_then_else + m.prim + m.let_bind + m.proj, 0);
+        assert_eq!(
+            m.app + m.case_list + m.if_then_else + m.prim + m.let_bind + m.proj,
+            0
+        );
     }
 
     #[test]

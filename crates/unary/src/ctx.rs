@@ -217,14 +217,14 @@ mod tests {
     #[test]
     fn projection_projects_every_binding() {
         let ctx = RelCtx::new()
-            .bind_var(Var::new("l"), RelType::list(Idx::var("n"), Idx::var("a"), RelType::IntR))
+            .bind_var(
+                Var::new("l"),
+                RelType::list(Idx::var("n"), Idx::var("a"), RelType::IntR),
+            )
             .bind_idx(IdxVar::new("n"), Sort::Nat);
         let u = ctx.project(1);
         assert_eq!(u.vars.len(), 1);
-        assert_eq!(
-            u.vars[0].1,
-            UnaryType::list(Idx::var("n"), UnaryType::Int)
-        );
+        assert_eq!(u.vars[0].1, UnaryType::list(Idx::var("n"), UnaryType::Int));
         assert_eq!(u.delta.len(), 1);
     }
 

@@ -39,9 +39,7 @@ pub fn unary_subtype(sub: &UnaryType, sup: &UnaryType) -> Result<Constr, TypeErr
             let elem = unary_subtype(a1, a2)?;
             Ok(elem.and(Constr::eq(n1.clone(), n2.clone())))
         }
-        (Prod(a1, b1), Prod(a2, b2)) => {
-            Ok(unary_subtype(a1, a2)?.and(unary_subtype(b1, b2)?))
-        }
+        (Prod(a1, b1), Prod(a2, b2)) => Ok(unary_subtype(a1, a2)?.and(unary_subtype(b1, b2)?)),
         (Forall(i1, s1, a1), Forall(i2, s2, a2)) if s1 == s2 => {
             // α-rename the right binder to the left one.
             let a2 = a2.subst_idx(i2, &Idx::Var(i1.clone()));
@@ -130,8 +128,16 @@ mod tests {
 
     #[test]
     fn quantifiers_alpha_rename() {
-        let a = UnaryType::forall("i", Sort::Nat, UnaryType::list(Idx::var("i"), UnaryType::Int));
-        let b = UnaryType::forall("j", Sort::Nat, UnaryType::list(Idx::var("j"), UnaryType::Int));
+        let a = UnaryType::forall(
+            "i",
+            Sort::Nat,
+            UnaryType::list(Idx::var("i"), UnaryType::Int),
+        );
+        let b = UnaryType::forall(
+            "j",
+            Sort::Nat,
+            UnaryType::list(Idx::var("j"), UnaryType::Int),
+        );
         let c = unary_subtype(&a, &b).unwrap();
         assert_eq!(c, Constr::eq(Idx::var("i"), Idx::var("i")));
     }

@@ -5,8 +5,8 @@
 //! Run with `cargo run --example constant_time_comparison`.
 
 use rel_eval::{eval, Env};
-use rel_suite::generators::{apply_spine, list_literal, Workload};
 use rel_suite::benchmark;
+use rel_suite::generators::{apply_spine, list_literal, Workload};
 use rel_syntax::parse_program;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = parse_program(bench.source)?;
     let comp = program.def("comp").expect("comp definition");
 
-    println!("{:<6} {:>8} {:>12} {:>12} {:>8}", "n", "alpha", "cost(left)", "cost(right)", "diff");
+    println!(
+        "{:<6} {:>8} {:>12} {:>12} {:>8}",
+        "n", "alpha", "cost(left)", "cost(right)", "diff"
+    );
     for (n, alpha) in [(4usize, 1usize), (8, 3), (16, 8), (32, 32)] {
         let w = Workload::generate(n, alpha, 0xC0);
         let secret = list_literal(&w.left);
@@ -24,7 +27,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let left = run(&w.left);
         let right = run(&w.right);
-        println!("{:<6} {:>8} {:>12} {:>12} {:>8}", n, w.differing, left, right, left - right);
+        println!(
+            "{:<6} {:>8} {:>12} {:>12} {:>8}",
+            n,
+            w.differing,
+            left,
+            right,
+            left - right
+        );
         assert_eq!(left, right, "comp must be constant time");
     }
     println!("comparison cost is independent of the compared values (relative cost 0)");

@@ -13,17 +13,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let engine = Engine::new();
 
     // A public computation over public data: accepted at boolr → boolr.
-    let ok = parse_program(
-        "def public : boolr -> boolr = lam lo. if lo then false else true;",
-    )?;
+    let ok = parse_program("def public : boolr -> boolr = lam lo. if lo then false else true;")?;
     assert!(engine.check_program(&ok).all_ok());
     println!("public  : boolr -> boolr                      checked (no leak possible)");
 
     // Branching on a secret and returning the branch result as public data
     // must be rejected: the two runs may disagree on the secret.
-    let leak = parse_program(
-        "def leak : UU bool -> boolr = lam hi. if hi then true else false;",
-    )?;
+    let leak = parse_program("def leak : UU bool -> boolr = lam hi. if hi then true else false;")?;
     assert!(!engine.check_program(&leak).all_ok());
     println!("leak    : UU bool -> boolr                    rejected (explicit flow)");
 
@@ -35,13 +31,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("launder : UU bool -> UU bool                  checked (secret stays secret)");
 
     // Constant functions of a secret are public again: the two runs agree.
-    let constant = parse_program(
-        "def constant : UU bool -> boolr @ 1 = lam hi. if hi then true else true;",
-    )?;
+    let constant =
+        parse_program("def constant : UU bool -> boolr @ 1 = lam hi. if hi then true else true;")?;
     let accepted = engine.check_program(&constant).all_ok();
     println!(
         "constant: UU bool -> boolr (constant result)  {}",
-        if accepted { "checked" } else { "rejected (conservative)" }
+        if accepted {
+            "checked"
+        } else {
+            "rejected (conservative)"
+        }
     );
     Ok(())
 }

@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Extended::Infinity => f64::INFINITY,
         };
         println!("{:<6} {:>6} {:>14} {:>16.0}", n, w.differing, diff, q);
-        assert!((diff as f64) <= q, "measured relative cost exceeds the Q-shaped bound");
+        assert!(
+            (diff as f64) <= q,
+            "measured relative cost exceeds the Q-shaped bound"
+        );
     }
     println!("measured relative costs stay below the divide-and-conquer recurrence");
     Ok(())

@@ -35,7 +35,12 @@ fn compiled_and_tree_solvers_agree_across_the_verified_suite() {
         let program = rel_syntax::parse_program(b.source).unwrap();
         let rc = compiled.check_program(&program);
         let rt = tree.check_program(&program);
-        assert_eq!(rc.defs.len(), rt.defs.len(), "{}: def counts differ", b.name);
+        assert_eq!(
+            rc.defs.len(),
+            rt.defs.len(),
+            "{}: def counts differ",
+            b.name
+        );
         for (dc, dt) in rc.defs.iter().zip(&rt.defs) {
             assert_eq!(
                 dc.ok, dt.ok,

@@ -3,8 +3,8 @@
 //! most α positions).
 
 use rel_eval::{eval, Env};
-use rel_suite::generators::{apply_spine, list_literal, Workload};
 use rel_suite::benchmark;
+use rel_suite::generators::{apply_spine, list_literal, Workload};
 use rel_syntax::parse_program;
 
 fn run_unary(def: &rel_syntax::Def, iapps: usize, items: &[i64]) -> i64 {
@@ -83,7 +83,8 @@ fn find_variants_differ_by_at_most_their_exec_interval_gap() {
     for seed in 0..5u64 {
         let w = Workload::generate(16, 4, seed);
         let run = |body: &rel_syntax::Expr, items: &[i64]| {
-            let call = apply_spine(body.clone(), 1, list_literal(items)).app(rel_syntax::Expr::Int(3));
+            let call =
+                apply_spine(body.clone(), 1, list_literal(items)).app(rel_syntax::Expr::Int(3));
             eval(&call, &Env::new()).unwrap().cost as i64
         };
         let n = 16i64;

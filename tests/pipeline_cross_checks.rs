@@ -21,10 +21,8 @@ fn pretty_printed_programs_reparse_and_recheck() {
 
 #[test]
 fn erasure_of_core_embedding_is_the_identity_on_checked_programs() {
-    let program = parse_program(
-        "def rotate : boolr -> boolr = lam b. if b then false else true;",
-    )
-    .unwrap();
+    let program =
+        parse_program("def rotate : boolr -> boolr = lam b. if b then false else true;").unwrap();
     let core = embed_naive(&program.defs[0].left);
     assert_eq!(core.erase(), program.defs[0].left);
 }

@@ -1,0 +1,80 @@
+//! Warm-start acceptance test over the tier-1-covered sources: a second
+//! cache-file-backed run over the verified benchmark suite must perform
+//! *zero* numeric-layer solver work for unchanged definitions, verified by
+//! the cache/skip counters in the reports.
+
+use rel_service::{BatchJob, Service, ServiceConfig};
+use rel_suite::{all_benchmarks, VerificationStatus};
+
+fn suite_jobs() -> Vec<BatchJob> {
+    all_benchmarks()
+        .into_iter()
+        .filter(|b| b.status == VerificationStatus::Verified)
+        .map(|b| BatchJob::new(b.name, b.source))
+        .collect()
+}
+
+fn service() -> Service {
+    Service::new(ServiceConfig {
+        workers: 2,
+        cache_shards: 8,
+    })
+}
+
+#[test]
+fn second_cache_file_run_does_zero_solver_work_for_unchanged_defs() {
+    let dir = std::env::temp_dir().join(format!("birelcost-warmstart-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("suite.birelcost");
+    let _ = std::fs::remove_file(&path);
+
+    // First run (a fresh process in real life): cold, then snapshot.
+    let first = service();
+    assert_eq!(first.attach_cache_file(&path).warning, None);
+    let cold = first.check_batch(&suite_jobs());
+    first.save_cache().unwrap();
+
+    // Second run: a brand-new service restores the snapshot.
+    let second = service();
+    let outcome = second.attach_cache_file(&path);
+    assert_eq!(outcome.warning, None);
+    assert!(outcome.verdicts > 0);
+    assert!(outcome.defs > 0);
+    let warm = second.check_batch(&suite_jobs());
+
+    assert_eq!(cold.len(), warm.len());
+    for (c, w) in cold.iter().zip(&warm) {
+        let cold_report = c.outcome.as_ref().expect("suite sources parse");
+        let warm_report = w.outcome.as_ref().expect("suite sources parse");
+        for (cd, wd) in cold_report.defs.iter().zip(&warm_report.defs) {
+            assert_eq!(
+                cd.ok, wd.ok,
+                "warm verdict diverged on {}/{}",
+                c.name, cd.name
+            );
+            assert!(
+                wd.skipped_unchanged,
+                "{}/{} was re-checked despite an unchanged input hash",
+                c.name, wd.name
+            );
+            // Zero numeric-layer solver work — the acceptance bar.
+            assert_eq!(
+                wd.points_evaluated, 0,
+                "{}/{} evaluated points",
+                c.name, wd.name
+            );
+            assert_eq!(
+                wd.programs_compiled, 0,
+                "{}/{} compiled programs",
+                c.name, wd.name
+            );
+            assert_eq!(
+                wd.cache_misses, 0,
+                "{}/{} missed the cache",
+                c.name, wd.name
+            );
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
