@@ -22,8 +22,11 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
+use birelcost::Engine;
 use rel_constraint::{Constr, SolveConfig, Solver};
 use rel_index::{Idx, IdxVar, Sort};
+use rel_suite::{all_benchmarks, VerificationStatus};
+use rel_syntax::parse_program;
 
 fn universals() -> Vec<(IdxVar, Sort)> {
     vec![
@@ -59,11 +62,14 @@ fn queries() -> Vec<(Constr, Constr)> {
 /// An enlarged grid (31³ = 29 791 points): the regime the unverified-suite
 /// checks live in, where per-check fixed costs (the symbolic attempt, lemma
 /// saturation — identical on both paths) are noise and the per-point
-/// evaluator dominates.
+/// evaluator dominates.  The FM layer is pinned *off* here — this series
+/// measures the numeric evaluators against each other, and FM would decide
+/// the disjunction query without evaluating a single point.
 fn grid_config() -> SolveConfig {
     SolveConfig {
         nat_grid_max: 30,
         max_grid_points: 29_791,
+        use_fm: false,
         ..SolveConfig::default()
     }
 }
@@ -128,6 +134,25 @@ fn solver_grid(c: &mut Criterion) {
         });
     });
 
+    // ----------------------------------------------------------------
+    // fm_vs_grid: the verified-suite obligation corpus through the full
+    // engine, with the Fourier–Motzkin layer on (default) vs off.  The
+    // FM side must decide every obligation symbolically — zero grid or
+    // random points — which is the layer's acceptance gate.
+    // ----------------------------------------------------------------
+    let (fm_points, fm_ns) = run_verified_suite(true);
+    let (grid_points, grid_ns) = run_verified_suite(false);
+    let fm_speedup = grid_ns / fm_ns;
+    println!(
+        "fm_vs_grid: FM {fm_points} points / {:.2} ms, grid {grid_points} points / {:.2} ms \
+         ({fm_speedup:.2}x)",
+        fm_ns / 1e6,
+        grid_ns / 1e6
+    );
+    c.bench_function("solver_grid/fm_verified_suite", |b| {
+        b.iter(|| run_verified_suite(true))
+    });
+
     // Machine-readable summary for the perf trajectory.
     let samples = 10;
     let tree_ns = measure(&tree_config(), samples);
@@ -136,7 +161,11 @@ fn solver_grid(c: &mut Criterion) {
     let json = format!(
         "{{\n  \"bench\": \"solver_grid\",\n  \"points_per_pass\": {points},\n  \
          \"samples\": {samples},\n  \"tree_ns_per_pass\": {tree_ns:.0},\n  \
-         \"compiled_ns_per_pass\": {compiled_ns:.0},\n  \"speedup\": {speedup:.2}\n}}\n"
+         \"compiled_ns_per_pass\": {compiled_ns:.0},\n  \"speedup\": {speedup:.2},\n  \
+         \"fm_vs_grid\": {{\n    \"corpus\": \"verified suite\",\n    \
+         \"fm_points\": {fm_points},\n    \"grid_points\": {grid_points},\n    \
+         \"fm_ns\": {fm_ns:.0},\n    \"grid_ns\": {grid_ns:.0},\n    \
+         \"speedup\": {fm_speedup:.2}\n  }}\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_numeric.json");
     match std::fs::write(path, &json) {
@@ -147,6 +176,35 @@ fn solver_grid(c: &mut Criterion) {
         speedup >= 5.0,
         "compiled numeric layer must be >= 5x the tree evaluator, got {speedup:.2}x"
     );
+    assert_eq!(
+        fm_points, 0,
+        "the FM layer must decide the verified-suite obligation corpus with zero grid points"
+    );
+    assert!(
+        grid_points > 0,
+        "the FM-off control must actually exercise the grid (otherwise the series is vacuous)"
+    );
+}
+
+/// Checks every verified benchmark through a fresh engine; returns the
+/// total numeric points evaluated and the wall time in nanoseconds.
+fn run_verified_suite(use_fm: bool) -> (usize, f64) {
+    let engine = Engine::new().with_solve_config(SolveConfig {
+        use_fm,
+        ..SolveConfig::default()
+    });
+    let start = Instant::now();
+    let mut points = 0;
+    for b in all_benchmarks() {
+        if b.status != VerificationStatus::Verified {
+            continue;
+        }
+        let program = parse_program(b.source).expect("suite sources parse");
+        let report = engine.check_program(&program);
+        assert!(report.all_ok(), "{} must check in the bench corpus", b.name);
+        points += report.points_evaluated();
+    }
+    (points, start.elapsed().as_nanos() as f64)
 }
 
 criterion_group! {

@@ -179,13 +179,26 @@ fn check_files(files: &[String], flags: &Flags) -> ExitCode {
             Ok(report) => {
                 for def in &report.defs {
                     let status = if def.ok { "ok" } else { "FAIL" };
+                    // Verdict provenance: `proved` means every obligation was
+                    // discharged symbolically (greedy linear search or
+                    // Fourier–Motzkin) — sound over the unbounded domain;
+                    // `grid` means the verdict leaned on the bounded numeric
+                    // sweep.  Replayed verdicts show the provenance they were
+                    // recorded with.
+                    let via = if !def.ok {
+                        "-"
+                    } else if def.proved {
+                        "proved"
+                    } else {
+                        "grid"
+                    };
                     let unchanged = if def.skipped_unchanged {
                         "  [unchanged, skipped]"
                     } else {
                         ""
                     };
                     println!(
-                        "{file}: {:<12} {:<4}  total {:?}  (tc {:?}, exelim {:?}, solve {:?}){unchanged}",
+                        "{file}: {:<12} {:<4} [{via:>6}]  total {:?}  (tc {:?}, exelim {:?}, solve {:?}){unchanged}",
                         def.name,
                         status,
                         def.timings.total(),
@@ -203,6 +216,22 @@ fn check_files(files: &[String], flags: &Flags) -> ExitCode {
     }
 
     let stats = BatchStats::of(&results);
+    // One greppable provenance line per run: how much of the verdict rests
+    // on proofs vs bounded grid sweeps (the CI gate asserts grid_points=0
+    // for the verified suite through the library, but operators read it
+    // here).
+    println!(
+        "provenance: proved_defs={}/{} fm_proved={} grid_accepted={} grid_points={}",
+        stats.proved_defs,
+        stats.defs_ok,
+        stats.fm_proved,
+        stats.grid_accepted,
+        results
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().ok())
+            .map(|rep| rep.points_evaluated())
+            .sum::<usize>()
+    );
     if workers > 1 {
         let cache = service.cache_stats();
         println!(

@@ -522,7 +522,7 @@ mod tests {
         let real_only = [(IdxVar::new("n"), Sort::Real)];
         assert_eq!(a, QueryKey::new(CFG, &real_only, &Constr::Top, &g));
         let cache = ShardedValidityCache::new();
-        cache.store_key(a, Validity::Valid);
+        cache.store_key(a, Validity::proved());
         assert!(lookup_key(&cache, &b).is_none());
     }
 
@@ -538,7 +538,7 @@ mod tests {
         let b = QueryKey::new(2, &[], &Constr::Top, &Constr::Bot);
         assert_ne!(a, b);
         let cache = ShardedValidityCache::new();
-        cache.store_key(a, Validity::Valid);
+        cache.store_key(a, Validity::proved());
         assert!(lookup_key(&cache, &b).is_none());
     }
 
@@ -546,8 +546,8 @@ mod tests {
     fn lookup_store_roundtrip_and_counters() {
         let cache = ShardedValidityCache::new();
         assert!(lookup_key(&cache, &key(1)).is_none());
-        cache.store_key(key(1), Validity::Valid);
-        assert_eq!(lookup_key(&cache, &key(1)), Some(Validity::Valid));
+        cache.store_key(key(1), Validity::proved());
+        assert_eq!(lookup_key(&cache, &key(1)), Some(Validity::proved()));
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
         assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
@@ -556,7 +556,7 @@ mod tests {
     #[test]
     fn clear_drops_entries_but_keeps_counters() {
         let cache = ShardedValidityCache::with_shards(4);
-        cache.store_key(key(1), Validity::Valid);
+        cache.store_key(key(1), Validity::proved());
         cache.store_key(key(2), Validity::Invalid(None));
         cache.clear();
         assert_eq!(cache.stats().entries, 0);
@@ -568,19 +568,19 @@ mod tests {
         // One shard, room for 4 verdicts: the 5th insert clears the shard.
         let cache = ShardedValidityCache::with_shards_and_capacity(1, 4);
         for i in 0..5 {
-            cache.store_key(key(i), Validity::Valid);
+            cache.store_key(key(i), Validity::proved());
         }
         let s = cache.stats();
         assert_eq!(s.evictions, 1);
         assert_eq!(s.entries, 1, "only the post-eviction insert remains");
-        assert_eq!(lookup_key(&cache, &key(4)), Some(Validity::Valid));
+        assert_eq!(lookup_key(&cache, &key(4)), Some(Validity::proved()));
         assert!(lookup_key(&cache, &key(0)).is_none());
     }
 
     #[test]
     fn restore_overwrites_without_duplicating() {
         let cache = ShardedValidityCache::new();
-        cache.store_key(key(1), Validity::Valid);
+        cache.store_key(key(1), Validity::proved());
         cache.store_key(key(1), Validity::Invalid(None));
         assert_eq!(cache.stats().entries, 1);
         assert_eq!(lookup_key(&cache, &key(1)), Some(Validity::Invalid(None)));
@@ -595,8 +595,8 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..64 {
                     let k = key(t * 64 + i);
-                    cache.store_key(k.clone(), Validity::Valid);
-                    assert_eq!(lookup_key(&cache, &k), Some(Validity::Valid));
+                    cache.store_key(k.clone(), Validity::proved());
+                    assert_eq!(lookup_key(&cache, &k), Some(Validity::proved()));
                 }
             }));
         }

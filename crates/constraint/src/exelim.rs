@@ -15,6 +15,7 @@ use std::collections::BTreeMap;
 use rel_index::{Idx, IdxVar, Sort};
 
 use crate::constr::{Constr, Quantified};
+use crate::fm;
 use crate::solver::{Solver, Validity};
 
 /// Statistics from one elimination run.
@@ -183,9 +184,9 @@ pub fn eliminate_existentials(
     let max_attempts = solver.config().max_exelim_attempts;
     let mut assignment: Vec<usize> = vec![0; all_candidates.len()];
 
-    loop {
+    'search: loop {
         if stats.attempts >= max_attempts {
-            break;
+            break 'search;
         }
         // Build the substitution for the current assignment, resolving
         // candidates that mention other existential variables by iterating
@@ -203,12 +204,12 @@ pub fn eliminate_existentials(
             // guarantees the replacements mention no existential variables,
             // which is exactly `subst_all`'s precondition.
             let instantiated = matrix.subst_all(&resolved);
-            if solver
-                .entails_no_exists(universals, hyp, &instantiated)
-                .is_valid()
-            {
+            let verdict = solver.entails_no_exists(universals, hyp, &instantiated);
+            if verdict.is_valid() {
                 return ExElimOutcome {
-                    validity: Some(Validity::Valid),
+                    // The provenance of the instantiated check carries over:
+                    // a witness validated symbolically is a *proof*.
+                    validity: Some(verdict),
                     witness: Some(resolved),
                     stats,
                 };
@@ -217,27 +218,63 @@ pub fn eliminate_existentials(
 
         // Advance the candidate odometer.
         let mut i = 0;
-        loop {
+        'odometer: loop {
             if i == assignment.len() {
-                return ExElimOutcome {
-                    validity: None,
-                    witness: None,
-                    stats,
-                };
+                break 'search;
             }
             assignment[i] += 1;
             if assignment[i] < all_candidates[i].1.len() {
-                break;
+                break 'odometer;
             }
             assignment[i] = 0;
             i += 1;
         }
     }
 
+    // Candidate substitution is out of ideas.  Real-sorted (cost)
+    // existentials have one more complete move: Fourier–Motzkin projection
+    // is *exact* for ∃ over the non-negative reals, so the projected,
+    // ∃-free goal can be handed back to the solver pipeline.
     ExElimOutcome {
-        validity: None,
+        validity: fm_projection_fallback(solver, universals, hyp, &matrix, &ex_vars),
         witness: None,
         stats,
+    }
+}
+
+/// Replaces `∃ v₁…vₖ :: ℝ. matrix` by its FM projection and re-checks; only
+/// a `Valid` outcome is forwarded (anything else falls back to the caller's
+/// bounded numeric search).  ℕ-sorted existentials are left alone: rational
+/// projection over-approximates integer satisfiability, and proving an
+/// over-approximated goal would be unsound.
+fn fm_projection_fallback(
+    solver: &mut Solver,
+    universals: &[(IdxVar, Sort)],
+    hyp: &Constr,
+    matrix: &Constr,
+    ex_vars: &[Quantified],
+) -> Option<Validity> {
+    if !solver.config().use_fm || ex_vars.is_empty() {
+        return None;
+    }
+    if ex_vars.iter().any(|q| q.sort != Sort::Real) {
+        return None;
+    }
+    // The projection treats the existentials as goal-local; a hypothesis
+    // mentioning one (never produced by the bidirectional rules) would
+    // change its meaning.
+    if ex_vars.iter().any(|q| hyp.mentions(&q.var)) {
+        return None;
+    }
+    let vars: Vec<IdxVar> = ex_vars.iter().map(|q| q.var.clone()).collect();
+    let limits = solver.fm_limits().clone();
+    let projected = fm::project_reals(matrix, &vars, &limits)?;
+    let verdict = solver.entails_no_exists(universals, hyp, &projected);
+    if verdict.is_valid() {
+        solver.note_fm_projection();
+        Some(verdict)
+    } else {
+        None
     }
 }
 
@@ -324,7 +361,7 @@ mod tests {
         let hyp =
             Constr::leq(Idx::one(), Idx::var("n")).and(Constr::leq(Idx::one(), Idx::var("alpha")));
         let out = eliminate_existentials(&mut s, &u, &hyp, &goal);
-        assert!(matches!(out.validity, Some(Validity::Valid)));
+        assert!(matches!(out.validity, Some(Validity::Valid(_))));
         let w = out.witness.unwrap();
         assert_eq!(
             rel_index::LinExpr::of_idx(&w[&IdxVar::new("i")]),
@@ -344,7 +381,7 @@ mod tests {
                 .and(Constr::leq(Idx::zero(), Idx::var("t2"))),
         );
         let out = eliminate_existentials(&mut s, &u, &Constr::Top, &goal);
-        assert!(matches!(out.validity, Some(Validity::Valid)));
+        assert!(matches!(out.validity, Some(Validity::Valid(_))));
     }
 
     #[test]
@@ -360,7 +397,7 @@ mod tests {
                 .and(Constr::leq(Idx::var("t2") + Idx::one(), Idx::var("t"))),
         );
         let out = eliminate_existentials(&mut s, &u, &hyp, &goal);
-        assert!(matches!(out.validity, Some(Validity::Valid)));
+        assert!(matches!(out.validity, Some(Validity::Valid(_))));
         assert_eq!(out.witness.unwrap()[&IdxVar::new("t2")], Idx::var("c"));
     }
 
@@ -381,7 +418,7 @@ mod tests {
             ),
         );
         let out = eliminate_existentials(&mut s, &u, &Constr::Top, &goal);
-        assert!(matches!(out.validity, Some(Validity::Valid)));
+        assert!(matches!(out.validity, Some(Validity::Valid(_))));
     }
 
     #[test]

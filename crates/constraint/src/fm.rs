@@ -1,0 +1,1234 @@
+//! A complete decision procedure for linear rational arithmetic over atoms:
+//! Fourier–Motzkin variable elimination with integer tightening.
+//!
+//! The symbolic layer's greedy positive-combination search
+//! (`Solver::prove_nonneg`) is fast but incomplete even on the pure linear
+//! fragment: it cancels one negative coefficient at a time and gives up
+//! after a fixed number of rounds, so many obligations that *are* linear
+//! consequences of the hypotheses fall through to the bounded grid sweep.
+//! This module closes that gap.  An entailment `facts ⟹ goal` is decided by
+//! refutation: the negation of the goal is put in disjunctive normal form
+//! over atomic comparisons, each branch is conjoined with the linear facts
+//! (plus non-negativity of every atom — sizes, difference counts and costs
+//! are all non-negative in RelCost), and Fourier–Motzkin elimination drives
+//! the system to a ground contradiction or a witness:
+//!
+//! * **every branch infeasible** → the entailment holds over the reals, and
+//!   therefore over the naturals — the verdict is a *proof*, no grid point
+//!   is ever evaluated;
+//! * **some branch feasible** → the elimination's witness assigns values to
+//!   *atoms*, which are free variables of the abstraction only: `⌈n/2⌉` and
+//!   `n` are distinct atoms the abstraction can set inconsistently.  A
+//!   feasible branch is therefore only a **candidate** counterexample and
+//!   the query falls through to the numeric layer unchanged;
+//! * **limits exceeded** (atom count, row count, branch fan-out, coefficient
+//!   growth) → the procedure abstains, again falling through.
+//!
+//! **Integer tightening.**  ℕ-sorted variables and `⌈·⌉`/`⌊·⌋` atoms take
+//! integer values.  A row whose atoms are all integer-valued is scaled to
+//! integer coefficients, divided by their gcd, and its constant floored
+//! (`Σ ≥ -c  ⟺  Σ ≥ ⌈-c⌉` for integer `Σ`); strict rows become non-strict
+//! (`Σ > -c  ⟺  Σ ≥ ⌊-c⌋ + 1`).  Tightening only shrinks the feasible set
+//! of the *abstraction* towards assignments every concrete model already
+//! satisfies, so refutations stay sound — and it is what lets FM decide
+//! `3 ≤ n ⟹ 1 < n`-style strict obligations without a grid.
+//!
+//! The same elimination core implements exact `∃`-projection over the
+//! non-negative reals ([`project_reals`]), which `exelim` uses to discharge
+//! leftover real-sorted (cost) existentials that candidate substitution
+//! missed.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rel_index::{Atom, Extended, Idx, IdxVar, LinExpr, Rational, Sort};
+
+use crate::constr::Constr;
+
+/// Resource limits of one FM run.  All three exist to bound the
+/// worst-case double-exponential blow-up of elimination; hitting any of
+/// them abstains (falls through to the numeric layer) rather than erring.
+#[derive(Debug, Clone)]
+pub struct FmLimits {
+    /// Maximum distinct atoms in the system (elimination is per-atom).
+    pub max_atoms: usize,
+    /// Maximum rows alive at any point of the elimination.
+    pub max_rows: usize,
+    /// Maximum DNF branches of the negated goal.
+    pub max_branches: usize,
+}
+
+impl Default for FmLimits {
+    fn default() -> Self {
+        FmLimits {
+            max_atoms: 32,
+            max_rows: 1_024,
+            max_branches: 16,
+        }
+    }
+}
+
+/// Coefficient-magnitude cap (numerator and denominator).  All elimination
+/// and witness arithmetic goes through the checked helpers below
+/// ([`checked_rat`] and friends): `i128` intermediates for in-bounds
+/// operands cannot overflow, and any *reduced* result past the cap makes
+/// the run abstain instead of reaching `Rational`'s panicking operators.
+const MAX_MAGNITUDE: i64 = 1 << 30;
+
+/// The verdict of one FM entailment attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FmVerdict {
+    /// Every branch of the negated goal is infeasible: the entailment is
+    /// proved (sound — no grid evaluation needed).
+    Proved,
+    /// Some branch is feasible in the linear abstraction.  Over opaque
+    /// atoms this is only a *candidate* counterexample; the caller must
+    /// fall through to the numeric layer.
+    CandidateRefuted,
+    /// The query is outside the fragment or exceeded the limits.
+    Abstained,
+}
+
+/// The outcome of an FM run: verdict plus the elimination order actually
+/// used (surfaced in failure diagnostics).
+#[derive(Debug, Clone)]
+pub struct FmOutcome {
+    /// The verdict.
+    pub verdict: FmVerdict,
+    /// Display names of the atoms eliminated, in elimination order, for the
+    /// decisive branch (the feasible one on `CandidateRefuted`, the last
+    /// one on `Proved`).
+    pub eliminated: Vec<String>,
+    /// On `CandidateRefuted`, a satisfying assignment of the feasible
+    /// branch *when every atom of the system is a plain index variable*
+    /// (back-substituted through the elimination, integer values for
+    /// ℕ-sorted variables).  With only plain variables there is no
+    /// abstraction gap left — the caller still re-verifies the point by
+    /// direct evaluation before trusting it, which is what keeps a
+    /// witness-backed `Invalid` exactly as sound as a grid counterexample.
+    pub witness: Option<Vec<(IdxVar, Rational)>>,
+}
+
+impl FmOutcome {
+    fn abstained() -> FmOutcome {
+        FmOutcome {
+            verdict: FmVerdict::Abstained,
+            eliminated: Vec::new(),
+            witness: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rows
+// ---------------------------------------------------------------------------
+
+/// One constraint row `expr ≥ 0` (or `expr > 0` when `strict`).  The
+/// expression's constant is always finite — `∞` never enters a system (facts
+/// mentioning it are dropped, goals mentioning it abstain).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Row {
+    expr: LinExpr,
+    strict: bool,
+}
+
+impl Row {
+    fn constant(&self) -> Rational {
+        self.expr
+            .constant
+            .finite()
+            .expect("FM rows keep finite constants by construction")
+    }
+
+    /// `true` while every coefficient and the constant stay within
+    /// [`MAX_MAGNITUDE`].
+    fn in_bounds(&self) -> bool {
+        rat_in_bounds(self.constant()) && self.expr.coeffs.values().copied().all(rat_in_bounds)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checked rational arithmetic
+// ---------------------------------------------------------------------------
+//
+// `Rational`'s operators panic when a *reduced* result overflows `i64`.
+// Bounded inputs do not make reduced outputs bounded (the gcd can be 1), so
+// every arithmetic step of elimination and witness extraction goes through
+// these checked helpers instead: `None` makes the run abstain (falling
+// through to the numeric layer) where the raw operators would abort the
+// process.  All intermediates are `i128`, far from overflow for in-bounds
+// operands.
+
+fn rat_in_bounds(q: Rational) -> bool {
+    q.numerator().abs() <= MAX_MAGNITUDE && q.denominator() <= MAX_MAGNITUDE
+}
+
+/// Builds a reduced rational, requiring the result within [`MAX_MAGNITUDE`].
+fn checked_rat(num: i128, den: i128) -> Option<Rational> {
+    debug_assert!(den != 0);
+    let sign = if den < 0 { -1 } else { 1 };
+    let g = gcd_i128(num, den).max(1);
+    let num = sign * num / g;
+    let den = sign * den / g;
+    if num.abs() > MAX_MAGNITUDE as i128 || den > MAX_MAGNITUDE as i128 {
+        return None;
+    }
+    Some(Rational::new(num as i64, den as i64))
+}
+
+fn rat_mul(a: Rational, b: Rational) -> Option<Rational> {
+    checked_rat(
+        a.numerator() as i128 * b.numerator() as i128,
+        a.denominator() as i128 * b.denominator() as i128,
+    )
+}
+
+fn rat_add(a: Rational, b: Rational) -> Option<Rational> {
+    checked_rat(
+        a.numerator() as i128 * b.denominator() as i128
+            + b.numerator() as i128 * a.denominator() as i128,
+        a.denominator() as i128 * b.denominator() as i128,
+    )
+}
+
+fn rat_div(a: Rational, b: Rational) -> Option<Rational> {
+    if b.is_zero() {
+        return None;
+    }
+    checked_rat(
+        a.numerator() as i128 * b.denominator() as i128,
+        a.denominator() as i128 * b.numerator() as i128,
+    )
+}
+
+/// `lo/a + up/(-b)` over whole rows: the Fourier–Motzkin combination of a
+/// lower-bound row (`a > 0`) and an upper-bound row (`b < 0`) after the
+/// pivot column was removed.  `None` on any overflow of the magnitude cap.
+fn combine_rows(
+    lo: &LinExpr,
+    a: Rational,
+    lo_strict: bool,
+    up: &LinExpr,
+    b: Rational,
+    up_strict: bool,
+) -> Option<Row> {
+    let inv_a = rat_div(Rational::ONE, a)?;
+    let inv_nb = rat_div(Rational::ONE, Rational::ZERO - b)?;
+    let mut coeffs = std::collections::BTreeMap::new();
+    for (atom, q) in &lo.coeffs {
+        let scaled = rat_mul(*q, inv_a)?;
+        if !scaled.is_zero() {
+            coeffs.insert(atom.clone(), scaled);
+        }
+    }
+    for (atom, q) in &up.coeffs {
+        let scaled = rat_mul(*q, inv_nb)?;
+        let entry = coeffs.entry(atom.clone()).or_insert(Rational::ZERO);
+        *entry = rat_add(*entry, scaled)?;
+    }
+    coeffs.retain(|_, q| !q.is_zero());
+    let constant = rat_add(
+        rat_mul(lo.constant.finite()?, inv_a)?,
+        rat_mul(up.constant.finite()?, inv_nb)?,
+    )?;
+    Some(Row {
+        expr: LinExpr {
+            constant: Extended::Finite(constant),
+            coeffs,
+        },
+        strict: lo_strict || up_strict,
+    })
+}
+
+/// Does the index term mention `∞` anywhere?  Such atoms are outside the
+/// finite-linear fragment and make the run abstain.
+fn mentions_infty(idx: &Idx) -> bool {
+    match idx {
+        Idx::Infty => true,
+        Idx::Var(_) | Idx::Const(_) => false,
+        Idx::Add(a, b)
+        | Idx::Sub(a, b)
+        | Idx::Mul(a, b)
+        | Idx::Div(a, b)
+        | Idx::Min(a, b)
+        | Idx::Max(a, b) => mentions_infty(a) || mentions_infty(b),
+        Idx::Ceil(a) | Idx::Floor(a) | Idx::Log2(a) | Idx::Pow2(a) => mentions_infty(a),
+        Idx::Sum { lo, hi, body, .. } => {
+            mentions_infty(lo) || mentions_infty(hi) || mentions_infty(body)
+        }
+    }
+}
+
+/// Linearizes an index term, rejecting `∞` (in the constant or buried in an
+/// atom).
+fn lin_of(idx: &Idx) -> Option<LinExpr> {
+    let l = LinExpr::of_idx(idx);
+    l.constant.finite()?;
+    if l.coeffs.keys().any(|a| mentions_infty(&a.0)) {
+        return None;
+    }
+    Some(l)
+}
+
+/// The row for `pos − neg {≥,>} 0`; `None` when either side leaves the
+/// finite-linear fragment.
+fn row_of(pos: &Idx, neg: &Idx, strict: bool) -> Option<Row> {
+    let expr = lin_of(pos)?.sub(&lin_of(neg)?);
+    Some(Row { expr, strict })
+}
+
+// ---------------------------------------------------------------------------
+// DNF of goals and their negations
+// ---------------------------------------------------------------------------
+
+type Branches = Vec<Vec<Row>>;
+
+fn cross(a: Branches, b: Branches, cap: usize) -> Option<Branches> {
+    if a.len().checked_mul(b.len())? > cap {
+        return None;
+    }
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for x in &a {
+        for y in &b {
+            let mut branch = x.clone();
+            branch.extend(y.iter().cloned());
+            out.push(branch);
+        }
+    }
+    Some(out)
+}
+
+fn union(a: Branches, b: Branches, cap: usize) -> Option<Branches> {
+    if a.len() + b.len() > cap {
+        return None;
+    }
+    let mut out = a;
+    out.extend(b);
+    Some(out)
+}
+
+/// DNF of `c` itself, as branches of conjoined rows.  `None` when `c` is
+/// outside the quantifier-free comparison fragment.
+fn pos_branches(c: &Constr, cap: usize) -> Option<Branches> {
+    match c {
+        Constr::Top => Some(vec![vec![]]),
+        Constr::Bot => Some(vec![]),
+        Constr::Eq(a, b) => Some(vec![vec![row_of(b, a, false)?, row_of(a, b, false)?]]),
+        Constr::Leq(a, b) => Some(vec![vec![row_of(b, a, false)?]]),
+        Constr::Lt(a, b) => Some(vec![vec![row_of(b, a, true)?]]),
+        Constr::And(cs) => {
+            let mut acc = vec![vec![]];
+            for c in cs {
+                acc = cross(acc, pos_branches(c, cap)?, cap)?;
+            }
+            Some(acc)
+        }
+        Constr::Or(cs) => {
+            let mut acc = vec![];
+            for c in cs {
+                acc = union(acc, pos_branches(c, cap)?, cap)?;
+            }
+            Some(acc)
+        }
+        Constr::Not(c) => neg_branches(c, cap),
+        Constr::Implies(a, b) => union(neg_branches(a, cap)?, pos_branches(b, cap)?, cap),
+        Constr::Forall(_, _) | Constr::Exists(_, _) => None,
+    }
+}
+
+/// DNF of `¬c`.
+fn neg_branches(c: &Constr, cap: usize) -> Option<Branches> {
+    match c {
+        Constr::Top => Some(vec![]),
+        Constr::Bot => Some(vec![vec![]]),
+        // ¬(a = b) splits: a > b or b > a.
+        Constr::Eq(a, b) => Some(vec![vec![row_of(a, b, true)?], vec![row_of(b, a, true)?]]),
+        Constr::Leq(a, b) => Some(vec![vec![row_of(a, b, true)?]]),
+        Constr::Lt(a, b) => Some(vec![vec![row_of(a, b, false)?]]),
+        Constr::And(cs) => {
+            let mut acc = vec![];
+            for c in cs {
+                acc = union(acc, neg_branches(c, cap)?, cap)?;
+            }
+            Some(acc)
+        }
+        Constr::Or(cs) => {
+            let mut acc = vec![vec![]];
+            for c in cs {
+                acc = cross(acc, neg_branches(c, cap)?, cap)?;
+            }
+            Some(acc)
+        }
+        Constr::Not(c) => pos_branches(c, cap),
+        Constr::Implies(a, b) => cross(pos_branches(a, cap)?, neg_branches(b, cap)?, cap),
+        Constr::Forall(_, _) | Constr::Exists(_, _) => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Normalization and integer tightening
+// ---------------------------------------------------------------------------
+
+/// Is the atom integer-valued?  ℕ-sorted variables and `⌈·⌉`/`⌊·⌋` results
+/// are; everything else is treated as real (`2^x`/`log₂ x` would also
+/// qualify for natural arguments, but their arguments' sorts are not
+/// tracked per-atom, so they stay untightened — sound, merely weaker).
+fn is_integer_atom(atom: &Atom, nat_vars: &BTreeSet<IdxVar>) -> bool {
+    match &atom.0 {
+        Idx::Var(v) => nat_vars.contains(v),
+        Idx::Ceil(_) | Idx::Floor(_) => true,
+        _ => false,
+    }
+}
+
+fn gcd_i128(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Scales a row whose atoms are all integer-valued to coprime integer
+/// coefficients and rounds the constant: the floor-based bound tightening
+/// that makes strict ℕ-bounds decidable without a grid.  Leaves the row
+/// untouched (still sound) when scaling would exceed the magnitude cap.
+fn tighten_integer_row(row: &mut Row, nat_vars: &BTreeSet<IdxVar>) {
+    if row.expr.coeffs.is_empty() {
+        return;
+    }
+    // Precondition for the panic-free scaling below: in-bounds operands.
+    // (Out-of-bounds rows are rejected by `normalize_system` right after.)
+    if !row.in_bounds() {
+        return;
+    }
+    if !row.expr.coeffs.keys().all(|a| is_integer_atom(a, nat_vars)) {
+        return;
+    }
+    // lcm of the coefficient denominators.
+    let mut lcm: i128 = 1;
+    for q in row.expr.coeffs.values() {
+        let den = q.denominator() as i128;
+        lcm = lcm / gcd_i128(lcm, den) * den;
+        if lcm > MAX_MAGNITUDE as i128 {
+            return;
+        }
+    }
+    let mut expr = row.expr.scale(Rational::from_int(lcm as i64));
+    // Divide through by the gcd of the (now integral) coefficients.
+    let mut g: i128 = 0;
+    for q in expr.coeffs.values() {
+        debug_assert!(q.is_integer());
+        g = gcd_i128(g, q.numerator() as i128);
+    }
+    if g > 1 && g <= MAX_MAGNITUDE as i128 {
+        expr = expr.scale(Rational::new(1, g as i64));
+    }
+    // Σ + c > 0  ⟺  Σ ≥ ⌊-c⌋ + 1;  Σ + c ≥ 0  ⟺  Σ ≥ ⌈-c⌉  (Σ integral).
+    let c = expr
+        .constant
+        .finite()
+        .expect("scaling a finite constant stays finite");
+    let tightened = if row.strict {
+        Rational::ZERO - ((Rational::ZERO - c).floor() + Rational::ONE)
+    } else {
+        c.floor()
+    };
+    expr.constant = Extended::Finite(tightened);
+    let candidate = Row {
+        expr,
+        strict: false,
+    };
+    if candidate.in_bounds() {
+        *row = candidate;
+    }
+}
+
+enum RowStatus {
+    /// Trivially satisfied — drop.
+    Trivial,
+    /// Ground contradiction — the whole branch is infeasible.
+    Contradiction,
+    /// Keep (possibly tightened).
+    Keep,
+}
+
+fn classify(row: &mut Row, nat_vars: &BTreeSet<IdxVar>) -> RowStatus {
+    tighten_integer_row(row, nat_vars);
+    if row.expr.coeffs.is_empty() {
+        let c = row.constant();
+        let sat = if row.strict {
+            !c.is_negative() && !c.is_zero()
+        } else {
+            !c.is_negative()
+        };
+        return if sat {
+            RowStatus::Trivial
+        } else {
+            RowStatus::Contradiction
+        };
+    }
+    RowStatus::Keep
+}
+
+/// Deduplication threshold: small systems (the overwhelming majority of
+/// probe obligations) skip the coefficient-vector keying — cloning every
+/// row's atoms per round costs more than the duplicates it would remove.
+/// Large systems pay for it to keep the pairwise combination step in check.
+const DEDUP_MIN_ROWS: usize = 48;
+
+/// Normalizes a system: tightens and classifies every row, detects ground
+/// contradictions, and (above [`DEDUP_MIN_ROWS`]) deduplicates rows with
+/// identical coefficient vectors, keeping the tightest bound.  `Ok(None)`
+/// means a ground contradiction (the branch is infeasible); `Err(())` means
+/// a magnitude blow-up (abstain).
+fn normalize_system(rows: Vec<Row>, nat_vars: &BTreeSet<IdxVar>) -> Result<Option<Vec<Row>>, ()> {
+    let mut kept: Vec<Row> = Vec::with_capacity(rows.len());
+    for mut row in rows {
+        match classify(&mut row, nat_vars) {
+            RowStatus::Trivial => continue,
+            RowStatus::Contradiction => return Ok(None),
+            RowStatus::Keep => {}
+        }
+        if !row.in_bounds() {
+            return Err(());
+        }
+        kept.push(row);
+    }
+    if kept.len() < DEDUP_MIN_ROWS {
+        return Ok(Some(kept));
+    }
+    // Keyed on the coefficient vector; the value is the tightest
+    // (constant, strict) bound seen: smaller constant is tighter, and at
+    // equal constants strict is tighter.
+    let mut best: BTreeMap<Vec<(Atom, Rational)>, Row> = BTreeMap::new();
+    for row in kept {
+        let key: Vec<(Atom, Rational)> = row
+            .expr
+            .coeffs
+            .iter()
+            .map(|(a, q)| (a.clone(), *q))
+            .collect();
+        match best.get_mut(&key) {
+            None => {
+                best.insert(key, row);
+            }
+            Some(existing) => {
+                let (c_new, c_old) = (row.constant(), existing.constant());
+                let tighter = c_new < c_old || (c_new == c_old && row.strict && !existing.strict);
+                if tighter {
+                    *existing = row;
+                }
+            }
+        }
+    }
+    Ok(Some(best.into_values().collect()))
+}
+
+// ---------------------------------------------------------------------------
+// Elimination
+// ---------------------------------------------------------------------------
+
+enum ElimResult {
+    /// The system is infeasible.
+    Unsat,
+    /// All atoms eliminated without contradiction: feasible (in the
+    /// abstraction).
+    Sat,
+    /// Limits exceeded.
+    Abstain,
+}
+
+/// The bound rows a pivot was eliminated under, kept for witness
+/// back-substitution: each entry is `(residual expression, pivot
+/// coefficient, strict)` — the row with the pivot's column removed.
+struct ElimStep {
+    atom: Atom,
+    /// Rows with a positive pivot coefficient: `pivot ≥ -eval(e)/a`.
+    lower: Vec<(LinExpr, Rational, bool)>,
+    /// Rows with a negative pivot coefficient: `pivot ≤ eval(e)/(-b)`.
+    upper: Vec<(LinExpr, Rational, bool)>,
+}
+
+/// Runs the full elimination, recording the order atoms were projected and
+/// (for witness extraction) the bound rows each pivot was eliminated under.
+fn eliminate(
+    mut rows: Vec<Row>,
+    nat_vars: &BTreeSet<IdxVar>,
+    limits: &FmLimits,
+    order: &mut Vec<String>,
+    steps: &mut Vec<ElimStep>,
+) -> ElimResult {
+    loop {
+        rows = match normalize_system(rows, nat_vars) {
+            Err(()) => return ElimResult::Abstain,
+            Ok(None) => return ElimResult::Unsat,
+            Ok(Some(rows)) => rows,
+        };
+        if rows.len() > limits.max_rows {
+            return ElimResult::Abstain;
+        }
+        // Count atom occurrences, split by sign, to pick the cheapest pivot.
+        let mut signs: BTreeMap<&Atom, (usize, usize)> = BTreeMap::new();
+        for row in &rows {
+            for (a, q) in &row.expr.coeffs {
+                let entry = signs.entry(a).or_insert((0, 0));
+                if q.is_negative() {
+                    entry.1 += 1;
+                } else {
+                    entry.0 += 1;
+                }
+            }
+        }
+        if signs.is_empty() {
+            return ElimResult::Sat;
+        }
+        if signs.len() > limits.max_atoms {
+            return ElimResult::Abstain;
+        }
+        let pivot = signs
+            .iter()
+            .min_by_key(|(_, (p, n))| (p * n, p + n))
+            .map(|(a, _)| (*a).clone())
+            .expect("non-empty sign map");
+        order.push(pivot.0.to_string());
+
+        let mut kept = Vec::new();
+        let mut lower = Vec::new(); // positive coefficient: pivot bounded below
+        let mut upper = Vec::new(); // negative coefficient: pivot bounded above
+        for mut row in rows {
+            let c = row.expr.remove_atom(&pivot);
+            if c.is_zero() {
+                kept.push(row);
+            } else if c.is_negative() {
+                upper.push((row.expr, c, row.strict));
+            } else {
+                lower.push((row.expr, c, row.strict));
+            }
+        }
+        // One-sided bounds project away with their rows.
+        if !lower.is_empty() && !upper.is_empty() {
+            if kept.len() + lower.len() * upper.len() > limits.max_rows {
+                return ElimResult::Abstain;
+            }
+            for (lo, a, lo_strict) in &lower {
+                for (up, b, up_strict) in &upper {
+                    // lo: a·x + e ≥ 0 (a > 0) gives x ≥ -e/a;
+                    // up: b·x + f ≥ 0 (b < 0) gives x ≤ -f/b.
+                    // Feasible together iff  -e/a ≤ -f/b, i.e. e/a + f/(-b) ≥ 0.
+                    let Some(combined) = combine_rows(lo, *a, *lo_strict, up, *b, *up_strict)
+                    else {
+                        return ElimResult::Abstain;
+                    };
+                    kept.push(combined);
+                }
+            }
+        }
+        steps.push(ElimStep {
+            atom: pivot,
+            lower,
+            upper,
+        });
+        rows = kept;
+    }
+}
+
+/// Evaluates a residual expression under a partial atom assignment; `None`
+/// when an atom is unassigned (defensive — back-substitution assigns in
+/// reverse elimination order, so residuals only mention assigned atoms) or
+/// when the checked arithmetic overflows the magnitude cap.
+fn eval_residual(e: &LinExpr, assignment: &BTreeMap<Atom, Rational>) -> Option<Rational> {
+    let mut acc = e.constant.finite()?;
+    for (a, q) in &e.coeffs {
+        acc = rat_add(acc, rat_mul(*q, *assignment.get(a)?)?)?;
+    }
+    Some(acc)
+}
+
+/// Back-substitutes a satisfying assignment through the elimination steps.
+/// ℕ-sorted variables (and `⌈·⌉`/`⌊·⌋` atoms) get integer values; when no
+/// integer fits the interval, extraction gives up (`None`) — the refutation
+/// stays a candidate and the caller falls through to the grid.
+///
+/// `prefer_positive` lists atoms that occur as *factors* of product atoms:
+/// within its interval, such an atom is nudged to ≥ 1, which is what lets
+/// the concretizer later solve `P = x·y` for the remaining factor (a zero
+/// factor makes the product inseparable).
+fn extract_witness(
+    steps: &[ElimStep],
+    nat_vars: &BTreeSet<IdxVar>,
+    prefer_positive: &BTreeSet<Atom>,
+) -> Option<BTreeMap<Atom, Rational>> {
+    let mut assignment: BTreeMap<Atom, Rational> = BTreeMap::new();
+    for step in steps.iter().rev() {
+        // Tightest bounds under the values chosen so far.
+        let mut lo: Option<(Rational, bool)> = None;
+        for (e, a, strict) in &step.lower {
+            let v = rat_div(Rational::ZERO - eval_residual(e, &assignment)?, *a)?;
+            let replace = match &lo {
+                None => true,
+                Some((cur, cur_strict)) => v > *cur || (v == *cur && *strict && !*cur_strict),
+            };
+            if replace {
+                lo = Some((v, *strict));
+            }
+        }
+        let mut hi: Option<(Rational, bool)> = None;
+        for (e, b, strict) in &step.upper {
+            let v = rat_div(eval_residual(e, &assignment)?, Rational::ZERO - *b)?;
+            let replace = match &hi {
+                None => true,
+                Some((cur, cur_strict)) => v < *cur || (v == *cur && *strict && !*cur_strict),
+            };
+            if replace {
+                hi = Some((v, *strict));
+            }
+        }
+        let integral = is_integer_atom(&step.atom, nat_vars);
+        let mut value = match (lo, hi) {
+            (None, None) => Rational::ZERO,
+            (Some((l, l_strict)), None) => {
+                if integral {
+                    let c = l.ceil();
+                    if l_strict && c == l {
+                        rat_add(c, Rational::ONE)?
+                    } else {
+                        c
+                    }
+                } else if l_strict {
+                    rat_add(l, Rational::ONE)?
+                } else {
+                    l
+                }
+            }
+            (None, Some((h, h_strict))) => {
+                // Every atom carries a non-negativity lower bound while it is
+                // still in the system, but a pivot can lose it to earlier
+                // eliminations; clamp at zero.
+                let base = Rational::ZERO.min(h);
+                if h_strict && base == h {
+                    return None;
+                }
+                base
+            }
+            (Some((l, l_strict)), Some((h, h_strict))) => {
+                if integral {
+                    let mut c = l.ceil();
+                    if l_strict && c == l {
+                        c = rat_add(c, Rational::ONE)?;
+                    }
+                    if c > h || (h_strict && c == h) {
+                        return None;
+                    }
+                    c
+                } else if l_strict || h_strict {
+                    if l >= h {
+                        return None;
+                    }
+                    rat_div(rat_add(l, h)?, Rational::from_int(2))?
+                } else {
+                    if l > h {
+                        return None;
+                    }
+                    l
+                }
+            }
+        };
+        // Nudge product factors off zero when the interval allows: the
+        // bounds only constrain the abstraction, but a strictly positive
+        // factor is what makes `P = x·y` solvable for the other factor.
+        if value < Rational::ONE && prefer_positive.contains(&step.atom) {
+            let one_fits = match hi {
+                None => true,
+                Some((h, h_strict)) => Rational::ONE < h || (Rational::ONE == h && !h_strict),
+            };
+            if one_fits {
+                value = Rational::ONE;
+            }
+        }
+        // Defensive re-check against every bound row of this step.
+        for (e, a, strict) in &step.lower {
+            let bound = rat_div(Rational::ZERO - eval_residual(e, &assignment)?, *a)?;
+            if value < bound || (*strict && value == bound) {
+                return None;
+            }
+        }
+        for (e, b, strict) in &step.upper {
+            let bound = rat_div(eval_residual(e, &assignment)?, Rational::ZERO - *b)?;
+            if value > bound || (*strict && value == bound) {
+                return None;
+            }
+        }
+        assignment.insert(step.atom.clone(), value);
+    }
+    Some(assignment)
+}
+
+// ---------------------------------------------------------------------------
+// Entailment
+// ---------------------------------------------------------------------------
+
+/// Converts the usable hypothesis facts into rows: `Eq` contributes both
+/// directions, `Leq`/`Lt` one row each; anything else (including facts
+/// mentioning `∞`, which carry no finite-linear information) is skipped —
+/// proving from fewer hypotheses is always sound.
+fn fact_rows(facts: &[&Constr]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for f in facts {
+        match f {
+            Constr::Leq(a, b) => {
+                if let Some(r) = row_of(b, a, false) {
+                    rows.push(r);
+                }
+            }
+            Constr::Lt(a, b) => {
+                if let Some(r) = row_of(b, a, true) {
+                    rows.push(r);
+                }
+            }
+            Constr::Eq(a, b) => {
+                if let (Some(r1), Some(r2)) = (row_of(b, a, false), row_of(a, b, false)) {
+                    rows.push(r1);
+                    rows.push(r2);
+                }
+            }
+            _ => {}
+        }
+    }
+    rows
+}
+
+/// Adds `atom ≥ 0` for every atom in sight: RelCost index terms (sizes,
+/// difference counts, costs and every operation over them) denote
+/// non-negative quantities — the same invariant `is_syntactically_nonneg`
+/// and the greedy layer already rely on.
+fn nonneg_rows(rows: &[Row]) -> Vec<Row> {
+    let mut atoms: BTreeSet<Atom> = BTreeSet::new();
+    for row in rows {
+        atoms.extend(row.expr.coeffs.keys().cloned());
+    }
+    atoms
+        .into_iter()
+        .map(|a| Row {
+            expr: LinExpr::atom(a),
+            strict: false,
+        })
+        .collect()
+}
+
+/// Turns an *atom* assignment into a *variable* assignment: plain-variable
+/// atoms bind directly, and product atoms `P = x · y` are solved for a
+/// still-unbound variable factor by dividing `P`'s value by the other
+/// factor (iterated to a fixed point, so chains of products resolve).
+/// Remaining compound atoms are simply dropped — the caller re-verifies the
+/// point by direct evaluation, which is the actual soundness gate; a
+/// dropped constraint can only make that verification fail (falling back
+/// to the grid), never let a wrong counterexample through.
+///
+/// Gives up (`None`) when a binding would violate its variable's sort —
+/// a fractional or negative value for an ℕ-sorted variable is not a point
+/// of the concrete domain, so "refuting" there would wrongly reject
+/// obligations that hold over the naturals.
+fn concretize(
+    assignment: &BTreeMap<Atom, Rational>,
+    universals: &[(IdxVar, Sort)],
+) -> Option<Vec<(IdxVar, Rational)>> {
+    let mut vars: BTreeMap<IdxVar, Rational> = BTreeMap::new();
+    for (atom, value) in assignment {
+        if let Idx::Var(v) = &atom.0 {
+            vars.insert(v.clone(), *value);
+        }
+    }
+    loop {
+        let mut changed = false;
+        for (atom, value) in assignment {
+            let Idx::Mul(x, y) = &atom.0 else { continue };
+            for (target, other) in [(&**x, &**y), (&**y, &**x)] {
+                let Idx::Var(v) = target else { continue };
+                if vars.contains_key(v) {
+                    continue;
+                }
+                let env = rel_index::IdxEnv::from_pairs(
+                    vars.iter().map(|(w, q)| (w.clone(), Extended::Finite(*q))),
+                );
+                let Ok(Extended::Finite(q)) = other.eval(&env) else {
+                    continue;
+                };
+                if q.is_zero() {
+                    continue;
+                }
+                let Some(solved) = rat_div(*value, q) else {
+                    continue;
+                };
+                vars.insert(v.clone(), solved);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Sort check: every bound universal must hold a point of its domain.
+    for (v, sort) in universals {
+        if let Some(q) = vars.get(v) {
+            if q.is_negative() || (*sort == Sort::Nat && !q.is_integer()) {
+                return None;
+            }
+        }
+    }
+    if vars.values().any(|q| q.is_negative()) {
+        return None;
+    }
+    Some(vars.into_iter().collect())
+}
+
+fn nat_var_set(universals: &[(IdxVar, Sort)]) -> BTreeSet<IdxVar> {
+    universals
+        .iter()
+        .filter(|(_, s)| *s == Sort::Nat)
+        .map(|(v, _)| v.clone())
+        .collect()
+}
+
+/// Decides `facts ⟹ goal` by refuting `facts ∧ ¬goal`, branch by branch.
+///
+/// `Proved` is sound unconditionally.  `CandidateRefuted` and `Abstained`
+/// are inconclusive: the caller falls through to the numeric layer.
+pub fn prove(
+    universals: &[(IdxVar, Sort)],
+    facts: &[&Constr],
+    goal: &Constr,
+    limits: &FmLimits,
+) -> FmOutcome {
+    let Some(branches) = neg_branches(goal, limits.max_branches) else {
+        return FmOutcome::abstained();
+    };
+    let nat_vars = nat_var_set(universals);
+    let base = fact_rows(facts);
+    let mut eliminated = Vec::new();
+    for branch in branches {
+        let mut rows = base.clone();
+        rows.extend(branch);
+        let side = nonneg_rows(&rows);
+        rows.extend(side);
+        // Atoms occurring as factors of product atoms: steer them positive
+        // so the concretizer can divide the product value back out.
+        let mut factor_atoms: BTreeSet<Atom> = BTreeSet::new();
+        for row in &rows {
+            for atom in row.expr.coeffs.keys() {
+                if let Idx::Mul(x, y) = &atom.0 {
+                    factor_atoms.insert(Atom((**x).clone()));
+                    factor_atoms.insert(Atom((**y).clone()));
+                }
+            }
+        }
+        let mut order = Vec::new();
+        let mut steps = Vec::new();
+        match eliminate(rows, &nat_vars, limits, &mut order, &mut steps) {
+            ElimResult::Unsat => eliminated = order,
+            ElimResult::Sat => {
+                let witness = extract_witness(&steps, &nat_vars, &factor_atoms)
+                    .and_then(|assignment| concretize(&assignment, universals));
+                return FmOutcome {
+                    verdict: FmVerdict::CandidateRefuted,
+                    eliminated: order,
+                    witness,
+                };
+            }
+            ElimResult::Abstain => {
+                return FmOutcome {
+                    verdict: FmVerdict::Abstained,
+                    eliminated: order,
+                    witness: None,
+                }
+            }
+        }
+    }
+    FmOutcome {
+        verdict: FmVerdict::Proved,
+        eliminated,
+        witness: None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ∃-projection (exelim reuse)
+// ---------------------------------------------------------------------------
+
+/// Projects real-sorted existential variables out of a *conjunctive* matrix
+/// by Fourier–Motzkin elimination, returning an equivalent ∃-free
+/// constraint over the remaining atoms.
+///
+/// Exactness: over ℝ, `∃v. conjunction-of-linear-rows` is *equivalent* to
+/// the projected system (this is the textbook property of FM projection),
+/// so replacing the goal `∃v. M` by the projection neither weakens nor
+/// strengthens it.  The variables' sort bound is respected by adding
+/// `v ≥ 0` before projecting (RelCost's ℝ sort is the non-negative reals —
+/// costs).  ℕ-sorted variables are **not** projected this way: rational
+/// projection over-approximates integer satisfiability (the Omega test's
+/// dark shadow would be needed), and an over-approximated goal would be
+/// unsound to prove.
+///
+/// Returns `None` when the matrix is not a conjunction of finite-linear
+/// comparisons, a variable occurs inside an opaque atom, or limits are
+/// exceeded.
+pub fn project_reals(matrix: &Constr, vars: &[IdxVar], limits: &FmLimits) -> Option<Constr> {
+    // The matrix must be one conjunctive branch of comparisons.
+    let mut branches = pos_branches(matrix, limits.max_branches)?;
+    if branches.len() != 1 {
+        return None;
+    }
+    let mut rows = branches.pop().expect("length checked");
+    if rows.len() > limits.max_rows {
+        return None;
+    }
+    let nat_vars = BTreeSet::new(); // no integer tightening during projection
+    for v in vars {
+        let atom = Atom(Idx::Var(v.clone()));
+        // The variable must occur only as its own plain atom.
+        if rows
+            .iter()
+            .any(|r| r.expr.coeffs.keys().any(|a| *a != atom && a.0.mentions(v)))
+        {
+            return None;
+        }
+        // Domain bound of the ℝ (cost) sort.
+        rows.push(Row {
+            expr: LinExpr::atom(atom.clone()),
+            strict: false,
+        });
+        rows = match normalize_system(rows, &nat_vars) {
+            Err(()) => return None,
+            // Infeasible matrix: ∃v. M is equivalent to ff.
+            Ok(None) => return Some(Constr::Bot),
+            Ok(Some(rows)) => rows,
+        };
+        let mut kept = Vec::new();
+        let mut lower = Vec::new();
+        let mut upper = Vec::new();
+        for mut row in rows {
+            let c = row.expr.remove_atom(&atom);
+            if c.is_zero() {
+                kept.push(row);
+            } else if c.is_negative() {
+                upper.push((row, c));
+            } else {
+                lower.push((row, c));
+            }
+        }
+        if !lower.is_empty() && !upper.is_empty() {
+            if kept.len() + lower.len() * upper.len() > limits.max_rows {
+                return None;
+            }
+            for (lo, a) in &lower {
+                for (up, b) in &upper {
+                    let combined = combine_rows(&lo.expr, *a, lo.strict, &up.expr, *b, up.strict)?;
+                    kept.push(combined);
+                }
+            }
+        }
+        rows = kept;
+    }
+    let rows = match normalize_system(rows, &nat_vars) {
+        Err(()) => return None,
+        Ok(None) => return Some(Constr::Bot),
+        Ok(Some(rows)) => rows,
+    };
+    Some(Constr::conj(rows.into_iter().map(|row| {
+        let idx = row.expr.to_idx();
+        if row.strict {
+            Constr::Lt(Idx::zero(), idx)
+        } else {
+            Constr::Leq(Idx::zero(), idx)
+        }
+    })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nats(names: &[&str]) -> Vec<(IdxVar, Sort)> {
+        names.iter().map(|n| (IdxVar::new(*n), Sort::Nat)).collect()
+    }
+
+    fn prove_default(universals: &[(IdxVar, Sort)], facts: &[&Constr], goal: &Constr) -> FmVerdict {
+        prove(universals, facts, goal, &FmLimits::default()).verdict
+    }
+
+    #[test]
+    fn transitivity_chains_are_proved() {
+        // a ≤ b ∧ b ≤ c ∧ c ≤ d  ⟹  a ≤ d
+        let u = nats(&["a", "b", "c", "d"]);
+        let f1 = Constr::leq(Idx::var("a"), Idx::var("b"));
+        let f2 = Constr::leq(Idx::var("b"), Idx::var("c"));
+        let f3 = Constr::leq(Idx::var("c"), Idx::var("d"));
+        let goal = Constr::leq(Idx::var("a"), Idx::var("d"));
+        assert_eq!(
+            prove_default(&u, &[&f1, &f2, &f3], &goal),
+            FmVerdict::Proved
+        );
+    }
+
+    #[test]
+    fn upper_bounds_on_goal_atoms_are_used() {
+        // The greedy layer cannot do this one: proving a + b ≤ 20 from
+        // a ≤ 10 ∧ b ≤ 10 needs *upper* bounds on the goal's positive
+        // atoms, not cancellations of negative ones.
+        let u = nats(&["a", "b"]);
+        let f1 = Constr::leq(Idx::var("a"), Idx::nat(10));
+        let f2 = Constr::leq(Idx::var("b"), Idx::nat(10));
+        let goal = Constr::leq(Idx::var("a") + Idx::var("b"), Idx::nat(20));
+        assert_eq!(prove_default(&u, &[&f1, &f2], &goal), FmVerdict::Proved);
+        // And the bound is exact: 19 is refutable in the abstraction.
+        let goal = Constr::leq(Idx::var("a") + Idx::var("b"), Idx::nat(19));
+        assert_eq!(
+            prove_default(&u, &[&f1, &f2], &goal),
+            FmVerdict::CandidateRefuted
+        );
+    }
+
+    #[test]
+    fn strict_nat_bounds_need_integer_tightening() {
+        // 3 ≤ n ⟹ 1 < n holds over ℕ by rounding; over ℝ it already holds,
+        // but 0 < 2n − 1 for a *real* n ≥ 1/2 shows rational reasoning alone
+        // cannot tighten n ≥ 1/2 to n ≥ 1:
+        let u = nats(&["n"]);
+        let hyp = Constr::leq(Idx::nat(3), Idx::var("n"));
+        let goal = Constr::lt(Idx::one(), Idx::var("n"));
+        assert_eq!(prove_default(&u, &[&hyp], &goal), FmVerdict::Proved);
+        // 2n ≥ 1 ⟹ n ≥ 1 — true over ℕ only via the floor rounding.
+        let hyp = Constr::leq(Idx::one(), Idx::nat(2) * Idx::var("n"));
+        let goal = Constr::leq(Idx::one(), Idx::var("n"));
+        assert_eq!(prove_default(&u, &[&hyp], &goal), FmVerdict::Proved);
+    }
+
+    #[test]
+    fn pointwise_disjunctions_are_proved_by_case_split() {
+        // n ≤ 8 ∨ n ≥ 5 — neither disjunct is valid alone; the negation
+        // n > 8 ∧ n < 5 is a ground contradiction after one elimination.
+        let u = nats(&["n"]);
+        let goal =
+            Constr::leq(Idx::var("n"), Idx::nat(8)).or(Constr::geq(Idx::var("n"), Idx::nat(5)));
+        assert_eq!(prove_default(&u, &[], &goal), FmVerdict::Proved);
+    }
+
+    #[test]
+    fn contradictory_facts_prove_bot() {
+        let u = nats(&["n"]);
+        let hyp = Constr::leq(Idx::var("n") + Idx::one(), Idx::var("n"));
+        assert_eq!(prove_default(&u, &[&hyp], &Constr::Bot), FmVerdict::Proved);
+        // And consistent facts cannot prove Bot.
+        let hyp = Constr::leq(Idx::var("n"), Idx::var("n") + Idx::one());
+        assert_eq!(
+            prove_default(&u, &[&hyp], &Constr::Bot),
+            FmVerdict::CandidateRefuted
+        );
+    }
+
+    #[test]
+    fn opaque_atom_refutations_are_only_candidates() {
+        // ⌈n/2⌉ ≤ n is true (lemma facts supply it) but *without* those
+        // facts the abstraction can set ⌈n/2⌉ and n independently: FM must
+        // answer CandidateRefuted, never Proved and never a hard Invalid.
+        let u = nats(&["n"]);
+        let goal = Constr::leq(Idx::half_ceil(Idx::var("n")), Idx::var("n"));
+        assert_eq!(prove_default(&u, &[], &goal), FmVerdict::CandidateRefuted);
+    }
+
+    #[test]
+    fn infinity_makes_the_run_abstain_or_skip_facts() {
+        let u = nats(&["n"]);
+        // ∞ in the goal: outside the fragment.
+        let goal = Constr::leq(Idx::infty(), Idx::var("n"));
+        assert_eq!(prove_default(&u, &[], &goal), FmVerdict::Abstained);
+        // ∞ in a fact: the fact is skipped, the rest still proves.
+        let f1 = Constr::leq(Idx::var("n"), Idx::infty());
+        let f2 = Constr::leq(Idx::var("n"), Idx::nat(3));
+        let goal = Constr::leq(Idx::var("n"), Idx::nat(4));
+        assert_eq!(prove_default(&u, &[&f1, &f2], &goal), FmVerdict::Proved);
+    }
+
+    #[test]
+    fn equality_goals_split_into_two_branches() {
+        // a = b ∧ b = c ⟹ a = c.
+        let u = nats(&["a", "b", "c"]);
+        let f1 = Constr::eq(Idx::var("a"), Idx::var("b"));
+        let f2 = Constr::eq(Idx::var("b"), Idx::var("c"));
+        let goal = Constr::eq(Idx::var("a"), Idx::var("c"));
+        assert_eq!(prove_default(&u, &[&f1, &f2], &goal), FmVerdict::Proved);
+    }
+
+    #[test]
+    fn coefficient_blowups_abstain_instead_of_panicking() {
+        // Coefficients near the magnitude cap with coprime denominators:
+        // combining rows multiplies them, and the *reduced* result exceeds
+        // what `Rational`'s panicking operators accept.  The checked
+        // arithmetic must abstain (fall through to the grid) instead of
+        // aborting the process.  Any verdict is acceptable; the property
+        // under test is "returns".
+        let u = nats(&["x", "y", "z"]);
+        let big = (1i64 << 29) + 1;
+        let c = |n: i64, d: i64| Idx::Const(Rational::new(n, d));
+        let f1 = Constr::leq(
+            c(big, big - 2) * Idx::var("x"),
+            c(big - 4, big - 6) * Idx::var("y"),
+        );
+        let f2 = Constr::leq(
+            c(big - 8, big - 10) * Idx::var("y"),
+            c(big - 12, big - 14) * Idx::var("z"),
+        );
+        let goal = Constr::leq(c(big - 16, big - 18) * Idx::var("x"), Idx::var("z"));
+        let _ = prove(&u, &[&f1, &f2], &goal, &FmLimits::default());
+    }
+
+    #[test]
+    fn elimination_order_is_reported() {
+        let u = nats(&["a", "b"]);
+        let f = Constr::leq(Idx::var("a"), Idx::var("b"));
+        let goal = Constr::leq(Idx::var("a"), Idx::var("b") + Idx::one());
+        let out = prove(&u, &[&f], &goal, &FmLimits::default());
+        assert_eq!(out.verdict, FmVerdict::Proved);
+        assert!(!out.eliminated.is_empty());
+    }
+
+    #[test]
+    fn projection_of_real_costs_is_exact() {
+        // ∃t. c ≤ t ∧ t + 1 ≤ d  projects to  c + 1 ≤ d (plus c, d ≥ 0 noise
+        // that normalization keeps only if non-trivial).
+        let t = IdxVar::new("t");
+        let matrix = Constr::leq(Idx::var("c"), Idx::var("t"))
+            .and(Constr::leq(Idx::var("t") + Idx::one(), Idx::var("d")));
+        let projected = project_reals(&matrix, &[t], &FmLimits::default()).expect("projectable");
+        // The projection must be implied by c + 1 ≤ d and imply it: check a
+        // few ground points on both sides.
+        for (c, d, expect) in [(0, 1, true), (2, 3, true), (3, 3, false), (5, 2, false)] {
+            let env =
+                rel_index::IdxEnv::from_pairs([("c", Extended::from(c)), ("d", Extended::from(d))]);
+            assert_eq!(
+                projected.eval_bounded(&env, 8),
+                expect,
+                "projection wrong at c={c}, d={d}: {projected}"
+            );
+        }
+    }
+
+    #[test]
+    fn projection_refuses_nonlinear_occurrences() {
+        let t = IdxVar::new("t");
+        let matrix = Constr::leq(Idx::half_ceil(Idx::var("t")), Idx::var("n"));
+        assert!(project_reals(&matrix, &[t], &FmLimits::default()).is_none());
+    }
+
+    #[test]
+    fn infeasible_matrices_project_to_bot() {
+        let t = IdxVar::new("t");
+        let matrix = Constr::leq(Idx::var("t") + Idx::one(), Idx::var("t"));
+        assert_eq!(
+            project_reals(&matrix, &[t], &FmLimits::default()),
+            Some(Constr::Bot)
+        );
+    }
+}

@@ -25,6 +25,7 @@ pub mod cache;
 pub mod compile;
 pub mod constr;
 pub mod exelim;
+pub mod fm;
 pub mod lemmas;
 pub mod solver;
 
@@ -32,6 +33,8 @@ pub use cache::{CacheStats, Fnv1a, QueryKey, QueryRef, ShardedValidityCache, Val
 pub use compile::{compile_query, CompiledQuery, EvalFrame, Val};
 pub use constr::{Constr, Quantified};
 pub use exelim::{eliminate_existentials, ExElimOutcome, ExElimStats};
+pub use fm::{FmLimits, FmOutcome, FmVerdict};
 pub use solver::{
-    ProgramCacheStats, ProgramKey, SharedProgramCache, SolveConfig, SolveStats, Solver, Validity,
+    CexSource, ProgramCacheStats, ProgramKey, Provenance, RefutationInfo, SharedProgramCache,
+    SolveConfig, SolveStats, Solver, Validity,
 };

@@ -16,6 +16,14 @@
 //!
 //! The statistics collected ([`SolveStats`]) feed the Table-1 style timing
 //! breakdown reported by the engine.
+//!
+//! Since the Fourier–Motzkin layer ([`crate::fm`]) landed between the greedy
+//! search and the grid, verdicts carry **provenance**: [`Validity::Valid`]
+//! records whether the obligation was *proved* (symbolic or FM — sound over
+//! the unbounded domain) or merely *grid-checked* (accepted because no
+//! counterexample appeared on the bounded sweep).  The distinction is
+//! threaded through `DefReport`, the service protocol, the CLI and the
+//! persisted snapshots.
 
 use std::borrow::Cow;
 use std::collections::{BTreeSet, HashMap};
@@ -33,6 +41,7 @@ use crate::cache::{Fnv1a, QueryRef, ValidityCache};
 use crate::compile::{compile_query, CompiledQuery, Val};
 use crate::constr::Constr;
 use crate::exelim;
+use crate::fm::{self, FmLimits, FmVerdict};
 use crate::lemmas;
 
 /// Configuration of the solver.
@@ -56,6 +65,13 @@ pub struct SolveConfig {
     /// Cap on candidate-substitution combinations during existential
     /// elimination.
     pub max_exelim_attempts: usize,
+    /// Whether the Fourier–Motzkin layer ([`crate::fm`]) runs between the
+    /// greedy symbolic search and the numeric grid.  Unlike the
+    /// verdict-neutral evaluation knobs below, this one **changes
+    /// verdicts** (obligations the greedy search misses flip from
+    /// grid-checked — or `Unknown` under a non-decisive numeric layer — to
+    /// proved), so it is part of [`SolveConfig::fingerprint`].
+    pub use_fm: bool,
     /// Evaluate numeric queries through the compiled bytecode of
     /// [`crate::compile`] (the default).  `false` selects the tree-walking
     /// evaluator — kept as the reference implementation and for the
@@ -83,6 +99,7 @@ impl Default for SolveConfig {
             numeric_is_decisive: true,
             rng_seed: 0xB1DE_C057,
             max_exelim_attempts: 128,
+            use_fm: true,
             use_compiled_eval: true,
             parallel_grid_min_points: usize::MAX,
             parallel_grid_threads: 0,
@@ -104,6 +121,11 @@ impl SolveConfig {
         h.write_u8(self.numeric_is_decisive as u8);
         h.write_u64(self.rng_seed);
         h.write_u64(self.max_exelim_attempts as u64);
+        // `use_fm` turns `Unknown`/grid-checked verdicts into proved ones —
+        // a verdict *and* provenance change — so a snapshot recorded with
+        // the FM layer on must never be replayed into a solver running with
+        // it off (and vice versa).
+        h.write_u8(self.use_fm as u8);
         // `use_compiled_eval` and the parallel-sweep knobs are deliberately
         // *not* mixed in: they select an evaluation strategy, not a verdict.
         // The compiled evaluator is verdict-identical to the tree evaluator
@@ -121,8 +143,22 @@ pub struct SolveStats {
     pub queries: usize,
     /// Atomic goals discharged purely symbolically.
     pub symbolic_hits: usize,
+    /// Goals discharged by the Fourier–Motzkin layer (proved, zero grid
+    /// points).
+    pub fm_proved: usize,
+    /// Goals *refuted* by an FM witness: the feasible branch's assignment
+    /// was extracted, re-verified by direct evaluation, and returned as the
+    /// counterexample — again zero grid points.
+    pub fm_refuted: usize,
+    /// Leftover real-sorted existentials discharged by FM projection in
+    /// `exelim` (each saved a bounded existential grid search).
+    pub fm_projections: usize,
     /// Goals that needed the numeric layer.
     pub numeric_checks: usize,
+    /// Numeric checks that ended in a grid-checked *accept* (the decisive
+    /// numeric layer found no counterexample) — the verdicts that are
+    /// `Valid(GridChecked)` rather than proved.
+    pub grid_accepted: usize,
     /// Grid/random points evaluated by the numeric layer.
     pub points_evaluated: usize,
     /// Candidate substitutions attempted during existential elimination.
@@ -142,12 +178,36 @@ pub struct SolveStats {
     pub solving_time: Duration,
 }
 
+/// How a `Valid` verdict was reached — the provenance threaded through
+/// reports, the service protocol and persisted snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Provenance {
+    /// Decided symbolically (greedy linear search, Fourier–Motzkin, or a
+    /// structural combination of proved sub-goals): sound over the whole
+    /// unbounded domain.
+    Proved,
+    /// Accepted because the decisive numeric layer found no counterexample
+    /// on the bounded grid + random sweep.
+    GridChecked,
+}
+
+impl Provenance {
+    /// The provenance of a conjunction of verdicts: proved only when every
+    /// conjunct was proved.
+    pub fn and(self, other: Provenance) -> Provenance {
+        match (self, other) {
+            (Provenance::Proved, Provenance::Proved) => Provenance::Proved,
+            _ => Provenance::GridChecked,
+        }
+    }
+}
+
 /// The verdict of a validity query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Validity {
-    /// The entailment holds (symbolically, or on the whole numeric grid when
-    /// the numeric layer is decisive).
-    Valid,
+    /// The entailment holds; the [`Provenance`] records whether it was
+    /// proved or merely checked on the whole numeric grid.
+    Valid(Provenance),
     /// The entailment fails; a falsifying assignment is provided when the
     /// numeric layer found one.
     Invalid(Option<IdxEnv>),
@@ -157,10 +217,60 @@ pub enum Validity {
 }
 
 impl Validity {
-    /// Returns `true` for [`Validity::Valid`].
-    pub fn is_valid(&self) -> bool {
-        matches!(self, Validity::Valid)
+    /// A proved `Valid`.
+    pub fn proved() -> Validity {
+        Validity::Valid(Provenance::Proved)
     }
+
+    /// A grid-checked `Valid`.
+    pub fn grid_checked() -> Validity {
+        Validity::Valid(Provenance::GridChecked)
+    }
+
+    /// Returns `true` for [`Validity::Valid`] of either provenance.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, Validity::Valid(_))
+    }
+
+    /// The provenance of a `Valid` verdict.
+    pub fn provenance(&self) -> Option<Provenance> {
+        match self {
+            Validity::Valid(p) => Some(*p),
+            _ => None,
+        }
+    }
+}
+
+/// Where a refutation (or the counterexample behind it) came from — kept by
+/// the solver for the *last* top-level [`Solver::entails`] call so the
+/// engine can explain failures instead of printing every `Invalid` the same
+/// way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CexSource {
+    /// The exhaustive bounded grid sweep found the falsifying point.
+    GridSweep,
+    /// The randomized sampling phase found the falsifying point.
+    RandomSample,
+    /// Fourier–Motzkin elimination produced the witness (re-verified by
+    /// direct evaluation before being reported).
+    FmWitness,
+    /// No numeric counterexample exists in hand: the candidate-substitution
+    /// search for the goal's existentials was exhausted.
+    SearchExhausted,
+}
+
+/// Diagnostics of the last refutation: the counterexample source, the
+/// falsifying assignment (when numeric) and the atom-elimination order of
+/// the Fourier–Motzkin run that preceded it (empty when FM never ran on
+/// the failing goal).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RefutationInfo {
+    /// What produced the refutation.
+    pub source: Option<CexSource>,
+    /// The falsifying assignment, if a numeric layer found one.
+    pub env: Option<IdxEnv>,
+    /// FM elimination order (atom display names) of the failing goal.
+    pub fm_eliminated: Vec<String>,
 }
 
 /// One memoized compiled program, stored next to its full key so program
@@ -417,6 +527,15 @@ pub struct Solver {
     /// Optional cross-solver program memo, consulted after the local map
     /// misses and published to after every compile.
     shared_programs: Option<Arc<SharedProgramCache>>,
+    /// Limits of the Fourier–Motzkin layer.
+    fm_limits: FmLimits,
+    /// Diagnostics of the last refutation (reset per top-level `entails`).
+    last_refutation: RefutationInfo,
+    /// FM elimination order of the goal currently being decided; moved into
+    /// `last_refutation` only when that same goal is refuted (cleared at
+    /// every `symbolic_decide`, so a refutation is never annotated with an
+    /// unrelated goal's atoms).
+    pending_fm_order: Vec<String>,
 }
 
 impl Default for Solver {
@@ -441,6 +560,9 @@ impl Solver {
             programs: HashMap::new(),
             cached_program_count: 0,
             shared_programs: None,
+            fm_limits: FmLimits::default(),
+            last_refutation: RefutationInfo::default(),
+            pending_fm_order: Vec::new(),
         }
     }
 
@@ -483,6 +605,12 @@ impl Solver {
         self.stats = SolveStats::default();
     }
 
+    /// Diagnostics of the most recent refutation (meaningful right after a
+    /// failed [`Solver::entails`]; reset on every top-level call).
+    pub fn last_refutation(&self) -> &RefutationInfo {
+        &self.last_refutation
+    }
+
     /// Checks the entailment `∀ universals. hyp ⟹ goal`.
     ///
     /// Existential quantifiers inside `goal` are eliminated first using the
@@ -494,6 +622,8 @@ impl Solver {
         hyp: &Constr,
         goal: &Constr,
     ) -> Validity {
+        self.last_refutation = RefutationInfo::default();
+        self.pending_fm_order.clear();
         let goal = simplify(goal);
         self.entails_canonical(universals, hyp, &goal)
     }
@@ -513,7 +643,7 @@ impl Solver {
     ) -> Validity {
         self.stats.queries += 1;
         if goal.is_top() {
-            return Validity::Valid;
+            return Validity::proved();
         }
         // Consult the shared validity cache (when attached) on the canonical
         // form of the query.  Structural sub-queries recurse back through
@@ -550,15 +680,16 @@ impl Solver {
         // applied to the smallest possible subproblems (each sub-derivation's
         // existentials stay together, but unrelated conjuncts are separated).
         match goal {
-            Constr::Top => return Validity::Valid,
+            Constr::Top => return Validity::proved(),
             Constr::And(cs) => {
+                let mut prov = Provenance::Proved;
                 for c in cs {
                     match self.entails_canonical(universals, hyp, c) {
-                        Validity::Valid => {}
+                        Validity::Valid(p) => prov = prov.and(p),
                         other => return other,
                     }
                 }
-                return Validity::Valid;
+                return Validity::Valid(prov);
             }
             Constr::Implies(a, b) => {
                 let hyp = hyp.clone().and((**a).clone());
@@ -594,6 +725,7 @@ impl Solver {
                         self.stats.solving_time += start.elapsed();
                         v
                     } else {
+                        self.note_search_exhausted();
                         Validity::Invalid(None)
                     }
                 }
@@ -623,15 +755,16 @@ impl Solver {
         goal: &Constr,
     ) -> Validity {
         match goal {
-            Constr::Top => Validity::Valid,
+            Constr::Top => Validity::proved(),
             Constr::And(cs) => {
+                let mut prov = Provenance::Proved;
                 for c in cs {
                     match self.no_exists_canonical(universals, hyp, c) {
-                        Validity::Valid => {}
+                        Validity::Valid(p) => prov = prov.and(p),
                         other => return other,
                     }
                 }
-                Validity::Valid
+                Validity::Valid(prov)
             }
             Constr::Implies(a, b) => {
                 let hyp = hyp.clone().and((**a).clone());
@@ -651,15 +784,24 @@ impl Solver {
                     if c.existential_vars().is_empty() {
                         if self.symbolic_entails(universals, hyp, c).unwrap_or(false) {
                             self.stats.symbolic_hits += 1;
-                            return Validity::Valid;
+                            return Validity::proved();
                         }
-                    } else if self.entails_canonical(universals, hyp, c).is_valid() {
-                        return Validity::Valid;
+                    } else if let v @ Validity::Valid(_) =
+                        self.entails_canonical(universals, hyp, c)
+                    {
+                        return v;
                     }
                 }
                 if goal.existential_vars().is_empty() {
+                    // Pointwise-only disjunctions (no single disjunct is
+                    // entailed) are exactly where the case-splitting FM
+                    // refutation shines: ¬(d₁ ∨ d₂) conjoins both negations.
+                    if let Some(v) = self.symbolic_decide(universals, hyp, goal) {
+                        return v;
+                    }
                     self.numeric_check(universals, hyp, goal)
                 } else {
+                    self.note_search_exhausted();
                     Validity::Invalid(None)
                 }
             }
@@ -668,12 +810,8 @@ impl Solver {
             | Constr::Lt(_, _)
             | Constr::Bot
             | Constr::Not(_) => {
-                if self
-                    .symbolic_entails(universals, hyp, goal)
-                    .unwrap_or(false)
-                {
-                    self.stats.symbolic_hits += 1;
-                    return Validity::Valid;
+                if let Some(v) = self.symbolic_decide(universals, hyp, goal) {
+                    return v;
                 }
                 self.numeric_check(universals, hyp, goal)
             }
@@ -689,39 +827,31 @@ impl Solver {
     // Symbolic layer
     // ----------------------------------------------------------------------
 
-    /// Attempts to prove `hyp ⟹ goal` by linear reasoning; returns `None` when
-    /// the goal shape is outside the fragment.
+    /// Attempts to prove `hyp ⟹ goal` by greedy linear reasoning; returns
+    /// `None` when the goal shape is outside the fragment.
     fn symbolic_entails(
         &mut self,
         _universals: &[(IdxVar, Sort)],
         hyp: &Constr,
         goal: &Constr,
     ) -> Option<bool> {
-        // Hypothesis conjuncts are *borrowed*: most symbolic attempts never
-        // need an owned copy of them (cloning here was one of the seed's
-        // hottest allocation sites — the hypothesis grows with the typing
-        // context and is decomposed at every level).
-        let mut facts: Vec<&Constr> = conjuncts(hyp);
-        // Saturate with lemmas about the non-linear atoms in sight.
-        let mut atoms: BTreeSet<Atom> = lemmas::atoms_of_constr(hyp);
-        atoms.extend(lemmas::atoms_of_constr(goal));
-        let lemma_facts = lemmas::saturate(&atoms);
-        facts.extend(lemma_facts.iter());
+        with_prepared_facts(hyp, goal, |_, rewritten_goal, ineq_facts| {
+            self.greedy_entails(rewritten_goal, ineq_facts)
+        })
+    }
 
-        // Use hypothesis equalities on variables as rewrites; facts that a
-        // rewrite does not touch stay borrowed.
-        let (rewrites, rest) = split_rewrites(&facts);
-        let goal = apply_rewrites(goal, &rewrites);
-        let ineq_facts: Vec<Cow<'_, Constr>> =
-            rest.iter().map(|c| apply_rewrites(c, &rewrites)).collect();
-
-        match goal.as_ref() {
+    /// The greedy layer proper, on already-prepared (rewritten, saturated)
+    /// facts — shared between [`Solver::symbolic_entails`] and the combined
+    /// pipeline of [`Solver::symbolic_decide`], which prepares the facts
+    /// once for both the greedy search and Fourier–Motzkin.
+    fn greedy_entails(&self, goal: &Constr, ineq_facts: &[Cow<'_, Constr>]) -> Option<bool> {
+        match goal {
             Constr::Eq(a, b) => {
                 let d = LinExpr::of_idx(a).sub(&LinExpr::of_idx(b));
                 Some(d == LinExpr::zero())
             }
             Constr::Leq(a, b) => {
-                Some(self.prove_nonneg(LinExpr::of_idx(b).sub(&LinExpr::of_idx(a)), &ineq_facts))
+                Some(self.prove_nonneg(LinExpr::of_idx(b).sub(&LinExpr::of_idx(a)), ineq_facts))
             }
             Constr::Lt(a, b) => {
                 // For the integer-valued index terms of RelCost, a < b is
@@ -729,7 +859,7 @@ impl Solver {
                 let d = LinExpr::of_idx(b).sub(&LinExpr::of_idx(a));
                 let strict = LinExpr::of_idx(&(b.clone() - a.clone() - Idx::one()));
                 Some(
-                    self.prove_nonneg(strict, &ineq_facts)
+                    self.prove_nonneg(strict, ineq_facts)
                         || (d.coeffs.is_empty() && matches!(d.constant, Extended::Infinity))
                         || matches!(d.as_finite_constant(), Some(q) if q > Rational::ZERO),
                 )
@@ -810,6 +940,114 @@ impl Solver {
     }
 
     // ----------------------------------------------------------------------
+    // Fourier–Motzkin layer
+    // ----------------------------------------------------------------------
+
+    /// The combined symbolic pipeline on an existential-free goal: prepares
+    /// the facts **once** (hypothesis conjuncts, lemma saturation,
+    /// hypothesis-equality rewrites) and runs the greedy search and then the
+    /// complete Fourier–Motzkin procedure over them.  Returns
+    /// `Some(Valid(Proved))` on a proof, `Some(Invalid)` on a verified FM
+    /// witness, and `None` when the query must fall through to the numeric
+    /// layer.
+    fn symbolic_decide(
+        &mut self,
+        universals: &[(IdxVar, Sort)],
+        hyp: &Constr,
+        goal: &Constr,
+    ) -> Option<Validity> {
+        // A new goal's decision invalidates whatever elimination order the
+        // *previous* goal's FM run left pending — a later refutation must
+        // never be annotated with another goal's atoms.
+        self.pending_fm_order.clear();
+        with_prepared_facts(hyp, goal, |rewrites, rewritten_goal, ineq_facts| {
+            if self
+                .greedy_entails(rewritten_goal, ineq_facts)
+                .unwrap_or(false)
+            {
+                self.stats.symbolic_hits += 1;
+                return Some(Validity::proved());
+            }
+            if !self.config.use_fm {
+                return None;
+            }
+            let fact_refs: Vec<&Constr> = ineq_facts.iter().map(|c| c.as_ref()).collect();
+
+            let outcome = fm::prove(universals, &fact_refs, rewritten_goal, &self.fm_limits);
+            if debug_layers() {
+                eprintln!(
+                    "fm[{:?} w={} elim={}]: GOAL {goal}",
+                    outcome.verdict,
+                    outcome.witness.is_some(),
+                    outcome.eliminated.len()
+                );
+            }
+            match outcome.verdict {
+                FmVerdict::Proved => {
+                    self.stats.fm_proved += 1;
+                    Some(Validity::proved())
+                }
+                FmVerdict::CandidateRefuted | FmVerdict::Abstained => {
+                    // Remember the elimination order: if *this* goal goes on
+                    // to be refuted, the diagnostic can say which atoms FM
+                    // projected before handing over.
+                    self.pending_fm_order = outcome.eliminated;
+                    // A witness exists only when every atom was a plain
+                    // variable (no abstraction gap).  Even then it is trusted
+                    // only after re-evaluating the original implication at the
+                    // point — that single evaluation is what makes the verdict
+                    // exactly as sound as a grid counterexample, at none of the
+                    // sweep's cost.
+                    if let Some(witness) = outcome.witness {
+                        let mut env = IdxEnv::new();
+                        for (v, _) in universals {
+                            env.bind(v.clone(), Extended::ZERO);
+                        }
+                        for (v, q) in witness {
+                            env.bind(v, Extended::Finite(q));
+                        }
+                        // Variables consumed as hypothesis-equality rewrites
+                        // were substituted out of the FM system; reconstruct
+                        // their values from the rewrite right-hand sides so
+                        // the full (unrewritten) hypothesis evaluates
+                        // correctly.  Iterated to a fixed point:
+                        // `split_rewrites` closes chains where it can, but a
+                        // rewrite whose right-hand side still mentions
+                        // another rewritten variable (cycle guard, bounded
+                        // closure) would otherwise evaluate against that
+                        // variable's stale zero default and discard a
+                        // genuine counterexample.
+                        for _ in 0..rewrites.len().max(1) {
+                            for (v, idx) in rewrites {
+                                if let Ok(value) = idx.eval(&env) {
+                                    env.bind(v.clone(), value);
+                                }
+                            }
+                        }
+                        let formula = hyp.clone().implies(goal.clone());
+                        if !formula.eval_bounded(&env, self.config.inner_quantifier_bound) {
+                            self.stats.fm_refuted += 1;
+                            self.note_counterexample(CexSource::FmWitness, &env);
+                            return Some(Validity::Invalid(Some(env)));
+                        }
+                    }
+                    None
+                }
+            }
+        })
+    }
+
+    /// Records one FM existential projection (called by `exelim`).
+    pub(crate) fn note_fm_projection(&mut self) {
+        self.stats.fm_projections += 1;
+    }
+
+    /// The FM limits in force (exelim's projection fallback shares them).
+    pub(crate) fn fm_limits(&self) -> &FmLimits {
+        &self.fm_limits
+    }
+
+    // ----------------------------------------------------------------------
     // Numeric layer
     // ----------------------------------------------------------------------
 
@@ -828,6 +1066,12 @@ impl Solver {
         goal: &Constr,
     ) -> Validity {
         self.stats.numeric_checks += 1;
+        if debug_layers() {
+            eprintln!(
+                "numeric[{} univ]: GOAL {goal} ||| HYP {hyp}",
+                universals.len()
+            );
+        }
         if self.config.use_compiled_eval {
             self.numeric_check_compiled(universals, hyp, goal)
         } else {
@@ -835,12 +1079,31 @@ impl Solver {
         }
     }
 
-    fn decisive(&self) -> Validity {
+    /// The verdict of a numeric sweep that found no counterexample: a
+    /// grid-checked accept when the numeric layer is decisive, `Unknown`
+    /// otherwise.
+    fn numeric_accept(&mut self) -> Validity {
         if self.config.numeric_is_decisive {
-            Validity::Valid
+            self.stats.grid_accepted += 1;
+            Validity::grid_checked()
         } else {
             Validity::Unknown
         }
+    }
+
+    /// Records a counterexample for the failure diagnostics, claiming the
+    /// pending FM elimination order (it belongs to the goal being refuted).
+    fn note_counterexample(&mut self, source: CexSource, env: &IdxEnv) {
+        self.last_refutation.source = Some(source);
+        self.last_refutation.env = Some(env.clone());
+        self.last_refutation.fm_eliminated = std::mem::take(&mut self.pending_fm_order);
+    }
+
+    /// Records an exhausted existential search (no numeric counterexample).
+    fn note_search_exhausted(&mut self) {
+        self.last_refutation.source = Some(CexSource::SearchExhausted);
+        self.last_refutation.env = None;
+        self.last_refutation.fm_eliminated = std::mem::take(&mut self.pending_fm_order);
     }
 
     /// Adaptive per-variable grid size so the total stays under the cap.
@@ -921,9 +1184,11 @@ impl Solver {
             let mut frame = program.new_frame();
             self.stats.points_evaluated += 1;
             return if program.eval(&mut frame, bound) {
-                self.decisive()
+                self.numeric_accept()
             } else {
-                Validity::Invalid(Some(IdxEnv::new()))
+                let env = IdxEnv::new();
+                self.note_counterexample(CexSource::GridSweep, &env);
+                Validity::Invalid(Some(env))
             };
         }
 
@@ -947,6 +1212,7 @@ impl Solver {
                     .zip(&coords)
                     .map(|((v, _), n)| (v.clone(), Extended::from(*n))),
             );
+            self.note_counterexample(CexSource::GridSweep, &env);
             return Validity::Invalid(Some(env));
         }
 
@@ -968,12 +1234,14 @@ impl Solver {
                 }
                 self.stats.points_evaluated += 1;
                 if !program.eval_point(&mut frame, &point, bound) {
-                    return Validity::Invalid(Some(program.point_env(universals, &point)));
+                    let env = program.point_env(universals, &point);
+                    self.note_counterexample(CexSource::RandomSample, &env);
+                    return Validity::Invalid(Some(env));
                 }
             }
         }
 
-        self.decisive()
+        self.numeric_accept()
     }
 
     /// Sweeps the whole grid on the calling thread with one reused frame;
@@ -1115,9 +1383,11 @@ impl Solver {
         if vars.is_empty() {
             self.stats.points_evaluated += 1;
             return if formula.eval_bounded(&IdxEnv::new(), bound) {
-                self.decisive()
+                self.numeric_accept()
             } else {
-                Validity::Invalid(Some(IdxEnv::new()))
+                let env = IdxEnv::new();
+                self.note_counterexample(CexSource::GridSweep, &env);
+                Validity::Invalid(Some(env))
             };
         }
 
@@ -1130,6 +1400,7 @@ impl Solver {
             }
             self.stats.points_evaluated += 1;
             if !formula.eval_bounded(&env, bound) {
+                self.note_counterexample(CexSource::GridSweep, &env);
                 return Validity::Invalid(Some(env));
             }
             // Advance the odometer.
@@ -1160,12 +1431,13 @@ impl Solver {
                 }
                 self.stats.points_evaluated += 1;
                 if !formula.eval_bounded(&env, bound) {
+                    self.note_counterexample(CexSource::RandomSample, &env);
                     return Validity::Invalid(Some(env));
                 }
             }
         }
 
-        self.decisive()
+        self.numeric_accept()
     }
 
     /// Records one candidate-substitution attempt (called by `exelim`).
@@ -1177,6 +1449,15 @@ impl Solver {
 // --------------------------------------------------------------------------
 // Helpers
 // --------------------------------------------------------------------------
+
+/// `BIRELCOST_DEBUG_SOLVER=1` traces every query that reaches the FM and
+/// numeric layers (goal shape, FM verdict, witness availability) — the tool
+/// for diagnosing why an obligation is not decided symbolically.  The env
+/// lookup happens once per process.
+fn debug_layers() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("BIRELCOST_DEBUG_SOLVER").is_some())
+}
 
 /// Draws one random sample point from the seeded stream (the same draws, in
 /// the same order, as the seed solver), returning `true` when every
@@ -1229,6 +1510,31 @@ fn decode_grid_point_into(idx: u64, per_var: u64, point: &mut [Val]) {
     }
 }
 
+/// Prepares the symbolic fact pipeline **once** and hands the borrowed
+/// results to `f`: hypothesis conjuncts (borrowed — cloning here was one of
+/// the seed's hottest allocation sites), lemma saturation over the
+/// non-linear atoms in sight, and hypothesis equalities applied as variable
+/// rewrites (the closure receives them to reconstruct rewritten variables
+/// in FM witnesses).  Shared by the greedy path (`symbolic_entails`) and
+/// the combined greedy + Fourier–Motzkin pipeline (`symbolic_decide`), so
+/// the two layers can never diverge on which facts they see.
+fn with_prepared_facts<R>(
+    hyp: &Constr,
+    goal: &Constr,
+    f: impl FnOnce(&[(IdxVar, Idx)], &Constr, &[Cow<'_, Constr>]) -> R,
+) -> R {
+    let mut facts: Vec<&Constr> = conjuncts(hyp);
+    let mut atoms: BTreeSet<Atom> = lemmas::atoms_of_constr(hyp);
+    atoms.extend(lemmas::atoms_of_constr(goal));
+    let lemma_facts = lemmas::saturate(&atoms);
+    facts.extend(lemma_facts.iter());
+    let (rewrites, rest) = split_rewrites(&facts);
+    let rewritten_goal = apply_rewrites(goal, &rewrites);
+    let ineq_facts: Vec<Cow<'_, Constr>> =
+        rest.iter().map(|c| apply_rewrites(c, &rewrites)).collect();
+    f(&rewrites, rewritten_goal.as_ref(), &ineq_facts)
+}
+
 /// Flattens the top-level conjunctive structure of a hypothesis into atoms,
 /// borrowing them from the hypothesis (no clones on this path).
 fn conjuncts(c: &Constr) -> Vec<&Constr> {
@@ -1250,15 +1556,22 @@ fn conjuncts(c: &Constr) -> Vec<&Constr> {
 
 /// Splits hypothesis facts into variable rewrites (`x = I` with `x ∉ I`) and
 /// the remaining (still borrowed) inequality facts.
+///
+/// Only the *first* equality per variable becomes a rewrite: a second one
+/// (`a = 0 ∧ a = β + 1` — the consC/nil case split produces these) must
+/// stay a fact, because applying both as rewrites silently drops the
+/// constraint connecting the two right-hand sides — exactly the
+/// contradiction that proves a vacuous branch.
 fn split_rewrites<'a>(facts: &[&'a Constr]) -> (Vec<(IdxVar, Idx)>, Vec<&'a Constr>) {
     let mut rewrites: Vec<(IdxVar, Idx)> = Vec::new();
     let mut rest = Vec::new();
+    let rewritten = |rewrites: &[(IdxVar, Idx)], v: &IdxVar| rewrites.iter().any(|(w, _)| w == v);
     for f in facts.iter().copied() {
         match f {
-            Constr::Eq(Idx::Var(v), rhs) if !rhs.mentions(v) => {
+            Constr::Eq(Idx::Var(v), rhs) if !rhs.mentions(v) && !rewritten(&rewrites, v) => {
                 rewrites.push((v.clone(), rhs.clone()));
             }
-            Constr::Eq(lhs, Idx::Var(v)) if !lhs.mentions(v) => {
+            Constr::Eq(lhs, Idx::Var(v)) if !lhs.mentions(v) && !rewritten(&rewrites, v) => {
                 rewrites.push((v.clone(), lhs.clone()));
             }
             other => rest.push(other),
@@ -1377,6 +1690,16 @@ mod tests {
         names.iter().map(|n| (IdxVar::new(*n), Sort::Nat)).collect()
     }
 
+    /// A configuration with the FM layer off — used by the tests that
+    /// exercise the numeric layer itself (grid sweeps, program caches),
+    /// which the complete linear decision procedure would now short-circuit.
+    fn no_fm() -> SolveConfig {
+        SolveConfig {
+            use_fm: false,
+            ..SolveConfig::default()
+        }
+    }
+
     #[test]
     fn trivial_goals() {
         let mut s = Solver::new();
@@ -1476,11 +1799,22 @@ mod tests {
         let goal = Constr::leq(Idx::var("n"), Idx::var("n") + Idx::one())
             .or(Constr::eq(Idx::var("n"), Idx::nat(17)));
         assert!(s.entails(&u, &Constr::Top, &goal).is_valid());
-        // A disjunction valid only pointwise (n ≤ 8 ∨ n ≥ 5) is settled numerically.
+        // A disjunction valid only pointwise (n ≤ 8 ∨ n ≥ 5) is decided by
+        // the FM case split — a *proof*, no grid point evaluated.
         let goal =
             Constr::leq(Idx::var("n"), Idx::nat(8)).or(Constr::geq(Idx::var("n"), Idx::nat(5)));
-        assert!(s.entails(&u, &Constr::Top, &goal).is_valid());
-        assert!(s.stats().numeric_checks >= 1);
+        assert_eq!(s.entails(&u, &Constr::Top, &goal), Validity::proved());
+        assert!(s.stats().fm_proved >= 1);
+        assert_eq!(s.stats().numeric_checks, 0);
+        assert_eq!(s.stats().points_evaluated, 0);
+        // With FM off it is still accepted, but only grid-checked.
+        let mut tree = Solver::with_config(no_fm());
+        assert_eq!(
+            tree.entails(&u, &Constr::Top, &goal),
+            Validity::grid_checked()
+        );
+        assert!(tree.stats().numeric_checks >= 1);
+        assert!(tree.stats().grid_accepted >= 1);
     }
 
     #[test]
@@ -1573,10 +1907,14 @@ mod tests {
         assert!(cache.stats().entries > 0);
     }
 
-    /// A goal the symbolic layer cannot touch (disjunction valid only
-    /// pointwise), so every solver path below exercises the numeric layer.
+    /// A goal the symbolic layers cannot touch (the sum atom has no upper
+    /// bound in the abstraction), so every solver path below exercises the
+    /// numeric layer even with FM enabled.
     fn pointwise_goal() -> Constr {
-        Constr::leq(Idx::var("n"), Idx::nat(8)).or(Constr::geq(Idx::var("n"), Idx::nat(5)))
+        Constr::leq(
+            Idx::sum("i", Idx::zero(), Idx::var("n"), Idx::one()),
+            Idx::var("n") + Idx::one(),
+        )
     }
 
     #[test]
@@ -1726,6 +2064,121 @@ mod tests {
         // 11 grid points plus at most 64 off-grid random points.
         assert!(compiled.stats().points_evaluated > 11);
         assert!(compiled.stats().points_evaluated < 11 + 64);
+    }
+
+    #[test]
+    fn fm_layer_proves_beyond_the_greedy_search() {
+        // 3 ≤ n ⟹ 1 < n: the greedy search has no negative coefficient to
+        // cancel (the residual is n − 2 with a negative constant), but FM's
+        // integer tightening refutes ¬goal (n ≤ 1) against n ≥ 3 directly.
+        let mut s = Solver::new();
+        let u = nat_vars(&["n"]);
+        let hyp = Constr::leq(Idx::nat(3), Idx::var("n"));
+        let goal = Constr::lt(Idx::one(), Idx::var("n"));
+        assert_eq!(s.entails(&u, &hyp, &goal), Validity::proved());
+        assert!(s.stats().fm_proved >= 1);
+        assert_eq!(s.stats().points_evaluated, 0);
+        // The same entailment is only grid-checked with FM off.
+        let mut tree = Solver::with_config(no_fm());
+        assert_eq!(tree.entails(&u, &hyp, &goal), Validity::grid_checked());
+        assert!(tree.stats().points_evaluated > 0);
+    }
+
+    #[test]
+    fn fm_witnesses_refute_without_grid_sweeps() {
+        // The exact boundary: a + b ≤ 19 under the same hypotheses fails at
+        // a = 10, b = 10 (or wherever FM's back-substitution lands); the
+        // witness is verified by evaluation and no grid point is swept.
+        let mut s = Solver::new();
+        let u = nat_vars(&["a", "b"]);
+        let hyp =
+            Constr::leq(Idx::var("a"), Idx::nat(10)).and(Constr::leq(Idx::var("b"), Idx::nat(10)));
+        let goal = Constr::leq(Idx::var("a") + Idx::var("b"), Idx::nat(19));
+        match s.entails(&u, &hyp, &goal) {
+            Validity::Invalid(Some(env)) => {
+                // The witness genuinely falsifies the implication.
+                assert!(hyp.eval_bounded(&env, 8));
+                assert!(!goal.eval_bounded(&env, 8));
+            }
+            other => panic!("expected a witnessed refutation, got {other:?}"),
+        }
+        assert!(s.stats().fm_refuted >= 1);
+        assert_eq!(s.stats().points_evaluated, 0);
+        assert_eq!(s.last_refutation().source, Some(CexSource::FmWitness));
+        assert!(!s.last_refutation().fm_eliminated.is_empty());
+    }
+
+    #[test]
+    fn fm_witnesses_solve_product_factors() {
+        // t·a ≤ 0 under 1 ≤ a: the product is an opaque atom, but the
+        // concretizer divides the product's witness value back out to get
+        // t — zero grid points for the refutation.
+        let mut s = Solver::new();
+        let u = vec![
+            (IdxVar::new("t"), Sort::Real),
+            (IdxVar::new("a"), Sort::Nat),
+        ];
+        let hyp = Constr::leq(Idx::one(), Idx::var("a"));
+        let goal = Constr::leq(Idx::var("t") * Idx::var("a"), Idx::zero());
+        match s.entails(&u, &hyp, &goal) {
+            Validity::Invalid(Some(env)) => {
+                assert!(!goal.eval_bounded(&env, 8), "witness must falsify: {env:?}");
+            }
+            other => panic!("expected a witnessed refutation, got {other:?}"),
+        }
+        assert_eq!(s.stats().points_evaluated, 0);
+    }
+
+    #[test]
+    fn fm_projection_discharges_real_existential_bounds() {
+        // ∃t :: ℝ. c < t ∧ t < d — no syntactic candidate works (the
+        // boundaries themselves violate the strict bounds, and 0 fails
+        // c < 0), but FM projection reduces the goal to c < d ∧ 0 < d,
+        // which the hypothesis proves.
+        let mut s = Solver::new();
+        let u = vec![
+            (IdxVar::new("c"), Sort::Real),
+            (IdxVar::new("d"), Sort::Real),
+        ];
+        let hyp = Constr::lt(Idx::var("c") + Idx::one(), Idx::var("d"));
+        let goal = Constr::exists(
+            "t",
+            Sort::Real,
+            Constr::lt(Idx::var("c"), Idx::var("t")).and(Constr::lt(Idx::var("t"), Idx::var("d"))),
+        );
+        assert_eq!(s.entails(&u, &hyp, &goal), Validity::proved());
+        assert!(s.stats().fm_projections >= 1);
+        assert_eq!(s.stats().points_evaluated, 0);
+    }
+
+    #[test]
+    fn and_goals_combine_provenance() {
+        // One conjunct proves symbolically, the other only grid-checks (a
+        // summation with no linear upper bound): the conjunction must
+        // report the weaker provenance.
+        let mut s = Solver::new();
+        let u = nat_vars(&["n"]);
+        let goal = Constr::leq(Idx::var("n"), Idx::var("n") + Idx::one()).and(Constr::leq(
+            Idx::sum("i", Idx::zero(), Idx::var("n"), Idx::one()),
+            Idx::var("n") + Idx::one(),
+        ));
+        assert_eq!(s.entails(&u, &Constr::Top, &goal), Validity::grid_checked());
+        assert!(s.stats().grid_accepted >= 1);
+    }
+
+    #[test]
+    fn duplicate_equalities_on_one_variable_keep_their_contradiction() {
+        // a = 0 ∧ a = b + 1 forces b = −1: impossible over ℕ, so anything
+        // follows.  Losing the second equality to a shadowed rewrite used
+        // to push this to the grid (which accepted it only because no grid
+        // point satisfies the hypothesis).
+        let mut s = Solver::new();
+        let u = nat_vars(&["a", "b", "m"]);
+        let hyp = Constr::eq(Idx::var("a"), Idx::zero())
+            .and(Constr::eq(Idx::var("a"), Idx::var("b") + Idx::one()));
+        let goal = Constr::eq(Idx::var("m"), Idx::nat(7));
+        assert_eq!(s.entails(&u, &hyp, &goal), Validity::proved());
+        assert_eq!(s.stats().points_evaluated, 0);
     }
 
     #[test]

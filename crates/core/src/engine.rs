@@ -7,7 +7,10 @@ use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use rel_constraint::{Constr, Fnv1a, SharedProgramCache, SolveConfig, Solver, ValidityCache};
+use rel_constraint::{
+    CexSource, Constr, Fnv1a, Provenance, RefutationInfo, SharedProgramCache, SolveConfig, Solver,
+    Validity, ValidityCache,
+};
 use rel_index::Idx;
 use rel_syntax::{Def, Program, SystemLevel};
 use rel_unary::RelCtx;
@@ -41,6 +44,11 @@ pub struct DefReport {
     pub name: String,
     /// Whether the definition checked (structurally and constraint-wise).
     pub ok: bool,
+    /// `true` when the definition's obligations were *proved* (symbolic /
+    /// Fourier–Motzkin — sound over the unbounded index domain); `false`
+    /// when the verdict leaned on the bounded numeric grid (or the
+    /// definition failed).  See [`rel_constraint::Provenance`].
+    pub proved: bool,
     /// The error message when structural checking failed.
     pub error: Option<String>,
     /// Per-phase timings.
@@ -64,6 +72,11 @@ pub struct DefReport {
     pub program_cache_hits: usize,
     /// Grid + random points evaluated by the numeric layer.
     pub points_evaluated: usize,
+    /// Obligations discharged by the Fourier–Motzkin layer (proved with
+    /// zero grid points).
+    pub fm_proved: usize,
+    /// Obligations accepted only by a whole-grid sweep (grid-checked).
+    pub grid_accepted: usize,
     /// Stable hash of the checking inputs for this definition (elaborated
     /// definition + interfaces of the definitions before it + engine
     /// configuration); `0` when no [`DefIndex`] was in play.
@@ -126,6 +139,21 @@ impl ProgramReport {
     pub fn skipped_unchanged(&self) -> usize {
         self.defs.iter().filter(|d| d.skipped_unchanged).count()
     }
+
+    /// Total obligations discharged by the Fourier–Motzkin layer.
+    pub fn fm_proved(&self) -> usize {
+        self.defs.iter().map(|d| d.fm_proved).sum()
+    }
+
+    /// Total obligations accepted only by a whole-grid sweep.
+    pub fn grid_accepted(&self) -> usize {
+        self.defs.iter().map(|d| d.grid_accepted).sum()
+    }
+
+    /// Definitions whose verdict was proved (vs merely grid-checked).
+    pub fn proved_defs(&self) -> usize {
+        self.defs.iter().filter(|d| d.ok && d.proved).count()
+    }
 }
 
 /// The verdict a [`DefIndex`] remembers for one definition input hash.
@@ -136,6 +164,10 @@ pub struct StoredDef {
     pub name: String,
     /// Whether the definition checked.
     pub ok: bool,
+    /// Whether the recorded verdict was proved (vs grid-checked); replayed
+    /// into [`DefReport::proved`] so provenance survives incremental skips
+    /// and snapshots.
+    pub proved: bool,
     /// The recorded error message when it did not.
     pub error: Option<String>,
 }
@@ -164,6 +196,12 @@ pub struct StoredDef {
 pub struct DefIndex {
     entries: Mutex<HashMap<u64, (u64, StoredDef)>>,
     max_entries: usize,
+    /// Monotone count of mutations (inserts and clears).  Dirty-state
+    /// stamps (`Service::warm_stamp`) use this instead of `len()`: a clear
+    /// followed by re-inserts can return the *length* to an old value, and
+    /// a stamp built on lengths would alias the two states and skip a
+    /// needed flush.
+    mutations: std::sync::atomic::AtomicU64,
 }
 
 impl Default for DefIndex {
@@ -187,7 +225,14 @@ impl DefIndex {
         DefIndex {
             entries: Mutex::new(HashMap::new()),
             max_entries: max_entries.max(1),
+            mutations: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Monotone mutation counter (bumped on every insert and clear); equal
+    /// values imply no new state to persist.
+    pub fn mutation_count(&self) -> u64 {
+        self.mutations.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Number of recorded definitions.
@@ -219,6 +264,8 @@ impl DefIndex {
             entries.clear();
         }
         entries.insert(input_hash, (verify_hash, def));
+        self.mutations
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Clones out every entry, sorted by hash (deterministic snapshots).
@@ -237,6 +284,8 @@ impl DefIndex {
     /// Drops every entry.
     pub fn clear(&self) {
         self.entries.lock().expect("def index poisoned").clear();
+        self.mutations
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 }
 
@@ -380,6 +429,7 @@ impl Engine {
                                 StoredDef {
                                     name: r.name.clone(),
                                     ok: r.ok,
+                                    proved: r.proved,
                                     error: r.error.clone(),
                                 },
                             );
@@ -434,6 +484,7 @@ impl Engine {
             Err(err) => DefReport {
                 name: def.name.name().to_string(),
                 ok: false,
+                proved: false,
                 error: Some(err.to_string()),
                 timings: PhaseTimings {
                     typecheck,
@@ -447,6 +498,8 @@ impl Engine {
                 programs_compiled: sess.solver.stats().programs_compiled,
                 program_cache_hits: sess.solver.stats().program_cache_hits,
                 points_evaluated: sess.solver.stats().points_evaluated,
+                fm_proved: sess.solver.stats().fm_proved,
+                grid_accepted: sess.solver.stats().grid_accepted,
                 input_hash: 0,
                 skipped_unchanged: false,
             },
@@ -454,14 +507,16 @@ impl Engine {
                 let atoms = constraint.atom_count();
                 let mut solver = self.new_solver();
                 let verdict = solver.entails(&ctx.universals(), &ctx.assumptions, &constraint);
+                let refutation = solver.last_refutation().clone();
                 let stats = solver.stats();
                 DefReport {
                     name: def.name.name().to_string(),
                     ok: verdict.is_valid(),
+                    proved: verdict.provenance() == Some(Provenance::Proved),
                     error: if verdict.is_valid() {
                         None
                     } else {
-                        Some(self.describe_failure(&constraint))
+                        Some(describe_failure(&constraint, &verdict, &refutation))
                     },
                     timings: PhaseTimings {
                         typecheck,
@@ -478,6 +533,8 @@ impl Engine {
                     program_cache_hits: stats.program_cache_hits
                         + sess.solver.stats().program_cache_hits,
                     points_evaluated: stats.points_evaluated + sess.solver.stats().points_evaluated,
+                    fm_proved: stats.fm_proved + sess.solver.stats().fm_proved,
+                    grid_accepted: stats.grid_accepted + sess.solver.stats().grid_accepted,
                     input_hash: 0,
                     skipped_unchanged: false,
                 }
@@ -496,13 +553,64 @@ impl Engine {
         }
         solver
     }
+}
 
-    fn describe_failure(&self, constraint: &Constr) -> String {
-        format!(
-            "the generated constraints ({} atomic comparisons) are not valid",
-            constraint.atom_count()
-        )
+/// Renders a failed verdict with its provenance: *where* the refutation came
+/// from (grid counterexample, random sample, exhausted existential search),
+/// the falsifying assignment when one exists, and the Fourier–Motzkin
+/// elimination order of the goal FM last projected (so a user can see which
+/// atoms the linear layer reasoned about before handing over).
+fn describe_failure(
+    constraint: &Constr,
+    verdict: &Validity,
+    refutation: &RefutationInfo,
+) -> String {
+    let mut msg = format!(
+        "the generated constraints ({} atomic comparisons) are not valid",
+        constraint.atom_count()
+    );
+    match verdict {
+        Validity::Invalid(Some(env)) => {
+            let point = if env.is_empty() {
+                "the empty assignment".to_string()
+            } else {
+                env.iter()
+                    .map(|(v, x)| format!("{v} = {x}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let source = match refutation.source {
+                Some(CexSource::FmWitness) => "Fourier–Motzkin elimination found",
+                Some(CexSource::RandomSample) => "randomized sampling found",
+                Some(CexSource::GridSweep) => "the numeric grid sweep found",
+                // A cached refutation replays the counterexample without
+                // re-running the sweep that produced it.
+                _ => "the numeric layer (possibly replayed from cache) found",
+            };
+            msg.push_str(&format!(": {source} a counterexample at {point}"));
+        }
+        Validity::Invalid(None) => {
+            msg.push_str(
+                ": refuted without a numeric counterexample \
+                 (the candidate-substitution search for the goal's \
+                 existentials was exhausted)",
+            );
+        }
+        Validity::Unknown => {
+            msg.push_str(
+                ": undecided — the symbolic and Fourier–Motzkin layers could \
+                 not prove it and the numeric layer is not decisive",
+            );
+        }
+        Validity::Valid(_) => {}
     }
+    if !refutation.fm_eliminated.is_empty() {
+        msg.push_str(&format!(
+            " [FM eliminated: {}]",
+            refutation.fm_eliminated.join(", ")
+        ));
+    }
+    msg
 }
 
 /// Salt separating the verify-hash stream from the primary one (an
@@ -578,6 +686,7 @@ fn skipped_report(def: &Def, input_hash: u64, stored: StoredDef) -> DefReport {
     DefReport {
         name: def.name.name().to_string(),
         ok: stored.ok,
+        proved: stored.proved,
         error: stored.error,
         timings: PhaseTimings::default(),
         constraint_atoms: 0,
@@ -588,6 +697,8 @@ fn skipped_report(def: &Def, input_hash: u64, stored: StoredDef) -> DefReport {
         programs_compiled: 0,
         program_cache_hits: 0,
         points_evaluated: 0,
+        fm_proved: 0,
+        grid_accepted: 0,
         input_hash,
         skipped_unchanged: true,
     }
@@ -743,6 +854,7 @@ mod tests {
         let stored = |n: u64| StoredDef {
             name: format!("d{n}"),
             ok: true,
+            proved: true,
             error: None,
         };
         let index = DefIndex::with_capacity(2);
@@ -769,6 +881,7 @@ mod tests {
             StoredDef {
                 name: "real".to_string(),
                 ok: true,
+                proved: true,
                 error: None,
             },
         );

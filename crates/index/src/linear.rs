@@ -88,6 +88,19 @@ impl LinExpr {
                     lb.scale(q)
                 } else if let Some(q) = lb.as_finite_constant() {
                     la.scale(q)
+                } else if let Some((atom, q)) = la.single_scaled_atom() {
+                    // Distribute an atomic factor over a linear combination:
+                    // `t · (β + 1)` and `t · β + t` must decompose to the
+                    // *same* atoms, or the linear layers cannot relate a cost
+                    // bound to its unrolling (the `map` benchmark's
+                    // obligations are exactly this shape).
+                    Self::distribute(&atom, &lb, true)
+                        .map(|d| d.scale(q))
+                        .unwrap_or_else(|| LinExpr::atom(Atom(idx.clone())))
+                } else if let Some((atom, q)) = lb.single_scaled_atom() {
+                    Self::distribute(&atom, &la, false)
+                        .map(|d| d.scale(q))
+                        .unwrap_or_else(|| LinExpr::atom(Atom(idx.clone())))
                 } else {
                     LinExpr::atom(Atom(idx.clone()))
                 }
@@ -109,6 +122,40 @@ impl LinExpr {
             | Idx::Pow2(_)
             | Idx::Sum { .. } => LinExpr::atom(Atom(idx.clone())),
         }
+    }
+
+    /// Returns the expression's sole atom and its coefficient when it is
+    /// `q · atom` with no constant part.
+    fn single_scaled_atom(&self) -> Option<(Atom, Rational)> {
+        if self.constant != Extended::ZERO || self.coeffs.len() != 1 {
+            return None;
+        }
+        let (a, q) = self.coeffs.iter().next().expect("length checked");
+        Some((a.clone(), *q))
+    }
+
+    /// `atom · lin` expanded term by term: each atom β of `lin` becomes the
+    /// product atom `atom · β` (normalized, factor order preserved so the
+    /// expansion unifies with source-level products), and the constant part
+    /// becomes a multiple of `atom` itself.  `None` when the constant is
+    /// `∞` (distribution over `∞` is not value-preserving for zero
+    /// factors).
+    fn distribute(atom: &Atom, lin: &LinExpr, atom_left: bool) -> Option<LinExpr> {
+        let c = lin.constant.finite()?;
+        let mut acc = LinExpr::constant(Extended::ZERO);
+        for (b, q) in &lin.coeffs {
+            let (x, y) = if atom_left {
+                (atom.0.clone(), b.0.clone())
+            } else {
+                (b.0.clone(), atom.0.clone())
+            };
+            let prod = normalize(&Idx::Mul(Box::new(x), Box::new(y)));
+            acc = acc.add(&LinExpr::atom(Atom(prod)).scale(*q));
+        }
+        if !c.is_zero() {
+            acc = acc.add(&LinExpr::atom(atom.clone()).scale(c));
+        }
+        Some(acc)
     }
 
     /// Returns `Some(q)` if the expression is a finite constant.
@@ -146,6 +193,48 @@ impl LinExpr {
     /// Pointwise difference.
     pub fn sub(&self, other: &LinExpr) -> LinExpr {
         self.add(&other.scale(Rational::from_int(-1)))
+    }
+
+    /// `self + q · other` in one pass — the inner loop of Fourier–Motzkin
+    /// elimination combines a positive- and a negative-bound row with one
+    /// multiplier each, and going through `add(&other.scale(q))` would
+    /// allocate the scaled map just to merge and drop it.
+    pub fn add_scaled(&self, other: &LinExpr, q: Rational) -> LinExpr {
+        if q.is_zero() {
+            return self.clone();
+        }
+        let mut coeffs = self.coeffs.clone();
+        for (a, c) in &other.coeffs {
+            let entry = coeffs.entry(a.clone()).or_insert(Rational::ZERO);
+            *entry = *entry + *c * q;
+        }
+        coeffs.retain(|_, c| !c.is_zero());
+        let scaled = match other.constant {
+            Extended::Finite(c) => Extended::Finite(c * q),
+            // Mirror `scale`'s saturation rule for negative multiples of ∞.
+            Extended::Infinity => {
+                if q.is_negative() {
+                    Extended::ZERO
+                } else {
+                    Extended::Infinity
+                }
+            }
+        };
+        LinExpr {
+            constant: self.constant + scaled,
+            coeffs,
+        }
+    }
+
+    /// The coefficient of an atom (zero when absent).
+    pub fn coeff(&self, atom: &Atom) -> Rational {
+        self.coeffs.get(atom).copied().unwrap_or(Rational::ZERO)
+    }
+
+    /// Removes an atom, returning its previous coefficient (zero when
+    /// absent) — variable elimination drops the pivot column this way.
+    pub fn remove_atom(&mut self, atom: &Atom) -> Rational {
+        self.coeffs.remove(atom).unwrap_or(Rational::ZERO)
     }
 
     /// Multiplication by a finite rational scalar.
@@ -271,6 +360,46 @@ mod tests {
         assert!(yes.is_syntactically_nonneg());
         let no = LinExpr::of_idx(&(Idx::zero() - Idx::var("n")));
         assert!(!no.is_syntactically_nonneg());
+    }
+
+    #[test]
+    fn products_distribute_over_linear_combinations() {
+        // t · (b + 1) and t·b + t decompose to the same atoms.
+        let t = || Idx::var("t");
+        let b = || Idx::var("b");
+        let folded = LinExpr::of_idx(&(t() * (b() + Idx::one())));
+        let unrolled = LinExpr::of_idx(&(t() * b() + t()));
+        assert_eq!(folded, unrolled);
+        assert_eq!(folded.sub(&unrolled), LinExpr::zero());
+        // Factor order is preserved: (b + 1) · t expands to b·t + t.
+        let swapped = LinExpr::of_idx(&((b() + Idx::one()) * t()));
+        assert_eq!(swapped, LinExpr::of_idx(&(b() * t() + t())));
+        // A scaled atomic factor distributes too: 2t · (b − 3) = 2·(t·b) − 6t.
+        let scaled = LinExpr::of_idx(&(Idx::nat(2) * t() * (b() - Idx::nat(3))));
+        assert_eq!(
+            scaled,
+            LinExpr::of_idx(&(Idx::nat(2) * (t() * b()) - Idx::nat(6) * t()))
+        );
+        // Value preservation at a few points.
+        for (tv, bv) in [(0i64, 0i64), (3, 5), (7, 1)] {
+            let env = IdxEnv::from_pairs([("t", Extended::from(tv)), ("b", Extended::from(bv))]);
+            let direct = (t() * (b() + Idx::one())).eval(&env).unwrap();
+            assert_eq!(folded.to_idx().eval(&env).unwrap(), direct);
+        }
+    }
+
+    #[test]
+    fn add_scaled_matches_add_of_scale() {
+        let x = LinExpr::of_idx(&(Idx::var("n") + Idx::nat(3)));
+        let y = LinExpr::of_idx(&(Idx::var("n") - Idx::var("a") + Idx::nat(1)));
+        let q = Rational::new(-3, 2);
+        assert_eq!(x.add_scaled(&y, q), x.add(&y.scale(q)));
+        assert_eq!(x.add_scaled(&y, Rational::ZERO), x);
+        assert_eq!(y.coeff(&Atom(Idx::var("a"))), Rational::from_int(-1));
+        assert_eq!(y.coeff(&Atom(Idx::var("zzz"))), Rational::ZERO);
+        let mut z = y.clone();
+        assert_eq!(z.remove_atom(&Atom(Idx::var("a"))), Rational::from_int(-1));
+        assert_eq!(z.remove_atom(&Atom(Idx::var("a"))), Rational::ZERO);
     }
 
     fn arb_idx() -> impl Strategy<Value = Idx> {

@@ -28,8 +28,8 @@ use std::path::Path;
 
 use birelcost::{DefIndex, StoredDef};
 use rel_constraint::{
-    Constr, Fnv1a, ProgramKey, Quantified, QueryKey, ShardedValidityCache, SharedProgramCache,
-    Validity,
+    Constr, Fnv1a, ProgramKey, Provenance, Quantified, QueryKey, ShardedValidityCache,
+    SharedProgramCache, Validity,
 };
 use rel_index::{Extended, Idx, IdxEnv, IdxVar, Rational, Sort};
 
@@ -41,7 +41,15 @@ pub const MAGIC: [u8; 4] = *b"BRCS";
 /// The current snapshot format version.  Bump on any change to the payload
 /// encoding *or* to checking semantics that the engine fingerprint does not
 /// capture (the fingerprint covers configuration, not code).
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version history:
+/// * 1 — initial format.
+/// * 2 — verdict provenance: `Valid` carries proved vs grid-checked
+///   ([`Provenance`]), and [`StoredDef`] records whether the definition's
+///   verdict was proved.  Version-1 snapshots cannot express the
+///   distinction, so they are rejected (cold start) rather than loaded
+///   with guessed provenance.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Nesting cap while decoding recursive terms: deeper input is corrupt (or
 /// adversarial) — real constraints nest a few dozen levels at most, and the
@@ -170,6 +178,7 @@ impl Snapshot {
             payload.varint(*verify);
             payload.str(&def.name);
             payload.u8(def.ok as u8);
+            payload.u8(def.proved as u8);
             match &def.error {
                 Some(e) => {
                     payload.u8(1);
@@ -235,12 +244,26 @@ impl Snapshot {
                 1 => true,
                 b => return Err(SnapshotError::Corrupt(format!("bad bool byte {b}"))),
             };
+            let proved = match r.u8()? {
+                0 => false,
+                1 => true,
+                b => return Err(SnapshotError::Corrupt(format!("bad bool byte {b}"))),
+            };
             let error = match r.u8()? {
                 0 => None,
                 1 => Some(r.str()?),
                 b => return Err(SnapshotError::Corrupt(format!("bad option byte {b}"))),
             };
-            defs.push((hash, verify, StoredDef { name, ok, error }));
+            defs.push((
+                hash,
+                verify,
+                StoredDef {
+                    name,
+                    ok,
+                    proved,
+                    error,
+                },
+            ));
         }
         let mut programs = Vec::new();
         for _ in 0..r.read_len()? {
@@ -590,7 +613,11 @@ fn read_query_key(r: &mut Reader<'_>) -> Result<QueryKey, SnapshotError> {
 
 fn write_validity(w: &mut Writer, v: &Validity) {
     match v {
-        Validity::Valid => w.u8(0),
+        // Tag 0 stays "proved Valid" (the format-1 meaning of Valid was
+        // untagged; the version bump rules out cross-reading anyway) and
+        // grid-checked Valid takes a fresh tag, so the verdict index
+        // round-trips provenance exactly.
+        Validity::Valid(Provenance::Proved) => w.u8(0),
         Validity::Invalid(None) => w.u8(1),
         Validity::Invalid(Some(env)) => {
             w.u8(2);
@@ -601,12 +628,13 @@ fn write_validity(w: &mut Writer, v: &Validity) {
             }
         }
         Validity::Unknown => w.u8(3),
+        Validity::Valid(Provenance::GridChecked) => w.u8(4),
     }
 }
 
 fn read_validity(r: &mut Reader<'_>) -> Result<Validity, SnapshotError> {
     Ok(match r.u8()? {
-        0 => Validity::Valid,
+        0 => Validity::proved(),
         1 => Validity::Invalid(None),
         2 => {
             let mut env = IdxEnv::new();
@@ -618,6 +646,7 @@ fn read_validity(r: &mut Reader<'_>) -> Result<Validity, SnapshotError> {
             Validity::Invalid(Some(env))
         }
         3 => Validity::Unknown,
+        4 => Validity::grid_checked(),
         b => return Err(SnapshotError::Corrupt(format!("bad validity tag {b}"))),
     })
 }

@@ -100,7 +100,8 @@ fn arb_universals() -> BoxedStrategy<Vec<(IdxVar, Sort)>> {
 
 fn arb_validity() -> BoxedStrategy<Validity> {
     prop_oneof![
-        Just(Validity::Valid),
+        Just(Validity::proved()),
+        Just(Validity::grid_checked()),
         Just(Validity::Invalid(None)),
         (arb_var(), 0u64..50).prop_map(|(v, n)| {
             let mut env = IdxEnv::new();
@@ -126,6 +127,7 @@ fn arb_snapshot() -> BoxedStrategy<Snapshot> {
                 StoredDef {
                     name: var.name().to_string(),
                     ok: hash.is_multiple_of(2),
+                    proved: hash.is_multiple_of(4),
                     error: if hash.is_multiple_of(2) {
                         None
                     } else {
@@ -189,13 +191,17 @@ fn sample_snapshot() -> Snapshot {
     let goal = Constr::leq(Idx::var("n"), Idx::nat(9));
     Snapshot {
         fingerprint: FP,
-        verdicts: vec![(QueryKey::new(FP, &universals, &hyp, &goal), Validity::Valid)],
+        verdicts: vec![(
+            QueryKey::new(FP, &universals, &hyp, &goal),
+            Validity::proved(),
+        )],
         defs: vec![(
             42,
             43,
             StoredDef {
                 name: "id".to_string(),
                 ok: true,
+                proved: true,
                 error: None,
             },
         )],
@@ -231,6 +237,60 @@ fn every_single_byte_flip_is_rejected() {
             "flipping byte {i} must be rejected"
         );
     }
+}
+
+#[test]
+fn fm_knob_is_fingerprinted_and_invalidates_snapshots() {
+    // `use_fm` changes verdicts (`Unknown`/grid-checked → proved), unlike
+    // the verdict-neutral compiled-eval knobs: a snapshot recorded with the
+    // FM layer on must never warm-start a solver running with it off, and
+    // vice versa.
+    use birelcost::Engine;
+    use rel_constraint::SolveConfig;
+
+    let fm_on = Engine::new();
+    let fm_off = Engine::new().with_solve_config(SolveConfig {
+        use_fm: false,
+        ..SolveConfig::default()
+    });
+    assert_ne!(
+        fm_on.fingerprint(),
+        fm_off.fingerprint(),
+        "the FM knob must be part of the engine fingerprint"
+    );
+    // Sanity: the evaluation-strategy knobs stay verdict-neutral and do
+    // *not* split fingerprints.
+    let compiled_off = Engine::new().with_solve_config(SolveConfig {
+        use_compiled_eval: false,
+        ..SolveConfig::default()
+    });
+    assert_eq!(fm_on.fingerprint(), compiled_off.fingerprint());
+
+    let snapshot = Snapshot {
+        fingerprint: fm_on.fingerprint(),
+        ..sample_snapshot()
+    };
+    let bytes = snapshot.to_bytes();
+    assert!(Snapshot::from_bytes(&bytes, fm_on.fingerprint()).is_ok());
+    match Snapshot::from_bytes(&bytes, fm_off.fingerprint()) {
+        Err(SnapshotError::FingerprintMismatch { found, expected }) => {
+            assert_eq!(found, fm_on.fingerprint());
+            assert_eq!(expected, fm_off.fingerprint());
+        }
+        other => panic!("expected FingerprintMismatch across the FM knob, got {other:?}"),
+    }
+}
+
+#[test]
+fn format_version_1_snapshots_are_rejected() {
+    // Version 2 added verdict provenance; a version-1 file cannot express
+    // it and must cold-start rather than load with guessed provenance.
+    let mut bytes = sample_snapshot().to_bytes();
+    bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+    assert!(matches!(
+        Snapshot::from_bytes(&bytes, FP),
+        Err(SnapshotError::UnsupportedVersion(1))
+    ));
 }
 
 #[test]

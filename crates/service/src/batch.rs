@@ -72,6 +72,13 @@ pub struct BatchStats {
     pub program_cache_hits: usize,
     /// Definitions skipped by incremental re-checking (unchanged input hash).
     pub skipped_unchanged: usize,
+    /// Definitions whose verdict was proved (symbolic / Fourier–Motzkin)
+    /// rather than grid-checked.
+    pub proved_defs: usize,
+    /// Obligations discharged by the Fourier–Motzkin layer across all jobs.
+    pub fm_proved: usize,
+    /// Obligations accepted only by a whole-grid sweep across all jobs.
+    pub grid_accepted: usize,
 }
 
 impl BatchStats {
@@ -93,6 +100,9 @@ impl BatchStats {
                 stats.programs_compiled += report.programs_compiled();
                 stats.program_cache_hits += report.program_cache_hits();
                 stats.skipped_unchanged += report.skipped_unchanged();
+                stats.proved_defs += report.proved_defs();
+                stats.fm_proved += report.fm_proved();
+                stats.grid_accepted += report.grid_accepted();
             }
         }
         stats

@@ -186,6 +186,10 @@ fn def_value(def: &DefReport) -> Value {
     Value::obj([
         ("name", Value::Str(def.name.clone())),
         ("ok", Value::Bool(def.ok)),
+        // Verdict provenance: `true` when every obligation was proved
+        // (symbolic / Fourier–Motzkin), `false` when the verdict leaned on
+        // the bounded numeric grid (or the definition failed).
+        ("proved", Value::Bool(def.proved)),
         (
             "error",
             match &def.error {
@@ -217,6 +221,8 @@ fn def_value(def: &DefReport) -> Value {
             Value::Int(def.program_cache_hits as i64),
         ),
         ("points_evaluated", Value::Int(def.points_evaluated as i64)),
+        ("fm_proved", Value::Int(def.fm_proved as i64)),
+        ("grid_accepted", Value::Int(def.grid_accepted as i64)),
         ("skipped_unchanged", Value::Bool(def.skipped_unchanged)),
     ])
 }

@@ -327,14 +327,16 @@ impl Service {
 
     /// A cheap monotone stamp of the memoized state: misses count freshly
     /// computed verdicts/programs (every store follows a miss), and the def
-    /// count moves on every newly recorded definition.  Equal stamps ⇒
-    /// nothing new to persist.
+    /// index's mutation counter moves on every recorded definition *and*
+    /// every clear.  All three components are monotone — a `len()`-based
+    /// stamp would let a clear followed by re-inserts alias an old stamp
+    /// and skip a needed flush.  Equal stamps ⇒ nothing new to persist.
     fn warm_stamp(&self) -> u64 {
         self.cache
             .stats()
             .misses
             .wrapping_add(self.programs.stats().misses)
-            .wrapping_add(self.defs.len() as u64)
+            .wrapping_add(self.defs.mutation_count())
     }
 }
 

@@ -16,11 +16,21 @@ use rel_suite::{all_benchmarks, VerificationStatus};
 
 #[test]
 fn compiled_and_tree_solvers_agree_across_the_verified_suite() {
+    // Both engines run with the Fourier–Motzkin layer *off*: with it on,
+    // the verified suite is decided entirely symbolically (zero numeric
+    // points — asserted by tests/fm_decides_suite.rs) and this comparison
+    // of the two numeric evaluators would be vacuous.
     let compiled_cache = Arc::new(ShardedValidityCache::new());
     let tree_cache = Arc::new(ShardedValidityCache::new());
-    let compiled = Engine::new().with_cache(compiled_cache.clone());
+    let compiled = Engine::new()
+        .with_solve_config(SolveConfig {
+            use_fm: false,
+            ..SolveConfig::default()
+        })
+        .with_cache(compiled_cache.clone());
     let tree = Engine::new()
         .with_solve_config(SolveConfig {
+            use_fm: false,
             use_compiled_eval: false,
             ..SolveConfig::default()
         })
@@ -74,8 +84,13 @@ fn compiled_and_tree_solvers_agree_across_the_verified_suite() {
 #[test]
 fn compiled_layer_actually_compiles_on_the_suite() {
     // Sanity check that the suite exercises the bytecode path at all: at
-    // least one verified benchmark must reach the numeric layer.
-    let engine = Engine::new();
+    // least one verified benchmark must reach the numeric layer *when the
+    // FM layer is off* (with it on, none does — that is the FM layer's
+    // acceptance gate, not this test's).
+    let engine = Engine::new().with_solve_config(SolveConfig {
+        use_fm: false,
+        ..SolveConfig::default()
+    });
     let mut programs = 0;
     for b in all_benchmarks() {
         if b.status != VerificationStatus::Verified {
