@@ -221,7 +221,8 @@ fn check_files(files: &[String], flags: &Flags) -> ExitCode {
     // for the verified suite through the library, but operators read it
     // here).
     println!(
-        "provenance: proved_defs={}/{} fm_proved={} grid_accepted={} grid_points={}",
+        "provenance: proved_defs={}/{} fm_proved={} grid_accepted={} grid_points={} \
+         fm_memo_hits={} fm_memo_misses={} exelim_pruned={}",
         stats.proved_defs,
         stats.defs_ok,
         stats.fm_proved,
@@ -230,7 +231,10 @@ fn check_files(files: &[String], flags: &Flags) -> ExitCode {
             .iter()
             .filter_map(|r| r.outcome.as_ref().ok())
             .map(|rep| rep.points_evaluated())
-            .sum::<usize>()
+            .sum::<usize>(),
+        stats.fm_memo_hits,
+        stats.fm_memo_misses,
+        stats.exelim_candidates_pruned
     );
     if workers > 1 {
         let cache = service.cache_stats();

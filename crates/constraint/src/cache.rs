@@ -91,7 +91,7 @@ impl<'a> QueryRef<'a> {
         h.finish()
     }
 
-    fn matches(&self, key: &QueryKey) -> bool {
+    pub(crate) fn matches(&self, key: &QueryKey) -> bool {
         self.config_fingerprint == key.config_fingerprint
             && self
                 .canonical_universals

@@ -1,0 +1,770 @@
+//! Hash-consed constraints: an arena interner with `u32` node ids.
+//!
+//! PR 2 interned *index terms* (`rel_index::IdxPool`) because the solver
+//! normalizes the same sub-terms at every decomposition level.  The same
+//! argument applies one layer up: the solver simplifies the same *constraint*
+//! trees over and over — every candidate substitution in `exelim` re-enters
+//! `Solver::entails_no_exists`, which re-simplifies an instantiated matrix
+//! whose subtrees are largely unchanged, and structurally identical goals
+//! recur across the sub-derivations of one definition.  [`CPool`] stores each
+//! distinct constraint exactly once in a flat arena:
+//!
+//! * **O(1) structural equality** — two constraints are equal iff their
+//!   [`CId`]s are equal (interning deduplicates identical subtrees);
+//! * **cached free-variable sets** — computed bottom-up once per node at
+//!   interning time, shared via `Arc` between nodes (this is what makes the
+//!   quantifier-dropping folds and the substitution pruning O(1));
+//! * **memoized `simplify`** — the pool mirrors the fold rules of
+//!   [`crate::solver::simplify_tree`] exactly, computed once per node and
+//!   reused for every later occurrence of the same sub-constraint;
+//! * **substitution with sharing** — [`CPool::subst_all`] memoizes per call
+//!   and skips (in O(1)) every subtree that mentions no substituted
+//!   variable, so re-instantiating a matrix per `exelim` candidate touches
+//!   only the nodes that actually change.
+//!
+//! Index-term leaves are interned in an embedded [`IdxPool`], so comparison
+//! normalization inside `simplify` is memoized too.  The differential
+//! property tests below pin the pooled implementations to the tree ones
+//! node for node.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+use rel_index::{Idx, IdxId, IdxPool, IdxVar, Sort};
+
+use crate::constr::Constr;
+
+/// A handle to an interned constraint.  Ids are only meaningful relative to
+/// the [`CPool`] that produced them; two ids from the same pool are equal iff
+/// the constraints are structurally equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CId(u32);
+
+impl CId {
+    /// The raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One arena node: the [`Constr`] constructors with children replaced by ids
+/// (constraint children by [`CId`], index-term children by [`IdxId`] into
+/// the pool's embedded [`IdxPool`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CNode {
+    /// `tt`.
+    Top,
+    /// `ff`.
+    Bot,
+    /// `a = b`.
+    Eq(IdxId, IdxId),
+    /// `a ≤ b`.
+    Leq(IdxId, IdxId),
+    /// `a < b`.
+    Lt(IdxId, IdxId),
+    /// Conjunction.
+    And(Vec<CId>),
+    /// Disjunction.
+    Or(Vec<CId>),
+    /// Negation.
+    Not(CId),
+    /// Implication.
+    Implies(CId, CId),
+    /// Universal quantification.
+    Forall(IdxVar, Sort, CId),
+    /// Existential quantification.
+    Exists(IdxVar, Sort, CId),
+}
+
+fn node_hash(node: &CNode) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    node.hash(&mut h);
+    h.finish()
+}
+
+/// A hash-consing arena for constraints.
+#[derive(Debug, Default)]
+pub struct CPool {
+    /// Interner for the index terms appearing in comparisons.
+    idx: IdxPool,
+    nodes: Vec<CNode>,
+    /// Dedup index: node hash → candidate ids, verified against the arena
+    /// (hash collisions cannot alias nodes).
+    ids: HashMap<u64, Vec<CId>>,
+    free_vars: Vec<Arc<BTreeSet<IdxVar>>>,
+    simp_memo: Vec<Option<CId>>,
+}
+
+impl CPool {
+    /// An empty pool.
+    pub fn new() -> CPool {
+        CPool::default()
+    }
+
+    /// Number of distinct constraint nodes interned so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if no constraints have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total arena footprint (constraint nodes plus embedded index-term
+    /// nodes) — the measure the thread-local pool's epoch eviction watches.
+    pub fn total_nodes(&self) -> usize {
+        self.nodes.len() + self.idx.len()
+    }
+
+    /// The node behind an id.
+    pub fn node(&self, id: CId) -> &CNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Interns a node, deduplicating against all earlier nodes.
+    pub fn intern_node(&mut self, node: CNode) -> CId {
+        let hash = node_hash(&node);
+        if let Some(bucket) = self.ids.get(&hash) {
+            if let Some(&id) = bucket.iter().find(|id| self.nodes[id.index()] == node) {
+                return id;
+            }
+        }
+        let id = CId(u32::try_from(self.nodes.len()).expect("constraint pool overflow"));
+        let fv = self.compute_free_vars(&node);
+        self.nodes.push(node);
+        self.ids.entry(hash).or_default().push(id);
+        self.free_vars.push(fv);
+        self.simp_memo.push(None);
+        id
+    }
+
+    /// Interns a tree constraint bottom-up, sharing every duplicated subtree.
+    pub fn intern(&mut self, c: &Constr) -> CId {
+        let node = match c {
+            Constr::Top => CNode::Top,
+            Constr::Bot => CNode::Bot,
+            Constr::Eq(a, b) => CNode::Eq(self.idx.intern(a), self.idx.intern(b)),
+            Constr::Leq(a, b) => CNode::Leq(self.idx.intern(a), self.idx.intern(b)),
+            Constr::Lt(a, b) => CNode::Lt(self.idx.intern(a), self.idx.intern(b)),
+            Constr::And(cs) => CNode::And(cs.iter().map(|c| self.intern(c)).collect()),
+            Constr::Or(cs) => CNode::Or(cs.iter().map(|c| self.intern(c)).collect()),
+            Constr::Not(c) => CNode::Not(self.intern(c)),
+            Constr::Implies(a, b) => CNode::Implies(self.intern(a), self.intern(b)),
+            Constr::Forall(q, c) => CNode::Forall(q.var.clone(), q.sort, self.intern(c)),
+            Constr::Exists(q, c) => CNode::Exists(q.var.clone(), q.sort, self.intern(c)),
+        };
+        self.intern_node(node)
+    }
+
+    /// Reconstructs the tree form of an interned constraint.
+    pub fn to_constr(&self, id: CId) -> Constr {
+        use crate::constr::Quantified;
+        match self.node(id).clone() {
+            CNode::Top => Constr::Top,
+            CNode::Bot => Constr::Bot,
+            CNode::Eq(a, b) => Constr::Eq(self.idx.to_idx(a), self.idx.to_idx(b)),
+            CNode::Leq(a, b) => Constr::Leq(self.idx.to_idx(a), self.idx.to_idx(b)),
+            CNode::Lt(a, b) => Constr::Lt(self.idx.to_idx(a), self.idx.to_idx(b)),
+            CNode::And(cs) => Constr::And(cs.iter().map(|&c| self.to_constr(c)).collect()),
+            CNode::Or(cs) => Constr::Or(cs.iter().map(|&c| self.to_constr(c)).collect()),
+            CNode::Not(c) => Constr::Not(Box::new(self.to_constr(c))),
+            CNode::Implies(a, b) => {
+                Constr::Implies(Box::new(self.to_constr(a)), Box::new(self.to_constr(b)))
+            }
+            CNode::Forall(v, s, c) => {
+                Constr::Forall(Quantified::new(v, s), Box::new(self.to_constr(c)))
+            }
+            CNode::Exists(v, s, c) => {
+                Constr::Exists(Quantified::new(v, s), Box::new(self.to_constr(c)))
+            }
+        }
+    }
+
+    /// The cached free-variable set of an interned constraint.
+    pub fn free_vars(&self, id: CId) -> &Arc<BTreeSet<IdxVar>> {
+        &self.free_vars[id.index()]
+    }
+
+    fn compute_free_vars(&self, node: &CNode) -> Arc<BTreeSet<IdxVar>> {
+        let union2 = |a: &Arc<BTreeSet<IdxVar>>, b: &Arc<BTreeSet<IdxVar>>| {
+            if b.is_subset(a) {
+                Arc::clone(a)
+            } else if a.is_subset(b) {
+                Arc::clone(b)
+            } else {
+                Arc::new(a.union(b).cloned().collect())
+            }
+        };
+        match node {
+            CNode::Top | CNode::Bot => Arc::new(BTreeSet::new()),
+            CNode::Eq(a, b) | CNode::Leq(a, b) | CNode::Lt(a, b) => {
+                union2(self.idx.free_vars(*a), self.idx.free_vars(*b))
+            }
+            CNode::And(cs) | CNode::Or(cs) => match cs.as_slice() {
+                [] => Arc::new(BTreeSet::new()),
+                [first, rest @ ..] => {
+                    let mut acc = Arc::clone(&self.free_vars[first.index()]);
+                    for c in rest {
+                        acc = union2(&acc, &self.free_vars[c.index()]);
+                    }
+                    acc
+                }
+            },
+            CNode::Not(c) => Arc::clone(&self.free_vars[c.index()]),
+            CNode::Implies(a, b) => union2(&self.free_vars[a.index()], &self.free_vars[b.index()]),
+            CNode::Forall(v, _, c) | CNode::Exists(v, _, c) => {
+                let inner = &self.free_vars[c.index()];
+                if inner.contains(v) {
+                    Arc::new(inner.iter().filter(|w| *w != v).cloned().collect())
+                } else {
+                    Arc::clone(inner)
+                }
+            }
+        }
+    }
+
+    /// Returns `true` when the variable occurs free in the constraint —
+    /// O(log n) against the cached set, never a tree walk.
+    pub fn mentions(&self, id: CId, v: &IdxVar) -> bool {
+        self.free_vars[id.index()].contains(v)
+    }
+
+    // ----------------------------------------------------------------------
+    // Connective folds (the id-level mirrors of `Constr::and`/`or`/…)
+    // ----------------------------------------------------------------------
+
+    fn top(&mut self) -> CId {
+        self.intern_node(CNode::Top)
+    }
+
+    fn bot(&mut self) -> CId {
+        self.intern_node(CNode::Bot)
+    }
+
+    /// Conjunction with the exact unit/flattening rules of [`Constr::and`].
+    fn and(&mut self, a: CId, b: CId) -> CId {
+        match (self.node(a).clone(), self.node(b).clone()) {
+            (CNode::Top, _) => b,
+            (_, CNode::Top) => a,
+            (CNode::Bot, _) | (_, CNode::Bot) => self.bot(),
+            (CNode::And(mut xs), CNode::And(ys)) => {
+                xs.extend(ys);
+                self.intern_node(CNode::And(xs))
+            }
+            (CNode::And(mut xs), _) => {
+                xs.push(b);
+                self.intern_node(CNode::And(xs))
+            }
+            (_, CNode::And(mut ys)) => {
+                ys.insert(0, a);
+                self.intern_node(CNode::And(ys))
+            }
+            _ => self.intern_node(CNode::And(vec![a, b])),
+        }
+    }
+
+    /// Disjunction with the exact unit/flattening rules of [`Constr::or`].
+    fn or(&mut self, a: CId, b: CId) -> CId {
+        match (self.node(a).clone(), self.node(b).clone()) {
+            (CNode::Bot, _) => b,
+            (_, CNode::Bot) => a,
+            (CNode::Top, _) | (_, CNode::Top) => self.top(),
+            (CNode::Or(mut xs), CNode::Or(ys)) => {
+                xs.extend(ys);
+                self.intern_node(CNode::Or(xs))
+            }
+            (CNode::Or(mut xs), _) => {
+                xs.push(b);
+                self.intern_node(CNode::Or(xs))
+            }
+            (_, CNode::Or(mut ys)) => {
+                ys.insert(0, a);
+                self.intern_node(CNode::Or(ys))
+            }
+            _ => self.intern_node(CNode::Or(vec![a, b])),
+        }
+    }
+
+    /// Negation with the comparison-flipping rules of [`Constr::negate`].
+    fn negate(&mut self, id: CId) -> CId {
+        match self.node(id).clone() {
+            CNode::Top => self.bot(),
+            CNode::Bot => self.top(),
+            CNode::Not(c) => c,
+            CNode::Leq(a, b) => self.intern_node(CNode::Lt(b, a)),
+            CNode::Lt(a, b) => self.intern_node(CNode::Leq(b, a)),
+            _ => self.intern_node(CNode::Not(id)),
+        }
+    }
+
+    /// Implication with the unit rules of [`Constr::implies`].
+    fn implies(&mut self, a: CId, b: CId) -> CId {
+        match (self.node(a), self.node(b)) {
+            (CNode::Top, _) => b,
+            (CNode::Bot, _) => self.top(),
+            (_, CNode::Top) => self.top(),
+            _ => self.intern_node(CNode::Implies(a, b)),
+        }
+    }
+
+    /// Quantification, dropped when the variable does not occur (the
+    /// [`Constr::forall`]/[`Constr::exists`] smart constructors) — O(1)
+    /// against the cached free-variable set.
+    fn quantify(&mut self, forall: bool, v: IdxVar, s: Sort, body: CId) -> CId {
+        if !self.mentions(body, &v) {
+            return body;
+        }
+        self.intern_node(if forall {
+            CNode::Forall(v, s, body)
+        } else {
+            CNode::Exists(v, s, body)
+        })
+    }
+
+    // ----------------------------------------------------------------------
+    // Memoized simplification
+    // ----------------------------------------------------------------------
+
+    /// Memoized constant-folding simplification, mirroring the fold rules of
+    /// [`crate::solver::simplify_tree`] exactly (pinned by the differential
+    /// property test below).  Comparison sides normalize through the
+    /// embedded [`IdxPool`], so their folds are memoized too.
+    pub fn simplify(&mut self, id: CId) -> CId {
+        if let Some(s) = self.simp_memo[id.index()] {
+            return s;
+        }
+        let result = match self.node(id).clone() {
+            CNode::Top | CNode::Bot => id,
+            CNode::Eq(a, b) => {
+                let (na, nb) = (self.idx.normalize(a), self.idx.normalize(b));
+                match (self.idx.as_const(na), self.idx.as_const(nb)) {
+                    (Some(x), Some(y)) => {
+                        if x == y {
+                            self.top()
+                        } else {
+                            self.bot()
+                        }
+                    }
+                    _ => {
+                        if na == nb {
+                            self.top()
+                        } else {
+                            self.intern_node(CNode::Eq(na, nb))
+                        }
+                    }
+                }
+            }
+            CNode::Leq(a, b) => {
+                let (na, nb) = (self.idx.normalize(a), self.idx.normalize(b));
+                match (self.idx.as_const(na), self.idx.as_const(nb)) {
+                    (Some(x), Some(y)) => {
+                        if x <= y {
+                            self.top()
+                        } else {
+                            self.bot()
+                        }
+                    }
+                    _ => {
+                        if na == nb {
+                            self.top()
+                        } else {
+                            self.intern_node(CNode::Leq(na, nb))
+                        }
+                    }
+                }
+            }
+            CNode::Lt(a, b) => {
+                let (na, nb) = (self.idx.normalize(a), self.idx.normalize(b));
+                match (self.idx.as_const(na), self.idx.as_const(nb)) {
+                    (Some(x), Some(y)) => {
+                        if x < y {
+                            self.top()
+                        } else {
+                            self.bot()
+                        }
+                    }
+                    _ => self.intern_node(CNode::Lt(na, nb)),
+                }
+            }
+            CNode::And(cs) => {
+                let mut acc = self.top();
+                for c in cs {
+                    let s = self.simplify(c);
+                    acc = self.and(acc, s);
+                }
+                acc
+            }
+            CNode::Or(cs) => {
+                let mut acc = self.bot();
+                for c in cs {
+                    let s = self.simplify(c);
+                    acc = self.or(acc, s);
+                }
+                acc
+            }
+            // Same double-step as the tree version: `negate` flips
+            // comparisons without re-folding, so the flipped form is
+            // simplified once more; a `Not` result is the opaque case whose
+            // operand is already simplified (recursing would loop).
+            CNode::Not(c) => {
+                let s = self.simplify(c);
+                let negated = self.negate(s);
+                match self.node(negated) {
+                    CNode::Not(_) => negated,
+                    _ => self.simplify(negated),
+                }
+            }
+            CNode::Implies(a, b) => {
+                let (sa, sb) = (self.simplify(a), self.simplify(b));
+                self.implies(sa, sb)
+            }
+            CNode::Forall(v, s, c) => {
+                let body = self.simplify(c);
+                self.quantify(true, v, s, body)
+            }
+            CNode::Exists(v, s, c) => {
+                let body = self.simplify(c);
+                self.quantify(false, v, s, body)
+            }
+        };
+        self.simp_memo[id.index()] = Some(result);
+        // Simplification is idempotent; seed the memo for the result.
+        self.simp_memo[result.index()] = Some(result);
+        result
+    }
+
+    // ----------------------------------------------------------------------
+    // Simultaneous substitution
+    // ----------------------------------------------------------------------
+
+    /// Simultaneous substitution with the semantics (and precondition) of
+    /// [`Constr::subst_all`]: no replacement may mention a substituted
+    /// variable.  Memoized per call, and every subtree whose cached
+    /// free-variable set is disjoint from the substituted variables is
+    /// returned unchanged in O(1) — re-instantiating an `exelim` matrix for
+    /// the next candidate touches only the nodes that actually change.
+    pub fn subst_all(&mut self, id: CId, map: &BTreeMap<IdxVar, Idx>) -> CId {
+        debug_assert!(
+            map.values().all(|r| map.keys().all(|k| !r.mentions(k))),
+            "subst_all replacements must not mention substituted variables"
+        );
+        if map.is_empty() {
+            return id;
+        }
+        let mut memo = HashMap::new();
+        self.subst_all_inner(id, map, &mut memo)
+    }
+
+    fn subst_all_inner(
+        &mut self,
+        id: CId,
+        map: &BTreeMap<IdxVar, Idx>,
+        memo: &mut HashMap<CId, CId>,
+    ) -> CId {
+        if map.keys().all(|v| !self.mentions(id, v)) {
+            return id;
+        }
+        if let Some(&done) = memo.get(&id) {
+            return done;
+        }
+        let result = match self.node(id).clone() {
+            CNode::Top | CNode::Bot => id,
+            CNode::Eq(a, b) => {
+                let (a, b) = (self.subst_idx(a, map), self.subst_idx(b, map));
+                self.intern_node(CNode::Eq(a, b))
+            }
+            CNode::Leq(a, b) => {
+                let (a, b) = (self.subst_idx(a, map), self.subst_idx(b, map));
+                self.intern_node(CNode::Leq(a, b))
+            }
+            CNode::Lt(a, b) => {
+                let (a, b) = (self.subst_idx(a, map), self.subst_idx(b, map));
+                self.intern_node(CNode::Lt(a, b))
+            }
+            CNode::And(cs) => {
+                let cs = cs
+                    .into_iter()
+                    .map(|c| self.subst_all_inner(c, map, memo))
+                    .collect();
+                self.intern_node(CNode::And(cs))
+            }
+            CNode::Or(cs) => {
+                let cs = cs
+                    .into_iter()
+                    .map(|c| self.subst_all_inner(c, map, memo))
+                    .collect();
+                self.intern_node(CNode::Or(cs))
+            }
+            CNode::Not(c) => {
+                let c = self.subst_all_inner(c, map, memo);
+                self.intern_node(CNode::Not(c))
+            }
+            CNode::Implies(a, b) => {
+                let (a, b) = (
+                    self.subst_all_inner(a, map, memo),
+                    self.subst_all_inner(b, map, memo),
+                );
+                self.intern_node(CNode::Implies(a, b))
+            }
+            CNode::Forall(v, _, _) | CNode::Exists(v, _, _) => {
+                if map.contains_key(&v) || map.values().any(|r| r.mentions(&v)) {
+                    // Shadowing or capture risk: defer to the tree's
+                    // capture-avoiding pairwise substitution, exactly as
+                    // `Constr::subst_all_inner` does.
+                    let tree = self.to_constr(id);
+                    let substituted = map.iter().fold(tree, |acc, (var, idx)| acc.subst(var, idx));
+                    self.intern(&substituted)
+                } else {
+                    match self.node(id).clone() {
+                        CNode::Forall(v, s, c) => {
+                            let c = self.subst_all_inner(c, map, memo);
+                            self.intern_node(CNode::Forall(v, s, c))
+                        }
+                        CNode::Exists(v, s, c) => {
+                            let c = self.subst_all_inner(c, map, memo);
+                            self.intern_node(CNode::Exists(v, s, c))
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+            }
+        };
+        memo.insert(id, result);
+        result
+    }
+
+    /// Substitution at a comparison leaf: through the tree representation
+    /// (index terms are small next to the constraint above them; the
+    /// constraint-level memo and free-variable pruning carry the win).
+    fn subst_idx(&mut self, id: IdxId, map: &BTreeMap<IdxVar, Idx>) -> IdxId {
+        if map.keys().all(|v| !self.idx.free_vars(id).contains(v)) {
+            return id;
+        }
+        let tree = self.idx.to_idx(id).subst_all(map);
+        self.idx.intern(&tree)
+    }
+}
+
+/// Node-count cap for the shared per-thread pool; past it the pool is
+/// dropped wholesale (epoch eviction, the same policy as `IdxPool`'s
+/// thread-local pool and the validity-cache shards).
+const THREAD_CPOOL_MAX_NODES: usize = 1 << 20;
+
+thread_local! {
+    static THREAD_CPOOL: std::cell::RefCell<CPool> = std::cell::RefCell::new(CPool::new());
+}
+
+fn with_thread_pool<R>(f: impl FnOnce(&mut CPool) -> R) -> R {
+    THREAD_CPOOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.total_nodes() > THREAD_CPOOL_MAX_NODES {
+            *pool = CPool::new();
+        }
+        f(&mut pool)
+    })
+}
+
+/// Simplifies through the calling thread's shared pool: repeated
+/// simplification of the same (sub-)constraints — every `entails` entry
+/// point canonicalizes its goal, and `exelim` re-enters per candidate —
+/// reduces to memo lookups instead of tree rebuilds.  Produces exactly the
+/// same constraint as the tree-walking [`crate::solver::simplify_tree`].
+pub fn simplify_cached(c: &Constr) -> Constr {
+    with_thread_pool(|pool| {
+        let id = pool.intern(c);
+        let simplified = pool.simplify(id);
+        if simplified == id {
+            // Already in normal form: share the input instead of rebuilding.
+            c.clone()
+        } else {
+            pool.to_constr(simplified)
+        }
+    })
+}
+
+/// [`Constr::subst_all`] through the thread's shared pool: the matrix is
+/// interned once (amortized across `exelim` candidates) and each
+/// substitution touches only the subtrees that mention a substituted
+/// variable.
+pub fn subst_all_cached(c: &Constr, map: &BTreeMap<IdxVar, Idx>) -> Constr {
+    with_thread_pool(|pool| {
+        let id = pool.intern(c);
+        let substituted = pool.subst_all(id, map);
+        if substituted == id {
+            c.clone()
+        } else {
+            pool.to_constr(substituted)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constr::Quantified;
+    use crate::solver::simplify_tree;
+    use proptest::prelude::*;
+    use rel_index::Rational;
+
+    fn n(v: &str) -> Idx {
+        Idx::var(v)
+    }
+
+    #[test]
+    fn interning_deduplicates_and_ids_decide_equality() {
+        let mut pool = CPool::new();
+        let a = Constr::leq(n("a"), n("b") + Idx::one());
+        let b = Constr::leq(n("a"), n("b") + Idx::one());
+        let c = Constr::leq(n("a"), n("b") + Idx::nat(2));
+        assert_eq!(pool.intern(&a), pool.intern(&b));
+        assert_ne!(pool.intern(&a), pool.intern(&c));
+        // Shared sub-constraints are stored once.
+        let before = pool.len();
+        pool.intern(&a.clone().and(c.clone()));
+        // Only the And node is new: both conjuncts were already interned.
+        assert_eq!(pool.len(), before + 1);
+    }
+
+    #[test]
+    fn round_trip_preserves_constraints() {
+        let mut pool = CPool::new();
+        let c = Constr::exists(
+            "i",
+            Sort::Nat,
+            Constr::eq(n("i"), n("n") + Idx::one())
+                .and(Constr::lt(Idx::zero(), n("i")).or(Constr::Bot))
+                .and(Constr::forall(
+                    "m",
+                    Sort::Real,
+                    Constr::leq(n("m"), n("i")).implies(Constr::Top.negate()),
+                )),
+        );
+        let id = pool.intern(&c);
+        assert_eq!(pool.to_constr(id), c);
+    }
+
+    #[test]
+    fn free_vars_match_tree_and_respect_binders() {
+        let mut pool = CPool::new();
+        let c = Constr::exists(
+            "b",
+            Sort::Nat,
+            Constr::eq(n("b"), n("a") + Idx::one()).and(Constr::leq(n("c"), n("b"))),
+        );
+        let id = pool.intern(&c);
+        assert_eq!(**pool.free_vars(id), c.free_vars());
+        assert!(pool.mentions(id, &IdxVar::new("a")));
+        assert!(!pool.mentions(id, &IdxVar::new("b")));
+    }
+
+    #[test]
+    fn subst_all_handles_quantifier_shadowing_like_the_tree() {
+        let mut pool = CPool::new();
+        // Substituting under a binder of the same name must not touch the
+        // bound occurrences; substituting a term mentioning the bound
+        // variable must rename (both delegated to the tree's
+        // capture-avoiding path, like `Constr::subst_all`).
+        let c = Constr::exists("b", Sort::Nat, Constr::eq(n("b"), n("a")));
+        let shadow: BTreeMap<IdxVar, Idx> = [(IdxVar::new("b"), Idx::nat(7))].into();
+        let id = pool.intern(&c);
+        let out = pool.subst_all(id, &shadow);
+        assert_eq!(pool.to_constr(out), c.subst_all(&shadow));
+        let capture: BTreeMap<IdxVar, Idx> = [(IdxVar::new("a"), n("b") + Idx::one())].into();
+        let out = pool.subst_all(id, &capture);
+        assert_eq!(pool.to_constr(out), c.subst_all(&capture));
+    }
+
+    fn arb_idx() -> impl Strategy<Value = Idx> {
+        let leaf = prop_oneof![
+            (0u64..5).prop_map(Idx::nat),
+            Just(Idx::Const(Rational::new(1, 2))),
+            Just(Idx::infty()),
+            Just(Idx::var("n")),
+            Just(Idx::var("a")),
+            Just(Idx::var("b")),
+        ];
+        leaf.prop_recursive(2, 12, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Idx::min(a, b)),
+                inner.clone().prop_map(Idx::ceil),
+                inner.clone().prop_map(|a| a / Idx::nat(2)),
+            ]
+        })
+    }
+
+    fn arb_constr() -> impl Strategy<Value = Constr> {
+        let cmp = prop_oneof![
+            Just(Constr::Top),
+            Just(Constr::Bot),
+            (arb_idx(), arb_idx()).prop_map(|(a, b)| Constr::eq(a, b)),
+            (arb_idx(), arb_idx()).prop_map(|(a, b)| Constr::leq(a, b)),
+            (arb_idx(), arb_idx()).prop_map(|(a, b)| Constr::lt(a, b)),
+        ];
+        cmp.prop_recursive(3, 24, 3, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone(), 0usize..3).prop_map(|(a, b, k)| {
+                    Constr::And(vec![a, b].into_iter().take(k).collect())
+                }),
+                (inner.clone(), inner.clone(), 0usize..3)
+                    .prop_map(|(a, b, k)| { Constr::Or(vec![a, b].into_iter().take(k).collect()) }),
+                inner.clone().prop_map(|c| Constr::Not(Box::new(c))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Constr::Implies(Box::new(a), Box::new(b))),
+                inner
+                    .clone()
+                    .prop_map(|c| Constr::Forall(Quantified::new("a", Sort::Nat), Box::new(c))),
+                inner
+                    .clone()
+                    .prop_map(|c| Constr::Exists(Quantified::new("b", Sort::Real), Box::new(c))),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn pool_simplify_agrees_with_tree_simplify(c in arb_constr()) {
+            let mut pool = CPool::new();
+            let id = pool.intern(&c);
+            let simplified = pool.simplify(id);
+            prop_assert_eq!(pool.to_constr(simplified), simplify_tree(&c));
+            // And through the shared thread-local pool (memoized path).
+            prop_assert_eq!(simplify_cached(&c), simplify_tree(&c));
+        }
+
+        #[test]
+        fn pool_free_vars_agree_with_tree_free_vars(c in arb_constr()) {
+            let mut pool = CPool::new();
+            let id = pool.intern(&c);
+            prop_assert_eq!((**pool.free_vars(id)).clone(), c.free_vars());
+        }
+
+        #[test]
+        fn pool_subst_all_agrees_with_tree_subst_all(c in arb_constr(), k in 0u64..4) {
+            // Replacements over fresh variables (the precondition both
+            // implementations require): a → n + k, b → k.
+            let map: BTreeMap<IdxVar, Idx> = [
+                (IdxVar::new("a"), Idx::var("n") + Idx::nat(k)),
+                (IdxVar::new("b"), Idx::nat(k)),
+            ]
+            .into();
+            let mut pool = CPool::new();
+            let id = pool.intern(&c);
+            let out = pool.subst_all(id, &map);
+            prop_assert_eq!(pool.to_constr(out), c.subst_all(&map));
+            prop_assert_eq!(subst_all_cached(&c, &map), c.subst_all(&map));
+        }
+
+        #[test]
+        fn pool_id_equality_iff_structural_equality(a in arb_constr(), b in arb_constr()) {
+            let mut pool = CPool::new();
+            let ia = pool.intern(&a);
+            let ib = pool.intern(&b);
+            prop_assert_eq!(ia == ib, a == b);
+        }
+    }
+}

@@ -9,14 +9,35 @@
 //! the formula makes `I` a candidate.  Candidates are tried lazily — generate
 //! one, substitute, ask the solver; on failure move on to the next — exactly
 //! as described in §6.
+//!
+//! **The indexed search.**  The seed implementation scanned the whole matrix
+//! once per variable to collect candidates, then enumerated the *cross
+//! product* of every variable's candidate list, re-checking the whole matrix
+//! per assignment.  For the divide-and-conquer benchmarks (`merge`, `msort`)
+//! that product is what dominated checking.  The search now works off a
+//! [`MatrixIndex`] built in one pass: the matrix's top-level conjuncts, each
+//! with its (sorted) existential-variable footprint, candidates collected per
+//! conjunct.  Because `∃x⃗.(A ∧ B) ⟺ (∃x⃗₁.A) ∧ (∃x⃗₂.B)` when `A` and `B`
+//! mention disjoint variable sets, the conjuncts partition into **connected
+//! components** solved independently — the cross product of candidate lists
+//! collapses into a sum of small per-component searches, each checking only
+//! its own conjuncts.  Within a component, **memoized rejection** skips any
+//! assignment whose instantiated goal was already refuted under an earlier
+//! assignment (distinct candidate tuples frequently resolve to the same
+//! instantiation), counted as `exelim_candidates_pruned`.  All-ℝ components
+//! that candidate search cannot close fall back to the exact Fourier–Motzkin
+//! projection per component (previously only attempted for the whole
+//! matrix).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
 
 use rel_index::{Idx, IdxVar, Sort};
 
 use crate::constr::{Constr, Quantified};
+use crate::cpool;
 use crate::fm;
-use crate::solver::{Solver, Validity};
+use crate::solver::{Provenance, Solver, Validity};
 
 /// Statistics from one elimination run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -142,9 +163,151 @@ fn solve_linear_for(v: &IdxVar, a: &Idx, b: &Idx) -> Option<Idx> {
     }
 }
 
+/// The matrix, indexed: top-level conjuncts with their existential-variable
+/// footprints, and per-variable candidate lists collected in one pass.
+struct MatrixIndex {
+    /// Top-level conjuncts of the matrix (flattened `And` spine).
+    conjuncts: Vec<Constr>,
+    /// Indices of the conjuncts that mention each existential variable
+    /// (position-aligned with the `ex_vars` list handed to `build`).
+    var_conjuncts: Vec<Vec<usize>>,
+    /// Candidate substitutions per variable, sorted small-first (same
+    /// position alignment).
+    candidates: Vec<Vec<Idx>>,
+}
+
+impl MatrixIndex {
+    /// One pass over the matrix: flatten the conjunctive spine, compute each
+    /// conjunct's existential footprint from its free variables, and collect
+    /// candidates conjunct by conjunct (the seed re-scanned the *whole*
+    /// matrix once per variable — quadratic in practice, since every
+    /// divide-and-conquer obligation has dozens of conjuncts and a dozen
+    /// existentials).
+    fn build(matrix: &Constr, hyp: &Constr, ex_vars: &[Quantified]) -> MatrixIndex {
+        let mut conjuncts = Vec::new();
+        flatten_conjuncts(matrix, &mut conjuncts);
+        let positions: BTreeMap<&IdxVar, usize> = ex_vars
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (&q.var, i))
+            .collect();
+        let mut var_conjuncts: Vec<Vec<usize>> = vec![Vec::new(); ex_vars.len()];
+        let mut candidates: Vec<Vec<Idx>> = vec![Vec::new(); ex_vars.len()];
+        for (ci, conjunct) in conjuncts.iter().enumerate() {
+            let fv = conjunct.free_vars();
+            for v in &fv {
+                if let Some(&vi) = positions.get(v) {
+                    var_conjuncts[vi].push(ci);
+                    candidates_for(v, conjunct, &mut candidates[vi]);
+                }
+            }
+        }
+        // Hypothesis candidates (the bidirectional rules never leak
+        // existentials into the context, but direct callers can) and the
+        // zero default — a frequent witness for cost variables (synchronous
+        // executions).
+        let hyp_fv = hyp.free_vars();
+        for (vi, q) in ex_vars.iter().enumerate() {
+            if hyp_fv.contains(&q.var) {
+                candidates_for(&q.var, hyp, &mut candidates[vi]);
+            }
+            push_unique(&mut candidates[vi], Idx::zero());
+            // Prefer syntactically small candidates (ground constants
+            // resolve most size variables immediately; the lazy search then
+            // rarely needs to move past the first assignment).
+            candidates[vi].sort_by_key(Idx::size);
+        }
+        MatrixIndex {
+            conjuncts,
+            var_conjuncts,
+            candidates,
+        }
+    }
+
+    /// Partitions the variables into connected components (two variables
+    /// connect when some conjunct mentions both), returning per component
+    /// the variable positions and the union of their conjunct indices.
+    /// Conjuncts mentioning no existential variable are the residual,
+    /// returned separately.
+    #[allow(clippy::type_complexity)]
+    fn components(&self, ex_vars: &[Quantified]) -> (Vec<(Vec<usize>, Vec<usize>)>, Vec<usize>) {
+        // Union-find over variable positions.
+        let mut parent: Vec<usize> = (0..ex_vars.len()).collect();
+        fn find(parent: &mut [usize], i: usize) -> usize {
+            let mut root = i;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = i;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        let mut conjunct_vars: Vec<Vec<usize>> = vec![Vec::new(); self.conjuncts.len()];
+        for (vi, cis) in self.var_conjuncts.iter().enumerate() {
+            for &ci in cis {
+                conjunct_vars[ci].push(vi);
+            }
+        }
+        for vars in &conjunct_vars {
+            for w in vars.windows(2) {
+                let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+        // Group variable positions and conjuncts by root, preserving order.
+        let mut order: Vec<usize> = Vec::new();
+        let mut groups: BTreeMap<usize, (Vec<usize>, BTreeSet<usize>)> = BTreeMap::new();
+        for vi in 0..ex_vars.len() {
+            let root = find(&mut parent, vi);
+            let entry = groups.entry(root).or_insert_with(|| {
+                order.push(root);
+                (Vec::new(), BTreeSet::new())
+            });
+            entry.0.push(vi);
+            entry.1.extend(self.var_conjuncts[vi].iter().copied());
+        }
+        let components = order
+            .into_iter()
+            .map(|root| {
+                let (vars, conjuncts) = groups.remove(&root).expect("grouped above");
+                (vars, conjuncts.into_iter().collect())
+            })
+            .collect();
+        let residual = conjunct_vars
+            .iter()
+            .enumerate()
+            .filter(|(_, vars)| vars.is_empty())
+            .map(|(ci, _)| ci)
+            .collect();
+        (components, residual)
+    }
+}
+
+/// Flattens the conjunctive spine of a constraint (dropping `Top` units,
+/// exactly like the solver's hypothesis flattening).
+fn flatten_conjuncts(c: &Constr, out: &mut Vec<Constr>) {
+    match c {
+        Constr::Top => {}
+        Constr::And(cs) => {
+            for c in cs {
+                flatten_conjuncts(c, out);
+            }
+        }
+        other => out.push(other.clone()),
+    }
+}
+
 /// Eliminates the existentials of `goal` by lazily trying candidate
 /// substitutions and asking `solver` to validate each resulting
-/// existential-free constraint.
+/// existential-free constraint.  The search runs per connected component of
+/// the matrix's conjunct/variable graph (see the module docs); the attempt
+/// budget (`max_exelim_attempts`) is shared across components.
 pub fn eliminate_existentials(
     solver: &mut Solver,
     universals: &[(IdxVar, Sort)],
@@ -165,94 +328,241 @@ pub fn eliminate_existentials(
         };
     }
 
-    // Gather candidates per variable: from the matrix first, then defaults.
-    let mut all_candidates: Vec<(Quantified, Vec<Idx>)> = Vec::new();
-    for q in &ex_vars {
-        let mut cands = Vec::new();
-        candidates_for(&q.var, &matrix, &mut cands);
-        candidates_for(&q.var, hyp, &mut cands);
-        // Defaults: zero is a frequent witness for cost variables (synchronous
-        // executions).
-        push_unique(&mut cands, Idx::zero());
-        // Prefer syntactically small candidates (ground constants resolve
-        // most size variables immediately; the lazy search then rarely needs
-        // to move past the first assignment).
-        cands.sort_by_key(Idx::size);
-        all_candidates.push((q.clone(), cands));
+    let index = MatrixIndex::build(&matrix, hyp, &ex_vars);
+    let (components, residual) = index.components(&ex_vars);
+
+    // The existential-free conjuncts must hold regardless of any witness;
+    // check them once instead of re-checking them under every assignment.
+    let mut provenance = Provenance::Proved;
+    if !residual.is_empty() {
+        let residual_goal = Constr::conj(residual.iter().map(|&ci| index.conjuncts[ci].clone()));
+        match solver.entails_no_exists(universals, hyp, &residual_goal) {
+            Validity::Valid(p) => provenance = provenance.and(p),
+            _ => {
+                // No assignment can rescue an invalid residual: the seed
+                // search would have exhausted its budget against it.
+                return ExElimOutcome {
+                    validity: None,
+                    witness: None,
+                    stats,
+                };
+            }
+        }
     }
 
     let max_attempts = solver.config().max_exelim_attempts;
-    let mut assignment: Vec<usize> = vec![0; all_candidates.len()];
+    let mut combined_witness: Option<BTreeMap<IdxVar, Idx>> = Some(BTreeMap::new());
+    for (var_positions, conjunct_indices) in components {
+        let comp_goal = Constr::conj(
+            conjunct_indices
+                .iter()
+                .map(|&ci| index.conjuncts[ci].clone()),
+        );
+        let comp_candidates: Vec<(&Quantified, &[Idx])> = var_positions
+            .iter()
+            .map(|&vi| (&ex_vars[vi], index.candidates[vi].as_slice()))
+            .collect();
+        match search_component(
+            solver,
+            universals,
+            hyp,
+            &comp_goal,
+            &comp_candidates,
+            &ex_vars,
+            &mut stats,
+            max_attempts,
+        ) {
+            Some((witness, Validity::Valid(p))) => {
+                provenance = provenance.and(p);
+                if let Some(map) = combined_witness.as_mut() {
+                    map.extend(witness);
+                }
+            }
+            Some((_, _)) => unreachable!("search_component only returns Valid"),
+            None => {
+                // Candidate substitution is out of ideas for this component.
+                // Real-sorted (cost) existentials have one more complete
+                // move: Fourier–Motzkin projection is *exact* for ∃ over the
+                // non-negative reals, so the projected, ∃-free component can
+                // be handed back to the solver pipeline.
+                let comp_vars: Vec<&Quantified> =
+                    var_positions.iter().map(|&vi| &ex_vars[vi]).collect();
+                match fm_projection(solver, universals, hyp, &comp_goal, &comp_vars) {
+                    Some(Validity::Valid(p)) => {
+                        provenance = provenance.and(p);
+                        // A projected component has no syntactic witness.
+                        combined_witness = None;
+                    }
+                    _ => {
+                        return ExElimOutcome {
+                            validity: None,
+                            witness: None,
+                            stats,
+                        }
+                    }
+                }
+            }
+        }
+    }
 
-    'search: loop {
-        if stats.attempts >= max_attempts {
-            break 'search;
+    ExElimOutcome {
+        // The provenance of the instantiated checks carries over: witnesses
+        // validated symbolically are a *proof*.
+        validity: Some(Validity::Valid(provenance)),
+        witness: combined_witness,
+        stats,
+    }
+}
+
+/// Lazily searches one component's candidate cross product.  Returns the
+/// resolved substitution and its (valid) verdict, or `None` when the budget
+/// is exhausted or no assignment works.
+#[allow(clippy::too_many_arguments)]
+fn search_component(
+    solver: &mut Solver,
+    universals: &[(IdxVar, Sort)],
+    hyp: &Constr,
+    comp_goal: &Constr,
+    candidates: &[(&Quantified, &[Idx])],
+    all_ex_vars: &[Quantified],
+    stats: &mut ExElimStats,
+    max_attempts: usize,
+) -> Option<(BTreeMap<IdxVar, Idx>, Validity)> {
+    let mut assignment: Vec<usize> = vec![0; candidates.len()];
+    // Memoized rejection: instantiated goals already refuted under an
+    // earlier assignment (distinct candidate tuples routinely resolve to
+    // the same instantiation once mutual references are substituted out).
+    let mut rejected: HashMap<u64, Vec<Constr>> = HashMap::new();
+    // Unresolvable candidates and memo-pruned repeats do not spend the
+    // attempt budget (screen rejections do: a screened candidate was a
+    // genuine try, just a cheap one) — but budget-free assignments must
+    // not let the odometer walk an astronomically large cross product
+    // either, so exploration itself is capped at a multiple of the budget.
+    let max_explored = max_attempts.saturating_mul(64);
+    let mut explored = 0usize;
+    let screen_bound = solver.config().inner_quantifier_bound;
+    let mut screen_env = rel_index::IdxEnv::new();
+    loop {
+        explored += 1;
+        if stats.attempts >= max_attempts || explored > max_explored {
+            return None;
         }
         // Build the substitution for the current assignment, resolving
         // candidates that mention other existential variables by iterating
-        // substitution until a fixed point (or giving up on that assignment).
+        // substitution until a fixed point (or giving up on that
+        // assignment).
         let mut subst: BTreeMap<IdxVar, Idx> = BTreeMap::new();
-        for (i, (q, cands)) in all_candidates.iter().enumerate() {
+        for (i, (q, cands)) in candidates.iter().enumerate() {
             subst.insert(q.var.clone(), cands[assignment[i]].clone());
         }
-        let resolved = resolve_mutual(&subst, &ex_vars);
-
-        if let Some(resolved) = resolved {
-            stats.attempts += 1;
-            solver.note_exelim_attempt();
-            // One traversal for the whole assignment — `resolve_mutual`
-            // guarantees the replacements mention no existential variables,
-            // which is exactly `subst_all`'s precondition.
-            let instantiated = matrix.subst_all(&resolved);
-            let verdict = solver.entails_no_exists(universals, hyp, &instantiated);
-            if verdict.is_valid() {
-                return ExElimOutcome {
-                    // The provenance of the instantiated check carries over:
-                    // a witness validated symbolically is a *proof*.
-                    validity: Some(verdict),
-                    witness: Some(resolved),
-                    stats,
-                };
+        if let Some(resolved) = resolve_mutual(&subst, all_ex_vars) {
+            // One shared-subtree traversal for the whole assignment —
+            // `resolve_mutual` guarantees the replacements mention no
+            // existential variables, which is exactly `subst_all`'s
+            // precondition.  Routed through the hash-consed pool, so only
+            // the subtrees that actually mention a substituted variable are
+            // rebuilt.
+            let instantiated = cpool::subst_all_cached(comp_goal, &resolved);
+            let hash = constr_hash(&instantiated);
+            let seen = rejected
+                .get(&hash)
+                .is_some_and(|bucket| bucket.contains(&instantiated));
+            if seen {
+                solver.note_exelim_pruned();
+            } else {
+                stats.attempts += 1;
+                solver.note_exelim_attempt();
+                if screen_rejects(
+                    universals,
+                    hyp,
+                    &instantiated,
+                    screen_bound,
+                    &mut screen_env,
+                ) {
+                    // A concrete on-grid counterexample: the full pipeline
+                    // could only have said `Invalid` here, at far greater
+                    // cost.  Memoize the rejection like any other.
+                    solver.note_exelim_pruned();
+                    rejected.entry(hash).or_default().push(instantiated);
+                } else {
+                    let verdict = solver.entails_no_exists(universals, hyp, &instantiated);
+                    if verdict.is_valid() {
+                        return Some((resolved, verdict));
+                    }
+                    rejected.entry(hash).or_default().push(instantiated);
+                }
             }
         }
 
         // Advance the candidate odometer.
         let mut i = 0;
-        'odometer: loop {
+        loop {
             if i == assignment.len() {
-                break 'search;
+                return None;
             }
             assignment[i] += 1;
-            if assignment[i] < all_candidates[i].1.len() {
-                break 'odometer;
+            if assignment[i] < candidates[i].1.len() {
+                break;
             }
             assignment[i] = 0;
             i += 1;
         }
     }
-
-    // Candidate substitution is out of ideas.  Real-sorted (cost)
-    // existentials have one more complete move: Fourier–Motzkin projection
-    // is *exact* for ∃ over the non-negative reals, so the projected,
-    // ∃-free goal can be handed back to the solver pipeline.
-    ExElimOutcome {
-        validity: fm_projection_fallback(solver, universals, hyp, &matrix, &ex_vars),
-        witness: None,
-        stats,
-    }
 }
 
-/// Replaces `∃ v₁…vₖ :: ℝ. matrix` by its FM projection and re-checks; only
-/// a `Valid` outcome is forwarded (anything else falls back to the caller's
-/// bounded numeric search).  ℕ-sorted existentials are left alone: rational
-/// projection over-approximates integer satisfiability, and proving an
-/// over-approximated goal would be unsound.
-fn fm_projection_fallback(
+fn constr_hash(c: &Constr) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    c.hash(&mut h);
+    h.finish()
+}
+
+/// Diagonal probe values for the candidate screen.  Every value is below
+/// the solver's minimum per-variable grid size (`per_var_grid` never drops
+/// under 3), which is what makes a screen rejection *verdict-preserving*:
+/// the falsifying point lies on the exhaustive grid the full numeric layer
+/// would sweep anyway, so the full pipeline could only have reported
+/// `Invalid` too — never `Valid` (the symbolic layers are sound) and never
+/// a different boolean.
+const SCREEN_DIAGONAL: [u64; 3] = [0, 1, 2];
+
+/// Cheap rejection screen for one instantiated candidate: evaluates
+/// `hyp ⟹ goal` at a handful of small grid points and returns `true` when
+/// one falsifies it.  Most candidate assignments are wrong, and refuting a
+/// wrong one through the full pipeline is expensive in exactly the case the
+/// symbolic path is supposed to win (prepared facts, lemma saturation and a
+/// Fourier–Motzkin run spent on a goal a single evaluation kills).  The
+/// screen rejects those candidates at tree-evaluation cost; candidates that
+/// survive go through the full solver unchanged.
+fn screen_rejects(
+    universals: &[(IdxVar, Sort)],
+    hyp: &Constr,
+    goal: &Constr,
+    bound: u64,
+    env: &mut rel_index::IdxEnv,
+) -> bool {
+    use rel_index::Extended;
+    for k in SCREEN_DIAGONAL {
+        for (v, _) in universals {
+            env.bind(v.clone(), Extended::from(k));
+        }
+        if hyp.eval_bounded(env, bound) && !goal.eval_bounded(env, bound) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Replaces `∃ v₁…vₖ :: ℝ. component` by its FM projection and re-checks;
+/// only a `Valid` outcome is forwarded (anything else falls back to the
+/// caller's bounded numeric search).  ℕ-sorted existentials are left alone:
+/// rational projection over-approximates integer satisfiability, and proving
+/// an over-approximated goal would be unsound.
+fn fm_projection(
     solver: &mut Solver,
     universals: &[(IdxVar, Sort)],
     hyp: &Constr,
     matrix: &Constr,
-    ex_vars: &[Quantified],
+    ex_vars: &[&Quantified],
 ) -> Option<Validity> {
     if !solver.config().use_fm || ex_vars.is_empty() {
         return None;
@@ -438,6 +748,90 @@ mod tests {
         let out = eliminate_existentials(&mut s, &u, &Constr::Top, &goal);
         assert!(out.validity.is_none());
         assert!(out.stats.attempts >= 2);
+    }
+
+    #[test]
+    fn independent_components_are_searched_separately() {
+        // Two disjoint existential groups: the joint search would enumerate
+        // the cross product of their candidate lists; the component search
+        // adds them.
+        let mut s = Solver::new();
+        let u = nat_universals(&["n", "m"]);
+        let hyp =
+            Constr::leq(Idx::one(), Idx::var("n")).and(Constr::leq(Idx::nat(2), Idx::var("m")));
+        let goal = Constr::exists(
+            "i",
+            Sort::Nat,
+            Constr::exists(
+                "b",
+                Sort::Nat,
+                Constr::eq(Idx::var("n"), Idx::var("i") + Idx::one())
+                    .and(Constr::eq(Idx::var("m"), Idx::var("b") + Idx::nat(2))),
+            ),
+        );
+        let out = eliminate_existentials(&mut s, &u, &hyp, &goal);
+        assert!(matches!(out.validity, Some(Validity::Valid(_))));
+        let w = out.witness.unwrap();
+        assert_eq!(w.len(), 2);
+        // Sum, not product: each component resolves within its own list.
+        assert!(out.stats.attempts <= 4, "attempts: {}", out.stats.attempts);
+    }
+
+    #[test]
+    fn screen_rejects_doomed_candidates_without_solver_calls() {
+        // Every candidate for `i` instantiates the goal to something false
+        // at a small grid point (i = n forces n + 1 <= n), so the screen
+        // rejects them at evaluation cost and the pruned counter records it.
+        let mut s = Solver::new();
+        let u = nat_universals(&["n"]);
+        let goal = Constr::exists(
+            "i",
+            Sort::Nat,
+            Constr::eq(Idx::var("i"), Idx::var("n"))
+                .and(Constr::leq(Idx::var("i") + Idx::one(), Idx::var("n"))),
+        );
+        let out = eliminate_existentials(&mut s, &u, &Constr::Top, &goal);
+        assert!(out.validity.is_none(), "no candidate can work");
+        assert!(
+            s.stats().exelim_candidates_pruned >= 1,
+            "screen rejections must be counted: {:?}",
+            s.stats()
+        );
+    }
+
+    #[test]
+    fn real_component_projects_even_next_to_a_nat_component() {
+        // A ℕ component (solved by candidate substitution) alongside an
+        // all-ℝ component that only Fourier–Motzkin projection can close:
+        // the seed's whole-matrix fallback required *every* existential to
+        // be real-sorted, so this goal used to fall through to the bounded
+        // numeric search.
+        let mut s = Solver::new();
+        let u = vec![
+            (IdxVar::new("n"), Sort::Nat),
+            (IdxVar::new("c"), Sort::Real),
+            (IdxVar::new("d"), Sort::Real),
+        ];
+        let hyp = Constr::leq(Idx::one(), Idx::var("n"))
+            .and(Constr::lt(Idx::var("c") + Idx::one(), Idx::var("d")));
+        let goal = Constr::exists(
+            "i",
+            Sort::Nat,
+            Constr::exists(
+                "t",
+                Sort::Real,
+                Constr::eq(Idx::var("n"), Idx::var("i") + Idx::one())
+                    .and(Constr::lt(Idx::var("c"), Idx::var("t")))
+                    .and(Constr::lt(Idx::var("t"), Idx::var("d"))),
+            ),
+        );
+        let out = eliminate_existentials(&mut s, &u, &hyp, &goal);
+        assert!(matches!(out.validity, Some(Validity::Valid(_))));
+        assert!(s.stats().fm_projections >= 1);
+        assert_eq!(s.stats().points_evaluated, 0);
+        // The projected component has no syntactic witness, so none is
+        // reported for the combined goal.
+        assert!(out.witness.is_none());
     }
 
     #[test]

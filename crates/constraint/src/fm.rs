@@ -37,11 +37,28 @@
 //! non-negative reals ([`project_reals`]), which `exelim` uses to discharge
 //! leftover real-sorted (cost) existentials that candidate substitution
 //! missed.
+//!
+//! **Interning and memoization.**  Rows are vectors of `(AtomId, Rational)`
+//! pairs over a per-solver atom table ([`FmMemo`]): structural atom
+//! equality, hashing, sorting and pivot bookkeeping are integer operations,
+//! and every per-atom property elimination consults (`∞`-freeness,
+//! integrality, product factors) is computed once at interning time.  On
+//! top of the table sit four memo layers, verified by the dual-hash scheme
+//! of the engine's `DefIndex` where the keys would otherwise be cloned
+//! trees: per-fact row conversion, per-hypothesis normalized base systems,
+//! per-goal negated DNF, and — the layer the solver's
+//! `fm_memo_hits`/`fm_memo_misses` counters report — canonical *branch
+//! systems* and whole-query outcomes, so the structurally identical
+//! subproblems that Eq-splits and Or case-splits generate in abundance are
+//! eliminated once per solver and replayed everywhere else.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use rel_index::{Atom, Extended, Idx, IdxVar, LinExpr, Rational, Sort};
 
+use crate::cache::Fnv1a;
 use crate::constr::Constr;
 
 /// Resource limits of one FM run.  All three exist to bound the
@@ -106,6 +123,10 @@ pub struct FmOutcome {
     /// direct evaluation before trusting it, which is what keeps a
     /// witness-backed `Invalid` exactly as sound as a grid counterexample.
     pub witness: Option<Vec<(IdxVar, Rational)>>,
+    /// DNF branches of this run answered from the subproblem memo.
+    pub memo_hits: usize,
+    /// DNF branches of this run decided by elimination (and then memoized).
+    pub memo_misses: usize,
 }
 
 impl FmOutcome {
@@ -114,7 +135,391 @@ impl FmOutcome {
             verdict: FmVerdict::Abstained,
             eliminated: Vec::new(),
             witness: None,
+            memo_hits: 0,
+            memo_misses: 0,
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interned atoms
+// ---------------------------------------------------------------------------
+
+/// Handle of an interned atom in a solver's [`FmMemo`] table.
+type AtomId = u32;
+
+/// One interned atom with every property the elimination core consults —
+/// computed once at interning time instead of re-inspecting the atom's tree
+/// per row, per branch, per query.  Rows carry `u32` ids, so structural
+/// equality, hashing, sorting and pivot bookkeeping are integer operations;
+/// the tree form is only touched again for diagnostics and witness
+/// concretization.
+#[derive(Debug)]
+struct AtomInfo {
+    /// The atom itself (diagnostics, deterministic tie-breaking, witness
+    /// concretization).
+    atom: Atom,
+    /// `∞` occurs somewhere inside: outside the finite-linear fragment, any
+    /// row mentioning it is unusable.
+    infinite: bool,
+    /// Integer-valued regardless of variable sorts (`⌈·⌉`/`⌊·⌋` results).
+    always_integer: bool,
+    /// The variable, when the atom is a plain `Idx::Var`.
+    var: Option<IdxVar>,
+    /// For product atoms `x · y`, the interned ids of the two factors.
+    factors: Option<(AtomId, AtomId)>,
+}
+
+// ---------------------------------------------------------------------------
+// Subproblem memo
+// ---------------------------------------------------------------------------
+
+/// The decision recorded for one normalized branch system.
+///
+/// A decision is a pure function of the canonical system and the
+/// integer-atom signature (tightening): elimination, witness extraction and
+/// the sort checks of `concretize` consult nothing else — `prefer_positive`
+/// only nudges a *candidate* witness, which every caller re-verifies by
+/// direct evaluation before trusting.
+#[derive(Debug, Clone)]
+enum BranchDecision {
+    /// Elimination drove the system to a ground contradiction.
+    Infeasible {
+        /// Atom elimination order.
+        order: Vec<String>,
+    },
+    /// The system is feasible in the abstraction.
+    Feasible {
+        /// Atom elimination order.
+        order: Vec<String>,
+        /// The concretized candidate witness, when extraction succeeded.
+        witness: Option<Vec<(IdxVar, Rational)>>,
+    },
+    /// Limits were exceeded mid-elimination.
+    Abstained {
+        /// Atom elimination order up to the abstention.
+        order: Vec<String>,
+    },
+}
+
+/// Entry cap of the subproblem memo; a full memo is wholesale-cleared
+/// (epoch eviction, like every other memo layer of the solver).
+const FM_MEMO_MAX_ENTRIES: usize = 8_192;
+
+/// Entry cap of the per-fact row-conversion cache.
+const FACT_ROWS_MAX_ENTRIES: usize = 8_192;
+
+/// Salt separating the verify-hash stream from the primary one in the
+/// query/base memos (an arbitrary odd constant, 2⁶⁴/φ — the same scheme as
+/// the engine's `DefIndex`).
+const FM_VERIFY_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Per-solver Fourier–Motzkin working memory: the interned atom table, a
+/// per-fact row-conversion cache, and the *subproblem* memo keyed on the
+/// canonical hash of the normalized atom system of one DNF branch.
+///
+/// Eq-splits (`¬(a = b)` forks into `a > b` and `b > a`) and Or case-splits
+/// generate structurally identical branch systems in abundance — both
+/// within one query and across the sub-goals `Solver::entails` decomposes a
+/// definition into (which share their hypothesis rows).  Each distinct
+/// system is eliminated once per solver; repeats are O(key) lookups over
+/// integer row vectors.  The full canonical system is stored next to its
+/// hash, so collisions can never replay the wrong decision.
+#[derive(Debug, Default)]
+pub struct FmMemo {
+    /// Interned atoms (`AtomId` indexes this table).
+    atoms: Vec<AtomInfo>,
+    /// Dedup index for interning.
+    atom_ids: HashMap<Atom, AtomId>,
+    /// Per-fact row conversion: one hypothesis fact re-enters `prove` with
+    /// every sub-goal of its definition, and its `LinExpr` decomposition is
+    /// identical each time.  Dual-hash verified like the query memo.
+    fact_rows: HashMap<u64, Vec<(u64, Vec<Row>)>>,
+    fact_rows_len: usize,
+    /// Per-goal DNF conversion: the sub-goals one definition decides repeat
+    /// heavily, and their negated-DNF row form is identical each time.
+    /// `None` records a goal outside the fragment (so the abstention is
+    /// memoized too).
+    #[allow(clippy::type_complexity)]
+    goal_branches: HashMap<u64, Vec<(Constr, Option<Arc<Branches>>)>>,
+    goal_branches_len: usize,
+    /// Whole normalized base systems, keyed on the fact list and the
+    /// ℕ-sorted variable set: the same hypothesis re-enters `prove` with
+    /// every sub-goal of its definition, and its converted, tightened,
+    /// canonicalized rows are identical each time.
+    bases: HashMap<u64, Vec<BaseEntry>>,
+    bases_len: usize,
+    /// Decided branch systems.
+    entries: HashMap<u64, Vec<MemoEntry>>,
+    len: usize,
+    /// Whole-query outcomes: `(facts, goal, nat_vars) → FmOutcome`.  The
+    /// branch memo already deduplicates the elimination work, but a repeated
+    /// query still pays conversion and canonicalization per branch; this
+    /// level answers it for one fact-list + goal hash and two tree
+    /// comparisons.
+    queries: HashMap<u64, Vec<QueryEntry>>,
+    queries_len: usize,
+}
+
+/// One memoized whole-query outcome.  Like the engine's `DefIndex`, the
+/// full inputs are deliberately not stored: the entry is verified by an
+/// independently seeded second hash over the same stream, so an accidental
+/// primary-hash collision is a miss, never a wrong-outcome replay (~2⁻⁶⁴
+/// at birthday scale for any feasible memo size) — and a replayed outcome
+/// is re-checked by the caller anyway before an `Invalid` is trusted.
+#[derive(Debug)]
+struct QueryEntry {
+    verify: u64,
+    verdict: FmVerdict,
+    eliminated: Vec<String>,
+    witness: Option<Vec<(IdxVar, Rational)>>,
+}
+
+#[derive(Debug)]
+struct MemoEntry {
+    rows: Vec<Row>,
+    ints: Vec<(AtomId, bool)>,
+    decision: BranchDecision,
+}
+
+/// One cached base system, verified by the same dual-hash scheme as
+/// [`QueryEntry`]: the normalized rows, their atom set, and whether
+/// normalization already exposed a ground contradiction.
+#[derive(Debug)]
+struct BaseEntry {
+    verify: u64,
+    /// `None` when the facts alone are contradictory (every branch of any
+    /// goal is infeasible) or the conversion blew the magnitude cap
+    /// (`contradictory` distinguishes the two).
+    rows: Option<Arc<Vec<Row>>>,
+    atoms: Arc<BTreeSet<AtomId>>,
+    contradictory: bool,
+}
+
+impl FmMemo {
+    /// Number of memoized branch systems.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Interns an atom (and, for products, its factors), computing its
+    /// elimination-relevant properties once.
+    fn intern(&mut self, atom: &Atom) -> AtomId {
+        if let Some(&id) = self.atom_ids.get(atom) {
+            return id;
+        }
+        let factors = if let Idx::Mul(x, y) = &atom.0 {
+            let fx = self.intern(&Atom((**x).clone()));
+            let fy = self.intern(&Atom((**y).clone()));
+            Some((fx, fy))
+        } else {
+            None
+        };
+        let id = u32::try_from(self.atoms.len()).expect("FM atom table overflow");
+        self.atoms.push(AtomInfo {
+            atom: atom.clone(),
+            infinite: mentions_infty(&atom.0),
+            always_integer: matches!(atom.0, Idx::Ceil(_) | Idx::Floor(_)),
+            var: match &atom.0 {
+                Idx::Var(v) => Some(v.clone()),
+                _ => None,
+            },
+            factors,
+        });
+        self.atom_ids.insert(atom.clone(), id);
+        id
+    }
+
+    /// Converts a linear expression to a row, rejecting `∞` (in the
+    /// constant or buried inside an atom).
+    fn lin_row(&mut self, lin: &LinExpr, strict: bool) -> Option<Row> {
+        let constant = lin.constant.finite()?;
+        let mut coeffs = Vec::with_capacity(lin.coeffs.len());
+        for (atom, q) in &lin.coeffs {
+            let id = self.intern(atom);
+            if self.atoms[id as usize].infinite {
+                return None;
+            }
+            coeffs.push((id, *q));
+        }
+        coeffs.sort_unstable_by_key(|(id, _)| *id);
+        Some(Row {
+            coeffs,
+            constant,
+            strict,
+        })
+    }
+
+    /// The row for `pos − neg {≥,>} 0`; `None` when either side leaves the
+    /// finite-linear fragment.
+    fn row_of(&mut self, pos: &Idx, neg: &Idx, strict: bool) -> Option<Row> {
+        let lp = LinExpr::of_idx(pos);
+        lp.constant.finite()?;
+        let ln = LinExpr::of_idx(neg);
+        ln.constant.finite()?;
+        self.lin_row(&lp.sub(&ln), strict)
+    }
+
+    /// Converts one hypothesis fact into its rows (memoized): `Eq`
+    /// contributes both directions, `Leq`/`Lt` one row each; anything else
+    /// (including facts mentioning `∞`, which carry no finite-linear
+    /// information) contributes nothing — proving from fewer hypotheses is
+    /// always sound.
+    fn fact_rows_cached(&mut self, fact: &Constr, hash: u64, verify: u64) -> Vec<Row> {
+        if let Some(bucket) = self.fact_rows.get(&hash) {
+            if let Some((_, rows)) = bucket.iter().find(|(v, _)| *v == verify) {
+                return rows.clone();
+            }
+        }
+        let mut rows = Vec::new();
+        match fact {
+            Constr::Leq(a, b) => {
+                if let Some(r) = self.row_of(b, a, false) {
+                    rows.push(r);
+                }
+            }
+            Constr::Lt(a, b) => {
+                if let Some(r) = self.row_of(b, a, true) {
+                    rows.push(r);
+                }
+            }
+            Constr::Eq(a, b) => {
+                if let (Some(r1), Some(r2)) = (self.row_of(b, a, false), self.row_of(a, b, false)) {
+                    rows.push(r1);
+                    rows.push(r2);
+                }
+            }
+            _ => {}
+        }
+        if self.fact_rows_len >= FACT_ROWS_MAX_ENTRIES {
+            self.fact_rows.clear();
+            self.fact_rows_len = 0;
+        }
+        self.fact_rows
+            .entry(hash)
+            .or_default()
+            .push((verify, rows.clone()));
+        self.fact_rows_len += 1;
+        rows
+    }
+
+    /// The negated-goal DNF, memoized per goal (the branch cap is fixed per
+    /// solver, so it is not part of the key).
+    fn neg_branches_cached(&mut self, goal: &Constr, cap: usize) -> Option<Arc<Branches>> {
+        let hash = {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            goal.hash(&mut h);
+            h.finish()
+        };
+        if let Some(bucket) = self.goal_branches.get(&hash) {
+            if let Some((_, branches)) = bucket.iter().find(|(g, _)| g == goal) {
+                return branches.clone();
+            }
+        }
+        let branches = neg_branches(goal, cap, self).map(Arc::new);
+        if self.goal_branches_len >= FACT_ROWS_MAX_ENTRIES {
+            self.goal_branches.clear();
+            self.goal_branches_len = 0;
+        }
+        self.goal_branches
+            .entry(hash)
+            .or_default()
+            .push((goal.clone(), branches.clone()));
+        self.goal_branches_len += 1;
+        branches
+    }
+
+    /// The normalized base system of one fact list (memoized).  Returns
+    /// `(rows, atoms)` — `rows` is `None` on a ground contradiction
+    /// (`contradictory = true` in the entry) or a magnitude blow-up.
+    #[allow(clippy::type_complexity)]
+    fn base_cached(
+        &mut self,
+        hash: u64,
+        verify: u64,
+        facts: &[(&Constr, u64, u64)],
+        nat_vars: &BTreeSet<IdxVar>,
+    ) -> (Option<Arc<Vec<Row>>>, Arc<BTreeSet<AtomId>>, bool) {
+        if let Some(bucket) = self.bases.get(&hash) {
+            if let Some(e) = bucket.iter().find(|e| e.verify == verify) {
+                return (e.rows.clone(), Arc::clone(&e.atoms), e.contradictory);
+            }
+        }
+        let mut base: Vec<Row> = Vec::new();
+        for (fact, fh, fv) in facts {
+            base.extend(self.fact_rows_cached(fact, *fh, *fv));
+        }
+        let mut atoms: BTreeSet<AtomId> = BTreeSet::new();
+        for row in &base {
+            atoms.extend(row.coeffs.iter().map(|(id, _)| *id));
+        }
+        base.extend(atoms.iter().map(|&id| nonneg_row(id)));
+        let (rows, contradictory) = match normalize_system(base, &self.atoms, nat_vars) {
+            Err(()) => (None, false),
+            Ok(None) => (None, true),
+            Ok(Some(rows)) => (Some(Arc::new(rows)), false),
+        };
+        let atoms = Arc::new(atoms);
+        if self.bases_len >= FACT_ROWS_MAX_ENTRIES {
+            self.bases.clear();
+            self.bases_len = 0;
+        }
+        self.bases.entry(hash).or_default().push(BaseEntry {
+            verify,
+            rows: rows.clone(),
+            atoms: Arc::clone(&atoms),
+            contradictory,
+        });
+        self.bases_len += 1;
+        (rows, atoms, contradictory)
+    }
+
+    /// Records one whole-query outcome.
+    fn store_query(&mut self, hash: u64, verify: u64, out: &FmOutcome) {
+        if self.queries_len >= FM_MEMO_MAX_ENTRIES {
+            self.queries.clear();
+            self.queries_len = 0;
+        }
+        self.queries.entry(hash).or_default().push(QueryEntry {
+            verify,
+            verdict: out.verdict,
+            eliminated: out.eliminated.clone(),
+            witness: out.witness.clone(),
+        });
+        self.queries_len += 1;
+    }
+
+    fn lookup(&self, hash: u64, rows: &[Row], ints: &[(AtomId, bool)]) -> Option<BranchDecision> {
+        self.entries.get(&hash).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|e| e.rows == rows && e.ints == ints)
+                .map(|e| e.decision.clone())
+        })
+    }
+
+    fn store(
+        &mut self,
+        hash: u64,
+        rows: Vec<Row>,
+        ints: Vec<(AtomId, bool)>,
+        decision: BranchDecision,
+    ) {
+        if self.len >= FM_MEMO_MAX_ENTRIES {
+            self.entries.clear();
+            self.len = 0;
+        }
+        self.entries.entry(hash).or_default().push(MemoEntry {
+            rows,
+            ints,
+            decision,
+        });
+        self.len += 1;
     }
 }
 
@@ -122,27 +527,43 @@ impl FmOutcome {
 // Rows
 // ---------------------------------------------------------------------------
 
-/// One constraint row `expr ≥ 0` (or `expr > 0` when `strict`).  The
-/// expression's constant is always finite — `∞` never enters a system (facts
-/// mentioning it are dropped, goals mentioning it abstain).
+/// One constraint row `Σ qᵢ·atomᵢ + c ≥ 0` (or `> 0` when `strict`), over
+/// interned atom ids.  Coefficients are sorted by id and zero-free; the
+/// constant is always finite — `∞` never enters a system.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Row {
-    expr: LinExpr,
+    /// `(atom, coefficient)` pairs, sorted by atom id.
+    coeffs: Vec<(AtomId, Rational)>,
+    /// The additive constant.
+    constant: Rational,
+    /// `true` for a strict bound.
     strict: bool,
 }
 
 impl Row {
-    fn constant(&self) -> Rational {
-        self.expr
-            .constant
-            .finite()
-            .expect("FM rows keep finite constants by construction")
-    }
-
     /// `true` while every coefficient and the constant stay within
     /// [`MAX_MAGNITUDE`].
     fn in_bounds(&self) -> bool {
-        rat_in_bounds(self.constant()) && self.expr.coeffs.values().copied().all(rat_in_bounds)
+        rat_in_bounds(self.constant) && self.coeffs.iter().all(|(_, q)| rat_in_bounds(*q))
+    }
+
+    /// Removes an atom's column, returning its previous coefficient (zero
+    /// when absent).
+    fn remove_atom(&mut self, id: AtomId) -> Rational {
+        match self.coeffs.binary_search_by_key(&id, |(i, _)| *i) {
+            Ok(pos) => self.coeffs.remove(pos).1,
+            Err(_) => Rational::ZERO,
+        }
+    }
+
+    /// Evaluates the row's expression under a (total, for this row's atoms)
+    /// assignment; `None` on unassigned atoms or overflow.
+    fn eval(&self, assignment: &BTreeMap<AtomId, Rational>) -> Option<Rational> {
+        let mut acc = self.constant;
+        for (id, q) in &self.coeffs {
+            acc = rat_add(acc, rat_mul(*q, *assignment.get(id)?)?)?;
+        }
+        Some(acc)
     }
 }
 
@@ -200,47 +621,62 @@ fn rat_div(a: Rational, b: Rational) -> Option<Rational> {
     )
 }
 
-/// `lo/a + up/(-b)` over whole rows: the Fourier–Motzkin combination of a
-/// lower-bound row (`a > 0`) and an upper-bound row (`b < 0`) after the
-/// pivot column was removed.  `None` on any overflow of the magnitude cap.
-fn combine_rows(
-    lo: &LinExpr,
-    a: Rational,
-    lo_strict: bool,
-    up: &LinExpr,
-    b: Rational,
-    up_strict: bool,
-) -> Option<Row> {
+/// `lo/a + up/(-b)` over whole residual rows: the Fourier–Motzkin
+/// combination of a lower-bound row (`a > 0`) and an upper-bound row
+/// (`b < 0`) after the pivot column was removed.  The two sorted coefficient
+/// vectors merge in one pass.  `None` on any overflow of the magnitude cap.
+fn combine_rows(lo: &Row, a: Rational, up: &Row, b: Rational) -> Option<Row> {
     let inv_a = rat_div(Rational::ONE, a)?;
     let inv_nb = rat_div(Rational::ONE, Rational::ZERO - b)?;
-    let mut coeffs = std::collections::BTreeMap::new();
-    for (atom, q) in &lo.coeffs {
-        let scaled = rat_mul(*q, inv_a)?;
-        if !scaled.is_zero() {
-            coeffs.insert(atom.clone(), scaled);
+    let mut coeffs = Vec::with_capacity(lo.coeffs.len() + up.coeffs.len());
+    let (mut i, mut j) = (0, 0);
+    while i < lo.coeffs.len() || j < up.coeffs.len() {
+        let take_lo = match (lo.coeffs.get(i), up.coeffs.get(j)) {
+            (Some((li, _)), Some((uj, _))) => {
+                if li == uj {
+                    let q = rat_add(
+                        rat_mul(lo.coeffs[i].1, inv_a)?,
+                        rat_mul(up.coeffs[j].1, inv_nb)?,
+                    )?;
+                    if !q.is_zero() {
+                        coeffs.push((*li, q));
+                    }
+                    i += 1;
+                    j += 1;
+                    continue;
+                }
+                li < uj
+            }
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => unreachable!("loop condition"),
+        };
+        if take_lo {
+            let (id, q) = lo.coeffs[i];
+            let q = rat_mul(q, inv_a)?;
+            if !q.is_zero() {
+                coeffs.push((id, q));
+            }
+            i += 1;
+        } else {
+            let (id, q) = up.coeffs[j];
+            let q = rat_mul(q, inv_nb)?;
+            if !q.is_zero() {
+                coeffs.push((id, q));
+            }
+            j += 1;
         }
     }
-    for (atom, q) in &up.coeffs {
-        let scaled = rat_mul(*q, inv_nb)?;
-        let entry = coeffs.entry(atom.clone()).or_insert(Rational::ZERO);
-        *entry = rat_add(*entry, scaled)?;
-    }
-    coeffs.retain(|_, q| !q.is_zero());
-    let constant = rat_add(
-        rat_mul(lo.constant.finite()?, inv_a)?,
-        rat_mul(up.constant.finite()?, inv_nb)?,
-    )?;
+    let constant = rat_add(rat_mul(lo.constant, inv_a)?, rat_mul(up.constant, inv_nb)?)?;
     Some(Row {
-        expr: LinExpr {
-            constant: Extended::Finite(constant),
-            coeffs,
-        },
-        strict: lo_strict || up_strict,
+        coeffs,
+        constant,
+        strict: lo.strict || up.strict,
     })
 }
 
 /// Does the index term mention `∞` anywhere?  Such atoms are outside the
-/// finite-linear fragment and make the run abstain.
+/// finite-linear fragment (checked once per atom, at interning time).
 fn mentions_infty(idx: &Idx) -> bool {
     match idx {
         Idx::Infty => true,
@@ -256,24 +692,6 @@ fn mentions_infty(idx: &Idx) -> bool {
             mentions_infty(lo) || mentions_infty(hi) || mentions_infty(body)
         }
     }
-}
-
-/// Linearizes an index term, rejecting `∞` (in the constant or buried in an
-/// atom).
-fn lin_of(idx: &Idx) -> Option<LinExpr> {
-    let l = LinExpr::of_idx(idx);
-    l.constant.finite()?;
-    if l.coeffs.keys().any(|a| mentions_infty(&a.0)) {
-        return None;
-    }
-    Some(l)
-}
-
-/// The row for `pos − neg {≥,>} 0`; `None` when either side leaves the
-/// finite-linear fragment.
-fn row_of(pos: &Idx, neg: &Idx, strict: bool) -> Option<Row> {
-    let expr = lin_of(pos)?.sub(&lin_of(neg)?);
-    Some(Row { expr, strict })
 }
 
 // ---------------------------------------------------------------------------
@@ -308,58 +726,72 @@ fn union(a: Branches, b: Branches, cap: usize) -> Option<Branches> {
 
 /// DNF of `c` itself, as branches of conjoined rows.  `None` when `c` is
 /// outside the quantifier-free comparison fragment.
-fn pos_branches(c: &Constr, cap: usize) -> Option<Branches> {
+fn pos_branches(c: &Constr, cap: usize, memo: &mut FmMemo) -> Option<Branches> {
     match c {
         Constr::Top => Some(vec![vec![]]),
         Constr::Bot => Some(vec![]),
-        Constr::Eq(a, b) => Some(vec![vec![row_of(b, a, false)?, row_of(a, b, false)?]]),
-        Constr::Leq(a, b) => Some(vec![vec![row_of(b, a, false)?]]),
-        Constr::Lt(a, b) => Some(vec![vec![row_of(b, a, true)?]]),
+        Constr::Eq(a, b) => Some(vec![vec![
+            memo.row_of(b, a, false)?,
+            memo.row_of(a, b, false)?,
+        ]]),
+        Constr::Leq(a, b) => Some(vec![vec![memo.row_of(b, a, false)?]]),
+        Constr::Lt(a, b) => Some(vec![vec![memo.row_of(b, a, true)?]]),
         Constr::And(cs) => {
             let mut acc = vec![vec![]];
             for c in cs {
-                acc = cross(acc, pos_branches(c, cap)?, cap)?;
+                acc = cross(acc, pos_branches(c, cap, memo)?, cap)?;
             }
             Some(acc)
         }
         Constr::Or(cs) => {
             let mut acc = vec![];
             for c in cs {
-                acc = union(acc, pos_branches(c, cap)?, cap)?;
+                acc = union(acc, pos_branches(c, cap, memo)?, cap)?;
             }
             Some(acc)
         }
-        Constr::Not(c) => neg_branches(c, cap),
-        Constr::Implies(a, b) => union(neg_branches(a, cap)?, pos_branches(b, cap)?, cap),
+        Constr::Not(c) => neg_branches(c, cap, memo),
+        Constr::Implies(a, b) => union(
+            neg_branches(a, cap, memo)?,
+            pos_branches(b, cap, memo)?,
+            cap,
+        ),
         Constr::Forall(_, _) | Constr::Exists(_, _) => None,
     }
 }
 
 /// DNF of `¬c`.
-fn neg_branches(c: &Constr, cap: usize) -> Option<Branches> {
+fn neg_branches(c: &Constr, cap: usize, memo: &mut FmMemo) -> Option<Branches> {
     match c {
         Constr::Top => Some(vec![]),
         Constr::Bot => Some(vec![vec![]]),
         // ¬(a = b) splits: a > b or b > a.
-        Constr::Eq(a, b) => Some(vec![vec![row_of(a, b, true)?], vec![row_of(b, a, true)?]]),
-        Constr::Leq(a, b) => Some(vec![vec![row_of(a, b, true)?]]),
-        Constr::Lt(a, b) => Some(vec![vec![row_of(a, b, false)?]]),
+        Constr::Eq(a, b) => Some(vec![
+            vec![memo.row_of(a, b, true)?],
+            vec![memo.row_of(b, a, true)?],
+        ]),
+        Constr::Leq(a, b) => Some(vec![vec![memo.row_of(a, b, true)?]]),
+        Constr::Lt(a, b) => Some(vec![vec![memo.row_of(a, b, false)?]]),
         Constr::And(cs) => {
             let mut acc = vec![];
             for c in cs {
-                acc = union(acc, neg_branches(c, cap)?, cap)?;
+                acc = union(acc, neg_branches(c, cap, memo)?, cap)?;
             }
             Some(acc)
         }
         Constr::Or(cs) => {
             let mut acc = vec![vec![]];
             for c in cs {
-                acc = cross(acc, neg_branches(c, cap)?, cap)?;
+                acc = cross(acc, neg_branches(c, cap, memo)?, cap)?;
             }
             Some(acc)
         }
-        Constr::Not(c) => pos_branches(c, cap),
-        Constr::Implies(a, b) => cross(pos_branches(a, cap)?, neg_branches(b, cap)?, cap),
+        Constr::Not(c) => pos_branches(c, cap, memo),
+        Constr::Implies(a, b) => cross(
+            pos_branches(a, cap, memo)?,
+            neg_branches(b, cap, memo)?,
+            cap,
+        ),
         Constr::Forall(_, _) | Constr::Exists(_, _) => None,
     }
 }
@@ -368,16 +800,13 @@ fn neg_branches(c: &Constr, cap: usize) -> Option<Branches> {
 // Normalization and integer tightening
 // ---------------------------------------------------------------------------
 
-/// Is the atom integer-valued?  ℕ-sorted variables and `⌈·⌉`/`⌊·⌋` results
+/// Is the atom integer-valued?  ℕ-sorted variables and `⌈·⌉`/`⌊·⌋` atoms
 /// are; everything else is treated as real (`2^x`/`log₂ x` would also
 /// qualify for natural arguments, but their arguments' sorts are not
 /// tracked per-atom, so they stay untightened — sound, merely weaker).
-fn is_integer_atom(atom: &Atom, nat_vars: &BTreeSet<IdxVar>) -> bool {
-    match &atom.0 {
-        Idx::Var(v) => nat_vars.contains(v),
-        Idx::Ceil(_) | Idx::Floor(_) => true,
-        _ => false,
-    }
+fn is_integer_atom(table: &[AtomInfo], nat_vars: &BTreeSet<IdxVar>, id: AtomId) -> bool {
+    let info = &table[id as usize];
+    info.always_integer || info.var.as_ref().is_some_and(|v| nat_vars.contains(v))
 }
 
 fn gcd_i128(mut a: i128, mut b: i128) -> i128 {
@@ -395,8 +824,8 @@ fn gcd_i128(mut a: i128, mut b: i128) -> i128 {
 /// coefficients and rounds the constant: the floor-based bound tightening
 /// that makes strict ℕ-bounds decidable without a grid.  Leaves the row
 /// untouched (still sound) when scaling would exceed the magnitude cap.
-fn tighten_integer_row(row: &mut Row, nat_vars: &BTreeSet<IdxVar>) {
-    if row.expr.coeffs.is_empty() {
+fn tighten_integer_row(row: &mut Row, table: &[AtomInfo], nat_vars: &BTreeSet<IdxVar>) {
+    if row.coeffs.is_empty() {
         return;
     }
     // Precondition for the panic-free scaling below: in-bounds operands.
@@ -404,41 +833,61 @@ fn tighten_integer_row(row: &mut Row, nat_vars: &BTreeSet<IdxVar>) {
     if !row.in_bounds() {
         return;
     }
-    if !row.expr.coeffs.keys().all(|a| is_integer_atom(a, nat_vars)) {
+    if !row
+        .coeffs
+        .iter()
+        .all(|(id, _)| is_integer_atom(table, nat_vars, *id))
+    {
         return;
     }
     // lcm of the coefficient denominators.
     let mut lcm: i128 = 1;
-    for q in row.expr.coeffs.values() {
+    for (_, q) in &row.coeffs {
         let den = q.denominator() as i128;
         lcm = lcm / gcd_i128(lcm, den) * den;
         if lcm > MAX_MAGNITUDE as i128 {
             return;
         }
     }
-    let mut expr = row.expr.scale(Rational::from_int(lcm as i64));
+    let scale = Rational::from_int(lcm as i64);
+    let mut coeffs = Vec::with_capacity(row.coeffs.len());
+    for (id, q) in &row.coeffs {
+        match rat_mul(*q, scale) {
+            Some(scaled) => coeffs.push((*id, scaled)),
+            None => return,
+        }
+    }
+    let Some(mut constant) = rat_mul(row.constant, scale) else {
+        return;
+    };
     // Divide through by the gcd of the (now integral) coefficients.
     let mut g: i128 = 0;
-    for q in expr.coeffs.values() {
+    for (_, q) in &coeffs {
         debug_assert!(q.is_integer());
         g = gcd_i128(g, q.numerator() as i128);
     }
     if g > 1 && g <= MAX_MAGNITUDE as i128 {
-        expr = expr.scale(Rational::new(1, g as i64));
+        let shrink = Rational::new(1, g as i64);
+        for (_, q) in coeffs.iter_mut() {
+            match rat_mul(*q, shrink) {
+                Some(v) => *q = v,
+                None => return,
+            }
+        }
+        constant = match rat_mul(constant, shrink) {
+            Some(v) => v,
+            None => return,
+        };
     }
     // Σ + c > 0  ⟺  Σ ≥ ⌊-c⌋ + 1;  Σ + c ≥ 0  ⟺  Σ ≥ ⌈-c⌉  (Σ integral).
-    let c = expr
-        .constant
-        .finite()
-        .expect("scaling a finite constant stays finite");
     let tightened = if row.strict {
-        Rational::ZERO - ((Rational::ZERO - c).floor() + Rational::ONE)
+        Rational::ZERO - ((Rational::ZERO - constant).floor() + Rational::ONE)
     } else {
-        c.floor()
+        constant.floor()
     };
-    expr.constant = Extended::Finite(tightened);
     let candidate = Row {
-        expr,
+        coeffs,
+        constant: tightened,
         strict: false,
     };
     if candidate.in_bounds() {
@@ -455,10 +904,10 @@ enum RowStatus {
     Keep,
 }
 
-fn classify(row: &mut Row, nat_vars: &BTreeSet<IdxVar>) -> RowStatus {
-    tighten_integer_row(row, nat_vars);
-    if row.expr.coeffs.is_empty() {
-        let c = row.constant();
+fn classify(row: &mut Row, table: &[AtomInfo], nat_vars: &BTreeSet<IdxVar>) -> RowStatus {
+    tighten_integer_row(row, table, nat_vars);
+    if row.coeffs.is_empty() {
+        let c = row.constant;
         let sat = if row.strict {
             !c.is_negative() && !c.is_zero()
         } else {
@@ -473,21 +922,21 @@ fn classify(row: &mut Row, nat_vars: &BTreeSet<IdxVar>) -> RowStatus {
     RowStatus::Keep
 }
 
-/// Deduplication threshold: small systems (the overwhelming majority of
-/// probe obligations) skip the coefficient-vector keying — cloning every
-/// row's atoms per round costs more than the duplicates it would remove.
-/// Large systems pay for it to keep the pairwise combination step in check.
-const DEDUP_MIN_ROWS: usize = 48;
-
-/// Normalizes a system: tightens and classifies every row, detects ground
-/// contradictions, and (above [`DEDUP_MIN_ROWS`]) deduplicates rows with
-/// identical coefficient vectors, keeping the tightest bound.  `Ok(None)`
-/// means a ground contradiction (the branch is infeasible); `Err(())` means
-/// a magnitude blow-up (abstain).
-fn normalize_system(rows: Vec<Row>, nat_vars: &BTreeSet<IdxVar>) -> Result<Option<Vec<Row>>, ()> {
+/// Normalizes a system into canonical form: tightens and classifies every
+/// row, detects ground contradictions, sorts the rows, and keeps only the
+/// tightest bound per coefficient vector (base facts recur in every branch,
+/// and combination steps produce duplicates; over id vectors the dedup is
+/// cheap enough to run unconditionally).  The canonical output doubles as
+/// the subproblem-memo key.  `Ok(None)` means a ground contradiction (the
+/// branch is infeasible); `Err(())` means a magnitude blow-up (abstain).
+fn normalize_system(
+    rows: Vec<Row>,
+    table: &[AtomInfo],
+    nat_vars: &BTreeSet<IdxVar>,
+) -> Result<Option<Vec<Row>>, ()> {
     let mut kept: Vec<Row> = Vec::with_capacity(rows.len());
     for mut row in rows {
-        match classify(&mut row, nat_vars) {
+        match classify(&mut row, table, nat_vars) {
             RowStatus::Trivial => continue,
             RowStatus::Contradiction => return Ok(None),
             RowStatus::Keep => {}
@@ -497,34 +946,70 @@ fn normalize_system(rows: Vec<Row>, nat_vars: &BTreeSet<IdxVar>) -> Result<Optio
         }
         kept.push(row);
     }
-    if kept.len() < DEDUP_MIN_ROWS {
-        return Ok(Some(kept));
-    }
-    // Keyed on the coefficient vector; the value is the tightest
-    // (constant, strict) bound seen: smaller constant is tighter, and at
-    // equal constants strict is tighter.
-    let mut best: BTreeMap<Vec<(Atom, Rational)>, Row> = BTreeMap::new();
-    for row in kept {
-        let key: Vec<(Atom, Rational)> = row
-            .expr
-            .coeffs
-            .iter()
-            .map(|(a, q)| (a.clone(), *q))
-            .collect();
-        match best.get_mut(&key) {
-            None => {
-                best.insert(key, row);
-            }
-            Some(existing) => {
-                let (c_new, c_old) = (row.constant(), existing.constant());
-                let tighter = c_new < c_old || (c_new == c_old && row.strict && !existing.strict);
-                if tighter {
-                    *existing = row;
+    canonical_merge(&mut kept);
+    Ok(Some(kept))
+}
+
+/// Sorts rows into canonical order — by coefficient vector, then tightest
+/// first (smaller constant is tighter; at equal constants strict is
+/// tighter) — and keeps only the tightest bound per coefficient vector (a
+/// looser bound over the same coefficients is implied by it).
+fn canonical_merge(rows: &mut Vec<Row>) {
+    rows.sort_unstable_by(|a, b| {
+        a.coeffs
+            .cmp(&b.coeffs)
+            .then_with(|| a.constant.cmp(&b.constant))
+            .then_with(|| b.strict.cmp(&a.strict))
+    });
+    rows.dedup_by(|a, b| a.coeffs == b.coeffs);
+}
+
+/// The (process-local) hash and integer signature of a canonical system —
+/// bucket selection for [`FmMemo`]; the stored entry carries the full
+/// system for verification.  The signature records which system atoms are
+/// integer-valued under the query's ℕ-sorted variables: two queries with
+/// identical rows but different sorts must not share a decision.  The atom
+/// set is closed under product *factors*: a factor variable never appears
+/// as a row atom of the system, yet `concretize`'s sort check consults its
+/// integrality when it solves `P = x·y` for `x` — replaying a witness
+/// across a sort flip there would smuggle a fractional value past the
+/// ℕ-domain check.
+fn system_sig(
+    rows: &[Row],
+    table: &[AtomInfo],
+    nat_vars: &BTreeSet<IdxVar>,
+) -> (u64, Vec<(AtomId, bool)>) {
+    let mut ids: Vec<AtomId> = rows
+        .iter()
+        .flat_map(|r| r.coeffs.iter().map(|(id, _)| *id))
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    // Close over product factors (chains of products terminate: factors
+    // were interned before the product that mentions them).
+    let mut queue: Vec<AtomId> = ids.clone();
+    while let Some(id) = queue.pop() {
+        if let Some((fx, fy)) = table[id as usize].factors {
+            for f in [fx, fy] {
+                if let Err(pos) = ids.binary_search(&f) {
+                    ids.insert(pos, f);
+                    queue.push(f);
                 }
             }
         }
     }
-    Ok(Some(best.into_values().collect()))
+    let ints: Vec<(AtomId, bool)> = ids
+        .into_iter()
+        .map(|id| (id, is_integer_atom(table, nat_vars, id)))
+        .collect();
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for row in rows {
+        row.strict.hash(&mut h);
+        row.constant.hash(&mut h);
+        row.coeffs.hash(&mut h);
+    }
+    ints.hash(&mut h);
+    (h.finish(), ints)
 }
 
 // ---------------------------------------------------------------------------
@@ -542,39 +1027,63 @@ enum ElimResult {
 }
 
 /// The bound rows a pivot was eliminated under, kept for witness
-/// back-substitution: each entry is `(residual expression, pivot
-/// coefficient, strict)` — the row with the pivot's column removed.
+/// back-substitution: each entry is the row with the pivot's column removed,
+/// paired with the pivot coefficient.
 struct ElimStep {
-    atom: Atom,
-    /// Rows with a positive pivot coefficient: `pivot ≥ -eval(e)/a`.
-    lower: Vec<(LinExpr, Rational, bool)>,
-    /// Rows with a negative pivot coefficient: `pivot ≤ eval(e)/(-b)`.
-    upper: Vec<(LinExpr, Rational, bool)>,
+    atom: AtomId,
+    /// Rows with a positive pivot coefficient: `pivot ≥ -eval(row)/a`.
+    lower: Vec<(Row, Rational)>,
+    /// Rows with a negative pivot coefficient: `pivot ≤ eval(row)/(-b)`.
+    upper: Vec<(Row, Rational)>,
 }
 
 /// Runs the full elimination, recording the order atoms were projected and
 /// (for witness extraction) the bound rows each pivot was eliminated under.
 fn eliminate(
     mut rows: Vec<Row>,
+    table: &[AtomInfo],
     nat_vars: &BTreeSet<IdxVar>,
     limits: &FmLimits,
     order: &mut Vec<String>,
     steps: &mut Vec<ElimStep>,
 ) -> ElimResult {
+    // The input system arrives normalized (callers canonicalize it as the
+    // memo key); inside the loop only freshly *combined* rows need
+    // tightening and classification — everything else is already in normal
+    // form, so re-normalizing the whole system per round would triple the
+    // elimination cost for nothing.
+    let mut fresh_from = rows.len();
     loop {
-        rows = match normalize_system(rows, nat_vars) {
-            Err(()) => return ElimResult::Abstain,
-            Ok(None) => return ElimResult::Unsat,
-            Ok(Some(rows)) => rows,
-        };
+        let mut kept: Vec<Row> = Vec::with_capacity(rows.len());
+        for (i, row) in rows.into_iter().enumerate() {
+            let mut row = row;
+            if i >= fresh_from {
+                match classify(&mut row, table, nat_vars) {
+                    RowStatus::Trivial => continue,
+                    RowStatus::Contradiction => return ElimResult::Unsat,
+                    RowStatus::Keep => {}
+                }
+                if !row.in_bounds() {
+                    return ElimResult::Abstain;
+                }
+            }
+            kept.push(row);
+        }
+        rows = kept;
+        // Combination grows systems quadratically; prune implied duplicates
+        // once a system gets large (on small systems the sort costs more
+        // than the duplicates it removes).
+        if rows.len() > 48 {
+            canonical_merge(&mut rows);
+        }
         if rows.len() > limits.max_rows {
             return ElimResult::Abstain;
         }
         // Count atom occurrences, split by sign, to pick the cheapest pivot.
-        let mut signs: BTreeMap<&Atom, (usize, usize)> = BTreeMap::new();
+        let mut signs: BTreeMap<AtomId, (usize, usize)> = BTreeMap::new();
         for row in &rows {
-            for (a, q) in &row.expr.coeffs {
-                let entry = signs.entry(a).or_insert((0, 0));
+            for (id, q) in &row.coeffs {
+                let entry = signs.entry(*id).or_insert((0, 0));
                 if q.is_negative() {
                     entry.1 += 1;
                 } else {
@@ -588,38 +1097,47 @@ fn eliminate(
         if signs.len() > limits.max_atoms {
             return ElimResult::Abstain;
         }
+        // Cheapest pivot by (p·n, p+n); ties broken by the atoms'
+        // *structural* order, so the elimination order is independent of
+        // the id-assignment history of the solver's atom table.
         let pivot = signs
             .iter()
-            .min_by_key(|(_, (p, n))| (p * n, p + n))
-            .map(|(a, _)| (*a).clone())
+            .map(|(id, &(p, n))| (*id, (p * n, p + n)))
+            .min_by(|(ia, ka), (ib, kb)| {
+                ka.cmp(kb)
+                    .then_with(|| table[*ia as usize].atom.cmp(&table[*ib as usize].atom))
+            })
+            .map(|(id, _)| id)
             .expect("non-empty sign map");
-        order.push(pivot.0.to_string());
+        order.push(table[pivot as usize].atom.to_string());
 
         let mut kept = Vec::new();
         let mut lower = Vec::new(); // positive coefficient: pivot bounded below
         let mut upper = Vec::new(); // negative coefficient: pivot bounded above
         for mut row in rows {
-            let c = row.expr.remove_atom(&pivot);
+            let c = row.remove_atom(pivot);
             if c.is_zero() {
                 kept.push(row);
             } else if c.is_negative() {
-                upper.push((row.expr, c, row.strict));
+                upper.push((row, c));
             } else {
-                lower.push((row.expr, c, row.strict));
+                lower.push((row, c));
             }
         }
+        // Fresh rows start where the carried-over (pivot-free, already
+        // normalized) rows end.
+        let carried = kept.len();
         // One-sided bounds project away with their rows.
         if !lower.is_empty() && !upper.is_empty() {
-            if kept.len() + lower.len() * upper.len() > limits.max_rows {
+            if carried + lower.len() * upper.len() > limits.max_rows {
                 return ElimResult::Abstain;
             }
-            for (lo, a, lo_strict) in &lower {
-                for (up, b, up_strict) in &upper {
+            for (lo, a) in &lower {
+                for (up, b) in &upper {
                     // lo: a·x + e ≥ 0 (a > 0) gives x ≥ -e/a;
                     // up: b·x + f ≥ 0 (b < 0) gives x ≤ -f/b.
                     // Feasible together iff  -e/a ≤ -f/b, i.e. e/a + f/(-b) ≥ 0.
-                    let Some(combined) = combine_rows(lo, *a, *lo_strict, up, *b, *up_strict)
-                    else {
+                    let Some(combined) = combine_rows(lo, *a, up, *b) else {
                         return ElimResult::Abstain;
                     };
                     kept.push(combined);
@@ -631,20 +1149,9 @@ fn eliminate(
             lower,
             upper,
         });
+        fresh_from = carried;
         rows = kept;
     }
-}
-
-/// Evaluates a residual expression under a partial atom assignment; `None`
-/// when an atom is unassigned (defensive — back-substitution assigns in
-/// reverse elimination order, so residuals only mention assigned atoms) or
-/// when the checked arithmetic overflows the magnitude cap.
-fn eval_residual(e: &LinExpr, assignment: &BTreeMap<Atom, Rational>) -> Option<Rational> {
-    let mut acc = e.constant.finite()?;
-    for (a, q) in &e.coeffs {
-        acc = rat_add(acc, rat_mul(*q, *assignment.get(a)?)?)?;
-    }
-    Some(acc)
 }
 
 /// Back-substitutes a satisfying assignment through the elimination steps.
@@ -658,35 +1165,36 @@ fn eval_residual(e: &LinExpr, assignment: &BTreeMap<Atom, Rational>) -> Option<R
 /// factor makes the product inseparable).
 fn extract_witness(
     steps: &[ElimStep],
+    table: &[AtomInfo],
     nat_vars: &BTreeSet<IdxVar>,
-    prefer_positive: &BTreeSet<Atom>,
-) -> Option<BTreeMap<Atom, Rational>> {
-    let mut assignment: BTreeMap<Atom, Rational> = BTreeMap::new();
+    prefer_positive: &BTreeSet<AtomId>,
+) -> Option<BTreeMap<AtomId, Rational>> {
+    let mut assignment: BTreeMap<AtomId, Rational> = BTreeMap::new();
     for step in steps.iter().rev() {
         // Tightest bounds under the values chosen so far.
         let mut lo: Option<(Rational, bool)> = None;
-        for (e, a, strict) in &step.lower {
-            let v = rat_div(Rational::ZERO - eval_residual(e, &assignment)?, *a)?;
+        for (row, a) in &step.lower {
+            let v = rat_div(Rational::ZERO - row.eval(&assignment)?, *a)?;
             let replace = match &lo {
                 None => true,
-                Some((cur, cur_strict)) => v > *cur || (v == *cur && *strict && !*cur_strict),
+                Some((cur, cur_strict)) => v > *cur || (v == *cur && row.strict && !*cur_strict),
             };
             if replace {
-                lo = Some((v, *strict));
+                lo = Some((v, row.strict));
             }
         }
         let mut hi: Option<(Rational, bool)> = None;
-        for (e, b, strict) in &step.upper {
-            let v = rat_div(eval_residual(e, &assignment)?, Rational::ZERO - *b)?;
+        for (row, b) in &step.upper {
+            let v = rat_div(row.eval(&assignment)?, Rational::ZERO - *b)?;
             let replace = match &hi {
                 None => true,
-                Some((cur, cur_strict)) => v < *cur || (v == *cur && *strict && !*cur_strict),
+                Some((cur, cur_strict)) => v < *cur || (v == *cur && row.strict && !*cur_strict),
             };
             if replace {
-                hi = Some((v, *strict));
+                hi = Some((v, row.strict));
             }
         }
-        let integral = is_integer_atom(&step.atom, nat_vars);
+        let integral = is_integer_atom(table, nat_vars, step.atom);
         let mut value = match (lo, hi) {
             (None, None) => Rational::ZERO,
             (Some((l, l_strict)), None) => {
@@ -749,19 +1257,19 @@ fn extract_witness(
             }
         }
         // Defensive re-check against every bound row of this step.
-        for (e, a, strict) in &step.lower {
-            let bound = rat_div(Rational::ZERO - eval_residual(e, &assignment)?, *a)?;
-            if value < bound || (*strict && value == bound) {
+        for (row, a) in &step.lower {
+            let bound = rat_div(Rational::ZERO - row.eval(&assignment)?, *a)?;
+            if value < bound || (row.strict && value == bound) {
                 return None;
             }
         }
-        for (e, b, strict) in &step.upper {
-            let bound = rat_div(eval_residual(e, &assignment)?, Rational::ZERO - *b)?;
-            if value > bound || (*strict && value == bound) {
+        for (row, b) in &step.upper {
+            let bound = rat_div(row.eval(&assignment)?, Rational::ZERO - *b)?;
+            if value > bound || (row.strict && value == bound) {
                 return None;
             }
         }
-        assignment.insert(step.atom.clone(), value);
+        assignment.insert(step.atom, value);
     }
     Some(assignment)
 }
@@ -770,52 +1278,16 @@ fn extract_witness(
 // Entailment
 // ---------------------------------------------------------------------------
 
-/// Converts the usable hypothesis facts into rows: `Eq` contributes both
-/// directions, `Leq`/`Lt` one row each; anything else (including facts
-/// mentioning `∞`, which carry no finite-linear information) is skipped —
-/// proving from fewer hypotheses is always sound.
-fn fact_rows(facts: &[&Constr]) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for f in facts {
-        match f {
-            Constr::Leq(a, b) => {
-                if let Some(r) = row_of(b, a, false) {
-                    rows.push(r);
-                }
-            }
-            Constr::Lt(a, b) => {
-                if let Some(r) = row_of(b, a, true) {
-                    rows.push(r);
-                }
-            }
-            Constr::Eq(a, b) => {
-                if let (Some(r1), Some(r2)) = (row_of(b, a, false), row_of(a, b, false)) {
-                    rows.push(r1);
-                    rows.push(r2);
-                }
-            }
-            _ => {}
-        }
+/// The `atom ≥ 0` side row: RelCost index terms (sizes, difference counts,
+/// costs and every operation over them) denote non-negative quantities —
+/// the same invariant `is_syntactically_nonneg` and the greedy layer
+/// already rely on.
+fn nonneg_row(id: AtomId) -> Row {
+    Row {
+        coeffs: vec![(id, Rational::ONE)],
+        constant: Rational::ZERO,
+        strict: false,
     }
-    rows
-}
-
-/// Adds `atom ≥ 0` for every atom in sight: RelCost index terms (sizes,
-/// difference counts, costs and every operation over them) denote
-/// non-negative quantities — the same invariant `is_syntactically_nonneg`
-/// and the greedy layer already rely on.
-fn nonneg_rows(rows: &[Row]) -> Vec<Row> {
-    let mut atoms: BTreeSet<Atom> = BTreeSet::new();
-    for row in rows {
-        atoms.extend(row.expr.coeffs.keys().cloned());
-    }
-    atoms
-        .into_iter()
-        .map(|a| Row {
-            expr: LinExpr::atom(a),
-            strict: false,
-        })
-        .collect()
 }
 
 /// Turns an *atom* assignment into a *variable* assignment: plain-variable
@@ -832,28 +1304,33 @@ fn nonneg_rows(rows: &[Row]) -> Vec<Row> {
 /// of the concrete domain, so "refuting" there would wrongly reject
 /// obligations that hold over the naturals.
 fn concretize(
-    assignment: &BTreeMap<Atom, Rational>,
+    assignment: &BTreeMap<AtomId, Rational>,
+    table: &[AtomInfo],
     universals: &[(IdxVar, Sort)],
 ) -> Option<Vec<(IdxVar, Rational)>> {
     let mut vars: BTreeMap<IdxVar, Rational> = BTreeMap::new();
-    for (atom, value) in assignment {
-        if let Idx::Var(v) = &atom.0 {
+    for (id, value) in assignment {
+        if let Some(v) = &table[*id as usize].var {
             vars.insert(v.clone(), *value);
         }
     }
     loop {
         let mut changed = false;
-        for (atom, value) in assignment {
-            let Idx::Mul(x, y) = &atom.0 else { continue };
-            for (target, other) in [(&**x, &**y), (&**y, &**x)] {
-                let Idx::Var(v) = target else { continue };
+        for (id, value) in assignment {
+            let Some((fx, fy)) = table[*id as usize].factors else {
+                continue;
+            };
+            for (target, other) in [(fx, fy), (fy, fx)] {
+                let Some(v) = &table[target as usize].var else {
+                    continue;
+                };
                 if vars.contains_key(v) {
                     continue;
                 }
                 let env = rel_index::IdxEnv::from_pairs(
                     vars.iter().map(|(w, q)| (w.clone(), Extended::Finite(*q))),
                 );
-                let Ok(Extended::Finite(q)) = other.eval(&env) else {
+                let Ok(Extended::Finite(q)) = table[other as usize].atom.0.eval(&env) else {
                     continue;
                 };
                 if q.is_zero() {
@@ -896,66 +1373,224 @@ fn nat_var_set(universals: &[(IdxVar, Sort)]) -> BTreeSet<IdxVar> {
 ///
 /// `Proved` is sound unconditionally.  `CandidateRefuted` and `Abstained`
 /// are inconclusive: the caller falls through to the numeric layer.
+///
+/// The branch-invariant work is hoisted out of the branch loop: the fact
+/// rows come from the memo's per-fact conversion cache, their
+/// atom-nonnegativity side rows are derived once per query (branches only
+/// contribute their own goal atoms on top), and each branch system is
+/// normalized into canonical form and answered through the subproblem memo
+/// — structurally identical branches are eliminated once per solver.
 pub fn prove(
     universals: &[(IdxVar, Sort)],
     facts: &[&Constr],
     goal: &Constr,
     limits: &FmLimits,
+    memo: &mut FmMemo,
 ) -> FmOutcome {
-    let Some(branches) = neg_branches(goal, limits.max_branches) else {
+    let nat_vars = nat_var_set(universals);
+    // Each fact is hashed once into two independently seeded streams; the
+    // per-fact pairs verify the fact-row cache, their combination (plus the
+    // sorts) keys the base cache, and folding in the goal keys the query
+    // memo — one pass over the inputs serves every memo layer.
+    let mut primary = Fnv1a::default();
+    let mut verify = Fnv1a::default();
+    verify.write_u64(FM_VERIFY_SALT);
+    let hashed_facts: Vec<(&Constr, u64, u64)> = facts
+        .iter()
+        .map(|fact| {
+            let mut h1 = Fnv1a::default();
+            fact.hash(&mut h1);
+            let mut h2 = Fnv1a::default();
+            h2.write_u64(FM_VERIFY_SALT);
+            fact.hash(&mut h2);
+            let (fh, fv) = (h1.finish(), h2.finish());
+            primary.write_u64(fh);
+            verify.write_u64(fv);
+            (*fact, fh, fv)
+        })
+        .collect();
+    nat_vars.hash(&mut primary);
+    nat_vars.hash(&mut verify);
+    let (base_hash, base_verify) = (primary.finish(), verify.finish());
+    goal.hash(&mut primary);
+    goal.hash(&mut verify);
+    let (query_hash, query_verify) = (primary.finish(), verify.finish());
+    if let Some(bucket) = memo.queries.get(&query_hash) {
+        if let Some(e) = bucket.iter().find(|e| e.verify == query_verify) {
+            return FmOutcome {
+                verdict: e.verdict,
+                eliminated: e.eliminated.clone(),
+                witness: e.witness.clone(),
+                memo_hits: 1,
+                memo_misses: 0,
+            };
+        }
+    }
+    let Some(branches) = memo.neg_branches_cached(goal, limits.max_branches) else {
         return FmOutcome::abstained();
     };
-    let nat_vars = nat_var_set(universals);
-    let base = fact_rows(facts);
-    let mut eliminated = Vec::new();
-    for branch in branches {
-        let mut rows = base.clone();
-        rows.extend(branch);
-        let side = nonneg_rows(&rows);
-        rows.extend(side);
-        // Atoms occurring as factors of product atoms: steer them positive
-        // so the concretizer can divide the product value back out.
-        let mut factor_atoms: BTreeSet<Atom> = BTreeSet::new();
-        for row in &rows {
-            for atom in row.expr.coeffs.keys() {
-                if let Idx::Mul(x, y) = &atom.0 {
-                    factor_atoms.insert(Atom((**x).clone()));
-                    factor_atoms.insert(Atom((**y).clone()));
-                }
+    // Hoisted *and memoized* once per hypothesis (satellite of the FM perf
+    // pass): the base facts' rows, their atom-nonnegativity side rows and
+    // the whole normalization (tightening) of the base system are
+    // branch-invariant and identical across every sub-goal sharing the
+    // hypothesis — branches only contribute their own goal rows, normalized
+    // separately and merged below.
+    let (base_rows, base_atoms, contradictory) =
+        memo.base_cached(base_hash, base_verify, &hashed_facts, &nat_vars);
+    let base_norm = match base_rows {
+        Some(rows) => rows,
+        // Contradictory hypotheses: every branch is infeasible outright.
+        None if contradictory => {
+            return FmOutcome {
+                verdict: FmVerdict::Proved,
+                eliminated: Vec::new(),
+                witness: None,
+                memo_hits: 0,
+                memo_misses: 0,
             }
         }
-        let mut order = Vec::new();
-        let mut steps = Vec::new();
-        match eliminate(rows, &nat_vars, limits, &mut order, &mut steps) {
-            ElimResult::Unsat => eliminated = order,
-            ElimResult::Sat => {
-                let witness = extract_witness(&steps, &nat_vars, &factor_atoms)
-                    .and_then(|assignment| concretize(&assignment, universals));
-                return FmOutcome {
-                    verdict: FmVerdict::CandidateRefuted,
-                    eliminated: order,
-                    witness,
-                };
+        None => return FmOutcome::abstained(),
+    };
+
+    let mut eliminated = Vec::new();
+    let mut memo_hits = 0;
+    let mut memo_misses = 0;
+    let outcome = |verdict, eliminated, witness, memo_hits, memo_misses| FmOutcome {
+        verdict,
+        eliminated,
+        witness,
+        memo_hits,
+        memo_misses,
+    };
+    let mut early: Option<FmOutcome> = None;
+    for branch in branches.iter() {
+        let mut branch = branch.clone();
+        // Side rows for the branch's own atoms (those outside the base set).
+        let mut branch_atoms: BTreeSet<AtomId> = BTreeSet::new();
+        for row in &branch {
+            branch_atoms.extend(row.coeffs.iter().map(|(id, _)| *id));
+        }
+        for id in branch_atoms {
+            if !base_atoms.contains(&id) {
+                branch.push(nonneg_row(id));
             }
-            ElimResult::Abstain => {
-                return FmOutcome {
-                    verdict: FmVerdict::Abstained,
-                    eliminated: order,
-                    witness: None,
-                }
+        }
+        // Normalize the branch's own rows, merge with the pre-normalized
+        // base (tightening is row-local, so normalizing the parts equals
+        // normalizing the whole), and canonicalize: ground contradictions
+        // close the branch before the memo is consulted, and the canonical
+        // system is the memo key.
+        let rows = match normalize_system(branch, &memo.atoms, &nat_vars) {
+            Err(()) => {
+                early = Some(outcome(
+                    FmVerdict::Abstained,
+                    Vec::new(),
+                    None,
+                    memo_hits,
+                    memo_misses,
+                ));
+                break;
+            }
+            Ok(None) => {
+                eliminated = Vec::new();
+                continue;
+            }
+            Ok(Some(mut rows)) => {
+                rows.extend(base_norm.iter().cloned());
+                canonical_merge(&mut rows);
+                rows
+            }
+        };
+        let (hash, ints) = system_sig(&rows, &memo.atoms, &nat_vars);
+        let decision = match memo.lookup(hash, &rows, &ints) {
+            Some(decision) => {
+                memo_hits += 1;
+                decision
+            }
+            None => {
+                memo_misses += 1;
+                let decision =
+                    decide_branch(rows.clone(), universals, &memo.atoms, &nat_vars, limits);
+                memo.store(hash, rows, ints, decision.clone());
+                decision
+            }
+        };
+        match decision {
+            BranchDecision::Infeasible { order } => eliminated = order,
+            BranchDecision::Feasible { order, witness } => {
+                early = Some(outcome(
+                    FmVerdict::CandidateRefuted,
+                    order,
+                    witness,
+                    memo_hits,
+                    memo_misses,
+                ));
+                break;
+            }
+            BranchDecision::Abstained { order } => {
+                early = Some(outcome(
+                    FmVerdict::Abstained,
+                    order,
+                    None,
+                    memo_hits,
+                    memo_misses,
+                ));
+                break;
             }
         }
     }
-    FmOutcome {
-        verdict: FmVerdict::Proved,
-        eliminated,
-        witness: None,
+    let out = early
+        .unwrap_or_else(|| outcome(FmVerdict::Proved, eliminated, None, memo_hits, memo_misses));
+    memo.store_query(query_hash, query_verify, &out);
+    out
+}
+
+/// Runs the elimination core on one normalized branch system and packages
+/// the result as the memoized [`BranchDecision`].
+fn decide_branch(
+    rows: Vec<Row>,
+    universals: &[(IdxVar, Sort)],
+    table: &[AtomInfo],
+    nat_vars: &BTreeSet<IdxVar>,
+    limits: &FmLimits,
+) -> BranchDecision {
+    // Atoms occurring as factors of product atoms in this system: steer
+    // them positive so the concretizer can divide the product value back
+    // out.
+    let mut prefer_positive: BTreeSet<AtomId> = BTreeSet::new();
+    for row in &rows {
+        for (id, _) in &row.coeffs {
+            if let Some((fx, fy)) = table[*id as usize].factors {
+                prefer_positive.insert(fx);
+                prefer_positive.insert(fy);
+            }
+        }
+    }
+    let mut order = Vec::new();
+    let mut steps = Vec::new();
+    match eliminate(rows, table, nat_vars, limits, &mut order, &mut steps) {
+        ElimResult::Unsat => BranchDecision::Infeasible { order },
+        ElimResult::Sat => {
+            let witness = extract_witness(&steps, table, nat_vars, &prefer_positive)
+                .and_then(|assignment| concretize(&assignment, table, universals));
+            BranchDecision::Feasible { order, witness }
+        }
+        ElimResult::Abstain => BranchDecision::Abstained { order },
     }
 }
 
 // ---------------------------------------------------------------------------
 // ∃-projection (exelim reuse)
 // ---------------------------------------------------------------------------
+
+/// Rebuilds the index-term form of a row's expression (projection output).
+fn row_to_idx(row: &Row, table: &[AtomInfo]) -> Idx {
+    let mut lin = LinExpr::constant(Extended::Finite(row.constant));
+    for (id, q) in &row.coeffs {
+        lin = lin.add(&LinExpr::atom(table[*id as usize].atom.clone()).scale(*q));
+    }
+    lin.to_idx()
+}
 
 /// Projects real-sorted existential variables out of a *conjunctive* matrix
 /// by Fourier–Motzkin elimination, returning an equivalent ∃-free
@@ -975,8 +1610,11 @@ pub fn prove(
 /// comparisons, a variable occurs inside an opaque atom, or limits are
 /// exceeded.
 pub fn project_reals(matrix: &Constr, vars: &[IdxVar], limits: &FmLimits) -> Option<Constr> {
+    // A throwaway atom table: projection is the cold path (once per failed
+    // candidate search over an all-ℝ component).
+    let mut memo = FmMemo::default();
     // The matrix must be one conjunctive branch of comparisons.
-    let mut branches = pos_branches(matrix, limits.max_branches)?;
+    let mut branches = pos_branches(matrix, limits.max_branches, &mut memo)?;
     if branches.len() != 1 {
         return None;
     }
@@ -986,20 +1624,18 @@ pub fn project_reals(matrix: &Constr, vars: &[IdxVar], limits: &FmLimits) -> Opt
     }
     let nat_vars = BTreeSet::new(); // no integer tightening during projection
     for v in vars {
-        let atom = Atom(Idx::Var(v.clone()));
+        let vid = memo.intern(&Atom(Idx::Var(v.clone())));
         // The variable must occur only as its own plain atom.
-        if rows
-            .iter()
-            .any(|r| r.expr.coeffs.keys().any(|a| *a != atom && a.0.mentions(v)))
-        {
+        if rows.iter().any(|r| {
+            r.coeffs
+                .iter()
+                .any(|(id, _)| *id != vid && memo.atoms[*id as usize].atom.0.mentions(v))
+        }) {
             return None;
         }
         // Domain bound of the ℝ (cost) sort.
-        rows.push(Row {
-            expr: LinExpr::atom(atom.clone()),
-            strict: false,
-        });
-        rows = match normalize_system(rows, &nat_vars) {
+        rows.push(nonneg_row(vid));
+        rows = match normalize_system(rows, &memo.atoms, &nat_vars) {
             Err(()) => return None,
             // Infeasible matrix: ∃v. M is equivalent to ff.
             Ok(None) => return Some(Constr::Bot),
@@ -1009,7 +1645,7 @@ pub fn project_reals(matrix: &Constr, vars: &[IdxVar], limits: &FmLimits) -> Opt
         let mut lower = Vec::new();
         let mut upper = Vec::new();
         for mut row in rows {
-            let c = row.expr.remove_atom(&atom);
+            let c = row.remove_atom(vid);
             if c.is_zero() {
                 kept.push(row);
             } else if c.is_negative() {
@@ -1024,20 +1660,20 @@ pub fn project_reals(matrix: &Constr, vars: &[IdxVar], limits: &FmLimits) -> Opt
             }
             for (lo, a) in &lower {
                 for (up, b) in &upper {
-                    let combined = combine_rows(&lo.expr, *a, lo.strict, &up.expr, *b, up.strict)?;
+                    let combined = combine_rows(lo, *a, up, *b)?;
                     kept.push(combined);
                 }
             }
         }
         rows = kept;
     }
-    let rows = match normalize_system(rows, &nat_vars) {
+    let rows = match normalize_system(rows, &memo.atoms, &nat_vars) {
         Err(()) => return None,
         Ok(None) => return Some(Constr::Bot),
         Ok(Some(rows)) => rows,
     };
     Some(Constr::conj(rows.into_iter().map(|row| {
-        let idx = row.expr.to_idx();
+        let idx = row_to_idx(&row, &memo.atoms);
         if row.strict {
             Constr::Lt(Idx::zero(), idx)
         } else {
@@ -1055,7 +1691,14 @@ mod tests {
     }
 
     fn prove_default(universals: &[(IdxVar, Sort)], facts: &[&Constr], goal: &Constr) -> FmVerdict {
-        prove(universals, facts, goal, &FmLimits::default()).verdict
+        prove(
+            universals,
+            facts,
+            goal,
+            &FmLimits::default(),
+            &mut FmMemo::default(),
+        )
+        .verdict
     }
 
     #[test]
@@ -1181,7 +1824,13 @@ mod tests {
             c(big - 12, big - 14) * Idx::var("z"),
         );
         let goal = Constr::leq(c(big - 16, big - 18) * Idx::var("x"), Idx::var("z"));
-        let _ = prove(&u, &[&f1, &f2], &goal, &FmLimits::default());
+        let _ = prove(
+            &u,
+            &[&f1, &f2],
+            &goal,
+            &FmLimits::default(),
+            &mut FmMemo::default(),
+        );
     }
 
     #[test]
@@ -1189,9 +1838,92 @@ mod tests {
         let u = nats(&["a", "b"]);
         let f = Constr::leq(Idx::var("a"), Idx::var("b"));
         let goal = Constr::leq(Idx::var("a"), Idx::var("b") + Idx::one());
-        let out = prove(&u, &[&f], &goal, &FmLimits::default());
+        let out = prove(
+            &u,
+            &[&f],
+            &goal,
+            &FmLimits::default(),
+            &mut FmMemo::default(),
+        );
         assert_eq!(out.verdict, FmVerdict::Proved);
         assert!(!out.eliminated.is_empty());
+    }
+
+    #[test]
+    fn identical_branch_systems_hit_the_memo() {
+        // ¬(a = b) Eq-splits into two branches whose systems are decided
+        // separately on the cold call; re-proving the same goal is answered
+        // by the whole-query memo (one hit, zero eliminations), and two
+        // *different* goals with structurally identical branch systems
+        // share at the branch level.
+        let u = nats(&["a", "b", "c"]);
+        let f1 = Constr::eq(Idx::var("a"), Idx::var("b"));
+        let f2 = Constr::eq(Idx::var("b"), Idx::var("c"));
+        let goal = Constr::eq(Idx::var("a"), Idx::var("c"));
+        let mut memo = FmMemo::default();
+        let cold = prove(&u, &[&f1, &f2], &goal, &FmLimits::default(), &mut memo);
+        assert_eq!(cold.verdict, FmVerdict::Proved);
+        assert_eq!(cold.memo_hits, 0);
+        assert!(cold.memo_misses > 0);
+        assert_eq!(memo.len(), cold.memo_misses);
+        let warm = prove(&u, &[&f1, &f2], &goal, &FmLimits::default(), &mut memo);
+        assert_eq!(warm.verdict, FmVerdict::Proved);
+        assert_eq!(warm.memo_misses, 0);
+        assert_eq!(warm.memo_hits, 1, "whole-query memo answers the repeat");
+        // A goal whose negation produces one of the same branch systems
+        // (a ≤ c is one of ¬(a = c)'s two Eq-split branches… the converse
+        // inequality) is answered at the *branch* level without a fresh
+        // elimination.
+        let half = Constr::leq(Idx::var("a"), Idx::var("c"));
+        let len_before = memo.len();
+        let shared = prove(&u, &[&f1, &f2], &half, &FmLimits::default(), &mut memo);
+        assert_eq!(shared.verdict, FmVerdict::Proved);
+        assert_eq!(shared.memo_hits, 1, "the Eq-split twin system is reused");
+        assert_eq!(memo.len(), len_before);
+        // Memoization must not change the verdict on a feasible branch
+        // either (witness included).
+        let refutable = Constr::leq(Idx::var("a") + Idx::one(), Idx::var("c"));
+        let mut memo = FmMemo::default();
+        let first = prove(&u, &[&f1, &f2], &refutable, &FmLimits::default(), &mut memo);
+        let second = prove(&u, &[&f1, &f2], &refutable, &FmLimits::default(), &mut memo);
+        assert_eq!(first.verdict, FmVerdict::CandidateRefuted);
+        assert_eq!(second.verdict, first.verdict);
+        assert_eq!(second.witness, first.witness);
+        assert!(second.memo_hits > 0);
+    }
+
+    #[test]
+    fn branch_memo_never_replays_witnesses_across_sort_flips() {
+        // `t` occurs only as a *factor* of the product atom t·a — never as
+        // a row atom — so the branch systems under t::Real and t::Nat are
+        // canonically identical.  A memo replay across the sort flip would
+        // smuggle the Real run's fractional witness past `concretize`'s
+        // ℕ-domain check; the integer signature closes over factors to
+        // keep the two decisions apart.
+        let hyp = Constr::leq(Idx::one(), Idx::var("a"));
+        let goal = Constr::leq(Idx::nat(2) * (Idx::var("t") * Idx::var("a")), Idx::one());
+        let mut memo = FmMemo::default();
+        let real = vec![
+            (IdxVar::new("t"), Sort::Real),
+            (IdxVar::new("a"), Sort::Nat),
+        ];
+        let first = prove(&real, &[&hyp], &goal, &FmLimits::default(), &mut memo);
+        assert_eq!(first.verdict, FmVerdict::CandidateRefuted);
+        let fractional = first.witness.as_ref().is_some_and(|w| {
+            w.iter()
+                .any(|(v, q)| v == &IdxVar::new("t") && !q.is_integer())
+        });
+        assert!(fractional, "the Real run should pick a fractional t");
+        let nat = vec![(IdxVar::new("t"), Sort::Nat), (IdxVar::new("a"), Sort::Nat)];
+        let second = prove(&nat, &[&hyp], &goal, &FmLimits::default(), &mut memo);
+        if let Some(w) = &second.witness {
+            for (v, q) in w {
+                assert!(
+                    q.is_integer(),
+                    "ℕ-sorted {v} got non-integral witness value {q} via memo replay"
+                );
+            }
+        }
     }
 
     #[test]

@@ -37,11 +37,12 @@ use rand::{Rng, SeedableRng};
 
 use rel_index::{Atom, Extended, Idx, IdxEnv, IdxVar, LinExpr, Rational, Sort};
 
-use crate::cache::{Fnv1a, QueryRef, ValidityCache};
+use crate::cache::{Fnv1a, QueryKey, QueryRef, ValidityCache};
 use crate::compile::{compile_query, CompiledQuery, Val};
 use crate::constr::Constr;
+use crate::cpool;
 use crate::exelim;
-use crate::fm::{self, FmLimits, FmVerdict};
+use crate::fm::{self, FmLimits, FmMemo, FmVerdict};
 use crate::lemmas;
 
 /// Configuration of the solver.
@@ -153,6 +154,17 @@ pub struct SolveStats {
     /// Leftover real-sorted existentials discharged by FM projection in
     /// `exelim` (each saved a bounded existential grid search).
     pub fm_projections: usize,
+    /// DNF branch systems answered from the FM subproblem memo (each hit
+    /// skipped a full elimination run).
+    pub fm_memo_hits: usize,
+    /// DNF branch systems eliminated and then memoized.
+    pub fm_memo_misses: usize,
+    /// Candidate assignments `exelim` rejected without a solver call:
+    /// either the instantiated goal was already refuted under an earlier
+    /// assignment (memoized rejection), or the screen found an on-grid
+    /// counterexample at tree-evaluation cost (both from the indexed
+    /// existential search).
+    pub exelim_candidates_pruned: usize,
     /// Goals that needed the numeric layer.
     pub numeric_checks: usize,
     /// Numeric checks that ended in a grid-checked *accept* (the decisive
@@ -172,6 +184,12 @@ pub struct SolveStats {
     /// Numeric queries whose compiled program was reused from the
     /// program cache.
     pub program_cache_hits: usize,
+    /// Wall-clock time spent inside the Fourier–Motzkin decision procedure
+    /// (`fm::prove`) — the cost of *proving*.
+    pub fm_time: Duration,
+    /// Wall-clock time spent inside the numeric layer (compile + grid +
+    /// random sweep) — the cost of *sweeping*.
+    pub numeric_time: Duration,
     /// Wall-clock time spent eliminating existentials.
     pub exelim_time: Duration,
     /// Wall-clock time spent in constraint solving (excluding ∃-elimination).
@@ -529,6 +547,20 @@ pub struct Solver {
     shared_programs: Option<Arc<SharedProgramCache>>,
     /// Limits of the Fourier–Motzkin layer.
     fm_limits: FmLimits,
+    /// FM subproblem memo: canonical normalized branch systems → decisions.
+    fm_memo: FmMemo,
+    /// Per-solver verdict memo over canonical query keys, consulted by
+    /// `entails_canonical` (the structural decomposition): engines run
+    /// cache-less solvers by default, and the sub-goals one definition
+    /// decomposes into repeat heavily.  The `entails_no_exists` gateway of
+    /// `exelim`'s candidate attempts deliberately does *not* consult it —
+    /// hashing a large hypothesis per attempt costs more than the cheap
+    /// sweeps it would save; repeated *decide-layer* work on that path is
+    /// deduplicated by the FM layer's own query/branch memos instead.
+    /// Keys are the same canonical [`QueryKey`]s the shared cache uses, so
+    /// hash collisions can never replay a wrong verdict.
+    local_verdicts: HashMap<u64, Vec<(QueryKey, Validity)>>,
+    local_verdict_count: usize,
     /// Diagnostics of the last refutation (reset per top-level `entails`).
     last_refutation: RefutationInfo,
     /// FM elimination order of the goal currently being decided; moved into
@@ -561,6 +593,9 @@ impl Solver {
             cached_program_count: 0,
             shared_programs: None,
             fm_limits: FmLimits::default(),
+            fm_memo: FmMemo::default(),
+            local_verdicts: HashMap::new(),
+            local_verdict_count: 0,
             last_refutation: RefutationInfo::default(),
             pending_fm_order: Vec::new(),
         }
@@ -645,28 +680,64 @@ impl Solver {
         if goal.is_top() {
             return Validity::proved();
         }
-        // Consult the shared validity cache (when attached) on the canonical
-        // form of the query.  Structural sub-queries recurse back through
-        // `entails`, so conjuncts and implication bodies are memoized
-        // individually — that is what lets verdicts transfer across
-        // definitions that share sub-derivations, not just across identical
-        // top-level queries.  The lookup borrows the constraints; nothing is
-        // cloned unless a freshly computed verdict is stored.  (The Arc
-        // clone releases the borrow of `self.cache` so one canonicalized
-        // query serves both the lookup and the store.)
+        // Consult the per-solver memo, then the shared validity cache (when
+        // attached), on the canonical form of the query.  Structural
+        // sub-queries recurse back through `entails`, so conjuncts and
+        // implication bodies are memoized individually — that is what lets
+        // verdicts transfer across definitions that share sub-derivations,
+        // not just across identical top-level queries.  The lookup borrows
+        // the constraints; nothing is cloned unless a freshly computed
+        // verdict is stored.  (The Arc clone releases the borrow of
+        // `self.cache` so one canonicalized query serves both the lookup
+        // and the store.)
+        let query = QueryRef::new(self.config_fingerprint, universals, hyp, goal);
+        let qhash = query.stable_hash();
+        if let Some(verdict) = self.local_lookup(qhash, &query) {
+            return verdict;
+        }
         if let Some(cache) = self.cache.clone() {
-            let query = QueryRef::new(self.config_fingerprint, universals, hyp, goal);
             if let Some(verdict) = cache.lookup(&query) {
                 self.stats.cache_hits += 1;
+                self.local_store(qhash, query.to_key(), verdict.clone());
                 return verdict;
             }
             self.stats.cache_misses += 1;
             let verdict = self.entails_simplified(universals, hyp, goal);
             cache.store(&query, verdict.clone());
+            self.local_store(qhash, query.to_key(), verdict.clone());
             verdict
         } else {
-            self.entails_simplified(universals, hyp, goal)
+            let verdict = self.entails_simplified(universals, hyp, goal);
+            self.local_store(qhash, query.to_key(), verdict.clone());
+            verdict
         }
+    }
+
+    /// The per-solver verdict memo entry cap; a full memo is wholesale-
+    /// cleared (epoch eviction, like every other memo layer).
+    const MAX_LOCAL_VERDICTS: usize = 16_384;
+
+    /// Looks up a canonical query in the per-solver memo.
+    fn local_lookup(&self, hash: u64, query: &QueryRef<'_>) -> Option<Validity> {
+        self.local_verdicts
+            .get(&hash)?
+            .iter()
+            .find(|(k, _)| query.matches(k))
+            .map(|(_, v)| v.clone())
+    }
+
+    /// Memoizes a verdict in the per-solver memo.
+    fn local_store(&mut self, hash: u64, key: QueryKey, verdict: Validity) {
+        if self.local_verdict_count >= Self::MAX_LOCAL_VERDICTS {
+            self.local_verdicts.clear();
+            self.local_verdict_count = 0;
+        }
+        let bucket = self.local_verdicts.entry(hash).or_default();
+        if bucket.iter().any(|(k, _)| *k == key) {
+            return;
+        }
+        bucket.push((key, verdict));
+        self.local_verdict_count += 1;
     }
 
     /// The uncached entailment check on an already-simplified goal.
@@ -960,6 +1031,9 @@ impl Solver {
         // *previous* goal's FM run left pending — a later refutation must
         // never be annotated with another goal's atoms.
         self.pending_fm_order.clear();
+        // Cloned out of `self` so the closure below can borrow the FM memo
+        // mutably alongside (the limits are three words).
+        let fm_limits = self.fm_limits.clone();
         with_prepared_facts(hyp, goal, |rewrites, rewritten_goal, ineq_facts| {
             if self
                 .greedy_entails(rewritten_goal, ineq_facts)
@@ -973,7 +1047,17 @@ impl Solver {
             }
             let fact_refs: Vec<&Constr> = ineq_facts.iter().map(|c| c.as_ref()).collect();
 
-            let outcome = fm::prove(universals, &fact_refs, rewritten_goal, &self.fm_limits);
+            let tf = Instant::now();
+            let outcome = fm::prove(
+                universals,
+                &fact_refs,
+                rewritten_goal,
+                &fm_limits,
+                &mut self.fm_memo,
+            );
+            self.stats.fm_time += tf.elapsed();
+            self.stats.fm_memo_hits += outcome.memo_hits;
+            self.stats.fm_memo_misses += outcome.memo_misses;
             if debug_layers() {
                 eprintln!(
                     "fm[{:?} w={} elim={}]: GOAL {goal}",
@@ -1072,11 +1156,14 @@ impl Solver {
                 universals.len()
             );
         }
-        if self.config.use_compiled_eval {
+        let tn = Instant::now();
+        let v = if self.config.use_compiled_eval {
             self.numeric_check_compiled(universals, hyp, goal)
         } else {
             self.numeric_check_tree(universals, hyp, goal)
-        }
+        };
+        self.stats.numeric_time += tn.elapsed();
+        v
     }
 
     /// The verdict of a numeric sweep that found no counterexample: a
@@ -1444,6 +1531,12 @@ impl Solver {
     pub(crate) fn note_exelim_attempt(&mut self) {
         self.stats.exelim_attempts += 1;
     }
+
+    /// Records one candidate assignment skipped by memoized rejection
+    /// (called by `exelim`'s indexed search).
+    pub(crate) fn note_exelim_pruned(&mut self) {
+        self.stats.exelim_candidates_pruned += 1;
+    }
 }
 
 // --------------------------------------------------------------------------
@@ -1608,7 +1701,20 @@ fn apply_rewrites<'a>(c: &'a Constr, rewrites: &[(IdxVar, Idx)]) -> Cow<'a, Cons
 }
 
 /// Constant-folds atomic comparisons and simplifies trivial connectives.
+///
+/// Routes through the calling thread's hash-consed constraint pool
+/// ([`crate::cpool`]): repeated simplification of the same (sub-)constraints
+/// — every canonical entry point simplifies its goal, and `exelim` re-enters
+/// once per candidate substitution — reduces to memo lookups.  Produces
+/// exactly the same constraint as [`simplify_tree`] (differential-tested in
+/// `cpool`).
 pub fn simplify(c: &Constr) -> Constr {
+    cpool::simplify_cached(c)
+}
+
+/// The tree-walking reference implementation of [`simplify`] (the pooled
+/// version mirrors these fold rules node for node).
+pub fn simplify_tree(c: &Constr) -> Constr {
     match c {
         Constr::Eq(a, b) => {
             let (na, nb) = (rel_index::normalize(a), rel_index::normalize(b));
@@ -1661,8 +1767,8 @@ pub fn simplify(c: &Constr) -> Constr {
                 _ => Constr::Lt(na, nb),
             }
         }
-        Constr::And(cs) => Constr::conj(cs.iter().map(simplify)),
-        Constr::Or(cs) => Constr::disj(cs.iter().map(simplify)),
+        Constr::And(cs) => Constr::conj(cs.iter().map(simplify_tree)),
+        Constr::Or(cs) => Constr::disj(cs.iter().map(simplify_tree)),
         // `negate` flips comparisons (¬(a < b) becomes b ≤ a) without
         // re-folding them, so simplify the flipped form once more: this is
         // what makes `simplify` idempotent, the invariant the solver's
@@ -1671,13 +1777,13 @@ pub fn simplify(c: &Constr) -> Constr {
         // decomposition level.  A `Not` result is the opaque case (e.g.
         // ¬(a = b)) whose operand is already simplified — recursing on it
         // would loop.
-        Constr::Not(c) => match simplify(c).negate() {
+        Constr::Not(c) => match simplify_tree(c).negate() {
             negated @ Constr::Not(_) => negated,
-            negated => simplify(&negated),
+            negated => simplify_tree(&negated),
         },
-        Constr::Implies(a, b) => simplify(a).implies(simplify(b)),
-        Constr::Forall(q, c) => Constr::forall(q.var.clone(), q.sort, simplify(c)),
-        Constr::Exists(q, c) => Constr::exists(q.var.clone(), q.sort, simplify(c)),
+        Constr::Implies(a, b) => simplify_tree(a).implies(simplify_tree(b)),
+        Constr::Forall(q, c) => Constr::forall(q.var.clone(), q.sort, simplify_tree(c)),
+        Constr::Exists(q, c) => Constr::exists(q.var.clone(), q.sort, simplify_tree(c)),
         Constr::Top | Constr::Bot => c.clone(),
     }
 }
@@ -2004,11 +2110,13 @@ mod tests {
         assert!(s.entails(&u, &Constr::Top, &goal).is_valid());
         assert_eq!(s.stats().programs_compiled, 1);
         assert_eq!(s.stats().program_cache_hits, 0);
-        // Same query again (no validity cache attached, so the numeric layer
-        // re-runs): the bytecode is reused, not recompiled.
+        let points_cold = s.stats().points_evaluated;
+        assert!(points_cold > 0);
+        // Same query again: the per-solver verdict memo replays it outright —
+        // no recompilation *and* no re-sweep.
         assert!(s.entails(&u, &Constr::Top, &goal).is_valid());
         assert_eq!(s.stats().programs_compiled, 1);
-        assert_eq!(s.stats().program_cache_hits, 1);
+        assert_eq!(s.stats().points_evaluated, points_cold);
     }
 
     #[test]

@@ -105,7 +105,13 @@ proptest! {
         goal in arb_linear_constr(),
     ) {
         let facts: Vec<&Constr> = vec![&hyp];
-        let out = fm::prove(&universals(), &facts, &goal, &FmLimits::default());
+        let out = fm::prove(
+            &universals(),
+            &facts,
+            &goal,
+            &FmLimits::default(),
+            &mut fm::FmMemo::default(),
+        );
         if out.verdict == FmVerdict::Proved {
             if let Some(env) = grid_counterexample(&hyp, &goal, 6) {
                 prop_assert!(
@@ -124,7 +130,13 @@ proptest! {
         goal in arb_linear_constr(),
     ) {
         let facts: Vec<&Constr> = vec![&hyp];
-        let out = fm::prove(&universals(), &facts, &goal, &FmLimits::default());
+        let out = fm::prove(
+            &universals(),
+            &facts,
+            &goal,
+            &FmLimits::default(),
+            &mut fm::FmMemo::default(),
+        );
         if out.verdict == FmVerdict::CandidateRefuted {
             if let Some(witness) = out.witness {
                 let mut env = IdxEnv::new();

@@ -77,6 +77,19 @@ pub struct DefReport {
     pub fm_proved: usize,
     /// Obligations accepted only by a whole-grid sweep (grid-checked).
     pub grid_accepted: usize,
+    /// Wall-clock time inside the Fourier–Motzkin decision procedure — the
+    /// cost of *proving* (zero when the FM layer is off).
+    pub fm_time: Duration,
+    /// Wall-clock time inside the numeric layer (compile + grid + random
+    /// sweep) — the cost of *sweeping* (zero when every obligation proves).
+    pub numeric_time: Duration,
+    /// FM DNF branch systems answered from the solver's subproblem memo.
+    pub fm_memo_hits: usize,
+    /// FM DNF branch systems eliminated and then memoized.
+    pub fm_memo_misses: usize,
+    /// Existential candidate assignments skipped by memoized rejection
+    /// (no solver call spent on an instantiation already refuted).
+    pub exelim_candidates_pruned: usize,
     /// Stable hash of the checking inputs for this definition (elaborated
     /// definition + interfaces of the definitions before it + engine
     /// configuration); `0` when no [`DefIndex`] was in play.
@@ -143,6 +156,31 @@ impl ProgramReport {
     /// Total obligations discharged by the Fourier–Motzkin layer.
     pub fn fm_proved(&self) -> usize {
         self.defs.iter().map(|d| d.fm_proved).sum()
+    }
+
+    /// Total wall-clock time inside the Fourier–Motzkin layer.
+    pub fn fm_time(&self) -> Duration {
+        self.defs.iter().map(|d| d.fm_time).sum()
+    }
+
+    /// Total wall-clock time inside the numeric layer.
+    pub fn numeric_time(&self) -> Duration {
+        self.defs.iter().map(|d| d.numeric_time).sum()
+    }
+
+    /// Total FM subproblem-memo hits across all definitions.
+    pub fn fm_memo_hits(&self) -> usize {
+        self.defs.iter().map(|d| d.fm_memo_hits).sum()
+    }
+
+    /// Total FM subproblem-memo misses across all definitions.
+    pub fn fm_memo_misses(&self) -> usize {
+        self.defs.iter().map(|d| d.fm_memo_misses).sum()
+    }
+
+    /// Total existential candidates pruned by memoized rejection.
+    pub fn exelim_candidates_pruned(&self) -> usize {
+        self.defs.iter().map(|d| d.exelim_candidates_pruned).sum()
     }
 
     /// Total obligations accepted only by a whole-grid sweep.
@@ -500,6 +538,11 @@ impl Engine {
                 points_evaluated: sess.solver.stats().points_evaluated,
                 fm_proved: sess.solver.stats().fm_proved,
                 grid_accepted: sess.solver.stats().grid_accepted,
+                fm_time: sess.solver.stats().fm_time,
+                numeric_time: sess.solver.stats().numeric_time,
+                fm_memo_hits: sess.solver.stats().fm_memo_hits,
+                fm_memo_misses: sess.solver.stats().fm_memo_misses,
+                exelim_candidates_pruned: sess.solver.stats().exelim_candidates_pruned,
                 input_hash: 0,
                 skipped_unchanged: false,
             },
@@ -535,6 +578,12 @@ impl Engine {
                     points_evaluated: stats.points_evaluated + sess.solver.stats().points_evaluated,
                     fm_proved: stats.fm_proved + sess.solver.stats().fm_proved,
                     grid_accepted: stats.grid_accepted + sess.solver.stats().grid_accepted,
+                    fm_time: stats.fm_time + sess.solver.stats().fm_time,
+                    numeric_time: stats.numeric_time + sess.solver.stats().numeric_time,
+                    fm_memo_hits: stats.fm_memo_hits + sess.solver.stats().fm_memo_hits,
+                    fm_memo_misses: stats.fm_memo_misses + sess.solver.stats().fm_memo_misses,
+                    exelim_candidates_pruned: stats.exelim_candidates_pruned
+                        + sess.solver.stats().exelim_candidates_pruned,
                     input_hash: 0,
                     skipped_unchanged: false,
                 }
@@ -699,6 +748,11 @@ fn skipped_report(def: &Def, input_hash: u64, stored: StoredDef) -> DefReport {
         points_evaluated: 0,
         fm_proved: 0,
         grid_accepted: 0,
+        fm_time: Duration::ZERO,
+        numeric_time: Duration::ZERO,
+        fm_memo_hits: 0,
+        fm_memo_misses: 0,
+        exelim_candidates_pruned: 0,
         input_hash,
         skipped_unchanged: true,
     }

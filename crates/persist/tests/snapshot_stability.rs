@@ -1,0 +1,115 @@
+//! Snapshot-format stability across the constraint-interning PR.
+//!
+//! The hash-consed constraint pool, the FM subproblem memo and the indexed
+//! existential search are all in-memory acceleration layers: none of them
+//! may move the persisted surface.  This test pins that with **golden
+//! bytes**: the hex blob below is a complete v2 snapshot serialized by the
+//! pre-interning build (commit `3f49f5e`), and the engine fingerprint is the
+//! value that build reported for `Engine::new()`.  The current build must
+//!
+//! 1. report the identical default-engine fingerprint (a drift here would
+//!    cold-start every existing cache file),
+//! 2. re-serialize the same logical snapshot to the identical bytes
+//!    (`QueryKey` canonicalization and the codec are untouched by
+//!    interning), and
+//! 3. load — warm-start — the pre-PR blob into live caches.
+//!
+//! If a *deliberate* format or fingerprint change ever lands, regenerate
+//! the constants below and bump `FORMAT_VERSION` per DESIGN.md §6.
+
+use birelcost::{DefIndex, Engine, StoredDef};
+use rel_constraint::{
+    Constr, ProgramKey, QueryKey, ShardedValidityCache, SharedProgramCache, Validity, ValidityCache,
+};
+use rel_index::{Idx, IdxVar, Sort};
+use rel_persist::Snapshot;
+
+/// `Engine::new().fingerprint()` as reported by the pre-interning build.
+const GOLDEN_FINGERPRINT: u64 = 0x3b00_3972_1823_44c0;
+
+/// A complete snapshot file serialized by the pre-interning build from the
+/// fixed state assembled in `golden_snapshot()` below.
+const GOLDEN_BYTES_HEX: &str = "4252435302000000c04423187239003bed46c17bedbd0cb201edbd0102016e000174010300016e0300016e01020103070600016e0104010a0001740102010001070b06676f6c64656e0101000101016e00000300016e010801";
+
+fn decode_hex(hex: &str) -> Vec<u8> {
+    assert!(hex.len().is_multiple_of(2));
+    (0..hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).expect("valid hex"))
+        .collect()
+}
+
+/// The fixed snapshot state the golden bytes encode (one verdict, one def
+/// digest, one program key — every section exercised).
+fn golden_snapshot() -> Snapshot {
+    let key = QueryKey::new(
+        0x5EED,
+        &[
+            (IdxVar::new("n"), Sort::Nat),
+            (IdxVar::new("t"), Sort::Real),
+        ],
+        &Constr::leq(Idx::var("n"), Idx::var("n") + Idx::one()),
+        &Constr::leq(
+            Idx::half_ceil(Idx::var("n")),
+            Idx::max(Idx::var("t"), Idx::one()),
+        ),
+    );
+    Snapshot {
+        fingerprint: GOLDEN_FINGERPRINT,
+        verdicts: vec![(key, Validity::proved())],
+        defs: vec![(
+            7,
+            11,
+            StoredDef {
+                name: "golden".to_string(),
+                ok: true,
+                proved: true,
+                error: None,
+            },
+        )],
+        programs: vec![ProgramKey {
+            universals: vec![(IdxVar::new("n"), Sort::Nat)],
+            hyp: Constr::Top,
+            goal: Constr::leq(Idx::var("n"), Idx::nat(4)),
+        }],
+    }
+}
+
+#[test]
+fn default_engine_fingerprint_is_unchanged_by_interning() {
+    assert_eq!(
+        Engine::new().fingerprint(),
+        GOLDEN_FINGERPRINT,
+        "the default engine fingerprint drifted: every existing cache file \
+         would cold-start (if the change is deliberate, regenerate the \
+         golden constants and review DESIGN.md §6)"
+    );
+}
+
+#[test]
+fn query_key_byte_encoding_is_unchanged_by_interning() {
+    let bytes = golden_snapshot().to_bytes();
+    assert_eq!(
+        bytes,
+        decode_hex(GOLDEN_BYTES_HEX),
+        "snapshot byte encoding drifted from the pre-interning build"
+    );
+}
+
+#[test]
+fn pre_interning_v2_snapshot_warm_starts_after_the_pr() {
+    let bytes = decode_hex(GOLDEN_BYTES_HEX);
+    let loaded =
+        Snapshot::from_bytes(&bytes, GOLDEN_FINGERPRINT).expect("pre-PR snapshot must load");
+    assert_eq!(loaded, golden_snapshot());
+
+    // And it restores into live caches: the warm start a daemon would do.
+    let cache = ShardedValidityCache::new();
+    let programs = SharedProgramCache::new();
+    let defs = DefIndex::new();
+    loaded.restore(&cache, &programs, &defs);
+    assert_eq!(cache.stats().entries, 1);
+    assert_eq!(programs.stats().entries, 1);
+    assert_eq!(defs.len(), 1);
+    assert_eq!(defs.lookup(7, 11).unwrap().name, "golden");
+}

@@ -79,6 +79,12 @@ pub struct BatchStats {
     pub fm_proved: usize,
     /// Obligations accepted only by a whole-grid sweep across all jobs.
     pub grid_accepted: usize,
+    /// FM DNF branch systems answered from solver subproblem memos.
+    pub fm_memo_hits: usize,
+    /// FM DNF branch systems eliminated and then memoized.
+    pub fm_memo_misses: usize,
+    /// Existential candidate assignments skipped by memoized rejection.
+    pub exelim_candidates_pruned: usize,
 }
 
 impl BatchStats {
@@ -103,6 +109,9 @@ impl BatchStats {
                 stats.proved_defs += report.proved_defs();
                 stats.fm_proved += report.fm_proved();
                 stats.grid_accepted += report.grid_accepted();
+                stats.fm_memo_hits += report.fm_memo_hits();
+                stats.fm_memo_misses += report.fm_memo_misses();
+                stats.exelim_candidates_pruned += report.exelim_candidates_pruned();
             }
         }
         stats

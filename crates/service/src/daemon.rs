@@ -223,6 +223,12 @@ fn def_value(def: &DefReport) -> Value {
         ("points_evaluated", Value::Int(def.points_evaluated as i64)),
         ("fm_proved", Value::Int(def.fm_proved as i64)),
         ("grid_accepted", Value::Int(def.grid_accepted as i64)),
+        ("fm_memo_hits", Value::Int(def.fm_memo_hits as i64)),
+        ("fm_memo_misses", Value::Int(def.fm_memo_misses as i64)),
+        (
+            "exelim_candidates_pruned",
+            Value::Int(def.exelim_candidates_pruned as i64),
+        ),
         ("skipped_unchanged", Value::Bool(def.skipped_unchanged)),
     ])
 }

@@ -56,6 +56,41 @@ fn answers_consecutive_check_requests() {
 }
 
 #[test]
+fn def_reports_carry_the_fm_memo_and_exelim_counters() {
+    // The perf counters of the FM subproblem memo and the indexed
+    // existential search are part of the wire protocol: a load harness must
+    // be able to watch memo hit rates and pruned candidates per definition.
+    let service = service();
+    // `map` exercises both machineries: existential candidates and FM
+    // branches with Eq-splits (so the memo actually registers traffic).
+    let src = rel_suite::benchmark("map")
+        .unwrap()
+        .source
+        .replace('\n', " ");
+    let req = format!("{{\"check\": \"{src}\"}}");
+    let responses = drive(&service, &[&req]);
+    assert_eq!(responses[0].get("ok"), Some(&Value::Bool(true)));
+    let Some(Value::Arr(defs)) = responses[0].get("defs") else {
+        panic!("missing defs in {}", responses[0]);
+    };
+    let d = &defs[0];
+    for field in [
+        "fm_memo_hits",
+        "fm_memo_misses",
+        "exelim_candidates_pruned",
+        "fm_proved",
+        "grid_accepted",
+    ] {
+        assert!(
+            d.get(field).and_then(Value::as_int).is_some(),
+            "def report lacks `{field}`: {d}"
+        );
+    }
+    let misses = d.get("fm_memo_misses").and_then(Value::as_int).unwrap();
+    assert!(misses > 0, "map's obligations must exercise the FM memo");
+}
+
+#[test]
 fn reports_parse_errors_without_dying() {
     let service = service();
     let responses = drive(
