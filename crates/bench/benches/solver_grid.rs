@@ -192,6 +192,18 @@ fn solver_grid(c: &mut Criterion) {
         "exelim: merge {merge_ms:.0} ms (ok={merge_ok}), msort {msort_ms:.0} ms (ok={msort_ok})"
     );
 
+    // Per-phase wall-clock breakdown of one default-configuration pass over
+    // the verified suite — where a checking second actually goes.  The
+    // same quantities `check --metrics-out` exports as histograms, kept in
+    // the bench summary so phase-level regressions show up in the perf
+    // trajectory, not just end-to-end totals.
+    let phases = suite_phase_breakdown();
+    println!(
+        "phases (verified suite): typecheck {:.1} ms, exelim {:.1} ms, solving {:.1} ms, \
+         fm {:.1} ms, numeric {:.1} ms",
+        phases.typecheck_ms, phases.exelim_ms, phases.solving_ms, phases.fm_ms, phases.numeric_ms
+    );
+
     // Machine-readable summary for the perf trajectory.
     let tree_ns = measure(&tree_config(), samples);
     let compiled_ns = measure(&grid_config(), samples);
@@ -207,8 +219,17 @@ fn solver_grid(c: &mut Criterion) {
          \"speedup\": {fm_speedup:.2},\n    \
          \"engine_fm_ns\": {engine_fm_ns:.0},\n    \"engine_grid_ns\": {engine_grid_ns:.0},\n    \
          \"engine_speedup\": {engine_speedup:.2}\n  }},\n  \
+         \"phases\": {{\n    \"corpus\": \"verified suite\",\n    \
+         \"typecheck_ms\": {typecheck_ms:.1},\n    \"exelim_ms\": {exelim_ms:.1},\n    \
+         \"solving_ms\": {solving_ms:.1},\n    \"fm_ms\": {fm_ms:.1},\n    \
+         \"numeric_ms\": {numeric_ms:.1}\n  }},\n  \
          \"exelim\": {{\n    \"merge_ms\": {merge_ms:.0},\n    \"merge_ok\": {merge_ok},\n    \
          \"msort_ms\": {msort_ms:.0},\n    \"msort_ok\": {msort_ok}\n  }}\n}}\n",
+        typecheck_ms = phases.typecheck_ms,
+        exelim_ms = phases.exelim_ms,
+        solving_ms = phases.solving_ms,
+        fm_ms = phases.fm_ms,
+        numeric_ms = phases.numeric_ms,
         fm_points = fm.points,
         grid_points = grid.points,
         fm_decision_ns = fm.decision_ns / samples as f64,
@@ -291,6 +312,48 @@ fn run_verified_suite(use_fm: bool) -> (usize, f64, f64) {
         start.elapsed().as_nanos() as f64,
         decision.as_nanos() as f64,
     )
+}
+
+/// Per-phase wall clock of one verified-suite pass, in milliseconds.
+struct PhaseBreakdown {
+    typecheck_ms: f64,
+    exelim_ms: f64,
+    solving_ms: f64,
+    fm_ms: f64,
+    numeric_ms: f64,
+}
+
+/// Checks the verified suite once with the default engine, summing each
+/// phase across every definition report.
+fn suite_phase_breakdown() -> PhaseBreakdown {
+    let engine = Engine::new();
+    let mut typecheck = std::time::Duration::ZERO;
+    let mut exelim = std::time::Duration::ZERO;
+    let mut solving = std::time::Duration::ZERO;
+    let mut fm = std::time::Duration::ZERO;
+    let mut numeric = std::time::Duration::ZERO;
+    for b in all_benchmarks() {
+        if b.status != VerificationStatus::Verified {
+            continue;
+        }
+        let program = parse_program(b.source).expect("suite sources parse");
+        let report = engine.check_program(&program);
+        for def in &report.defs {
+            typecheck += def.timings.typecheck;
+            exelim += def.timings.existential_elim;
+            solving += def.timings.solving;
+        }
+        fm += report.fm_time();
+        numeric += report.numeric_time();
+    }
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    PhaseBreakdown {
+        typecheck_ms: ms(typecheck),
+        exelim_ms: ms(exelim),
+        solving_ms: ms(solving),
+        fm_ms: ms(fm),
+        numeric_ms: ms(numeric),
+    }
 }
 
 /// Checks one named benchmark end-to-end; returns (milliseconds, all_ok).

@@ -5,6 +5,14 @@
 //! birelcost serve [FLAGS]          newline-delimited JSON daemon on
 //!                                  stdin/stdout: {"check": "<source>"} ->
 //!                                  per-def verdicts, timings, cache stats
+//! birelcost explain NAME           re-check the bundled benchmark NAME with
+//!                                  the span recorder armed and narrate the
+//!                                  verdict: phase breakdown, where the time
+//!                                  went, and — for grid-backed verdicts —
+//!                                  which binding cap exhausted the
+//!                                  existential search
+//! birelcost validate-metrics FILE  check a --metrics-out dump against the
+//!                                  documented schema (exit 1 on drift)
 //! birelcost table1                 re-run the Table-1 benchmark suite
 //! birelcost list                   list the bundled benchmarks
 //!
@@ -15,6 +23,13 @@
 //!                        (serve: periodically and on shutdown).  Unchanged
 //!                        definitions are skipped; everything else reuses the
 //!                        persisted validity cache and program memo.
+//!
+//! FLAGS (check only):
+//!   --metrics-out PATH   write the merged metrics snapshot (solver counters,
+//!                        request histograms, cache gauges; DESIGN.md §8.2
+//!                        schema) to PATH after checking
+//!   --trace-out PATH     record spans while checking and write a
+//!                        chrome://tracing-loadable trace to PATH
 //! ```
 
 use std::env;
@@ -26,12 +41,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use birelcost::Engine;
+use rel_constraint::SearchExhaustedReason;
 use rel_service::{serve, BatchJob, BatchStats, Service, ServiceConfig};
 use rel_suite::{all_benchmarks, VerificationStatus};
 use rel_syntax::parse_program;
 
-const USAGE: &str =
-    "usage: birelcost <check [--jobs N] [--cache-file PATH] FILE...|serve [--jobs N] [--cache-file PATH]|table1|list>";
+const USAGE: &str = "usage: birelcost <check [--jobs N] [--cache-file PATH] [--metrics-out PATH] \
+     [--trace-out PATH] FILE...|serve [--jobs N] [--cache-file PATH]|explain NAME\
+     |validate-metrics FILE|table1|list>";
 
 /// How often the daemon flushes its warm state to the cache file.
 const SERVE_FLUSH_INTERVAL: Duration = Duration::from_secs(60);
@@ -48,6 +65,14 @@ fn main() -> ExitCode {
             Ok((flags, extra)) if extra.is_empty() => serve_stdio(&flags),
             Ok(_) => usage_error("serve takes no positional arguments"),
             Err(e) => usage_error(&e),
+        },
+        Some((cmd, rest)) if cmd == "explain" => match rest {
+            [name] => explain(name),
+            _ => usage_error("explain takes exactly one benchmark name"),
+        },
+        Some((cmd, rest)) if cmd == "validate-metrics" => match rest {
+            [file] => validate_metrics_file(file),
+            _ => usage_error("validate-metrics takes exactly one file"),
         },
         Some((cmd, _)) if cmd == "table1" => table1(),
         Some((cmd, _)) if cmd == "list" => list(),
@@ -69,6 +94,10 @@ struct Flags {
     jobs: Option<usize>,
     /// Warm-start snapshot path.
     cache_file: Option<String>,
+    /// Where to write the metrics snapshot after `check`.
+    metrics_out: Option<String>,
+    /// Where to write the chrome://tracing span trace after `check`.
+    trace_out: Option<String>,
 }
 
 impl Flags {
@@ -99,6 +128,10 @@ impl Flags {
                 );
             } else if let Some(path) = flag_value("--cache-file", None)? {
                 flags.cache_file = Some(path);
+            } else if let Some(path) = flag_value("--metrics-out", None)? {
+                flags.metrics_out = Some(path);
+            } else if let Some(path) = flag_value("--trace-out", None)? {
+                flags.trace_out = Some(path);
             } else if arg.starts_with('-') {
                 return Err(format!("unknown flag `{arg}`"));
             } else {
@@ -167,6 +200,13 @@ fn check_files(files: &[String], flags: &Flags) -> ExitCode {
         }
     }
 
+    // Arm the span recorder only when a trace was asked for: recording is
+    // cheap but not free, and `check` is also the benchmark harness.
+    if flags.trace_out.is_some() {
+        rel_obs::RelObsConfig::on().apply();
+        rel_obs::take_events(); // drop anything recorded before this run
+    }
+
     let service = service_with(workers, flags.cache_file.as_deref());
     let results = service.check_batch(&jobs);
     for result in &results {
@@ -225,16 +265,16 @@ fn check_files(files: &[String], flags: &Flags) -> ExitCode {
          fm_memo_hits={} fm_memo_misses={} exelim_pruned={}",
         stats.proved_defs,
         stats.defs_ok,
-        stats.fm_proved,
-        stats.grid_accepted,
+        stats.solve.fm_proved,
+        stats.solve.grid_accepted,
         results
             .iter()
             .filter_map(|r| r.outcome.as_ref().ok())
             .map(|rep| rep.points_evaluated())
             .sum::<usize>(),
-        stats.fm_memo_hits,
-        stats.fm_memo_misses,
-        stats.exelim_candidates_pruned
+        stats.solve.fm_memo_hits,
+        stats.solve.fm_memo_misses,
+        stats.solve.exelim_candidates_pruned
     );
     if workers > 1 {
         let cache = service.cache_stats();
@@ -246,8 +286,8 @@ fn check_files(files: &[String], flags: &Flags) -> ExitCode {
             stats.defs,
             cache.hits,
             cache.misses,
-            stats.programs_compiled,
-            stats.program_cache_hits
+            stats.solve.programs_compiled,
+            stats.solve.program_cache_hits
         );
     }
     if flags.cache_file.is_some() {
@@ -257,13 +297,37 @@ fn check_files(files: &[String], flags: &Flags) -> ExitCode {
             "warm-start: defs={} cache_hits={} cache_misses={} skipped_unchanged={} \
              programs_compiled={} program_cache_hits={}",
             stats.defs,
-            stats.cache_hits,
-            stats.cache_misses,
+            stats.solve.cache_hits,
+            stats.solve.cache_misses,
             stats.skipped_unchanged,
-            stats.programs_compiled,
-            stats.program_cache_hits
+            stats.solve.programs_compiled,
+            stats.solve.program_cache_hits
         );
         flush_cache(&service);
+    }
+
+    if let Some(path) = &flags.metrics_out {
+        match fs::write(path, service.metrics_snapshot().to_json() + "\n") {
+            Ok(()) => eprintln!("birelcost: metrics written to {path}"),
+            Err(e) => {
+                eprintln!("{path}: cannot write metrics: {e}");
+                ok = false;
+            }
+        }
+    }
+    if let Some(path) = &flags.trace_out {
+        let events = rel_obs::take_events();
+        rel_obs::RelObsConfig::off().apply();
+        match fs::write(path, rel_obs::chrome_trace(&events)) {
+            Ok(()) => eprintln!(
+                "birelcost: {} trace event(s) written to {path} (load in chrome://tracing)",
+                events.len()
+            ),
+            Err(e) => {
+                eprintln!("{path}: cannot write trace: {e}");
+                ok = false;
+            }
+        }
     }
 
     if ok {
@@ -274,6 +338,11 @@ fn check_files(files: &[String], flags: &Flags) -> ExitCode {
 }
 
 fn serve_stdio(flags: &Flags) -> ExitCode {
+    if flags.metrics_out.is_some() || flags.trace_out.is_some() {
+        return usage_error(
+            "--metrics-out/--trace-out are check flags; ask a running daemon with {\"metrics\": \"dump\"}",
+        );
+    }
     // The daemon defaults to the machine's parallelism: it exists to serve
     // traffic, and `{"batch": ...}` requests should use the cores without an
     // explicit flag.
@@ -325,6 +394,192 @@ fn serve_stdio(flags: &Flags) -> ExitCode {
         }
         Err(e) => {
             eprintln!("birelcost serve: I/O error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Renders a nanosecond duration at a human scale.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// `birelcost explain NAME`: re-checks one bundled benchmark with the span
+/// recorder armed and narrates the verdict from what was actually recorded —
+/// the phase tree, where the wall clock went, and which binding cap (if any)
+/// exhausted the existential search and forced the grid fallback.
+fn explain(name: &str) -> ExitCode {
+    let Some(bench) = all_benchmarks().into_iter().find(|b| b.name == name) else {
+        eprintln!("birelcost explain: no bundled benchmark named `{name}` (see `birelcost list`)");
+        return ExitCode::from(2);
+    };
+    let program = match parse_program(bench.source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("birelcost explain: {name}: parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    rel_obs::RelObsConfig::on().apply();
+    rel_obs::take_events(); // drop anything recorded before this run
+    let report = Engine::new().check_program(&program);
+    let events = rel_obs::take_events();
+    rel_obs::RelObsConfig::off().apply();
+
+    for def in &report.defs {
+        let status = if def.ok { "ok" } else { "FAIL" };
+        let via = if !def.ok {
+            "-"
+        } else if def.proved {
+            "proved"
+        } else {
+            "grid"
+        };
+        println!(
+            "{name}: {} {status} [{via}]  total {:?}",
+            def.name,
+            def.timings.total()
+        );
+        if let Some(err) = &def.error {
+            println!("  reason: {err}");
+        }
+    }
+
+    // Phase breakdown: every span name aggregated over the recorded tree,
+    // shown at the depth it first occurred, in first-occurrence order.
+    let trees = rel_obs::build_trees(&events);
+    let span_count: usize = events
+        .iter()
+        .filter(|e| e.kind == rel_obs::EventKind::Begin)
+        .count();
+    println!(
+        "\nrecorded phases ({} thread(s), {span_count} span(s)):",
+        trees.len()
+    );
+    let mut order: Vec<&'static str> = Vec::new();
+    let mut rows: std::collections::HashMap<&'static str, (usize, u64, u64)> =
+        std::collections::HashMap::new();
+    for tree in &trees {
+        for root in &tree.roots {
+            root.walk(&mut |node, depth| {
+                let row = rows.entry(node.name).or_insert_with(|| {
+                    order.push(node.name);
+                    (depth, 0, 0)
+                });
+                row.0 = row.0.min(depth);
+                row.1 += 1;
+                row.2 += node.duration_ns();
+            });
+        }
+    }
+    for span_name in &order {
+        let (depth, count, total) = rows[span_name];
+        let label = format!("{:indent$}{span_name}", "", indent = depth * 2);
+        println!("  {label:<32} {count:>6}×  {:>9}", fmt_ns(total));
+    }
+
+    // Binding caps, read back from the recorded exhaustion instants — the
+    // narrative names whatever the search actually logged, not a guess.
+    let mut caps: Vec<(&'static str, u64, usize)> = Vec::new();
+    for e in &events {
+        if e.kind != rel_obs::EventKind::Instant {
+            continue;
+        }
+        let tagged = e.name.strip_prefix("exelim.exhausted.").is_some()
+            || e.name.strip_prefix("fm.abstain.").is_some();
+        if !tagged {
+            continue;
+        }
+        match caps.iter_mut().find(|(n, _, _)| *n == e.name) {
+            Some(row) => {
+                row.1 = row.1.max(e.arg);
+                row.2 += 1;
+            }
+            None => caps.push((e.name, e.arg, 1)),
+        }
+    }
+    if caps.is_empty() {
+        println!("\nno binding cap fired: the existential search never gave up.");
+    } else {
+        println!("\nbinding caps (recorded exhaustion events):");
+        for (event_name, arg, count) in &caps {
+            let tag = event_name.rsplit('.').next().unwrap_or_default();
+            match SearchExhaustedReason::parse(tag) {
+                Some(reason) => println!(
+                    "  {event_name:<36} {count:>4}×  limit {arg}  — {}",
+                    reason.describe()
+                ),
+                // e.g. exelim.exhausted.candidates: the pool ran dry without
+                // hitting a cap; the argument is the attempts spent.
+                None => println!("  {event_name:<36} {count:>4}×  after {arg} attempt(s)"),
+            }
+        }
+    }
+    for def in &report.defs {
+        if let Some(reason) = def.stats.search_exhausted {
+            // The recorded instant carrying this reason has the limit that
+            // actually fired.
+            let limit = caps
+                .iter()
+                .find(|(n, _, _)| n.ends_with(reason.as_str()))
+                .map(|(_, limit, _)| *limit);
+            let outcome = if def.ok {
+                "the verdict leaned on the bounded numeric grid"
+            } else {
+                "the obligation was reported unprovable"
+            };
+            print!(
+                "\n{} gave up its existential search at {} ({})",
+                def.name,
+                reason.describe(),
+                reason.as_str()
+            );
+            match limit {
+                Some(l) => println!(", limit {l}, so {outcome}."),
+                None => println!(", so {outcome}."),
+            }
+        }
+    }
+
+    if report.all_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `birelcost validate-metrics FILE`: checks a `--metrics-out` dump (or a
+/// daemon `{"metrics": "dump"}` response) against the documented schema.
+fn validate_metrics_file(file: &str) -> ExitCode {
+    let text = match fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{file}: cannot read: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match rel_service::validate_metrics(&text) {
+        Ok(s) => {
+            println!(
+                "{file}: ok — schema v{}, {} counter(s), {} gauge(s), {} histogram(s)",
+                rel_obs::SCHEMA_VERSION,
+                s.counters,
+                s.gauges,
+                s.histograms
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{file}: schema violation: {e}");
             ExitCode::FAILURE
         }
     }

@@ -37,7 +37,7 @@ use rel_index::{Idx, IdxVar, Sort};
 use crate::constr::{Constr, Quantified};
 use crate::cpool;
 use crate::fm;
-use crate::solver::{Provenance, Solver, Validity};
+use crate::solver::{Provenance, SearchExhaustedReason, Solver, Validity};
 
 /// Statistics from one elimination run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -46,6 +46,10 @@ pub struct ExElimStats {
     pub variables: usize,
     /// Number of complete candidate assignments tried.
     pub attempts: usize,
+    /// When the search gave up: which cap ended it, with the configured
+    /// limit value (`None` on success, and also when the candidate pool
+    /// simply ran dry without any cap firing).
+    pub exhausted: Option<(SearchExhaustedReason, u64)>,
 }
 
 /// Result of eliminating the existentials of one goal.
@@ -315,9 +319,11 @@ pub fn eliminate_existentials(
     goal: &Constr,
 ) -> ExElimOutcome {
     let (matrix, ex_vars) = strip_existentials(goal);
+    let _span = rel_obs::span_with("exelim.eliminate", ex_vars.len() as u64);
     let mut stats = ExElimStats {
         variables: ex_vars.len(),
         attempts: 0,
+        exhausted: None,
     };
     if ex_vars.is_empty() {
         let v = solver.entails_no_exists(universals, hyp, &matrix);
@@ -362,6 +368,7 @@ pub fn eliminate_existentials(
             .iter()
             .map(|&vi| (&ex_vars[vi], index.candidates[vi].as_slice()))
             .collect();
+        let _comp_span = rel_obs::span_with("exelim.component", var_positions.len() as u64);
         match search_component(
             solver,
             universals,
@@ -387,7 +394,7 @@ pub fn eliminate_existentials(
                 // be handed back to the solver pipeline.
                 let comp_vars: Vec<&Quantified> =
                     var_positions.iter().map(|&vi| &ex_vars[vi]).collect();
-                match fm_projection(solver, universals, hyp, &comp_goal, &comp_vars) {
+                match fm_projection(solver, universals, hyp, &comp_goal, &comp_vars, &mut stats) {
                     Some(Validity::Valid(p)) => {
                         provenance = provenance.and(p);
                         // A projected component has no syntactic witness.
@@ -445,6 +452,13 @@ fn search_component(
     loop {
         explored += 1;
         if stats.attempts >= max_attempts || explored > max_explored {
+            let (reason, limit) = if stats.attempts >= max_attempts {
+                (SearchExhaustedReason::AttemptBudget, max_attempts as u64)
+            } else {
+                (SearchExhaustedReason::ComponentBlowup, max_explored as u64)
+            };
+            stats.exhausted = stats.exhausted.or(Some((reason, limit)));
+            rel_obs::event_with(reason.event_name(), limit);
             return None;
         }
         // Build the substitution for the current assignment, resolving
@@ -498,6 +512,10 @@ fn search_component(
         let mut i = 0;
         loop {
             if i == assignment.len() {
+                // The candidate pool ran dry without hitting any cap: not a
+                // budget failure, so no `SearchExhaustedReason` — but the
+                // trace still records that the search ended empty-handed.
+                rel_obs::event_with("exelim.exhausted.candidates", stats.attempts as u64);
                 return None;
             }
             assignment[i] += 1;
@@ -563,6 +581,7 @@ fn fm_projection(
     hyp: &Constr,
     matrix: &Constr,
     ex_vars: &[&Quantified],
+    stats: &mut ExElimStats,
 ) -> Option<Validity> {
     if !solver.config().use_fm || ex_vars.is_empty() {
         return None;
@@ -578,7 +597,19 @@ fn fm_projection(
     }
     let vars: Vec<IdxVar> = ex_vars.iter().map(|q| q.var.clone()).collect();
     let limits = solver.fm_limits().clone();
-    let projected = fm::project_reals(matrix, &vars, &limits)?;
+    let mut abort = None;
+    let projected = match fm::project_reals_with(matrix, &vars, &limits, &mut abort) {
+        Some(p) => p,
+        None => {
+            // A capped projection is the search's last complete move dying
+            // to a limit, not to a missing candidate: record which one.
+            if let Some((reason, limit)) = abort {
+                stats.exhausted = stats.exhausted.or(Some((reason, limit)));
+                rel_obs::event_with(reason.event_name(), limit);
+            }
+            return None;
+        }
+    };
     let verdict = solver.entails_no_exists(universals, hyp, &projected);
     if verdict.is_valid() {
         solver.note_fm_projection();
@@ -748,6 +779,30 @@ mod tests {
         let out = eliminate_existentials(&mut s, &u, &Constr::Top, &goal);
         assert!(out.validity.is_none());
         assert!(out.stats.attempts >= 2);
+        // The pool ran dry without hitting a cap: no reason is reported.
+        assert_eq!(out.stats.exhausted, None);
+    }
+
+    #[test]
+    fn attempt_budget_exhaustion_is_tagged_with_its_cap() {
+        let mut s = Solver::with_config(SolveConfig {
+            max_exelim_attempts: 0,
+            ..SolveConfig::default()
+        });
+        let u = nat_universals(&["n"]);
+        // Solvable (i := n), but the zero budget exhausts the component
+        // search before the first candidate is tried.
+        let goal = Constr::exists(
+            "i",
+            Sort::Nat,
+            Constr::eq(Idx::var("i"), Idx::var("n")).and(Constr::leq(Idx::var("i"), Idx::var("n"))),
+        );
+        let out = eliminate_existentials(&mut s, &u, &Constr::Top, &goal);
+        assert!(out.validity.is_none());
+        assert_eq!(
+            out.stats.exhausted,
+            Some((SearchExhaustedReason::AttemptBudget, 0))
+        );
     }
 
     #[test]

@@ -60,6 +60,7 @@ use rel_index::{Atom, Extended, Idx, IdxVar, LinExpr, Rational, Sort};
 
 use crate::cache::Fnv1a;
 use crate::constr::Constr;
+use crate::solver::SearchExhaustedReason;
 
 /// Resource limits of one FM run.  All three exist to bound the
 /// worst-case double-exponential blow-up of elimination; hitting any of
@@ -199,6 +200,8 @@ enum BranchDecision {
     Abstained {
         /// Atom elimination order up to the abstention.
         order: Vec<String>,
+        /// Which cap fired.
+        cause: SearchExhaustedReason,
     },
 }
 
@@ -1022,8 +1025,9 @@ enum ElimResult {
     /// All atoms eliminated without contradiction: feasible (in the
     /// abstraction).
     Sat,
-    /// Limits exceeded.
-    Abstain,
+    /// Limits exceeded; the payload names the cap that fired (row/magnitude
+    /// overflows map to `RowCap`, the distinct-atom ceiling to `BranchCap`).
+    Abstain(SearchExhaustedReason),
 }
 
 /// The bound rows a pivot was eliminated under, kept for witness
@@ -1064,7 +1068,7 @@ fn eliminate(
                     RowStatus::Keep => {}
                 }
                 if !row.in_bounds() {
-                    return ElimResult::Abstain;
+                    return ElimResult::Abstain(SearchExhaustedReason::RowCap);
                 }
             }
             kept.push(row);
@@ -1077,7 +1081,7 @@ fn eliminate(
             canonical_merge(&mut rows);
         }
         if rows.len() > limits.max_rows {
-            return ElimResult::Abstain;
+            return ElimResult::Abstain(SearchExhaustedReason::RowCap);
         }
         // Count atom occurrences, split by sign, to pick the cheapest pivot.
         let mut signs: BTreeMap<AtomId, (usize, usize)> = BTreeMap::new();
@@ -1095,7 +1099,7 @@ fn eliminate(
             return ElimResult::Sat;
         }
         if signs.len() > limits.max_atoms {
-            return ElimResult::Abstain;
+            return ElimResult::Abstain(SearchExhaustedReason::BranchCap);
         }
         // Cheapest pivot by (p·n, p+n); ties broken by the atoms'
         // *structural* order, so the elimination order is independent of
@@ -1130,7 +1134,7 @@ fn eliminate(
         // One-sided bounds project away with their rows.
         if !lower.is_empty() && !upper.is_empty() {
             if carried + lower.len() * upper.len() > limits.max_rows {
-                return ElimResult::Abstain;
+                return ElimResult::Abstain(SearchExhaustedReason::RowCap);
             }
             for (lo, a) in &lower {
                 for (up, b) in &upper {
@@ -1138,7 +1142,7 @@ fn eliminate(
                     // up: b·x + f ≥ 0 (b < 0) gives x ≤ -f/b.
                     // Feasible together iff  -e/a ≤ -f/b, i.e. e/a + f/(-b) ≥ 0.
                     let Some(combined) = combine_rows(lo, *a, up, *b) else {
-                        return ElimResult::Abstain;
+                        return ElimResult::Abstain(SearchExhaustedReason::RowCap);
                     };
                     kept.push(combined);
                 }
@@ -1427,6 +1431,10 @@ pub fn prove(
         }
     }
     let Some(branches) = memo.neg_branches_cached(goal, limits.max_branches) else {
+        rel_obs::event_with(
+            SearchExhaustedReason::BranchCap.fm_event_name(),
+            limits.max_branches as u64,
+        );
         return FmOutcome::abstained();
     };
     // Hoisted *and memoized* once per hypothesis (satellite of the FM perf
@@ -1527,7 +1535,8 @@ pub fn prove(
                 ));
                 break;
             }
-            BranchDecision::Abstained { order } => {
+            BranchDecision::Abstained { order, cause } => {
+                rel_obs::event(cause.fm_event_name());
                 early = Some(outcome(
                     FmVerdict::Abstained,
                     order,
@@ -1575,7 +1584,7 @@ fn decide_branch(
                 .and_then(|assignment| concretize(&assignment, table, universals));
             BranchDecision::Feasible { order, witness }
         }
-        ElimResult::Abstain => BranchDecision::Abstained { order },
+        ElimResult::Abstain(cause) => BranchDecision::Abstained { order, cause },
     }
 }
 
@@ -1610,6 +1619,20 @@ fn row_to_idx(row: &Row, table: &[AtomInfo]) -> Idx {
 /// comparisons, a variable occurs inside an opaque atom, or limits are
 /// exceeded.
 pub fn project_reals(matrix: &Constr, vars: &[IdxVar], limits: &FmLimits) -> Option<Constr> {
+    let mut abort = None;
+    project_reals_with(matrix, vars, limits, &mut abort)
+}
+
+/// [`project_reals`] with cap attribution: when the projection fails on a
+/// *limit* (rather than a fragment mismatch), `abort` is set to the cap
+/// that fired and its configured value, so exelim can report why its last
+/// complete move died instead of a generic "no candidate worked".
+pub fn project_reals_with(
+    matrix: &Constr,
+    vars: &[IdxVar],
+    limits: &FmLimits,
+    abort: &mut Option<(SearchExhaustedReason, u64)>,
+) -> Option<Constr> {
     // A throwaway atom table: projection is the cold path (once per failed
     // candidate search over an all-ℝ component).
     let mut memo = FmMemo::default();
@@ -1620,6 +1643,7 @@ pub fn project_reals(matrix: &Constr, vars: &[IdxVar], limits: &FmLimits) -> Opt
     }
     let mut rows = branches.pop().expect("length checked");
     if rows.len() > limits.max_rows {
+        *abort = Some((SearchExhaustedReason::RowCap, limits.max_rows as u64));
         return None;
     }
     let nat_vars = BTreeSet::new(); // no integer tightening during projection
@@ -1656,11 +1680,16 @@ pub fn project_reals(matrix: &Constr, vars: &[IdxVar], limits: &FmLimits) -> Opt
         }
         if !lower.is_empty() && !upper.is_empty() {
             if kept.len() + lower.len() * upper.len() > limits.max_rows {
+                *abort = Some((SearchExhaustedReason::RowCap, limits.max_rows as u64));
                 return None;
             }
             for (lo, a) in &lower {
                 for (up, b) in &upper {
-                    let combined = combine_rows(lo, *a, up, *b)?;
+                    let Some(combined) = combine_rows(lo, *a, up, *b) else {
+                        // Coefficient magnitude overflow: same cap family.
+                        *abort = Some((SearchExhaustedReason::RowCap, limits.max_rows as u64));
+                        return None;
+                    };
                     kept.push(combined);
                 }
             }

@@ -138,7 +138,7 @@ impl SolveConfig {
 }
 
 /// Statistics accumulated across solver queries.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolveStats {
     /// Number of top-level entailment queries.
     pub queries: usize,
@@ -194,6 +194,216 @@ pub struct SolveStats {
     pub exelim_time: Duration,
     /// Wall-clock time spent in constraint solving (excluding ∃-elimination).
     pub solving_time: Duration,
+    /// Why the last exhausted existential search gave up, when a specific
+    /// cap could be identified (`None` when no search was exhausted, or
+    /// when the candidate pool simply ran dry without hitting a cap).
+    pub search_exhausted: Option<SearchExhaustedReason>,
+}
+
+impl SolveStats {
+    /// Accumulates `other` into `self`.
+    ///
+    /// This is the **single** aggregation point for solver counters — the
+    /// batch workers, the daemon and the engine all sum through here, so a
+    /// newly added field can never be silently dropped from one path: the
+    /// exhaustive destructuring below fails to compile until the field is
+    /// handled.
+    pub fn merge(&mut self, other: &SolveStats) {
+        let SolveStats {
+            queries,
+            symbolic_hits,
+            fm_proved,
+            fm_refuted,
+            fm_projections,
+            fm_memo_hits,
+            fm_memo_misses,
+            exelim_candidates_pruned,
+            numeric_checks,
+            grid_accepted,
+            points_evaluated,
+            exelim_attempts,
+            cache_hits,
+            cache_misses,
+            programs_compiled,
+            program_cache_hits,
+            fm_time,
+            numeric_time,
+            exelim_time,
+            solving_time,
+            search_exhausted,
+        } = *other;
+        self.queries += queries;
+        self.symbolic_hits += symbolic_hits;
+        self.fm_proved += fm_proved;
+        self.fm_refuted += fm_refuted;
+        self.fm_projections += fm_projections;
+        self.fm_memo_hits += fm_memo_hits;
+        self.fm_memo_misses += fm_memo_misses;
+        self.exelim_candidates_pruned += exelim_candidates_pruned;
+        self.numeric_checks += numeric_checks;
+        self.grid_accepted += grid_accepted;
+        self.points_evaluated += points_evaluated;
+        self.exelim_attempts += exelim_attempts;
+        self.cache_hits += cache_hits;
+        self.cache_misses += cache_misses;
+        self.programs_compiled += programs_compiled;
+        self.program_cache_hits += program_cache_hits;
+        self.fm_time += fm_time;
+        self.numeric_time += numeric_time;
+        self.exelim_time += exelim_time;
+        self.solving_time += solving_time;
+        self.search_exhausted = self.search_exhausted.or(search_exhausted);
+    }
+
+    /// Publishes these statistics as counters and phase-latency histograms
+    /// on the process-wide [`rel_obs::metrics::global`] registry.  Called
+    /// once per def-check by the engine, so the histograms read as per-def
+    /// phase-time distributions.  Exhaustively destructured like
+    /// [`SolveStats::merge`], and for the same reason.
+    pub fn publish(&self) {
+        let SolveStats {
+            queries,
+            symbolic_hits,
+            fm_proved,
+            fm_refuted,
+            fm_projections,
+            fm_memo_hits,
+            fm_memo_misses,
+            exelim_candidates_pruned,
+            numeric_checks,
+            grid_accepted,
+            points_evaluated,
+            exelim_attempts,
+            cache_hits,
+            cache_misses,
+            programs_compiled,
+            program_cache_hits,
+            fm_time,
+            numeric_time,
+            exelim_time,
+            solving_time,
+            search_exhausted,
+        } = *self;
+        rel_obs::counter!("solver.queries").add(queries as u64);
+        rel_obs::counter!("solver.symbolic_hits").add(symbolic_hits as u64);
+        rel_obs::counter!("solver.fm_proved").add(fm_proved as u64);
+        rel_obs::counter!("solver.fm_refuted").add(fm_refuted as u64);
+        rel_obs::counter!("solver.fm_projections").add(fm_projections as u64);
+        rel_obs::counter!("solver.fm_memo_hits").add(fm_memo_hits as u64);
+        rel_obs::counter!("solver.fm_memo_misses").add(fm_memo_misses as u64);
+        rel_obs::counter!("solver.exelim_candidates_pruned").add(exelim_candidates_pruned as u64);
+        rel_obs::counter!("solver.numeric_checks").add(numeric_checks as u64);
+        rel_obs::counter!("solver.grid_accepted").add(grid_accepted as u64);
+        rel_obs::counter!("solver.points_evaluated").add(points_evaluated as u64);
+        rel_obs::counter!("solver.exelim_attempts").add(exelim_attempts as u64);
+        rel_obs::counter!("solver.cache_hits").add(cache_hits as u64);
+        rel_obs::counter!("solver.cache_misses").add(cache_misses as u64);
+        rel_obs::counter!("solver.programs_compiled").add(programs_compiled as u64);
+        rel_obs::counter!("solver.program_cache_hits").add(program_cache_hits as u64);
+        rel_obs::histogram!("solver.fm_ns").observe(fm_time);
+        rel_obs::histogram!("solver.numeric_ns").observe(numeric_time);
+        rel_obs::histogram!("solver.exelim_ns").observe(exelim_time);
+        rel_obs::histogram!("solver.solving_ns").observe(solving_time);
+        if let Some(reason) = search_exhausted {
+            // Four runtime-chosen names, so the per-call-site caching macro
+            // does not apply; this is the once-per-def slow path.
+            rel_obs::metrics::global()
+                .counter(reason.counter_name())
+                .incr();
+        }
+    }
+}
+
+/// Which cap ended an exhausted existential search — the difference between
+/// "raise `max_exelim_attempts`" and "the FM system is too big", which is
+/// exactly what the merge/msort close-out needs to know.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SearchExhaustedReason {
+    /// `SolveConfig::max_exelim_attempts` candidate substitutions were
+    /// tried without success.
+    AttemptBudget,
+    /// Fourier–Motzkin elimination gave up because an intermediate system
+    /// exceeded the row or coefficient-magnitude limits (`FmLimits`).
+    RowCap,
+    /// Fourier–Motzkin gave up because the goal split into more DNF
+    /// branches (or distinct atoms) than `FmLimits` allows.
+    BranchCap,
+    /// The indexed candidate search visited more combinations than the
+    /// component exploration ceiling before the attempt budget was even
+    /// reached (cartesian blowup inside one variable component).
+    ComponentBlowup,
+}
+
+impl SearchExhaustedReason {
+    /// Stable kebab-case tag used in JSON reports and CLI diagnostics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SearchExhaustedReason::AttemptBudget => "attempt-budget",
+            SearchExhaustedReason::RowCap => "row-cap",
+            SearchExhaustedReason::BranchCap => "branch-cap",
+            SearchExhaustedReason::ComponentBlowup => "component-blowup",
+        }
+    }
+
+    /// Name of the recorder instant event emitted when this cap fires.
+    pub fn event_name(self) -> &'static str {
+        match self {
+            SearchExhaustedReason::AttemptBudget => "exelim.exhausted.attempt-budget",
+            SearchExhaustedReason::RowCap => "exelim.exhausted.row-cap",
+            SearchExhaustedReason::BranchCap => "exelim.exhausted.branch-cap",
+            SearchExhaustedReason::ComponentBlowup => "exelim.exhausted.component-blowup",
+        }
+    }
+
+    /// Name of the recorder instant event emitted when Fourier–Motzkin
+    /// *proving* (as opposed to exelim's projection) abstains on this cap.
+    pub fn fm_event_name(self) -> &'static str {
+        match self {
+            SearchExhaustedReason::AttemptBudget => "fm.abstain.attempt-budget",
+            SearchExhaustedReason::RowCap => "fm.abstain.row-cap",
+            SearchExhaustedReason::BranchCap => "fm.abstain.branch-cap",
+            SearchExhaustedReason::ComponentBlowup => "fm.abstain.component-blowup",
+        }
+    }
+
+    /// Name of the global-registry counter bumped when this cap fires.
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            SearchExhaustedReason::AttemptBudget => "solver.search_exhausted.attempt-budget",
+            SearchExhaustedReason::RowCap => "solver.search_exhausted.row-cap",
+            SearchExhaustedReason::BranchCap => "solver.search_exhausted.branch-cap",
+            SearchExhaustedReason::ComponentBlowup => "solver.search_exhausted.component-blowup",
+        }
+    }
+
+    /// Human phrasing of the cap for failure diagnostics ("the <cap> of
+    /// <n> ..." reads naturally with the fired limit appended).
+    pub fn describe(self) -> &'static str {
+        match self {
+            SearchExhaustedReason::AttemptBudget => "the candidate-substitution attempt budget",
+            SearchExhaustedReason::RowCap => {
+                "the Fourier-Motzkin row/magnitude cap on an intermediate system"
+            }
+            SearchExhaustedReason::BranchCap => {
+                "the Fourier-Motzkin branch/atom cap while splitting the goal"
+            }
+            SearchExhaustedReason::ComponentBlowup => {
+                "the per-component exploration ceiling of the indexed candidate search"
+            }
+        }
+    }
+
+    /// Parses the [`SearchExhaustedReason::as_str`] tag back (used by the
+    /// service layer when round-tripping reports through JSON).
+    pub fn parse(s: &str) -> Option<SearchExhaustedReason> {
+        match s {
+            "attempt-budget" => Some(SearchExhaustedReason::AttemptBudget),
+            "row-cap" => Some(SearchExhaustedReason::RowCap),
+            "branch-cap" => Some(SearchExhaustedReason::BranchCap),
+            "component-blowup" => Some(SearchExhaustedReason::ComponentBlowup),
+            _ => None,
+        }
+    }
 }
 
 /// How a `Valid` verdict was reached — the provenance threaded through
@@ -289,6 +499,9 @@ pub struct RefutationInfo {
     pub env: Option<IdxEnv>,
     /// FM elimination order (atom display names) of the failing goal.
     pub fm_eliminated: Vec<String>,
+    /// For [`CexSource::SearchExhausted`] refutations: which cap fired,
+    /// with the configured limit value, when one could be identified.
+    pub exhausted: Option<(SearchExhaustedReason, u64)>,
 }
 
 /// One memoized compiled program, stored next to its full key so program
@@ -657,6 +870,7 @@ impl Solver {
         hyp: &Constr,
         goal: &Constr,
     ) -> Validity {
+        let _span = rel_obs::span_with("solver.entails", universals.len() as u64);
         self.last_refutation = RefutationInfo::default();
         self.pending_fm_order.clear();
         let goal = simplify(goal);
@@ -796,7 +1010,7 @@ impl Solver {
                         self.stats.solving_time += start.elapsed();
                         v
                     } else {
-                        self.note_search_exhausted();
+                        self.note_search_exhausted(outcome.stats.exhausted);
                         Validity::Invalid(None)
                     }
                 }
@@ -872,7 +1086,7 @@ impl Solver {
                     }
                     self.numeric_check(universals, hyp, goal)
                 } else {
-                    self.note_search_exhausted();
+                    self.note_search_exhausted(None);
                     Validity::Invalid(None)
                 }
             }
@@ -1027,6 +1241,7 @@ impl Solver {
         hyp: &Constr,
         goal: &Constr,
     ) -> Option<Validity> {
+        let _span = rel_obs::span("solver.symbolic");
         // A new goal's decision invalidates whatever elimination order the
         // *previous* goal's FM run left pending — a later refutation must
         // never be annotated with another goal's atoms.
@@ -1048,16 +1263,22 @@ impl Solver {
             let fact_refs: Vec<&Constr> = ineq_facts.iter().map(|c| c.as_ref()).collect();
 
             let tf = Instant::now();
-            let outcome = fm::prove(
-                universals,
-                &fact_refs,
-                rewritten_goal,
-                &fm_limits,
-                &mut self.fm_memo,
-            );
+            let outcome = {
+                let _fm_span = rel_obs::span_with("fm.prove", fact_refs.len() as u64);
+                fm::prove(
+                    universals,
+                    &fact_refs,
+                    rewritten_goal,
+                    &fm_limits,
+                    &mut self.fm_memo,
+                )
+            };
             self.stats.fm_time += tf.elapsed();
             self.stats.fm_memo_hits += outcome.memo_hits;
             self.stats.fm_memo_misses += outcome.memo_misses;
+            if outcome.memo_hits > 0 {
+                rel_obs::event_with("fm.memo_hit", outcome.memo_hits as u64);
+            }
             if debug_layers() {
                 eprintln!(
                     "fm[{:?} w={} elim={}]: GOAL {goal}",
@@ -1149,6 +1370,7 @@ impl Solver {
         hyp: &Constr,
         goal: &Constr,
     ) -> Validity {
+        let _span = rel_obs::span_with("solver.numeric", universals.len() as u64);
         self.stats.numeric_checks += 1;
         if debug_layers() {
             eprintln!(
@@ -1186,11 +1408,16 @@ impl Solver {
         self.last_refutation.fm_eliminated = std::mem::take(&mut self.pending_fm_order);
     }
 
-    /// Records an exhausted existential search (no numeric counterexample).
-    fn note_search_exhausted(&mut self) {
+    /// Records an exhausted existential search (no numeric counterexample),
+    /// with the cap that ended it when one fired.
+    fn note_search_exhausted(&mut self, why: Option<(SearchExhaustedReason, u64)>) {
         self.last_refutation.source = Some(CexSource::SearchExhausted);
         self.last_refutation.env = None;
         self.last_refutation.fm_eliminated = std::mem::take(&mut self.pending_fm_order);
+        self.last_refutation.exhausted = why;
+        if let Some((reason, _)) = why {
+            self.stats.search_exhausted = self.stats.search_exhausted.or(Some(reason));
+        }
     }
 
     /// Adaptive per-variable grid size so the total stays under the cap.
@@ -1235,6 +1462,7 @@ impl Solver {
             }
             None => {
                 self.stats.programs_compiled += 1;
+                let _span = rel_obs::span("grid.compile");
                 (Arc::new(compile_query(universals, hyp, goal)), true)
             }
         };
@@ -2308,5 +2536,136 @@ mod tests {
             );
         let goal = Constr::leq(lhs, big_q(Idx::var("n"), Idx::var("alpha")));
         assert!(s.entails(&u, &hyp, &goal).is_valid());
+    }
+
+    #[test]
+    fn merge_covers_every_field() {
+        // Every counter distinct and non-zero, so a merge that dropped or
+        // crossed a field would be caught by the per-field asserts below.
+        // Constructed without `..`: adding a SolveStats field breaks this
+        // literal (and `merge` itself) until both are taught about it.
+        let unit = SolveStats {
+            queries: 1,
+            symbolic_hits: 2,
+            fm_proved: 3,
+            fm_refuted: 4,
+            fm_projections: 5,
+            fm_memo_hits: 6,
+            fm_memo_misses: 7,
+            exelim_candidates_pruned: 8,
+            numeric_checks: 9,
+            grid_accepted: 10,
+            points_evaluated: 11,
+            exelim_attempts: 12,
+            cache_hits: 13,
+            cache_misses: 14,
+            programs_compiled: 15,
+            program_cache_hits: 16,
+            fm_time: Duration::from_nanos(17),
+            numeric_time: Duration::from_nanos(18),
+            exelim_time: Duration::from_nanos(19),
+            solving_time: Duration::from_nanos(20),
+            search_exhausted: Some(SearchExhaustedReason::RowCap),
+        };
+        let mut acc = SolveStats::default();
+        acc.merge(&unit);
+        acc.merge(&unit);
+        let SolveStats {
+            queries,
+            symbolic_hits,
+            fm_proved,
+            fm_refuted,
+            fm_projections,
+            fm_memo_hits,
+            fm_memo_misses,
+            exelim_candidates_pruned,
+            numeric_checks,
+            grid_accepted,
+            points_evaluated,
+            exelim_attempts,
+            cache_hits,
+            cache_misses,
+            programs_compiled,
+            program_cache_hits,
+            fm_time,
+            numeric_time,
+            exelim_time,
+            solving_time,
+            search_exhausted,
+        } = acc;
+        assert_eq!(queries, 2);
+        assert_eq!(symbolic_hits, 4);
+        assert_eq!(fm_proved, 6);
+        assert_eq!(fm_refuted, 8);
+        assert_eq!(fm_projections, 10);
+        assert_eq!(fm_memo_hits, 12);
+        assert_eq!(fm_memo_misses, 14);
+        assert_eq!(exelim_candidates_pruned, 16);
+        assert_eq!(numeric_checks, 18);
+        assert_eq!(grid_accepted, 20);
+        assert_eq!(points_evaluated, 22);
+        assert_eq!(exelim_attempts, 24);
+        assert_eq!(cache_hits, 26);
+        assert_eq!(cache_misses, 28);
+        assert_eq!(programs_compiled, 30);
+        assert_eq!(program_cache_hits, 32);
+        assert_eq!(fm_time, Duration::from_nanos(34));
+        assert_eq!(numeric_time, Duration::from_nanos(36));
+        assert_eq!(exelim_time, Duration::from_nanos(38));
+        assert_eq!(solving_time, Duration::from_nanos(40));
+        // First-reason-wins accumulation, like the solver's own field.
+        assert_eq!(search_exhausted, Some(SearchExhaustedReason::RowCap));
+        let mut first = SolveStats {
+            search_exhausted: Some(SearchExhaustedReason::BranchCap),
+            ..SolveStats::default()
+        };
+        first.merge(&unit);
+        assert_eq!(
+            first.search_exhausted,
+            Some(SearchExhaustedReason::BranchCap)
+        );
+    }
+
+    #[test]
+    fn exhausted_attempt_budget_reaches_stats_and_refutation() {
+        // Attempt budget 0: the existential search exhausts before trying a
+        // single candidate.  Three existentials keep the solver from falling
+        // back to the bounded numeric search (that path only covers ≤ 2
+        // leftover variables), so the abstention must surface as a verdict.
+        let mut s = Solver::with_config(SolveConfig {
+            max_exelim_attempts: 0,
+            ..SolveConfig::default()
+        });
+        let u = nat_vars(&["n"]);
+        let goal = Constr::exists(
+            "a",
+            Sort::Nat,
+            Constr::exists(
+                "b",
+                Sort::Nat,
+                Constr::exists(
+                    "c",
+                    Sort::Nat,
+                    Constr::eq(Idx::var("a"), Idx::var("n"))
+                        .and(Constr::eq(Idx::var("b"), Idx::var("a")))
+                        .and(Constr::eq(Idx::var("c"), Idx::var("b") + Idx::one())),
+                ),
+            ),
+        );
+        let v = s.entails(&u, &Constr::Top, &goal);
+        assert!(matches!(v, Validity::Invalid(None)));
+        assert_eq!(
+            s.stats().search_exhausted,
+            Some(SearchExhaustedReason::AttemptBudget)
+        );
+        assert_eq!(
+            s.last_refutation().exhausted,
+            Some((SearchExhaustedReason::AttemptBudget, 0))
+        );
+        // The same query with the default budget succeeds — the abstention
+        // above is the cap, not the constraint.
+        let mut s = Solver::new();
+        assert!(s.entails(&u, &Constr::Top, &goal).is_valid());
+        assert_eq!(s.stats().search_exhausted, None);
     }
 }

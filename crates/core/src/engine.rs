@@ -8,8 +8,8 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use rel_constraint::{
-    CexSource, Constr, Fnv1a, Provenance, RefutationInfo, SharedProgramCache, SolveConfig, Solver,
-    Validity, ValidityCache,
+    CexSource, Constr, Fnv1a, Provenance, RefutationInfo, SharedProgramCache, SolveConfig,
+    SolveStats, Solver, Validity, ValidityCache,
 };
 use rel_index::Idx;
 use rel_syntax::{Def, Program, SystemLevel};
@@ -59,37 +59,12 @@ pub struct DefReport {
     pub existential_vars: u64,
     /// Number of explicit annotations in the definition (annotation effort).
     pub annotations: usize,
-    /// Entailment queries answered from the shared validity cache (0 when no
-    /// cache is attached).
-    pub cache_hits: usize,
-    /// Entailment queries that consulted the validity cache and missed.
-    pub cache_misses: usize,
-    /// Numeric queries lowered to bytecode by the solver's compiled numeric
-    /// layer (program-cache misses).
-    pub programs_compiled: usize,
-    /// Numeric queries whose compiled program was reused from the solver's
-    /// program cache.
-    pub program_cache_hits: usize,
-    /// Grid + random points evaluated by the numeric layer.
-    pub points_evaluated: usize,
-    /// Obligations discharged by the Fourier–Motzkin layer (proved with
-    /// zero grid points).
-    pub fm_proved: usize,
-    /// Obligations accepted only by a whole-grid sweep (grid-checked).
-    pub grid_accepted: usize,
-    /// Wall-clock time inside the Fourier–Motzkin decision procedure — the
-    /// cost of *proving* (zero when the FM layer is off).
-    pub fm_time: Duration,
-    /// Wall-clock time inside the numeric layer (compile + grid + random
-    /// sweep) — the cost of *sweeping* (zero when every obligation proves).
-    pub numeric_time: Duration,
-    /// FM DNF branch systems answered from the solver's subproblem memo.
-    pub fm_memo_hits: usize,
-    /// FM DNF branch systems eliminated and then memoized.
-    pub fm_memo_misses: usize,
-    /// Existential candidate assignments skipped by memoized rejection
-    /// (no solver call spent on an instantiation already refuted).
-    pub exelim_candidates_pruned: usize,
+    /// Every solver counter and phase timer for this definition, merged
+    /// across the typechecking and entailment solvers through
+    /// [`SolveStats::merge`] — one struct instead of a hand-stitched field
+    /// list, so a counter added to the solver automatically reaches every
+    /// report consumer.
+    pub stats: SolveStats,
     /// Stable hash of the checking inputs for this definition (elaborated
     /// definition + interfaces of the definitions before it + engine
     /// configuration); `0` when no [`DefIndex`] was in play.
@@ -123,29 +98,39 @@ impl ProgramReport {
         self.defs.iter().map(|d| d.timings.total()).sum()
     }
 
+    /// All solver counters and phase timers, merged across every
+    /// definition through [`SolveStats::merge`].
+    pub fn solve_stats(&self) -> SolveStats {
+        let mut total = SolveStats::default();
+        for d in &self.defs {
+            total.merge(&d.stats);
+        }
+        total
+    }
+
     /// Total validity-cache hits across all definitions.
     pub fn cache_hits(&self) -> usize {
-        self.defs.iter().map(|d| d.cache_hits).sum()
+        self.defs.iter().map(|d| d.stats.cache_hits).sum()
     }
 
     /// Total validity-cache misses across all definitions.
     pub fn cache_misses(&self) -> usize {
-        self.defs.iter().map(|d| d.cache_misses).sum()
+        self.defs.iter().map(|d| d.stats.cache_misses).sum()
     }
 
     /// Total numeric queries compiled to bytecode across all definitions.
     pub fn programs_compiled(&self) -> usize {
-        self.defs.iter().map(|d| d.programs_compiled).sum()
+        self.defs.iter().map(|d| d.stats.programs_compiled).sum()
     }
 
     /// Total compiled-program cache hits across all definitions.
     pub fn program_cache_hits(&self) -> usize {
-        self.defs.iter().map(|d| d.program_cache_hits).sum()
+        self.defs.iter().map(|d| d.stats.program_cache_hits).sum()
     }
 
     /// Total numeric grid/random points evaluated across all definitions.
     pub fn points_evaluated(&self) -> usize {
-        self.defs.iter().map(|d| d.points_evaluated).sum()
+        self.defs.iter().map(|d| d.stats.points_evaluated).sum()
     }
 
     /// Number of definitions skipped because their input hash was unchanged.
@@ -155,37 +140,40 @@ impl ProgramReport {
 
     /// Total obligations discharged by the Fourier–Motzkin layer.
     pub fn fm_proved(&self) -> usize {
-        self.defs.iter().map(|d| d.fm_proved).sum()
+        self.defs.iter().map(|d| d.stats.fm_proved).sum()
     }
 
     /// Total wall-clock time inside the Fourier–Motzkin layer.
     pub fn fm_time(&self) -> Duration {
-        self.defs.iter().map(|d| d.fm_time).sum()
+        self.defs.iter().map(|d| d.stats.fm_time).sum()
     }
 
     /// Total wall-clock time inside the numeric layer.
     pub fn numeric_time(&self) -> Duration {
-        self.defs.iter().map(|d| d.numeric_time).sum()
+        self.defs.iter().map(|d| d.stats.numeric_time).sum()
     }
 
     /// Total FM subproblem-memo hits across all definitions.
     pub fn fm_memo_hits(&self) -> usize {
-        self.defs.iter().map(|d| d.fm_memo_hits).sum()
+        self.defs.iter().map(|d| d.stats.fm_memo_hits).sum()
     }
 
     /// Total FM subproblem-memo misses across all definitions.
     pub fn fm_memo_misses(&self) -> usize {
-        self.defs.iter().map(|d| d.fm_memo_misses).sum()
+        self.defs.iter().map(|d| d.stats.fm_memo_misses).sum()
     }
 
     /// Total existential candidates pruned by memoized rejection.
     pub fn exelim_candidates_pruned(&self) -> usize {
-        self.defs.iter().map(|d| d.exelim_candidates_pruned).sum()
+        self.defs
+            .iter()
+            .map(|d| d.stats.exelim_candidates_pruned)
+            .sum()
     }
 
     /// Total obligations accepted only by a whole-grid sweep.
     pub fn grid_accepted(&self) -> usize {
-        self.defs.iter().map(|d| d.grid_accepted).sum()
+        self.defs.iter().map(|d| d.stats.grid_accepted).sum()
     }
 
     /// Definitions whose verdict was proved (vs merely grid-checked).
@@ -493,6 +481,7 @@ impl Engine {
 
     /// Checks a single definition in the given context.
     pub fn check_def_in(&self, ctx: &RelCtx, def: &Def) -> DefReport {
+        let _span = rel_obs::span("engine.check_def");
         let mut ctx = ctx.clone();
         for axiom in &def.axioms {
             ctx = ctx.assume(axiom.clone());
@@ -508,50 +497,54 @@ impl Engine {
             solver: self.new_solver(),
         };
         let start = Instant::now();
-        let generated = self.checker.check(
-            &mut sess,
-            &ctx,
-            &def.left,
-            def.right_or_left(),
-            &def.ty,
-            &cost,
-        );
+        let generated = {
+            let _tc_span = rel_obs::span("engine.typecheck");
+            self.checker.check(
+                &mut sess,
+                &ctx,
+                &def.left,
+                def.right_or_left(),
+                &def.ty,
+                &cost,
+            )
+        };
         let typecheck = start.elapsed();
 
         match generated {
-            Err(err) => DefReport {
-                name: def.name.name().to_string(),
-                ok: false,
-                proved: false,
-                error: Some(err.to_string()),
-                timings: PhaseTimings {
-                    typecheck,
-                    ..PhaseTimings::default()
-                },
-                constraint_atoms: 0,
-                existential_vars: sess.fresh.count(),
-                annotations: def.annotation_count(),
-                cache_hits: sess.solver.stats().cache_hits,
-                cache_misses: sess.solver.stats().cache_misses,
-                programs_compiled: sess.solver.stats().programs_compiled,
-                program_cache_hits: sess.solver.stats().program_cache_hits,
-                points_evaluated: sess.solver.stats().points_evaluated,
-                fm_proved: sess.solver.stats().fm_proved,
-                grid_accepted: sess.solver.stats().grid_accepted,
-                fm_time: sess.solver.stats().fm_time,
-                numeric_time: sess.solver.stats().numeric_time,
-                fm_memo_hits: sess.solver.stats().fm_memo_hits,
-                fm_memo_misses: sess.solver.stats().fm_memo_misses,
-                exelim_candidates_pruned: sess.solver.stats().exelim_candidates_pruned,
-                input_hash: 0,
-                skipped_unchanged: false,
-            },
+            Err(err) => {
+                let stats = *sess.solver.stats();
+                stats.publish();
+                DefReport {
+                    name: def.name.name().to_string(),
+                    ok: false,
+                    proved: false,
+                    error: Some(err.to_string()),
+                    timings: PhaseTimings {
+                        typecheck,
+                        ..PhaseTimings::default()
+                    },
+                    constraint_atoms: 0,
+                    existential_vars: sess.fresh.count(),
+                    annotations: def.annotation_count(),
+                    stats,
+                    input_hash: 0,
+                    skipped_unchanged: false,
+                }
+            }
             Ok(constraint) => {
                 let atoms = constraint.atom_count();
                 let mut solver = self.new_solver();
                 let verdict = solver.entails(&ctx.universals(), &ctx.assumptions, &constraint);
                 let refutation = solver.last_refutation().clone();
-                let stats = solver.stats();
+                // The entailment solver's phase timers drive the report's
+                // timings (the session solver's queries happen during the
+                // typecheck phase, which has its own wall clock); both
+                // solvers' counters are folded together through the one
+                // canonical aggregation point.
+                let entail_stats = *solver.stats();
+                let mut stats = entail_stats;
+                stats.merge(sess.solver.stats());
+                stats.publish();
                 DefReport {
                     name: def.name.name().to_string(),
                     ok: verdict.is_valid(),
@@ -563,27 +556,13 @@ impl Engine {
                     },
                     timings: PhaseTimings {
                         typecheck,
-                        existential_elim: stats.exelim_time,
-                        solving: stats.solving_time,
+                        existential_elim: entail_stats.exelim_time,
+                        solving: entail_stats.solving_time,
                     },
                     constraint_atoms: atoms,
                     existential_vars: sess.fresh.count(),
                     annotations: def.annotation_count(),
-                    cache_hits: stats.cache_hits + sess.solver.stats().cache_hits,
-                    cache_misses: stats.cache_misses + sess.solver.stats().cache_misses,
-                    programs_compiled: stats.programs_compiled
-                        + sess.solver.stats().programs_compiled,
-                    program_cache_hits: stats.program_cache_hits
-                        + sess.solver.stats().program_cache_hits,
-                    points_evaluated: stats.points_evaluated + sess.solver.stats().points_evaluated,
-                    fm_proved: stats.fm_proved + sess.solver.stats().fm_proved,
-                    grid_accepted: stats.grid_accepted + sess.solver.stats().grid_accepted,
-                    fm_time: stats.fm_time + sess.solver.stats().fm_time,
-                    numeric_time: stats.numeric_time + sess.solver.stats().numeric_time,
-                    fm_memo_hits: stats.fm_memo_hits + sess.solver.stats().fm_memo_hits,
-                    fm_memo_misses: stats.fm_memo_misses + sess.solver.stats().fm_memo_misses,
-                    exelim_candidates_pruned: stats.exelim_candidates_pruned
-                        + sess.solver.stats().exelim_candidates_pruned,
+                    stats,
                     input_hash: 0,
                     skipped_unchanged: false,
                 }
@@ -644,6 +623,13 @@ fn describe_failure(
                  (the candidate-substitution search for the goal's \
                  existentials was exhausted)",
             );
+            if let Some((reason, limit)) = refutation.exhausted {
+                msg.push_str(&format!(
+                    "; the binding cap was {} ({}, limit {limit})",
+                    reason.describe(),
+                    reason.as_str()
+                ));
+            }
         }
         Validity::Unknown => {
             msg.push_str(
@@ -741,18 +727,7 @@ fn skipped_report(def: &Def, input_hash: u64, stored: StoredDef) -> DefReport {
         constraint_atoms: 0,
         existential_vars: 0,
         annotations: def.annotation_count(),
-        cache_hits: 0,
-        cache_misses: 0,
-        programs_compiled: 0,
-        program_cache_hits: 0,
-        points_evaluated: 0,
-        fm_proved: 0,
-        grid_accepted: 0,
-        fm_time: Duration::ZERO,
-        numeric_time: Duration::ZERO,
-        fm_memo_hits: 0,
-        fm_memo_misses: 0,
-        exelim_candidates_pruned: 0,
+        stats: SolveStats::default(),
         input_hash,
         skipped_unchanged: true,
     }
@@ -856,9 +831,9 @@ mod tests {
             assert_eq!(c.input_hash, w.input_hash, "hashes must be reproducible");
             assert!(w.skipped_unchanged);
             // Zero solver work of any kind for a skipped definition.
-            assert_eq!(w.points_evaluated, 0);
-            assert_eq!(w.cache_misses, 0);
-            assert_eq!(w.programs_compiled, 0);
+            assert_eq!(w.stats.points_evaluated, 0);
+            assert_eq!(w.stats.cache_misses, 0);
+            assert_eq!(w.stats.programs_compiled, 0);
             assert_eq!(w.timings.total(), Duration::ZERO);
         }
     }

@@ -1,0 +1,264 @@
+//! Trace exporters: chrome://tracing JSON and the span-tree builder.
+//!
+//! [`chrome_trace`] turns a drained event list into a JSON document that
+//! loads directly in chrome://tracing / Perfetto (`--trace-out`).
+//! [`build_trees`] reassembles the same events into per-thread span trees;
+//! `birelcost explain` walks those trees to narrate a verdict.
+//!
+//! Both are tolerant of ring-buffer wrap: an `End` whose `Begin` was
+//! overwritten is dropped, and a `Begin` still open when the buffer was
+//! drained is closed at the last timestamp seen on its thread.
+
+use crate::metrics::push_json_str;
+use crate::recorder::{Event, EventKind};
+
+/// One completed span: a `Begin`/`End` pair with everything recorded
+/// strictly inside it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    pub name: &'static str,
+    pub start_ns: u64,
+    pub end_ns: u64,
+    /// The argument recorded at `Begin` (span-specific: existential count,
+    /// row count, …; 0 when the span carried none).
+    pub arg: u64,
+    pub children: Vec<SpanNode>,
+    /// Instant events recorded inside this span but not inside any child.
+    pub events: Vec<Event>,
+}
+
+impl SpanNode {
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Depth-first walk over this node and all descendants.
+    pub fn walk(&self, f: &mut impl FnMut(&SpanNode, usize)) {
+        self.walk_at(0, f);
+    }
+
+    fn walk_at(&self, depth: usize, f: &mut impl FnMut(&SpanNode, usize)) {
+        f(self, depth);
+        for c in &self.children {
+            c.walk_at(depth + 1, f);
+        }
+    }
+}
+
+/// All spans recorded by one thread, as a forest of roots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadTree {
+    pub tid: u32,
+    pub roots: Vec<SpanNode>,
+    /// Instant events recorded outside any span.
+    pub events: Vec<Event>,
+}
+
+/// Reassembles a drained event list (see [`crate::recorder::take_events`])
+/// into per-thread span trees, ordered by thread id.
+pub fn build_trees(events: &[Event]) -> Vec<ThreadTree> {
+    let mut tids: Vec<u32> = events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+
+    let mut trees = Vec::with_capacity(tids.len());
+    for tid in tids {
+        let mut roots = Vec::new();
+        let mut stray = Vec::new();
+        let mut stack: Vec<SpanNode> = Vec::new();
+        let mut last_ts = 0u64;
+        for e in events.iter().filter(|e| e.tid == tid) {
+            last_ts = last_ts.max(e.ts_ns);
+            match e.kind {
+                EventKind::Begin => stack.push(SpanNode {
+                    name: e.name,
+                    start_ns: e.ts_ns,
+                    end_ns: e.ts_ns,
+                    arg: e.arg,
+                    children: Vec::new(),
+                    events: Vec::new(),
+                }),
+                EventKind::End => {
+                    // An End with no open span means the Begin was lost to
+                    // ring wrap; drop it rather than inventing a span.
+                    if let Some(mut node) = stack.pop() {
+                        node.end_ns = e.ts_ns;
+                        attach(&mut stack, &mut roots, node);
+                    }
+                }
+                EventKind::Instant => match stack.last_mut() {
+                    Some(open) => open.events.push(*e),
+                    None => stray.push(*e),
+                },
+            }
+        }
+        // Close spans still open at drain time (the drain itself, or wrap).
+        while let Some(mut node) = stack.pop() {
+            node.end_ns = last_ts;
+            attach(&mut stack, &mut roots, node);
+        }
+        trees.push(ThreadTree {
+            tid,
+            roots,
+            events: stray,
+        });
+    }
+    trees
+}
+
+fn attach(stack: &mut [SpanNode], roots: &mut Vec<SpanNode>, node: SpanNode) {
+    match stack.last_mut() {
+        Some(parent) => parent.children.push(node),
+        None => roots.push(node),
+    }
+}
+
+/// Serializes a drained event list as chrome://tracing "trace event
+/// format" JSON: duration events (`ph: "B"`/`"E"`) plus instants
+/// (`ph: "i"`), one process, one chrome-thread per recorder thread,
+/// timestamps in microseconds.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        push_json_str(&mut out, e.name);
+        let ph = match e.kind {
+            EventKind::Begin => "B",
+            EventKind::End => "E",
+            EventKind::Instant => "i",
+        };
+        out.push_str(&format!(
+            ",\"ph\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{}.{:03}",
+            ph,
+            e.tid,
+            e.ts_ns / 1_000,
+            e.ts_ns % 1_000
+        ));
+        if e.kind == EventKind::Instant {
+            out.push_str(",\"s\":\"t\"");
+        }
+        if e.arg != 0 {
+            out.push_str(&format!(",\"args\":{{\"v\":{}}}", e.arg));
+        }
+        out.push('}');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, kind: EventKind, tid: u32, ts_ns: u64, arg: u64) -> Event {
+        Event {
+            name,
+            kind,
+            tid,
+            ts_ns,
+            arg,
+        }
+    }
+
+    #[test]
+    fn builds_nested_tree_per_thread() {
+        let events = vec![
+            ev("outer", EventKind::Begin, 1, 10, 0),
+            ev("inner", EventKind::Begin, 1, 20, 7),
+            ev("mark", EventKind::Instant, 1, 25, 0),
+            ev("inner", EventKind::End, 1, 30, 0),
+            ev("outer", EventKind::End, 1, 40, 0),
+            ev("other", EventKind::Begin, 2, 15, 0),
+            ev("other", EventKind::End, 2, 16, 0),
+        ];
+        let trees = build_trees(&events);
+        assert_eq!(trees.len(), 2);
+        let t1 = &trees[0];
+        assert_eq!(t1.tid, 1);
+        assert_eq!(t1.roots.len(), 1);
+        let outer = &t1.roots[0];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.duration_ns(), 30);
+        assert_eq!(outer.children.len(), 1);
+        let inner = &outer.children[0];
+        assert_eq!(
+            (inner.name, inner.arg, inner.duration_ns()),
+            ("inner", 7, 10)
+        );
+        assert_eq!(inner.events.len(), 1);
+        assert_eq!(inner.events[0].name, "mark");
+        assert_eq!(trees[1].tid, 2);
+    }
+
+    #[test]
+    fn tolerates_wrap_truncation() {
+        // Begin lost to ring wrap: orphan End is dropped.  Dangling Begin
+        // at drain time is closed at the thread's last timestamp.
+        let events = vec![
+            ev("lost", EventKind::End, 3, 5, 0),
+            ev("open", EventKind::Begin, 3, 10, 0),
+            ev("tick", EventKind::Instant, 3, 12, 0),
+        ];
+        let trees = build_trees(&events);
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].roots.len(), 1);
+        let open = &trees[0].roots[0];
+        assert_eq!(open.name, "open");
+        assert_eq!(open.end_ns, 12);
+        assert_eq!(open.events.len(), 1);
+        assert!(trees[0].events.is_empty());
+    }
+
+    #[test]
+    fn stray_instants_land_on_the_thread() {
+        let events = vec![ev("ping", EventKind::Instant, 4, 1, 9)];
+        let trees = build_trees(&events);
+        assert_eq!(trees[0].roots.len(), 0);
+        assert_eq!(trees[0].events, vec![events[0]]);
+    }
+
+    #[test]
+    fn chrome_trace_emits_loadable_duration_events() {
+        let events = vec![
+            ev("solve", EventKind::Begin, 1, 1_500, 3),
+            ev("hit", EventKind::Instant, 1, 2_000, 0),
+            ev("solve", EventKind::End, 1, 3_250, 0),
+        ];
+        let json = chrome_trace(&events);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        assert!(json.contains(
+            "{\"name\":\"solve\",\"ph\":\"B\",\"pid\":1,\"tid\":1,\"ts\":1.500,\"args\":{\"v\":3}}"
+        ));
+        assert!(json.contains(
+            "{\"name\":\"hit\",\"ph\":\"i\",\"pid\":1,\"tid\":1,\"ts\":2.000,\"s\":\"t\"}"
+        ));
+        assert!(json.contains("{\"name\":\"solve\",\"ph\":\"E\",\"pid\":1,\"tid\":1,\"ts\":3.250}"));
+    }
+
+    #[test]
+    fn recorded_spans_round_trip_into_a_tree() {
+        crate::recorder::test_support::with_armed_recorder(|| {
+            {
+                let _outer = crate::recorder::span("rt.outer");
+                let _inner = crate::recorder::span_with("rt.inner", 42);
+            }
+            let events = crate::recorder::take_events();
+            let trees = build_trees(&events);
+            let mine: Vec<_> = trees
+                .iter()
+                .flat_map(|t| t.roots.iter())
+                .filter(|r| r.name == "rt.outer")
+                .collect();
+            assert_eq!(mine.len(), 1);
+            assert_eq!(mine[0].children.len(), 1);
+            assert_eq!(mine[0].children[0].name, "rt.inner");
+            assert_eq!(mine[0].children[0].arg, 42);
+            assert!(mine[0].end_ns >= mine[0].children[0].end_ns);
+        });
+    }
+}

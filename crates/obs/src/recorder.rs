@@ -1,0 +1,430 @@
+//! The span/event recorder: thread-local ring buffers of raw events.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Free when off.**  Every entry point starts with one relaxed atomic
+//!    load; when recording is off it returns an inert value without touching
+//!    thread-local storage, the interner, or the allocator.  The solver hot
+//!    path is instrumented unconditionally, so this is what keeps the
+//!    `fm_vs_grid` and `compiled` perf gates green with instrumentation
+//!    compiled in.
+//! 2. **Lock-cheap when on.**  Each thread owns its ring buffer; the only
+//!    lock taken per event is the buffer's own mutex, which is uncontended
+//!    except while a drain ([`take_events`]) is in progress.  Names are
+//!    interned once into `u16` ids so a raw event is 24 bytes of plain data.
+//! 3. **Bounded.**  A ring holds [`RING_CAPACITY`] events; older events are
+//!    overwritten and counted as dropped, so a pathological run cannot grow
+//!    memory without bound.  The tree builder tolerates the missing
+//!    prefixes this produces.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Events each thread's ring buffer can hold before it wraps (2^17; one raw
+/// event is 24 bytes, so an armed thread owns at most 3 MiB of trace).
+pub const RING_CAPACITY: usize = 1 << 17;
+
+/// Whether the recorder is armed (see [`crate::RelObsConfig`]).
+static RECORDING: AtomicBool = AtomicBool::new(false);
+
+/// `true` when spans/events are being recorded.
+#[inline]
+pub fn recording() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+/// Arms or disarms the recorder process-wide.
+pub fn set_recording(on: bool) {
+    RECORDING.store(on, Ordering::Relaxed);
+}
+
+/// The process-start epoch all timestamps are measured against.
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process epoch (monotonic).
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Interned span-name id.  `u16` bounds the name table at 65 536 distinct
+/// static names — instrumentation sites, not data, so a few dozen in
+/// practice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NameId(pub u16);
+
+/// The intern table: `&'static str` → dense id.  Linear scan on intern —
+/// the table stays tiny and interning happens per span open, not per
+/// event field.
+struct Interner {
+    names: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| Mutex::new(Interner { names: Vec::new() }))
+}
+
+fn intern(name: &'static str) -> NameId {
+    let mut table = interner().lock().expect("obs interner poisoned");
+    if let Some(i) = table
+        .names
+        .iter()
+        .position(|n| std::ptr::eq(*n, name) || *n == name)
+    {
+        return NameId(i as u16);
+    }
+    assert!(table.names.len() < u16::MAX as usize, "obs name table full");
+    table.names.push(name);
+    NameId((table.names.len() - 1) as u16)
+}
+
+fn resolve(id: NameId) -> &'static str {
+    let table = interner().lock().expect("obs interner poisoned");
+    table
+        .names
+        .get(id.0 as usize)
+        .copied()
+        .unwrap_or("<unknown>")
+}
+
+/// What one raw event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened.
+    Begin,
+    /// A span closed (matches the innermost open `Begin` of the same name).
+    End,
+    /// A point event with no duration.
+    Instant,
+}
+
+/// One fixed-size recorded event.
+#[derive(Debug, Clone, Copy)]
+struct RawEvent {
+    name: NameId,
+    kind: EventKind,
+    ts_ns: u64,
+    /// One free integer payload (a cap value, a count) — rendered in the
+    /// chrome trace as `args.v` and surfaced by `explain`.
+    arg: u64,
+}
+
+/// A drained, name-resolved event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The interned span/event name.
+    pub name: &'static str,
+    /// Begin / End / Instant.
+    pub kind: EventKind,
+    /// Dense id of the recording thread (assigned at first record).
+    pub tid: u32,
+    /// Nanoseconds since the process epoch.
+    pub ts_ns: u64,
+    /// The free integer payload.
+    pub arg: u64,
+}
+
+/// One thread's ring buffer.
+struct ThreadBuf {
+    tid: u32,
+    events: Vec<RawEvent>,
+    /// Next write position.
+    head: usize,
+    /// Whether the ring has wrapped since the last drain.
+    wrapped: bool,
+    /// Events overwritten since the last drain.
+    dropped: u64,
+}
+
+impl ThreadBuf {
+    fn push(&mut self, e: RawEvent) {
+        if self.events.len() < RING_CAPACITY {
+            self.events.push(e);
+        } else {
+            self.events[self.head] = e;
+            self.wrapped = true;
+            self.dropped += 1;
+        }
+        self.head = (self.head + 1) % RING_CAPACITY;
+    }
+
+    /// Drains in chronological order and resets the ring.
+    fn drain(&mut self) -> Vec<RawEvent> {
+        let mut out = Vec::with_capacity(self.events.len());
+        if self.wrapped {
+            out.extend_from_slice(&self.events[self.head..]);
+        }
+        out.extend_from_slice(&self.events[..self.head.min(self.events.len())]);
+        self.events.clear();
+        self.head = 0;
+        self.wrapped = false;
+        self.dropped = 0;
+        out
+    }
+}
+
+/// Registry of every thread buffer ever armed (buffers outlive their
+/// threads so a drain after a worker pool exits still sees its events).
+fn buffers() -> &'static Mutex<Vec<Arc<Mutex<ThreadBuf>>>> {
+    static BUFFERS: OnceLock<Mutex<Vec<Arc<Mutex<ThreadBuf>>>>> = OnceLock::new();
+    BUFFERS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+thread_local! {
+    static LOCAL: std::cell::OnceCell<Arc<Mutex<ThreadBuf>>> =
+        const { std::cell::OnceCell::new() };
+}
+
+fn record(name: NameId, kind: EventKind, arg: u64) {
+    let e = RawEvent {
+        name,
+        kind,
+        ts_ns: now_ns(),
+        arg,
+    };
+    LOCAL.with(|cell| {
+        let buf = cell.get_or_init(|| {
+            let buf = Arc::new(Mutex::new(ThreadBuf {
+                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                events: Vec::new(),
+                head: 0,
+                wrapped: false,
+                dropped: 0,
+            }));
+            buffers()
+                .lock()
+                .expect("obs buffer registry poisoned")
+                .push(Arc::clone(&buf));
+            buf
+        });
+        buf.lock().expect("obs thread buffer poisoned").push(e);
+    });
+}
+
+/// RAII guard for one span: records `Begin` on creation (when recording is
+/// armed) and the matching `End` on drop.  Inert — carrying no name and
+/// touching nothing on drop — when created while recording was off.
+#[must_use = "a span guard records its End when dropped"]
+pub struct SpanGuard {
+    name: Option<NameId>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        // Record the End even if recording was switched off mid-span, so
+        // drained traces stay well-nested under racy disarmament.
+        if let Some(name) = self.name {
+            record(name, EventKind::End, 0);
+        }
+    }
+}
+
+/// Opens a span.  `name` must be a static instrumentation-site label
+/// (dot-separated by convention: `"solver.fm_prove"`).
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    span_with(name, 0)
+}
+
+/// [`span`] with an integer payload on the `Begin` event.
+#[inline]
+pub fn span_with(name: &'static str, arg: u64) -> SpanGuard {
+    if !recording() {
+        return SpanGuard { name: None };
+    }
+    let id = intern(name);
+    record(id, EventKind::Begin, arg);
+    SpanGuard { name: Some(id) }
+}
+
+/// Records a point event.
+#[inline]
+pub fn event(name: &'static str) {
+    event_with(name, 0);
+}
+
+/// [`event`] with an integer payload.
+#[inline]
+pub fn event_with(name: &'static str, arg: u64) {
+    if !recording() {
+        return;
+    }
+    record(intern(name), EventKind::Instant, arg);
+}
+
+/// Drains every thread's ring buffer, resolving names.  Events come back
+/// grouped by thread, chronological within each thread.
+pub fn take_events() -> Vec<Event> {
+    let registry = buffers().lock().expect("obs buffer registry poisoned");
+    let mut out = Vec::new();
+    for buf in registry.iter() {
+        let mut buf = buf.lock().expect("obs thread buffer poisoned");
+        let tid = buf.tid;
+        for raw in buf.drain() {
+            out.push(Event {
+                name: resolve(raw.name),
+                kind: raw.kind,
+                tid,
+                ts_ns: raw.ts_ns,
+                arg: raw.arg,
+            });
+        }
+    }
+    out
+}
+
+/// Checks the stack discipline of a drained trace: within each thread,
+/// every `End` must match the innermost open `Begin` and nothing may remain
+/// open at the end.  (Production traces may legitimately violate this after
+/// a ring wrap drops `Begin`s; tests drain before wrapping.)
+pub fn check_well_nested(events: &[Event]) -> Result<(), String> {
+    use std::collections::HashMap;
+    let mut stacks: HashMap<u32, Vec<&'static str>> = HashMap::new();
+    for e in events {
+        let stack = stacks.entry(e.tid).or_default();
+        match e.kind {
+            EventKind::Begin => stack.push(e.name),
+            EventKind::End => match stack.pop() {
+                Some(open) if open == e.name => {}
+                Some(open) => {
+                    return Err(format!(
+                        "thread {}: End({}) closes open span {open}",
+                        e.tid, e.name
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "thread {}: End({}) with no open span",
+                        e.tid, e.name
+                    ))
+                }
+            },
+            EventKind::Instant => {}
+        }
+    }
+    for (tid, stack) in stacks {
+        if !stack.is_empty() {
+            return Err(format!("thread {tid}: spans left open: {stack:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Unit-test support: the recorder is process-global, so tests that arm it
+/// must serialize against each other (used by this module's tests and the
+/// `chrome` tests in the same binary).
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::{set_recording, take_events};
+    use std::sync::Mutex;
+
+    pub(crate) fn with_armed_recorder<R>(f: impl FnOnce() -> R) -> R {
+        static GATE: Mutex<()> = Mutex::new(());
+        let _gate = GATE.lock().expect("recorder test gate poisoned");
+        let _ = take_events(); // drop leftovers from other tests
+        set_recording(true);
+        let r = f();
+        set_recording(false);
+        let _ = take_events();
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::with_armed_recorder;
+    use super::*;
+
+    #[test]
+    fn spans_record_begin_end_pairs_with_args() {
+        let events = with_armed_recorder(|| {
+            {
+                let _outer = span_with("t.outer", 7);
+                let _inner = span("t.inner");
+                event_with("t.mark", 42);
+            }
+            take_events()
+        });
+        let names: Vec<(&str, EventKind)> = events.iter().map(|e| (e.name, e.kind)).collect();
+        assert_eq!(
+            names,
+            [
+                ("t.outer", EventKind::Begin),
+                ("t.inner", EventKind::Begin),
+                ("t.mark", EventKind::Instant),
+                ("t.inner", EventKind::End),
+                ("t.outer", EventKind::End),
+            ]
+        );
+        assert_eq!(events[0].arg, 7);
+        assert_eq!(events[2].arg, 42);
+        check_well_nested(&events).expect("RAII spans are well-nested");
+        let mut last = 0;
+        for e in &events {
+            assert!(e.ts_ns >= last, "timestamps are monotone per thread");
+            last = e.ts_ns;
+        }
+    }
+
+    #[test]
+    fn disarmed_recorder_records_nothing() {
+        let events = with_armed_recorder(|| {
+            set_recording(false);
+            let _s = span("t.ghost");
+            event("t.ghost_event");
+            set_recording(true);
+            take_events()
+        });
+        assert!(events.is_empty(), "got: {events:?}");
+    }
+
+    #[test]
+    fn interner_is_stable_across_drains() {
+        let (a, b) = with_armed_recorder(|| {
+            {
+                let _s = span("t.stable");
+            }
+            let a = take_events();
+            {
+                let _s = span("t.stable");
+            }
+            (a, take_events())
+        });
+        assert_eq!(a[0].name, "t.stable");
+        assert_eq!(b[0].name, "t.stable");
+    }
+
+    #[test]
+    fn threads_get_distinct_ids_and_separate_buffers() {
+        let events = with_armed_recorder(|| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    std::thread::spawn(|| {
+                        let _s = span("t.worker");
+                        event("t.tick");
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            take_events()
+        });
+        let tids: std::collections::BTreeSet<u32> = events
+            .iter()
+            .filter(|e| e.name == "t.worker")
+            .map(|e| e.tid)
+            .collect();
+        assert!(
+            tids.len() >= 4,
+            "each worker thread records under its own tid"
+        );
+        check_well_nested(&events).expect("per-thread traces are well-nested");
+    }
+}

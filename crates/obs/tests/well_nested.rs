@@ -1,0 +1,76 @@
+//! Property test: whatever nesting shape the code takes, the recorder's
+//! per-thread event streams are well-nested span trees (RAII guarantees
+//! the Ends; this checks the recorder preserves order and thread identity).
+
+use proptest::proptest;
+use rel_obs::recorder::{check_well_nested, set_recording, take_events};
+use rel_obs::{event_with, span_with};
+
+/// Tiny deterministic PRNG so each proptest case derives a distinct,
+/// reproducible nesting script from its seed.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+const NAMES: [&str; 4] = ["prop.a", "prop.b", "prop.c", "prop.d"];
+
+/// Runs a randomized script of spans/events: at each level open 0..4
+/// children, each either an instant event or a nested span (depth-capped).
+fn nest(rng: &mut SplitMix, depth: usize) {
+    let n = (rng.next() % 4) as usize;
+    for _ in 0..n {
+        let choice = rng.next() % 3;
+        if choice == 0 || depth >= 6 {
+            event_with("prop.event", rng.next() % 100);
+        } else {
+            let name = NAMES[(rng.next() % NAMES.len() as u64) as usize];
+            let _g = span_with(name, depth as u64);
+            nest(rng, depth + 1);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn randomized_nesting_stays_well_nested_per_thread(seed in 0u64..u64::MAX) {
+        let _ = take_events();
+        set_recording(true);
+        let handles: Vec<_> = (0..3u64)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut rng = SplitMix(seed ^ (t.wrapping_mul(0x517C_C1B7_2722_0A95)));
+                    nest(&mut rng, 0);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("script thread panicked");
+        }
+        set_recording(false);
+        let events = take_events();
+        if let Err(e) = check_well_nested(&events) {
+            panic!("seed {seed}: {e}");
+        }
+        // The trees must also reassemble without inventing or dropping
+        // spans: every Begin in the drained stream appears as a node.
+        let begins = events
+            .iter()
+            .filter(|e| e.kind == rel_obs::EventKind::Begin)
+            .count();
+        let mut nodes = 0usize;
+        for tree in rel_obs::build_trees(&events) {
+            for root in &tree.roots {
+                root.walk(&mut |_, _| nodes += 1);
+            }
+        }
+        assert_eq!(nodes, begins, "seed {seed}: span tree lost or invented nodes");
+    }
+}

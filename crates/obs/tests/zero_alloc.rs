@@ -1,0 +1,64 @@
+//! With the recorder off (`RelObsConfig::off`, the default), the span and
+//! event entry points on the solver hot path must not allocate at all —
+//! asserted by counting allocations, not by timing.
+//!
+//! This file holds exactly one test so no sibling test thread can allocate
+//! between the snapshot and the assertion.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_recorder_and_cached_metrics_do_not_allocate() {
+    rel_obs::RelObsConfig::off().apply();
+
+    let counter = rel_obs::counter!("zero_alloc.counter");
+    let histogram = rel_obs::histogram!("zero_alloc.hist");
+    let hot_path = |i: u64| {
+        let _outer = rel_obs::span("zero_alloc.outer");
+        let _inner = rel_obs::span_with("zero_alloc.inner", i);
+        rel_obs::event("zero_alloc.event");
+        rel_obs::event_with("zero_alloc.event_arg", i);
+        counter.add(1);
+        rel_obs::counter!("zero_alloc.counter").incr();
+        histogram.observe_ns(i);
+        rel_obs::histogram!("zero_alloc.hist").observe_ns(i);
+    };
+
+    // Warm-up: the first use of each counter!/histogram! call site
+    // registers the metric (allocates once, by design); everything after
+    // must not.
+    hot_path(0);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..1_000u64 {
+        hot_path(i);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "hot path allocated with recording off: {} allocations in 1000 iterations",
+        after - before
+    );
+    assert_eq!(counter.get(), 2_002);
+}

@@ -297,6 +297,7 @@ impl Snapshot {
     /// sharing a path — never interleave writes into one tmp file; the last
     /// rename wins with a *whole* snapshot.
     pub fn save(&self, path: &Path) -> io::Result<()> {
+        let _span = rel_obs::span_with("persist.save", self.verdicts.len() as u64);
         static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let tmp = match path.file_name() {
             Some(name) => {
@@ -332,6 +333,8 @@ impl Snapshot {
         if result.is_err() {
             // Best-effort cleanup: never leave a stray tmp behind a failure.
             let _ = std::fs::remove_file(&tmp);
+        } else {
+            rel_obs::counter!("persist.saves").incr();
         }
         result
     }
@@ -340,12 +343,15 @@ impl Snapshot {
     /// not exist (a legitimate cold start); every other failure is an error
     /// the caller should surface before starting cold.
     pub fn load(path: &Path, expected_fingerprint: u64) -> Result<Option<Snapshot>, SnapshotError> {
+        let _span = rel_obs::span("persist.load");
         let bytes = match std::fs::read(path) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(SnapshotError::Io(e)),
         };
-        Snapshot::from_bytes(&bytes, expected_fingerprint).map(Some)
+        let snapshot = Snapshot::from_bytes(&bytes, expected_fingerprint)?;
+        rel_obs::counter!("persist.loads").incr();
+        Ok(Some(snapshot))
     }
 }
 

@@ -12,6 +12,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use birelcost::{DefIndex, Engine, ProgramReport};
+use rel_constraint::SolveStats;
 use rel_syntax::parse_program;
 
 /// One unit of work: a named source program to check.
@@ -62,29 +63,16 @@ pub struct BatchStats {
     pub defs: usize,
     /// Definitions that checked.
     pub defs_ok: usize,
-    /// Validity-cache hits across all jobs.
-    pub cache_hits: usize,
-    /// Validity-cache misses across all jobs.
-    pub cache_misses: usize,
-    /// Numeric queries compiled to bytecode across all jobs.
-    pub programs_compiled: usize,
-    /// Compiled programs reused from solver program caches across all jobs.
-    pub program_cache_hits: usize,
     /// Definitions skipped by incremental re-checking (unchanged input hash).
     pub skipped_unchanged: usize,
     /// Definitions whose verdict was proved (symbolic / Fourier–Motzkin)
     /// rather than grid-checked.
     pub proved_defs: usize,
-    /// Obligations discharged by the Fourier–Motzkin layer across all jobs.
-    pub fm_proved: usize,
-    /// Obligations accepted only by a whole-grid sweep across all jobs.
-    pub grid_accepted: usize,
-    /// FM DNF branch systems answered from solver subproblem memos.
-    pub fm_memo_hits: usize,
-    /// FM DNF branch systems eliminated and then memoized.
-    pub fm_memo_misses: usize,
-    /// Existential candidate assignments skipped by memoized rejection.
-    pub exelim_candidates_pruned: usize,
+    /// Every solver counter, summed across all jobs through the one
+    /// canonical [`SolveStats::merge`] — batch workers used to re-stitch
+    /// the counters field-by-field here, which silently dropped any newly
+    /// added counter from the batch path.
+    pub solve: SolveStats,
 }
 
 impl BatchStats {
@@ -101,17 +89,9 @@ impl BatchStats {
             if let Ok(report) = &r.outcome {
                 stats.defs += report.defs.len();
                 stats.defs_ok += report.defs.iter().filter(|d| d.ok).count();
-                stats.cache_hits += report.cache_hits();
-                stats.cache_misses += report.cache_misses();
-                stats.programs_compiled += report.programs_compiled();
-                stats.program_cache_hits += report.program_cache_hits();
                 stats.skipped_unchanged += report.skipped_unchanged();
                 stats.proved_defs += report.proved_defs();
-                stats.fm_proved += report.fm_proved();
-                stats.grid_accepted += report.grid_accepted();
-                stats.fm_memo_hits += report.fm_memo_hits();
-                stats.fm_memo_misses += report.fm_memo_misses();
-                stats.exelim_candidates_pruned += report.exelim_candidates_pruned();
+                stats.solve.merge(&report.solve_stats());
             }
         }
         stats

@@ -12,6 +12,9 @@
 //!                                  + persistence loads/saves)
 //! {"cache": "flush"}               snapshot the warm state to the cache file
 //! {"cache": "clear"}               drop all memoized state
+//! {"metrics": "dump"}              versioned metrics snapshot: solver
+//!                                  counters, request latency histograms,
+//!                                  cache gauges (DESIGN.md §8.2 schema)
 //! ```
 //!
 //! Every response carries `"cache"` counters so a harness can watch hit rates
@@ -58,20 +61,35 @@ pub fn serve<R: BufRead, W: Write>(
     Ok(summary)
 }
 
-/// Computes the response for one request line.
+/// Computes the response for one request line, recording the request's
+/// latency on the service's private metrics registry (and a span on the
+/// process recorder, when armed).
 pub fn respond(service: &Service, line: &str) -> Value {
+    let _span = rel_obs::span("serve.request");
+    let start = std::time::Instant::now();
+    service.metrics().counter("serve.requests").incr();
     let request = match json::parse(line) {
         Ok(v) => v,
-        Err(e) => return Value::obj([("error", Value::Str(format!("malformed request: {e}")))]),
+        Err(e) => {
+            service.metrics().counter("serve.errors").incr();
+            return Value::obj([("error", Value::Str(format!("malformed request: {e}")))]);
+        }
     };
     let id = request.get("id").cloned();
     let mut response = match dispatch(service, &request) {
         Ok(fields) => fields,
-        Err(message) => Value::obj([("error", Value::Str(message))]),
+        Err(message) => {
+            service.metrics().counter("serve.errors").incr();
+            Value::obj([("error", Value::Str(message))])
+        }
     };
     if let (Some(id), Value::Obj(fields)) = (id, &mut response) {
         fields.insert(0, ("id".to_string(), id));
     }
+    service
+        .metrics()
+        .histogram("serve.request_ns")
+        .observe(start.elapsed());
     response
 }
 
@@ -104,7 +122,22 @@ fn dispatch(service: &Service, request: &Value) -> Result<Value, String> {
         })?;
         return cache_command(service, command);
     }
-    Err("unknown request: expected `check`, `batch`, `stats` or `cache`".to_string())
+    if let Some(command) = request.get("metrics") {
+        if command.as_str() != Some("dump") {
+            return Err("the `metrics` field must be \"dump\"".to_string());
+        }
+        return Ok(Value::obj([("metrics", metrics_value(service))]));
+    }
+    Err("unknown request: expected `check`, `batch`, `stats`, `cache` or `metrics`".to_string())
+}
+
+/// The `{"metrics": "dump"}` payload: the merged registry snapshot,
+/// round-tripped through the serializer and this crate's parser so the
+/// daemon emits exactly the schema [`rel_obs::RegistrySnapshot::to_json`]
+/// documents.
+fn metrics_value(service: &Service) -> Value {
+    let dump = service.metrics_snapshot().to_json();
+    json::parse(&dump).expect("metrics dump must be valid JSON")
 }
 
 /// Handles `{"cache": "stats" | "flush" | "clear"}`.
@@ -210,24 +243,39 @@ fn def_value(def: &DefReport) -> Value {
             Value::Int(def.timings.solving.as_micros() as i64),
         ),
         ("constraint_atoms", Value::Int(def.constraint_atoms as i64)),
-        ("cache_hits", Value::Int(def.cache_hits as i64)),
-        ("cache_misses", Value::Int(def.cache_misses as i64)),
+        ("cache_hits", Value::Int(def.stats.cache_hits as i64)),
+        ("cache_misses", Value::Int(def.stats.cache_misses as i64)),
         (
             "programs_compiled",
-            Value::Int(def.programs_compiled as i64),
+            Value::Int(def.stats.programs_compiled as i64),
         ),
         (
             "program_cache_hits",
-            Value::Int(def.program_cache_hits as i64),
+            Value::Int(def.stats.program_cache_hits as i64),
         ),
-        ("points_evaluated", Value::Int(def.points_evaluated as i64)),
-        ("fm_proved", Value::Int(def.fm_proved as i64)),
-        ("grid_accepted", Value::Int(def.grid_accepted as i64)),
-        ("fm_memo_hits", Value::Int(def.fm_memo_hits as i64)),
-        ("fm_memo_misses", Value::Int(def.fm_memo_misses as i64)),
+        (
+            "points_evaluated",
+            Value::Int(def.stats.points_evaluated as i64),
+        ),
+        ("fm_proved", Value::Int(def.stats.fm_proved as i64)),
+        ("grid_accepted", Value::Int(def.stats.grid_accepted as i64)),
+        ("fm_memo_hits", Value::Int(def.stats.fm_memo_hits as i64)),
+        (
+            "fm_memo_misses",
+            Value::Int(def.stats.fm_memo_misses as i64),
+        ),
         (
             "exelim_candidates_pruned",
-            Value::Int(def.exelim_candidates_pruned as i64),
+            Value::Int(def.stats.exelim_candidates_pruned as i64),
+        ),
+        // Why the existential search gave up, when it did: one of
+        // "attempt-budget", "row-cap", "branch-cap", "component-blowup".
+        (
+            "search_exhausted",
+            match def.stats.search_exhausted {
+                Some(reason) => Value::Str(reason.as_str().to_string()),
+                None => Value::Null,
+            },
         ),
         ("skipped_unchanged", Value::Bool(def.skipped_unchanged)),
     ])
@@ -244,24 +292,37 @@ fn cache_value(service: &Service) -> Value {
 
 /// The `{"cache": "stats"}` payload: validity-cache counters plus the
 /// program memo, def index and persistence-layer counters.
+///
+/// Read out of the metrics registry's cache gauges (refreshed from the live
+/// cache atomics by [`Service::publish_cache_gauges`]) so the protocol and
+/// the `{"metrics": "dump"}` snapshot report from one source of truth.
 fn full_cache_value(service: &Service) -> Value {
-    let validity = service.cache_stats();
-    let programs = service.program_cache_stats();
-    let persist = service.persist_stats();
+    service.publish_cache_gauges();
+    let snapshot = service.metrics().snapshot();
+    let gauge = |name: &str| -> Value {
+        Value::Int(
+            snapshot
+                .gauges
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0),
+        )
+    };
     Value::obj([
-        ("hits", Value::Int(validity.hits as i64)),
-        ("misses", Value::Int(validity.misses as i64)),
-        ("entries", Value::Int(validity.entries as i64)),
-        ("evictions", Value::Int(validity.evictions as i64)),
-        ("program_hits", Value::Int(programs.hits as i64)),
-        ("program_misses", Value::Int(programs.misses as i64)),
-        ("program_entries", Value::Int(programs.entries as i64)),
-        ("def_entries", Value::Int(service.def_index().len() as i64)),
-        ("loads", Value::Int(persist.loads as i64)),
-        ("saves", Value::Int(persist.saves as i64)),
+        ("hits", gauge("cache.validity.hits")),
+        ("misses", gauge("cache.validity.misses")),
+        ("entries", gauge("cache.validity.entries")),
+        ("evictions", gauge("cache.validity.evictions")),
+        ("program_hits", gauge("cache.programs.hits")),
+        ("program_misses", gauge("cache.programs.misses")),
+        ("program_entries", gauge("cache.programs.entries")),
+        ("def_entries", gauge("cache.defs.entries")),
+        ("loads", gauge("persist.loads")),
+        ("saves", gauge("persist.saves")),
         (
             "file",
-            match &persist.path {
+            match &service.persist_stats().path {
                 Some(p) => Value::Str(p.display().to_string()),
                 None => Value::Null,
             },

@@ -39,10 +39,12 @@
 pub mod batch;
 pub mod daemon;
 pub mod json;
+pub mod schema;
 pub mod service;
 
 pub use batch::{
     check_batch, check_batch_with, check_job, check_job_with, BatchJob, BatchResult, BatchStats,
 };
 pub use daemon::{respond, serve, ServeSummary};
+pub use schema::{validate_metrics, MetricsSummary};
 pub use service::{available_workers, LoadOutcome, PersistStats, Service, ServiceConfig};

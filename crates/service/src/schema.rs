@@ -1,0 +1,185 @@
+//! Validates a metrics dump against the documented schema (DESIGN.md §8.2).
+//!
+//! The CI `metrics-schema` job runs the verified corpus with
+//! `--metrics-out`, then feeds the file through `birelcost validate-metrics`,
+//! which lands here.  The checker is strict about shape (every histogram
+//! must carry exactly the documented summary fields, percentiles must be
+//! monotone) but says nothing about *which* metric names exist — new
+//! counters may appear freely; renames and type changes must bump
+//! [`rel_obs::SCHEMA_VERSION`].
+
+use crate::json::{self, Value};
+
+/// What a valid dump contained, for `validate-metrics` to report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSummary {
+    /// Counter entries.
+    pub counters: usize,
+    /// Gauge entries.
+    pub gauges: usize,
+    /// Histogram entries.
+    pub histograms: usize,
+}
+
+/// The histogram summary fields, in serialization order.
+const HISTOGRAM_FIELDS: [&str; 6] = ["count", "sum_ns", "p50_ns", "p90_ns", "p99_ns", "max_ns"];
+
+/// Parses and validates one metrics dump.  Accepts either a bare registry
+/// dump (as written by `check --metrics-out`) or a daemon response wrapping
+/// it under a `"metrics"` key.
+///
+/// # Errors
+///
+/// A human-readable description of the first schema violation found.
+pub fn validate_metrics(text: &str) -> Result<MetricsSummary, String> {
+    let parsed = json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let dump = parsed.get("metrics").unwrap_or(&parsed);
+
+    let version = dump
+        .get("schema_version")
+        .ok_or("missing `schema_version`")?
+        .as_int()
+        .ok_or("`schema_version` must be an integer")?;
+    if version != rel_obs::SCHEMA_VERSION as i64 {
+        return Err(format!(
+            "schema_version {version} != supported version {}",
+            rel_obs::SCHEMA_VERSION
+        ));
+    }
+
+    let counters = int_section(dump, "counters", false)?;
+    let gauges = int_section(dump, "gauges", true)?;
+
+    let Some(Value::Obj(histograms)) = dump.get("histograms") else {
+        return Err("missing or non-object `histograms` section".to_string());
+    };
+    for (name, h) in histograms {
+        validate_histogram(name, h)?;
+    }
+    Ok(MetricsSummary {
+        counters,
+        gauges,
+        histograms: histograms.len(),
+    })
+}
+
+/// Checks that `section` is an object of integers (non-negative unless
+/// `signed`), returning the entry count.
+fn int_section(dump: &Value, section: &str, signed: bool) -> Result<usize, String> {
+    let Some(Value::Obj(fields)) = dump.get(section) else {
+        return Err(format!("missing or non-object `{section}` section"));
+    };
+    for (name, v) in fields {
+        let n = v
+            .as_int()
+            .ok_or_else(|| format!("{section}.{name} must be an integer"))?;
+        if !signed && n < 0 {
+            return Err(format!("{section}.{name} must be non-negative, got {n}"));
+        }
+    }
+    Ok(fields.len())
+}
+
+fn validate_histogram(name: &str, h: &Value) -> Result<(), String> {
+    let Value::Obj(fields) = h else {
+        return Err(format!("histograms.{name} must be an object"));
+    };
+    let mut values = [0i64; HISTOGRAM_FIELDS.len()];
+    for (i, field) in HISTOGRAM_FIELDS.iter().enumerate() {
+        let v = h
+            .get(field)
+            .ok_or_else(|| format!("histograms.{name} is missing `{field}`"))?
+            .as_int()
+            .ok_or_else(|| format!("histograms.{name}.{field} must be an integer"))?;
+        if v < 0 {
+            return Err(format!("histograms.{name}.{field} must be non-negative"));
+        }
+        values[i] = v;
+    }
+    if let Some((extra, _)) = fields
+        .iter()
+        .find(|(k, _)| !HISTOGRAM_FIELDS.contains(&k.as_str()))
+    {
+        return Err(format!("histograms.{name} has unknown field `{extra}`"));
+    }
+    let [count, _sum, p50, p90, p99, _max] = values;
+    if p50 > p90 || p90 > p99 {
+        return Err(format!(
+            "histograms.{name} percentiles not monotone: p50={p50} p90={p90} p99={p99}"
+        ));
+    }
+    if count == 0 && values.iter().any(|&v| v != 0) {
+        return Err(format!(
+            "histograms.{name} has count 0 but non-zero summary fields"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rel_obs::Registry;
+
+    #[test]
+    fn validates_a_real_dump() {
+        let reg = Registry::new();
+        reg.counter("fm.proved").add(3);
+        reg.set_gauge("cache.validity.entries", 12);
+        reg.histogram("serve.request_ns").observe_ns(1_000);
+        let summary = validate_metrics(&reg.dump_json()).expect("dump must validate");
+        assert_eq!(
+            summary,
+            MetricsSummary {
+                counters: 1,
+                gauges: 1,
+                histograms: 1
+            }
+        );
+    }
+
+    #[test]
+    fn accepts_the_daemon_wrapper() {
+        let wrapped = format!("{{\"metrics\":{}}}", Registry::new().dump_json());
+        assert!(validate_metrics(&wrapped).is_ok());
+    }
+
+    #[test]
+    fn rejects_schema_drift() {
+        // Version mismatch.
+        let err = validate_metrics(
+            "{\"schema_version\":999,\"counters\":{},\"gauges\":{},\"histograms\":{}}",
+        )
+        .unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+        // Missing histogram field.
+        let err = validate_metrics(
+            "{\"schema_version\":1,\"counters\":{},\"gauges\":{},\
+             \"histograms\":{\"h\":{\"count\":1}}}",
+        )
+        .unwrap_err();
+        assert!(err.contains("missing `sum_ns`"), "{err}");
+        // Unknown histogram field (a rename shows up as this).
+        let err = validate_metrics(
+            "{\"schema_version\":1,\"counters\":{},\"gauges\":{},\
+             \"histograms\":{\"h\":{\"count\":0,\"sum_ns\":0,\"p50_ns\":0,\
+             \"p90_ns\":0,\"p99_ns\":0,\"max_ns\":0,\"mean_ns\":0}}}",
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown field `mean_ns`"), "{err}");
+        // Negative counter.
+        let err = validate_metrics(
+            "{\"schema_version\":1,\"counters\":{\"c\":-1},\"gauges\":{},\"histograms\":{}}",
+        )
+        .unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
+        // Non-monotone percentiles.
+        let err = validate_metrics(
+            "{\"schema_version\":1,\"counters\":{},\"gauges\":{},\
+             \"histograms\":{\"h\":{\"count\":2,\"sum_ns\":9,\"p50_ns\":8,\
+             \"p90_ns\":4,\"p99_ns\":8,\"max_ns\":8}}}",
+        )
+        .unwrap_err();
+        assert!(err.contains("not monotone"), "{err}");
+    }
+}

@@ -9,6 +9,7 @@ use birelcost::{DefIndex, Engine, ProgramReport};
 use rel_constraint::{
     CacheStats, ProgramCacheStats, ShardedValidityCache, SharedProgramCache, ValidityCache,
 };
+use rel_obs::{Registry, RegistrySnapshot};
 use rel_persist::Snapshot;
 use rel_syntax::parse_program;
 
@@ -109,6 +110,11 @@ pub struct Service {
     /// every definition, exactly like the seed.
     incremental: Arc<AtomicBool>,
     persist: Arc<Mutex<PersistState>>,
+    /// Per-service metrics: request latency histograms and cache gauges.
+    /// Private to the service (not [`rel_obs::metrics::global`]) so parallel
+    /// services — and parallel tests in one binary — never bleed into each
+    /// other's histograms.
+    metrics: Arc<Registry>,
     workers: usize,
 }
 
@@ -139,6 +145,7 @@ impl Service {
             defs: Arc::new(DefIndex::new()),
             incremental: Arc::new(AtomicBool::new(false)),
             persist: Arc::new(Mutex::new(PersistState::default())),
+            metrics: Arc::new(Registry::new()),
             workers: config.workers.max(1),
         }
     }
@@ -213,6 +220,57 @@ impl Service {
             loaded_verdicts: p.loaded_verdicts,
             loaded_defs: p.loaded_defs,
             loaded_programs: p.loaded_programs,
+        }
+    }
+
+    /// The service-private metrics registry (request latency histograms and
+    /// cache gauges).  Solver counters live on [`rel_obs::metrics::global`]
+    /// instead; [`Service::metrics_snapshot`] merges both.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.metrics
+    }
+
+    /// Refreshes the cache/persistence gauges on the service registry from
+    /// the live cache counters.  The caches' own atomics stay the single
+    /// source of truth — gauges are a read-through view refreshed at
+    /// snapshot time, never incremented independently.
+    pub fn publish_cache_gauges(&self) {
+        let validity = self.cache_stats();
+        let programs = self.program_cache_stats();
+        let persist = self.persist_stats();
+        let m = &self.metrics;
+        m.set_gauge("cache.validity.hits", validity.hits as i64);
+        m.set_gauge("cache.validity.misses", validity.misses as i64);
+        m.set_gauge("cache.validity.entries", validity.entries as i64);
+        m.set_gauge("cache.validity.evictions", validity.evictions as i64);
+        m.set_gauge("cache.programs.hits", programs.hits as i64);
+        m.set_gauge("cache.programs.misses", programs.misses as i64);
+        m.set_gauge("cache.programs.entries", programs.entries as i64);
+        m.set_gauge("cache.defs.entries", self.defs.len() as i64);
+        m.set_gauge("persist.loads", persist.loads as i64);
+        m.set_gauge("persist.saves", persist.saves as i64);
+    }
+
+    /// One merged metrics snapshot: the process-wide solver counters from
+    /// [`rel_obs::metrics::global`] plus this service's private registry
+    /// (request histograms, cache gauges — refreshed first).  Name
+    /// collisions resolve in favor of the service registry, though the two
+    /// namespaces are kept disjoint by convention (`solver.*`/`fm.*` vs
+    /// `serve.*`/`cache.*`).
+    pub fn metrics_snapshot(&self) -> RegistrySnapshot {
+        self.publish_cache_gauges();
+        let global = rel_obs::metrics::global().snapshot();
+        let local = self.metrics.snapshot();
+        fn merge_by_name<T>(a: Vec<(String, T)>, b: Vec<(String, T)>) -> Vec<(String, T)> {
+            let mut map: std::collections::BTreeMap<String, T> = a.into_iter().collect();
+            map.extend(b);
+            map.into_iter().collect()
+        }
+        RegistrySnapshot {
+            schema_version: rel_obs::SCHEMA_VERSION,
+            counters: merge_by_name(global.counters, local.counters),
+            gauges: merge_by_name(global.gauges, local.gauges),
+            histograms: merge_by_name(global.histograms, local.histograms),
         }
     }
 

@@ -1,0 +1,99 @@
+//! Round-trips a recorded span trace through the chrome://tracing exporter
+//! and this crate's JSON parser: what `check --trace-out` writes must be
+//! well-formed JSON with balanced, correctly-named, time-ordered events.
+//!
+//! Lives here rather than in `rel-obs` because the JSON parser belongs to
+//! `rel-service` and the dependency points this way.
+
+use rel_service::json::{self, Value};
+
+#[test]
+fn exported_trace_parses_and_balances() {
+    // This test owns the recorder for the whole process: it is the only
+    // test in this binary, so arming/draining races no one.
+    rel_obs::RelObsConfig::on().apply();
+    rel_obs::take_events();
+
+    {
+        let _outer = rel_obs::span_with("roundtrip.outer", 3);
+        {
+            let _inner = rel_obs::span("roundtrip.inner");
+            rel_obs::event_with("roundtrip.marker", 42);
+        }
+        let _second = rel_obs::span("roundtrip.inner");
+    }
+    let events = rel_obs::take_events();
+    rel_obs::RelObsConfig::off().apply();
+    rel_obs::check_well_nested(&events).expect("recorder produced a well-nested stream");
+
+    let trace = rel_obs::chrome_trace(&events);
+    let parsed = json::parse(&trace).expect("chrome trace must be valid JSON");
+
+    assert_eq!(
+        parsed.get("displayTimeUnit").and_then(Value::as_str),
+        Some("ms")
+    );
+    let Some(Value::Arr(trace_events)) = parsed.get("traceEvents") else {
+        panic!("missing traceEvents array");
+    };
+    // 2 spans × (B+E) for outer+inner, one more inner span, one instant.
+    assert_eq!(trace_events.len(), 7);
+
+    let mut depth = 0i64;
+    let mut names = Vec::new();
+    let mut last_ts = -1.0f64;
+    for e in trace_events {
+        let name = e.get("name").and_then(Value::as_str).expect("event name");
+        let ph = e.get("ph").and_then(Value::as_str).expect("event phase");
+        assert_eq!(e.get("pid").and_then(Value::as_int), Some(1));
+        assert!(e.get("tid").and_then(Value::as_int).is_some());
+        let ts = match e.get("ts").expect("event timestamp") {
+            Value::Int(n) => *n as f64,
+            Value::Num(x) => *x,
+            other => panic!("ts must be numeric, got {other}"),
+        };
+        assert!(ts >= last_ts, "timestamps must be non-decreasing");
+        last_ts = ts;
+        match ph {
+            "B" => {
+                depth += 1;
+                names.push(name);
+            }
+            "E" => {
+                depth -= 1;
+                assert!(depth >= 0, "E without matching B");
+            }
+            "i" => assert_eq!(name, "roundtrip.marker"),
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    assert_eq!(depth, 0, "every span must close");
+    assert_eq!(
+        names,
+        ["roundtrip.outer", "roundtrip.inner", "roundtrip.inner"]
+    );
+
+    // Span arguments survive the round trip.
+    let outer = trace_events
+        .iter()
+        .find(|e| e.get("name").and_then(Value::as_str) == Some("roundtrip.outer"))
+        .unwrap();
+    assert_eq!(
+        outer
+            .get("args")
+            .and_then(|a| a.get("v"))
+            .and_then(Value::as_int),
+        Some(3)
+    );
+    let marker = trace_events
+        .iter()
+        .find(|e| e.get("ph").and_then(Value::as_str) == Some("i"))
+        .unwrap();
+    assert_eq!(
+        marker
+            .get("args")
+            .and_then(|a| a.get("v"))
+            .and_then(Value::as_int),
+        Some(42)
+    );
+}

@@ -88,6 +88,113 @@ fn def_reports_carry_the_fm_memo_and_exelim_counters() {
     }
     let misses = d.get("fm_memo_misses").and_then(Value::as_int).unwrap();
     assert!(misses > 0, "map's obligations must exercise the FM memo");
+    // The search-exhausted tag is part of the wire protocol too: a string
+    // naming the cap when the existential search gave up, else null.
+    let exhausted = d.get("search_exhausted").expect("missing search_exhausted");
+    assert!(
+        matches!(exhausted, Value::Null | Value::Str(_)),
+        "search_exhausted must be null or a reason string, got {exhausted}"
+    );
+}
+
+#[test]
+fn metrics_dump_reports_the_versioned_schema() {
+    let service = service();
+    let src = "def id : boolr -> boolr = lam x. x;";
+    let check = format!("{{\"check\": \"{src}\"}}");
+    let batch = format!("{{\"batch\": [\"{src}\", \"{src}\"]}}");
+    let responses = drive(&service, &[&check, &batch, r#"{"metrics": "dump"}"#]);
+
+    let dump = responses[2]
+        .get("metrics")
+        .expect("missing metrics payload");
+    assert_eq!(
+        dump.get("schema_version").and_then(Value::as_int),
+        Some(rel_obs::SCHEMA_VERSION as i64)
+    );
+
+    // The response validates against the documented schema — the same
+    // checker CI runs over `--metrics-out` files.
+    rel_service::validate_metrics(&responses[2].to_string())
+        .expect("daemon metrics dump must satisfy the schema");
+
+    // Per-request latency histograms are populated: the two earlier
+    // requests (check + batch) were both observed before the dump.
+    let hist = dump
+        .get("histograms")
+        .and_then(|h| h.get("serve.request_ns"))
+        .expect("missing serve.request_ns histogram");
+    let count = hist.get("count").and_then(Value::as_int).unwrap();
+    assert!(count >= 2, "expected ≥2 observed requests, got {count}");
+    assert!(hist.get("p50_ns").and_then(Value::as_int).is_some());
+    assert!(hist.get("max_ns").and_then(Value::as_int).unwrap() > 0);
+
+    // Solver counters published by the engine reach the merged dump (the
+    // global registry is process-wide, hence ≥).
+    let queries = dump
+        .get("counters")
+        .and_then(|c| c.get("solver.queries"))
+        .and_then(Value::as_int)
+        .expect("missing solver.queries counter");
+    assert!(queries > 0);
+
+    // Request accounting lives in the same dump.
+    let requests = dump
+        .get("counters")
+        .and_then(|c| c.get("serve.requests"))
+        .and_then(Value::as_int)
+        .unwrap();
+    assert_eq!(requests, 3, "check + batch + the dump request itself");
+}
+
+#[test]
+fn cache_stats_and_metrics_gauges_agree() {
+    // `{"cache": "stats"}` is derived from the registry's cache gauges,
+    // which are themselves refreshed from the live cache atomics — one
+    // source of truth, so the two views can never drift.
+    let service = service();
+    let src = r#"\ndef not2 : boolr -> boolr = lam b. if b then false else true;\ndef use : boolr -> boolr = lam b. not2 (not2 b);\n"#;
+    let check = format!("{{\"check\": \"{src}\"}}");
+    let responses = drive(
+        &service,
+        &[
+            &check,
+            &check,
+            r#"{"cache": "stats"}"#,
+            r#"{"metrics": "dump"}"#,
+        ],
+    );
+
+    let cache = responses[2].get("cache").expect("missing cache payload");
+    let gauges = responses[3]
+        .get("metrics")
+        .and_then(|m| m.get("gauges"))
+        .expect("missing gauges");
+    for (proto_field, gauge_name) in [
+        ("hits", "cache.validity.hits"),
+        ("misses", "cache.validity.misses"),
+        ("entries", "cache.validity.entries"),
+        ("program_entries", "cache.programs.entries"),
+        ("def_entries", "cache.defs.entries"),
+        ("loads", "persist.loads"),
+        ("saves", "persist.saves"),
+    ] {
+        assert_eq!(
+            cache.get(proto_field).and_then(Value::as_int),
+            gauges.get(gauge_name).and_then(Value::as_int),
+            "{proto_field} and {gauge_name} must agree"
+        );
+    }
+    // And the underlying cache saw real traffic (second check hits).
+    assert!(cache.get("hits").and_then(Value::as_int).unwrap() > 0);
+}
+
+#[test]
+fn rejects_unknown_metrics_commands() {
+    let service = service();
+    let responses = drive(&service, &[r#"{"metrics": "reset"}"#]);
+    let err = responses[0].get("error").and_then(Value::as_str).unwrap();
+    assert!(err.contains("dump"), "got: {err}");
 }
 
 #[test]

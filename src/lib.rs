@@ -8,6 +8,7 @@ pub use birelcost;
 pub use rel_constraint;
 pub use rel_eval;
 pub use rel_index;
+pub use rel_obs;
 pub use rel_persist;
 pub use rel_service;
 pub use rel_suite;

@@ -58,14 +58,14 @@ fn compiled_and_tree_solvers_agree_across_the_verified_suite() {
                 b.name, dc.name
             );
             assert_eq!(
-                (dc.cache_hits, dc.cache_misses),
-                (dt.cache_hits, dt.cache_misses),
+                (dc.stats.cache_hits, dc.stats.cache_misses),
+                (dt.stats.cache_hits, dt.stats.cache_misses),
                 "{}::{}: validity-cache counters diverge",
                 b.name,
                 dc.name
             );
             assert_eq!(
-                dc.points_evaluated, dt.points_evaluated,
+                dc.stats.points_evaluated, dt.stats.points_evaluated,
                 "{}::{}: numeric point counts diverge",
                 b.name, dc.name
             );

@@ -59,17 +59,17 @@ fn second_cache_file_run_does_zero_solver_work_for_unchanged_defs() {
             );
             // Zero numeric-layer solver work — the acceptance bar.
             assert_eq!(
-                wd.points_evaluated, 0,
+                wd.stats.points_evaluated, 0,
                 "{}/{} evaluated points",
                 c.name, wd.name
             );
             assert_eq!(
-                wd.programs_compiled, 0,
+                wd.stats.programs_compiled, 0,
                 "{}/{} compiled programs",
                 c.name, wd.name
             );
             assert_eq!(
-                wd.cache_misses, 0,
+                wd.stats.cache_misses, 0,
                 "{}/{} missed the cache",
                 c.name, wd.name
             );
