@@ -30,11 +30,21 @@
 //!                        schema) to PATH after checking
 //!   --trace-out PATH     record spans while checking and write a
 //!                        chrome://tracing-loadable trace to PATH
+//!
+//! FLAGS (serve only):
+//!   --listen ADDR        serve the NDJSON protocol on a TCP socket instead
+//!                        of stdin/stdout ({"shutdown": true} stops it)
+//!   --request-timeout-ms N   wall-clock budget per request; a request over
+//!                        budget answers {"error": "deadline"} while its
+//!                        worker drains in the background
+//!   --idle-timeout-ms N  (--listen only) disconnect a client whose socket
+//!                        stays silent this long
 //! ```
 
 use std::env;
 use std::fs;
 use std::io;
+use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -42,12 +52,15 @@ use std::time::Duration;
 
 use birelcost::Engine;
 use rel_constraint::SearchExhaustedReason;
-use rel_service::{serve, BatchJob, BatchStats, Service, ServiceConfig};
+use rel_service::{
+    serve_tcp, serve_with, BatchJob, BatchStats, ServeOptions, Service, ServiceConfig,
+};
 use rel_suite::{all_benchmarks, VerificationStatus};
 use rel_syntax::parse_program;
 
 const USAGE: &str = "usage: birelcost <check [--jobs N] [--cache-file PATH] [--metrics-out PATH] \
-     [--trace-out PATH] FILE...|serve [--jobs N] [--cache-file PATH]|explain NAME\
+     [--trace-out PATH] FILE...|serve [--jobs N] [--cache-file PATH] [--listen ADDR] \
+     [--request-timeout-ms N] [--idle-timeout-ms N]|explain NAME\
      |validate-metrics FILE|table1|list>";
 
 /// How often the daemon flushes its warm state to the cache file.
@@ -98,6 +111,12 @@ struct Flags {
     metrics_out: Option<String>,
     /// Where to write the chrome://tracing span trace after `check`.
     trace_out: Option<String>,
+    /// TCP address for `serve --listen` (stdio when absent).
+    listen: Option<String>,
+    /// Per-request wall-clock budget for `serve`.
+    request_timeout_ms: Option<u64>,
+    /// Socket idle timeout for `serve --listen`.
+    idle_timeout_ms: Option<u64>,
 }
 
 impl Flags {
@@ -132,6 +151,23 @@ impl Flags {
                 flags.metrics_out = Some(path);
             } else if let Some(path) = flag_value("--trace-out", None)? {
                 flags.trace_out = Some(path);
+            } else if let Some(addr) = flag_value("--listen", None)? {
+                flags.listen = Some(addr);
+            } else if let Some(n) = flag_value("--request-timeout-ms", None)? {
+                flags.request_timeout_ms = Some(
+                    n.parse::<u64>()
+                        .map_err(|_| format!("invalid timeout `{n}`"))?,
+                );
+            } else if let Some(n) = flag_value("--idle-timeout-ms", None)? {
+                let ms = n
+                    .parse::<u64>()
+                    .map_err(|_| format!("invalid timeout `{n}`"))?;
+                if ms == 0 {
+                    // A zero socket timeout means "no timeout" to the OS,
+                    // the opposite of what the flag reads as; reject it.
+                    return Err("--idle-timeout-ms must be positive".to_string());
+                }
+                flags.idle_timeout_ms = Some(ms);
             } else if arg.starts_with('-') {
                 return Err(format!("unknown flag `{arg}`"));
             } else {
@@ -143,8 +179,9 @@ impl Flags {
 }
 
 /// Builds the service for one invocation: worker pool plus, when requested,
-/// the warm-start snapshot (load errors are warnings — a bad cache file
-/// means a cold start, never a failed run).
+/// the warm-start snapshot and its write-ahead log (load errors are
+/// warnings — a bad cache file means recovering whatever validated, never a
+/// failed run).
 fn service_with(workers: usize, cache_file: Option<&str>) -> Service {
     let service = Service::new(ServiceConfig {
         workers,
@@ -152,13 +189,21 @@ fn service_with(workers: usize, cache_file: Option<&str>) -> Service {
     });
     if let Some(path) = cache_file {
         let outcome = service.attach_cache_file(path);
-        match &outcome.warning {
-            Some(warning) => eprintln!("birelcost: {warning} (starting cold)"),
-            None => eprintln!(
-                "birelcost: cache-file {path}: loaded {} verdict(s), {} def hash(es), {} program(s)",
-                outcome.verdicts, outcome.defs, outcome.programs
-            ),
+        if let Some(warning) = &outcome.warning {
+            eprintln!("birelcost: warning: {warning} (recovered what validated)");
         }
+        // One machine-greppable line either way (the fault-injection CI
+        // smoke asserts on the replay counters after a SIGKILL).
+        eprintln!(
+            "birelcost: cache-file {path}: loaded {} verdict(s), {} def hash(es), \
+             {} program(s); replayed {} wal record(s), {} anomaly(ies); reaped {} tmp file(s)",
+            outcome.verdicts,
+            outcome.defs,
+            outcome.programs,
+            outcome.wal_records,
+            outcome.wal_anomalies,
+            outcome.reaped_tmp
+        );
     }
     service
 }
@@ -180,6 +225,12 @@ fn flush_cache(service: &Service) {
 }
 
 fn check_files(files: &[String], flags: &Flags) -> ExitCode {
+    if flags.listen.is_some()
+        || flags.request_timeout_ms.is_some()
+        || flags.idle_timeout_ms.is_some()
+    {
+        return usage_error("--listen/--request-timeout-ms/--idle-timeout-ms are serve flags");
+    }
     if files.is_empty() {
         eprintln!("birelcost check: no input files");
         return ExitCode::from(2);
@@ -351,7 +402,8 @@ fn serve_stdio(flags: &Flags) -> ExitCode {
 
     // Periodic flusher: a long-running daemon should not lose its warm state
     // to a crash or kill.  The thread wakes every second to notice shutdown
-    // promptly but only flushes once per SERVE_FLUSH_INTERVAL.
+    // (and a WAL over its compaction thresholds) promptly, but only
+    // dirty-flushes once per SERVE_FLUSH_INTERVAL.
     let stop = Arc::new(AtomicBool::new(false));
     let flusher = flags.cache_file.is_some().then(|| {
         let service = service.clone();
@@ -361,6 +413,11 @@ fn serve_stdio(flags: &Flags) -> ExitCode {
             while !stop.load(Ordering::Relaxed) {
                 std::thread::sleep(Duration::from_secs(1));
                 since_flush += Duration::from_secs(1);
+                // Threshold-driven compaction runs off the store path: the
+                // observers only flag it, this tick folds the log.
+                if let Err(e) = service.compact_if_due() {
+                    eprintln!("birelcost serve: wal compaction failed: {e}");
+                }
                 if since_flush >= SERVE_FLUSH_INTERVAL {
                     since_flush = Duration::ZERO;
                     // Dirty-checked: an idle daemon does not rewrite an
@@ -373,22 +430,41 @@ fn serve_stdio(flags: &Flags) -> ExitCode {
         })
     });
 
-    let stdin = io::stdin();
-    let stdout = io::stdout();
-    let outcome = serve(&service, stdin.lock(), stdout.lock());
+    let options = ServeOptions {
+        request_timeout: flags.request_timeout_ms.map(Duration::from_millis),
+        io_timeout: flags.idle_timeout_ms.map(Duration::from_millis),
+    };
+    let outcome = match &flags.listen {
+        Some(addr) => TcpListener::bind(addr)
+            .map_err(|e| io::Error::new(e.kind(), format!("cannot listen on {addr}: {e}")))
+            .and_then(|listener| {
+                eprintln!(
+                    "birelcost serve: listening on {}",
+                    listener
+                        .local_addr()
+                        .map_or(addr.clone(), |a| a.to_string())
+                );
+                serve_tcp(&service, &listener, options)
+            }),
+        None => {
+            let stdin = io::stdin();
+            let stdout = io::stdout();
+            serve_with(&service, stdin.lock(), stdout.lock(), options)
+        }
+    };
     stop.store(true, Ordering::Relaxed);
     if let Some(handle) = flusher {
         let _ = handle.join();
     }
-    // On-shutdown flush: the final state includes everything the periodic
-    // flushes may have missed.
+    // On-shutdown flush: runs after serve_with drained any timed-out
+    // workers, so the final state includes everything they memoized.
     flush_cache(&service);
 
     match outcome {
         Ok(summary) => {
             eprintln!(
-                "birelcost serve: handled {} request(s), {} error(s)",
-                summary.requests, summary.errors
+                "birelcost serve: handled {} request(s), {} error(s), {} deadline(s)",
+                summary.requests, summary.errors, summary.deadlines
             );
             ExitCode::SUCCESS
         }

@@ -297,7 +297,16 @@ pub struct ShardedValidityCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Store notification hook (WAL durability): called on every store,
+    /// *before* the shard lock is taken, so the observer may itself inspect
+    /// the cache or take unrelated locks without deadlocking.
+    observer: std::sync::RwLock<Option<StoreObserver>>,
 }
+
+/// A callback notified of every verdict store (key + verdict).  Attached by
+/// the persistence layer so each freshly computed verdict can be appended
+/// to a write-ahead log the moment it is memoized.
+pub type StoreObserver = std::sync::Arc<dyn Fn(&QueryKey, &Validity) + Send + Sync>;
 
 impl ShardedValidityCache {
     /// Default shard count (16) and per-shard capacity (16 384 verdicts,
@@ -325,7 +334,16 @@ impl ShardedValidityCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            observer: std::sync::RwLock::new(None),
         }
+    }
+
+    /// Attaches (or with `None`, detaches) the store-notification hook.
+    /// Callers restoring persisted state into the cache must attach the
+    /// observer *after* the restore, or every replayed verdict re-enters
+    /// the log it came from.
+    pub fn set_store_observer(&self, observer: Option<StoreObserver>) {
+        *self.observer.write().expect("cache observer poisoned") = observer;
     }
 
     fn shard(&self, hash: u64) -> &Mutex<Shard> {
@@ -364,6 +382,19 @@ impl ShardedValidityCache {
     /// Stores a verdict under an owned key (out-of-band population; the
     /// solver path goes through [`ValidityCache::store`]).
     pub fn store_key(&self, key: QueryKey, verdict: Validity) {
+        // Notify before the insert, with no shard lock held: the observer
+        // (a WAL append) may block on I/O, and a durability log written
+        // before the in-memory store can at worst carry a verdict the
+        // memory never served — harmless, since replay is idempotent and
+        // the verdict itself is correct either way.
+        if let Some(observer) = self
+            .observer
+            .read()
+            .expect("cache observer poisoned")
+            .clone()
+        {
+            observer(&key, &verdict);
+        }
         let hash = key.stable_hash();
         let mut shard = self.shard(hash).lock().expect("cache shard poisoned");
         if shard.len >= self.max_entries_per_shard {

@@ -218,7 +218,6 @@ pub struct StoredDef {
 /// wholesale-cleared before insert (epoch eviction), so a long-running
 /// daemon fed a stream of distinct programs cannot grow it — or the
 /// snapshots that serialize it — without bound.
-#[derive(Debug)]
 pub struct DefIndex {
     entries: Mutex<HashMap<u64, (u64, StoredDef)>>,
     max_entries: usize,
@@ -228,6 +227,23 @@ pub struct DefIndex {
     /// a stamp built on lengths would alias the two states and skip a
     /// needed flush.
     mutations: std::sync::atomic::AtomicU64,
+    /// Insert notification hook (WAL durability): called on every insert,
+    /// outside the entries lock.
+    observer: std::sync::RwLock<Option<DefObserver>>,
+}
+
+/// A callback notified of every def-index insert `(input_hash, verify_hash,
+/// stored verdict)` — the persistence layer's write-ahead hook.
+pub type DefObserver = Arc<dyn Fn(u64, u64, &StoredDef) + Send + Sync>;
+
+impl std::fmt::Debug for DefIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DefIndex")
+            .field("entries", &self.len())
+            .field("max_entries", &self.max_entries)
+            .field("mutations", &self.mutation_count())
+            .finish()
+    }
 }
 
 impl Default for DefIndex {
@@ -252,7 +268,15 @@ impl DefIndex {
             entries: Mutex::new(HashMap::new()),
             max_entries: max_entries.max(1),
             mutations: std::sync::atomic::AtomicU64::new(0),
+            observer: std::sync::RwLock::new(None),
         }
+    }
+
+    /// Attaches (or with `None`, detaches) the insert-notification hook.
+    /// Attach *after* restoring persisted entries, or every replayed entry
+    /// re-enters the log it came from.
+    pub fn set_store_observer(&self, observer: Option<DefObserver>) {
+        *self.observer.write().expect("def observer poisoned") = observer;
     }
 
     /// Monotone mutation counter (bumped on every insert and clear); equal
@@ -285,6 +309,12 @@ impl DefIndex {
 
     /// Records (or overwrites) a verdict, epoch-clearing a full index first.
     pub fn insert(&self, input_hash: u64, verify_hash: u64, def: StoredDef) {
+        // Notify before the insert, holding no lock (the observer is a WAL
+        // append that may block on I/O); replay idempotence makes the
+        // log-before-memory ordering harmless.
+        if let Some(observer) = self.observer.read().expect("def observer poisoned").clone() {
+            observer(input_hash, verify_hash, &def);
+        }
         let mut entries = self.entries.lock().expect("def index poisoned");
         if entries.len() >= self.max_entries && !entries.contains_key(&input_hash) {
             entries.clear();

@@ -40,6 +40,8 @@ pub mod relstlc;
 pub mod subtype;
 
 pub use bidir::{RelChecker, RelInference, Session};
-pub use engine::{DefIndex, DefReport, Engine, PhaseTimings, ProgramReport, StoredDef};
+pub use engine::{
+    DefIndex, DefObserver, DefReport, Engine, PhaseTimings, ProgramReport, StoredDef,
+};
 pub use heuristics::Heuristics;
 pub use subtype::rel_subtype;

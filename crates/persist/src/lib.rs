@@ -11,6 +11,15 @@
 //! and verifies magic / format version / engine fingerprint / checksum
 //! before trusting anything read back.
 //!
+//! Since PR 7 the snapshot is the *floor*, not the whole story: [`wal`]
+//! layers an append-only verdict log (`rel-wal`) under it, so every cache
+//! store is durable the moment it happens instead of at the next timer
+//! flush.  Recovery replays `snapshot + WAL suffix` with torn-tail
+//! truncation, and compaction folds the log back into the snapshot through
+//! the same atomic temp+rename save.  All disk traffic goes through the
+//! [`faultfs::FaultFs`] seam — `std::fs` in production, an in-memory
+//! fault-injecting implementation in the crash-safety tests.
+//!
 //! Soundness is inherited from the caches being persisted: verdicts are pure
 //! functions of the query and the solver configuration (the fingerprint in
 //! the header and in every [`rel_constraint::QueryKey`]), so replaying them
@@ -20,7 +29,14 @@
 //! a run down but never change a verdict.
 
 pub mod codec;
+pub mod faultfs;
 pub mod snapshot;
+pub mod wal;
 
 pub use codec::{DecodeError, Reader, Writer};
+pub use faultfs::{AppendFile, Fault, FaultFs, FaultScript, FaultyFs, RealFs, UnsyncedSurvival};
 pub use snapshot::{Snapshot, SnapshotError, FORMAT_VERSION, MAGIC};
+pub use wal::{
+    encode_frame, replay, sweep_stale_tmp, wal_path, Recovery, ReplayStats, Wal, WalLimits,
+    WalRecord, WalReplay, WalStats, WalStore, MAX_RECORD_LEN, WAL_MAGIC, WAL_VERSION,
+};

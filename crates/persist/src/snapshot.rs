@@ -54,7 +54,7 @@ pub const FORMAT_VERSION: u32 = 2;
 /// Nesting cap while decoding recursive terms: deeper input is corrupt (or
 /// adversarial) — real constraints nest a few dozen levels at most, and the
 /// cap turns a stack overflow into a clean decode error.
-const MAX_DEPTH: u32 = 1_000;
+pub(crate) const MAX_DEPTH: u32 = 1_000;
 
 /// Why a snapshot file was rejected.
 #[derive(Debug)]
@@ -297,54 +297,37 @@ impl Snapshot {
     /// sharing a path — never interleave writes into one tmp file; the last
     /// rename wins with a *whole* snapshot.
     pub fn save(&self, path: &Path) -> io::Result<()> {
+        self.save_with(&crate::faultfs::RealFs, path)
+    }
+
+    /// [`Snapshot::save`] through an explicit [`FaultFs`] — the seam the
+    /// fault-injection harness drives (and the path WAL compaction uses).
+    ///
+    /// [`FaultFs`]: crate::faultfs::FaultFs
+    pub fn save_with(&self, fs: &dyn crate::faultfs::FaultFs, path: &Path) -> io::Result<()> {
         let _span = rel_obs::span_with("persist.save", self.verdicts.len() as u64);
-        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let tmp = match path.file_name() {
-            Some(name) => {
-                let mut tmp_name = name.to_os_string();
-                tmp_name.push(format!(
-                    ".tmp.{}.{}",
-                    std::process::id(),
-                    SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-                ));
-                path.with_file_name(tmp_name)
-            }
-            None => return Err(io::Error::other("snapshot path has no file name")),
-        };
-        let result = (|| {
-            // Write + fsync *before* the rename: without the sync, a power
-            // loss shortly after the rename can surface the new name with
-            // truncated content on common filesystems — exactly the torn
-            // snapshot the temp-then-rename dance exists to rule out.
-            use std::io::Write as _;
-            let mut file = std::fs::File::create(&tmp)?;
-            file.write_all(&self.to_bytes())?;
-            file.sync_all()?;
-            drop(file);
-            std::fs::rename(&tmp, path)?;
-            // Best-effort directory sync so the rename itself is durable.
-            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-                if let Ok(dir) = std::fs::File::open(dir) {
-                    let _ = dir.sync_all();
-                }
-            }
-            Ok(())
-        })();
-        if result.is_err() {
-            // Best-effort cleanup: never leave a stray tmp behind a failure.
-            let _ = std::fs::remove_file(&tmp);
-        } else {
-            rel_obs::counter!("persist.saves").incr();
-        }
-        result
+        fs.write_atomic(path, &self.to_bytes())?;
+        rel_obs::counter!("persist.saves").incr();
+        Ok(())
     }
 
     /// Reads and verifies a snapshot file.  `Ok(None)` means the file does
     /// not exist (a legitimate cold start); every other failure is an error
     /// the caller should surface before starting cold.
     pub fn load(path: &Path, expected_fingerprint: u64) -> Result<Option<Snapshot>, SnapshotError> {
+        Snapshot::load_with(&crate::faultfs::RealFs, path, expected_fingerprint)
+    }
+
+    /// [`Snapshot::load`] through an explicit [`FaultFs`].
+    ///
+    /// [`FaultFs`]: crate::faultfs::FaultFs
+    pub fn load_with(
+        fs: &dyn crate::faultfs::FaultFs,
+        path: &Path,
+        expected_fingerprint: u64,
+    ) -> Result<Option<Snapshot>, SnapshotError> {
         let _span = rel_obs::span("persist.load");
-        let bytes = match std::fs::read(path) {
+        let bytes = match fs.read(path) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(SnapshotError::Io(e)),
@@ -597,14 +580,14 @@ fn read_quantified(r: &mut Reader<'_>) -> Result<Quantified, SnapshotError> {
     Ok(Quantified::new(var, sort))
 }
 
-fn write_query_key(w: &mut Writer, key: &QueryKey) {
+pub(crate) fn write_query_key(w: &mut Writer, key: &QueryKey) {
     w.varint(key.config_fingerprint());
     write_universals(w, key.universals());
     write_constr(w, key.hyp());
     write_constr(w, key.goal());
 }
 
-fn read_query_key(r: &mut Reader<'_>) -> Result<QueryKey, SnapshotError> {
+pub(crate) fn read_query_key(r: &mut Reader<'_>) -> Result<QueryKey, SnapshotError> {
     let config_fingerprint = r.varint()?;
     let universals = read_universals(r)?;
     let hyp = read_constr(r, MAX_DEPTH)?;
@@ -617,7 +600,7 @@ fn read_query_key(r: &mut Reader<'_>) -> Result<QueryKey, SnapshotError> {
     ))
 }
 
-fn write_validity(w: &mut Writer, v: &Validity) {
+pub(crate) fn write_validity(w: &mut Writer, v: &Validity) {
     match v {
         // Tag 0 stays "proved Valid" (the format-1 meaning of Valid was
         // untagged; the version bump rules out cross-reading anyway) and
@@ -638,7 +621,7 @@ fn write_validity(w: &mut Writer, v: &Validity) {
     }
 }
 
-fn read_validity(r: &mut Reader<'_>) -> Result<Validity, SnapshotError> {
+pub(crate) fn read_validity(r: &mut Reader<'_>) -> Result<Validity, SnapshotError> {
     Ok(match r.u8()? {
         0 => Validity::proved(),
         1 => Validity::Invalid(None),

@@ -21,8 +21,23 @@
 //! climb as traffic warms the validity cache.  Malformed lines produce an
 //! `{"error": ...}` response instead of killing the session: a serving
 //! process must survive bad input.
+//!
+//! Two robustness knobs (PR 7):
+//!
+//! * [`ServeOptions::request_timeout`] puts a wall-clock budget on each
+//!   request.  A request that blows the budget gets a structured
+//!   `{"error": "deadline"}` response immediately; its worker keeps running
+//!   and is *drained* (joined) before the loop returns, so cache stores it
+//!   makes still land and still persist at the final flush.
+//! * [`serve_tcp`] listens on a socket with OS-level read/write timeouts
+//!   ([`ServeOptions::io_timeout`]) so one stalled client can neither wedge
+//!   the daemon nor hold a connection forever.  `{"shutdown": true}` stops
+//!   the listener cleanly.
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::mpsc;
+use std::time::Duration;
 
 use birelcost::{DefReport, ProgramReport};
 
@@ -36,29 +51,165 @@ pub struct ServeSummary {
     pub requests: usize,
     /// Requests answered with an `error` field.
     pub errors: usize,
+    /// Requests that blew the per-request deadline (also counted in
+    /// `errors`; the worker finished in the background).
+    pub deadlines: usize,
+    /// Whether the session ended on `{"shutdown": true}` rather than EOF.
+    pub shutdown: bool,
+}
+
+/// Knobs for [`serve_with`] / [`serve_tcp`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeOptions {
+    /// Wall-clock budget per request; `None` = unbounded (the default, and
+    /// the behavior of plain [`serve`]).
+    pub request_timeout: Option<Duration>,
+    /// OS-level socket read/write timeout for [`serve_tcp`] connections: a
+    /// client that stays silent (or stops reading) this long is
+    /// disconnected.  Ignored by the stdio loop.
+    pub io_timeout: Option<Duration>,
 }
 
 /// Runs the request/response loop until the reader is exhausted.
 pub fn serve<R: BufRead, W: Write>(
     service: &Service,
     reader: R,
+    writer: W,
+) -> std::io::Result<ServeSummary> {
+    serve_with(service, reader, writer, ServeOptions::default())
+}
+
+/// [`serve`] with explicit [`ServeOptions`].
+pub fn serve_with<R: BufRead, W: Write>(
+    service: &Service,
+    reader: R,
     mut writer: W,
+    options: ServeOptions,
 ) -> std::io::Result<ServeSummary> {
     let mut summary = ServeSummary::default();
+    let mut inflight: Vec<std::thread::JoinHandle<()>> = Vec::new();
     for line in reader.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
         summary.requests += 1;
-        let response = respond(service, &line);
+        if is_shutdown(&line) {
+            summary.shutdown = true;
+            let response = Value::obj([("bye", Value::Bool(true))]);
+            writeln!(writer, "{response}")?;
+            writer.flush()?;
+            break;
+        }
+        let response = answer(service, &line, options, &mut inflight, &mut summary);
         if response.get("error").is_some() {
             summary.errors += 1;
         }
         writeln!(writer, "{response}")?;
         writer.flush()?;
     }
+    // Graceful drain: timed-out workers may still be storing verdicts;
+    // finish them now so the caller's final flush persists their work.
+    // Their responses are discarded — the client already got the deadline
+    // error, and interleaving a late line would corrupt the 1:1 protocol.
+    for handle in inflight {
+        let _ = handle.join();
+    }
     Ok(summary)
+}
+
+/// Computes one response, enforcing the per-request deadline when one is
+/// configured.  A timed-out worker is handed to `inflight` for the
+/// end-of-session drain.
+fn answer(
+    service: &Service,
+    line: &str,
+    options: ServeOptions,
+    inflight: &mut Vec<std::thread::JoinHandle<()>>,
+    summary: &mut ServeSummary,
+) -> Value {
+    let Some(timeout) = options.request_timeout else {
+        return respond(service, line);
+    };
+    let (tx, rx) = mpsc::channel();
+    let worker_service = service.clone();
+    let worker_line = line.to_string();
+    let handle = std::thread::spawn(move || {
+        // The receiver may be gone (deadline already reported): the send
+        // fails, the work — cache stores, WAL appends — is already done.
+        let _ = tx.send(respond(&worker_service, &worker_line));
+    });
+    match rx.recv_timeout(timeout) {
+        Ok(response) => {
+            let _ = handle.join();
+            response
+        }
+        Err(_) => {
+            summary.deadlines += 1;
+            service.metrics().counter("serve.deadlines").incr();
+            inflight.push(handle);
+            let mut fields = vec![
+                ("error".to_string(), Value::Str("deadline".to_string())),
+                (
+                    "timeout_ms".to_string(),
+                    Value::Int(timeout.as_millis() as i64),
+                ),
+            ];
+            if let Some(id) = json::parse(line).ok().and_then(|v| v.get("id").cloned()) {
+                fields.insert(0, ("id".to_string(), id));
+            }
+            Value::Obj(fields)
+        }
+    }
+}
+
+/// Whether a request line is `{"shutdown": true}` (cheap substring gate
+/// before the real parse, since almost no line is).
+fn is_shutdown(line: &str) -> bool {
+    line.contains("\"shutdown\"")
+        && json::parse(line)
+            .ok()
+            .is_some_and(|v| matches!(v.get("shutdown"), Some(Value::Bool(true))))
+}
+
+/// Serves connections from a TCP listener, sequentially, until a client
+/// sends `{"shutdown": true}`.  Each connection runs the same NDJSON loop
+/// as stdio under [`ServeOptions::io_timeout`]-bounded socket reads/writes;
+/// a connection that times out or errors is dropped (and counted) without
+/// taking the daemon down.
+pub fn serve_tcp(
+    service: &Service,
+    listener: &TcpListener,
+    options: ServeOptions,
+) -> std::io::Result<ServeSummary> {
+    let mut total = ServeSummary::default();
+    for stream in listener.incoming() {
+        let stream = stream?;
+        stream.set_read_timeout(options.io_timeout)?;
+        stream.set_write_timeout(options.io_timeout)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        match serve_with(service, reader, &stream, options) {
+            Ok(summary) => {
+                total.requests += summary.requests;
+                total.errors += summary.errors;
+                total.deadlines += summary.deadlines;
+                if summary.shutdown {
+                    total.shutdown = true;
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                rel_obs::counter!("serve.idle_disconnects").incr();
+            }
+            Err(_) => {
+                rel_obs::counter!("serve.conn_errors").incr();
+            }
+        }
+    }
+    Ok(total)
 }
 
 /// Computes the response for one request line, recording the request's
@@ -126,7 +277,7 @@ fn dispatch(service: &Service, request: &Value) -> Result<Value, String> {
         if command.as_str() != Some("dump") {
             return Err("the `metrics` field must be \"dump\"".to_string());
         }
-        return Ok(Value::obj([("metrics", metrics_value(service))]));
+        return Ok(Value::obj([("metrics", metrics_value(service)?)]));
     }
     Err("unknown request: expected `check`, `batch`, `stats`, `cache` or `metrics`".to_string())
 }
@@ -135,9 +286,12 @@ fn dispatch(service: &Service, request: &Value) -> Result<Value, String> {
 /// round-tripped through the serializer and this crate's parser so the
 /// daemon emits exactly the schema [`rel_obs::RegistrySnapshot::to_json`]
 /// documents.
-fn metrics_value(service: &Service) -> Value {
+/// Re-parsing our own serializer's output should never fail; if it somehow
+/// does (a registry name with bytes the parser rejects, say), the daemon
+/// answers with an error and keeps serving instead of panicking mid-session.
+fn metrics_value(service: &Service) -> Result<Value, String> {
     let dump = service.metrics_snapshot().to_json();
-    json::parse(&dump).expect("metrics dump must be valid JSON")
+    json::parse(&dump).map_err(|e| format!("metrics snapshot did not round-trip: {e}"))
 }
 
 /// Handles `{"cache": "stats" | "flush" | "clear"}`.
@@ -299,6 +453,7 @@ fn cache_value(service: &Service) -> Value {
 fn full_cache_value(service: &Service) -> Value {
     service.publish_cache_gauges();
     let snapshot = service.metrics().snapshot();
+    let persist = service.persist_stats();
     let gauge = |name: &str| -> Value {
         Value::Int(
             snapshot
@@ -322,8 +477,29 @@ fn full_cache_value(service: &Service) -> Value {
         ("saves", gauge("persist.saves")),
         (
             "file",
-            match &service.persist_stats().path {
+            match &persist.path {
                 Some(p) => Value::Str(p.display().to_string()),
+                None => Value::Null,
+            },
+        ),
+        (
+            "wal",
+            match &persist.wal {
+                Some(w) => Value::obj([
+                    ("records", Value::Int(w.records as i64)),
+                    ("bytes", Value::Int(w.bytes as i64)),
+                    ("appends", Value::Int(w.appends as i64)),
+                    ("append_errors", Value::Int(w.append_errors as i64)),
+                    ("compactions", Value::Int(w.compactions as i64)),
+                    ("replayed", Value::Int(w.replayed as i64)),
+                    ("truncated_tails", Value::Int(w.truncated_tails as i64)),
+                    ("corrupt_skipped", Value::Int(w.corrupt_skipped as i64)),
+                    (
+                        "fingerprint_rejected",
+                        Value::Int(w.fingerprint_rejected as i64),
+                    ),
+                    ("tmp_reaped", Value::Int(w.tmp_reaped as i64)),
+                ]),
                 None => Value::Null,
             },
         ),

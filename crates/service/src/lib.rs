@@ -45,6 +45,6 @@ pub mod service;
 pub use batch::{
     check_batch, check_batch_with, check_job, check_job_with, BatchJob, BatchResult, BatchStats,
 };
-pub use daemon::{respond, serve, ServeSummary};
+pub use daemon::{respond, serve, serve_tcp, serve_with, ServeOptions, ServeSummary};
 pub use schema::{validate_metrics, MetricsSummary};
 pub use service::{available_workers, LoadOutcome, PersistStats, Service, ServiceConfig};

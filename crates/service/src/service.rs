@@ -10,7 +10,7 @@ use rel_constraint::{
     CacheStats, ProgramCacheStats, ShardedValidityCache, SharedProgramCache, ValidityCache,
 };
 use rel_obs::{Registry, RegistrySnapshot};
-use rel_persist::Snapshot;
+use rel_persist::{FaultFs, RealFs, Snapshot, WalLimits, WalRecord, WalStats, WalStore};
 use rel_syntax::parse_program;
 
 use crate::batch::{check_batch_with, BatchJob, BatchResult};
@@ -45,6 +45,10 @@ pub fn available_workers() -> usize {
 struct PersistState {
     /// The snapshot file, once configured via [`Service::attach_cache_file`].
     path: Option<PathBuf>,
+    /// The snapshot + WAL pair under that path.  Shared with the store
+    /// observers (which append outside the persist lock), so the lock order
+    /// is always `persist → wal` or `wal` alone — never the reverse.
+    wal: Option<Arc<Mutex<WalStore>>>,
     /// Successful snapshot loads.
     loads: u64,
     /// Successful snapshot saves.
@@ -76,6 +80,8 @@ pub struct PersistStats {
     pub loaded_defs: u64,
     /// Program keys recompiled by the last successful load.
     pub loaded_programs: u64,
+    /// WAL counters, when a cache file (and therefore a log) is attached.
+    pub wal: Option<WalStats>,
 }
 
 /// What [`Service::attach_cache_file`] found on disk.
@@ -87,9 +93,17 @@ pub struct LoadOutcome {
     pub defs: u64,
     /// Compiled-program keys recompiled into the program memo.
     pub programs: u64,
-    /// `None` when the snapshot loaded (or the file did not exist);
-    /// otherwise the reason the file was rejected — the service started
-    /// cold, which is safe, but the caller should surface the warning.
+    /// Records replayed from the WAL suffix on top of the snapshot.
+    pub wal_records: u64,
+    /// WAL frames rejected during replay (torn tail + checksum/decode
+    /// failures + foreign fingerprints) — each one skipped, never applied.
+    pub wal_anomalies: u64,
+    /// Stale `*.tmp.*` files reaped from crashed saves.
+    pub reaped_tmp: u64,
+    /// `None` when everything on disk loaded (or nothing existed);
+    /// otherwise the joined reasons anything was rejected — the service
+    /// recovered what validated, which is safe, but the caller should
+    /// surface the warning.
     pub warning: Option<String>,
 }
 
@@ -110,6 +124,10 @@ pub struct Service {
     /// every definition, exactly like the seed.
     incremental: Arc<AtomicBool>,
     persist: Arc<Mutex<PersistState>>,
+    /// Set by the store observers when the WAL outgrows its thresholds;
+    /// drained by [`Service::compact_if_due`] (driven from the daemon's
+    /// flusher and serve loop) so compaction never runs on the store path.
+    compaction_due: Arc<AtomicBool>,
     /// Per-service metrics: request latency histograms and cache gauges.
     /// Private to the service (not [`rel_obs::metrics::global`]) so parallel
     /// services — and parallel tests in one binary — never bleed into each
@@ -145,6 +163,7 @@ impl Service {
             defs: Arc::new(DefIndex::new()),
             incremental: Arc::new(AtomicBool::new(false)),
             persist: Arc::new(Mutex::new(PersistState::default())),
+            compaction_due: Arc::new(AtomicBool::new(false)),
             metrics: Arc::new(Registry::new()),
             workers: config.workers.max(1),
         }
@@ -220,6 +239,10 @@ impl Service {
             loaded_verdicts: p.loaded_verdicts,
             loaded_defs: p.loaded_defs,
             loaded_programs: p.loaded_programs,
+            wal: p
+                .wal
+                .as_ref()
+                .map(|w| w.lock().expect("wal store poisoned").stats()),
         }
     }
 
@@ -249,6 +272,13 @@ impl Service {
         m.set_gauge("cache.defs.entries", self.defs.len() as i64);
         m.set_gauge("persist.loads", persist.loads as i64);
         m.set_gauge("persist.saves", persist.saves as i64);
+        if let Some(wal) = &persist.wal {
+            m.set_gauge("wal.records", wal.records as i64);
+            m.set_gauge("wal.bytes", wal.bytes as i64);
+            m.set_gauge("wal.appends", wal.appends as i64);
+            m.set_gauge("wal.append_errors", wal.append_errors as i64);
+            m.set_gauge("wal.compactions", wal.compactions as i64);
+        }
     }
 
     /// One merged metrics snapshot: the process-wide solver counters from
@@ -275,47 +305,147 @@ impl Service {
     }
 
     /// Drops all memoized state: verdicts, compiled programs and definition
-    /// hashes (counters are kept).
+    /// hashes (counters are kept).  With persistence attached, the now-empty
+    /// state is compacted to disk too — a cleared verdict must not
+    /// resurrect from the old snapshot or log at the next restart.
     pub fn clear_cache(&self) {
         self.cache.clear();
         self.programs.clear();
         self.defs.clear();
+        let attached = self
+            .persist
+            .lock()
+            .expect("persist state poisoned")
+            .wal
+            .is_some();
+        if attached {
+            // Best-effort: a failed save leaves stale state on disk, which
+            // the warning path surfaces at the next explicit flush.
+            let _ = self.save_cache();
+        }
     }
 
     /// Configures warm-start persistence: remembers `path` for
-    /// [`Service::save_cache`], switches incremental re-checking on, and —
-    /// when a snapshot already exists at the path — restores it.
+    /// [`Service::save_cache`], switches incremental re-checking on, and
+    /// recovers whatever the snapshot + WAL pair at the path holds.
+    ///
+    /// Recovery is `snapshot + WAL suffix`: the snapshot restores the bulk,
+    /// then every validated log record replays on top (torn tails and
+    /// corrupt frames are skipped, never applied).  From here on every
+    /// cache store appends to the log, so verdicts are durable the moment
+    /// they are memoized instead of at the next flush.
     ///
     /// A missing file is a clean cold start.  A rejected file (corrupt,
     /// wrong version, different engine fingerprint) is *also* a cold start:
     /// the outcome carries the warning, the path stays configured, and the
     /// next save overwrites the bad file with a good one.
     pub fn attach_cache_file(&self, path: impl Into<PathBuf>) -> LoadOutcome {
+        self.attach_cache_file_with(Arc::new(RealFs), path, WalLimits::default())
+    }
+
+    /// [`Service::attach_cache_file`] through an explicit [`FaultFs`] and
+    /// compaction thresholds — the seam the fault-injection tests drive.
+    pub fn attach_cache_file_with(
+        &self,
+        fs: Arc<dyn FaultFs>,
+        path: impl Into<PathBuf>,
+        limits: WalLimits,
+    ) -> LoadOutcome {
         let path = path.into();
         self.set_incremental(true);
-        let outcome = match Snapshot::load(&path, self.engine.fingerprint()) {
-            Ok(None) => LoadOutcome::default(),
-            Ok(Some(snapshot)) => {
-                snapshot.restore(&self.cache, &self.programs, &self.defs);
-                let mut p = self.persist.lock().expect("persist state poisoned");
-                p.loads += 1;
-                p.loaded_verdicts = snapshot.verdicts.len() as u64;
-                p.loaded_defs = snapshot.defs.len() as u64;
-                p.loaded_programs = snapshot.programs.len() as u64;
-                LoadOutcome {
-                    verdicts: snapshot.verdicts.len() as u64,
-                    defs: snapshot.defs.len() as u64,
-                    programs: snapshot.programs.len() as u64,
-                    warning: None,
-                }
-            }
-            Err(e) => LoadOutcome {
-                warning: Some(format!("ignoring cache file {}: {e}", path.display())),
-                ..LoadOutcome::default()
-            },
+        let (store, recovery) = WalStore::open(fs, &path, self.engine.fingerprint(), limits);
+        let mut warnings = recovery.warnings.clone();
+
+        let mut outcome = LoadOutcome {
+            wal_records: recovery.stats.replayed,
+            wal_anomalies: recovery.stats.anomalies(),
+            reaped_tmp: recovery.reaped_tmp,
+            ..LoadOutcome::default()
         };
-        self.persist.lock().expect("persist state poisoned").path = Some(path);
+        if let Some(snapshot) = &recovery.snapshot {
+            snapshot.restore(&self.cache, &self.programs, &self.defs);
+            outcome.verdicts = snapshot.verdicts.len() as u64;
+            outcome.defs = snapshot.defs.len() as u64;
+            outcome.programs = snapshot.programs.len() as u64;
+        }
+        for record in &recovery.records {
+            match record {
+                WalRecord::Verdict(key, verdict) => {
+                    self.cache.store_key(key.clone(), verdict.clone());
+                }
+                WalRecord::Def {
+                    input_hash,
+                    verify_hash,
+                    def,
+                } => self.defs.insert(*input_hash, *verify_hash, def.clone()),
+                WalRecord::Compaction { .. } => {}
+            }
+        }
+
+        let wal = Arc::new(Mutex::new(store));
+        {
+            let mut p = self.persist.lock().expect("persist state poisoned");
+            if recovery.snapshot.is_some() {
+                p.loads += 1;
+                p.loaded_verdicts = outcome.verdicts;
+                p.loaded_defs = outcome.defs;
+                p.loaded_programs = outcome.programs;
+            }
+            p.path = Some(path);
+            p.wal = Some(Arc::clone(&wal));
+        }
+
+        // Attach the store observers only now: every entry restored or
+        // replayed above must not re-enter the log it just came from.
+        let w = Arc::clone(&wal);
+        let due = Arc::clone(&self.compaction_due);
+        self.cache
+            .set_store_observer(Some(Arc::new(move |key, verdict| {
+                let mut wal = w.lock().expect("wal store poisoned");
+                // An append failure leaves the verdict memory-only until the
+                // next compaction — degraded durability, never a wrong verdict.
+                let _ = wal.append_verdict(key, verdict);
+                if wal.needs_compaction() {
+                    due.store(true, Ordering::Relaxed);
+                }
+            })));
+        let w = Arc::clone(&wal);
+        let due = Arc::clone(&self.compaction_due);
+        self.defs
+            .set_store_observer(Some(Arc::new(move |input_hash, verify_hash, def| {
+                let mut wal = w.lock().expect("wal store poisoned");
+                let _ = wal.append_def(input_hash, verify_hash, def);
+                if wal.needs_compaction() {
+                    due.store(true, Ordering::Relaxed);
+                }
+            })));
+
+        // Fold a non-trivial recovery into a fresh snapshot immediately:
+        // the suffix stops growing the next replay, and a torn or corrupt
+        // tail is rewritten away so it can never shadow later appends.
+        if recovery.should_compact() {
+            if let Err(e) = self.save_cache() {
+                warnings.push(format!("startup compaction failed: {e}"));
+            }
+        }
+
+        outcome.warning = if warnings.is_empty() {
+            None
+        } else {
+            Some(warnings.join("; "))
+        };
         outcome
+    }
+
+    /// Runs a compaction if a store observer flagged the log as over its
+    /// thresholds.  Returns whether one ran.  Cheap when not due (one atomic
+    /// load) — the daemon calls this from the flusher tick and after each
+    /// request batch.
+    pub fn compact_if_due(&self) -> Result<bool, String> {
+        if !self.compaction_due.load(Ordering::Relaxed) {
+            return Ok(false);
+        }
+        self.save_cache().map(|_| true)
     }
 
     /// The configured snapshot path, if any.
@@ -362,7 +492,10 @@ impl Service {
     /// The save path proper.  Runs under the persist lock, which serializes
     /// concurrent in-process savers (periodic flusher vs. `{"cache":
     /// "flush"}`); cross-process savers are safe via the unique-tmp-name
-    /// rename in [`Snapshot::save`].
+    /// rename in [`Snapshot::save`].  With a WAL attached, every save is a
+    /// *compaction*: the snapshot lands atomically, then the log truncates
+    /// to a marker (crash between the two replays the old suffix onto the
+    /// new snapshot — idempotent, never a loss).
     fn save_locked(&self, p: &mut PersistState, path: &Path) -> Result<u64, String> {
         // Stamp *before* capturing: state memoized concurrently during the
         // capture/write window must count as unsaved (the next dirty check
@@ -375,9 +508,17 @@ impl Service {
             &self.defs,
         );
         let verdicts = snapshot.verdicts.len() as u64;
-        snapshot
-            .save(path)
-            .map_err(|e| format!("cannot write cache file {}: {e}", path.display()))?;
+        match &p.wal {
+            Some(wal) => wal
+                .lock()
+                .expect("wal store poisoned")
+                .compact(&snapshot)
+                .map_err(|e| format!("cannot write cache file {}: {e}", path.display()))?,
+            None => snapshot
+                .save(path)
+                .map_err(|e| format!("cannot write cache file {}: {e}", path.display()))?,
+        }
+        self.compaction_due.store(false, Ordering::Relaxed);
         p.saves += 1;
         p.last_saved_stamp = Some(stamp);
         Ok(verdicts)

@@ -1,0 +1,274 @@
+//! Service-level WAL recovery: verdicts survive a daemon that never flushed,
+//! compaction fires from the thresholds, the wire protocol exposes WAL
+//! counters, request deadlines degrade to structured errors, and the TCP
+//! listener round-trips a session.
+
+use std::io::{BufRead, BufReader, Cursor, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rel_persist::{FaultScript, FaultyFs, UnsyncedSurvival, WalLimits};
+use rel_service::json::{self, Value};
+use rel_service::{serve_tcp, serve_with, ServeOptions, Service, ServiceConfig};
+
+const CACHE: &str = "/d/cache";
+
+fn service() -> Service {
+    Service::new(ServiceConfig {
+        workers: 1,
+        cache_shards: 4,
+    })
+}
+
+/// A source whose check actually stores constraint verdicts (the boolean
+/// toys never consult the validity cache): the `map` benchmark drives the
+/// FM layer and the existential search.
+fn src() -> String {
+    rel_suite::benchmark("map")
+        .unwrap()
+        .source
+        .replace('\n', " ")
+}
+
+fn wide_limits() -> WalLimits {
+    WalLimits {
+        max_bytes: u64::MAX,
+        max_records: u64::MAX,
+    }
+}
+
+#[test]
+fn verdicts_survive_a_crash_without_any_explicit_flush() {
+    let fs = FaultyFs::new();
+    let first = service();
+    let outcome = first.attach_cache_file_with(Arc::new(fs.clone()), CACHE, wide_limits());
+    assert_eq!(outcome.warning, None);
+
+    let report = first.check_source(&src()).expect("source checks");
+    assert!(report.all_ok());
+    let stored = first.cache_stats().entries;
+    assert!(stored > 0, "the check stored verdicts");
+    let wal = first.persist_stats().wal.expect("wal attached");
+    assert!(wal.appends >= stored, "every verdict store hit the log");
+    assert_eq!(wal.append_errors, 0);
+
+    // Kill it: no save_cache(), no drop-order courtesy.  Only synced bytes
+    // survive — append_verdict syncs, so everything acked is on "disk".
+    drop(first);
+    let survivor = fs.surviving();
+
+    let second = service();
+    let outcome = second.attach_cache_file_with(Arc::new(survivor), CACHE, wide_limits());
+    assert_eq!(outcome.warning, None, "clean replay: {:?}", outcome.warning);
+    assert_eq!(outcome.verdicts, 0, "no snapshot was ever written");
+    assert!(outcome.wal_records > 0, "recovery came from the wal suffix");
+    assert_eq!(outcome.wal_anomalies, 0);
+
+    let report = second.check_source(&src()).expect("source re-checks");
+    assert!(report.all_ok());
+    // The replayed def-index entries let every unchanged definition skip
+    // re-verification outright — warm recovery without a single flush.
+    assert!(
+        report.skipped_unchanged() > 0,
+        "replayed def hashes answered the second run"
+    );
+}
+
+#[test]
+fn torn_wal_tail_degrades_to_a_warning_and_a_prefix() {
+    // Crash mid-append with a 1-byte torn tail surviving.
+    let fs = FaultyFs::new();
+    let first = service();
+    first.attach_cache_file_with(Arc::new(fs.clone()), CACHE, wide_limits());
+    let probe_ops = {
+        // Count ops of a clean run on a scratch fs to find a mid-run index.
+        let scratch = FaultyFs::new();
+        let s = service();
+        s.attach_cache_file_with(Arc::new(scratch.clone()), CACHE, wide_limits());
+        s.check_source(&src()).unwrap();
+        scratch.op_count()
+    };
+    let fs = FaultyFs::with_script(FaultScript::crash_at(
+        probe_ops.saturating_sub(2),
+        UnsyncedSurvival::Prefix(1),
+    ));
+    let first = service();
+    first.attach_cache_file_with(Arc::new(fs.clone()), CACHE, wide_limits());
+    let _ = first.check_source(&src());
+    drop(first);
+
+    let second = service();
+    let outcome = second.attach_cache_file_with(Arc::new(fs.surviving()), CACHE, wide_limits());
+    // Whatever happened, attach recovered a consistent prefix and, because
+    // the tail was torn, flagged it and folded the log on startup.
+    if outcome.wal_anomalies > 0 {
+        let warning = outcome.warning.expect("anomalies carry a warning");
+        assert!(warning.contains("wal"), "unexpected warning: {warning}");
+    }
+    assert!(second.check_source(&src()).expect("still serves").all_ok());
+}
+
+#[test]
+fn compaction_threshold_folds_the_log_into_the_snapshot() {
+    let fs = FaultyFs::new();
+    let svc = service();
+    let limits = WalLimits {
+        max_bytes: u64::MAX,
+        max_records: 1,
+    };
+    svc.attach_cache_file_with(Arc::new(fs.clone()), CACHE, limits);
+    svc.check_source(&src()).expect("source checks");
+
+    // More than one record appended → the observer marked compaction due.
+    assert_eq!(svc.compact_if_due(), Ok(true));
+    assert_eq!(
+        svc.compact_if_due(),
+        Ok(false),
+        "due flag is edge-triggered"
+    );
+    let wal = svc.persist_stats().wal.expect("wal attached");
+    assert_eq!(wal.compactions, 1);
+    assert_eq!(wal.records, 1, "only the compaction marker remains");
+    drop(svc);
+
+    // The snapshot now carries the verdicts; replay is ~empty.
+    let second = service();
+    let outcome = second.attach_cache_file_with(Arc::new(fs.surviving()), CACHE, limits);
+    assert_eq!(outcome.warning, None);
+    assert!(outcome.verdicts > 0, "folded verdicts live in the snapshot");
+    assert_eq!(outcome.wal_records, 0);
+    let report = second.check_source(&src()).expect("serves");
+    assert!(report.all_ok());
+    assert!(
+        report.skipped_unchanged() > 0,
+        "snapshot warmed the def index"
+    );
+}
+
+#[test]
+fn cache_stats_response_carries_the_wal_counters() {
+    let fs = FaultyFs::new();
+    let svc = service();
+    svc.attach_cache_file_with(Arc::new(fs), CACHE, wide_limits());
+    svc.check_source(&src()).expect("source checks");
+
+    let mut output = Vec::new();
+    serve_with(
+        &svc,
+        Cursor::new("{\"cache\": \"stats\"}"),
+        &mut output,
+        ServeOptions::default(),
+    )
+    .expect("in-memory I/O");
+    let response = json::parse(String::from_utf8(output).unwrap().lines().next().unwrap())
+        .expect("valid JSON");
+    let wal = response
+        .get("cache")
+        .and_then(|c| c.get("wal"))
+        .expect("cache.wal object");
+    for field in [
+        "records",
+        "bytes",
+        "appends",
+        "append_errors",
+        "compactions",
+        "replayed",
+        "truncated_tails",
+        "corrupt_skipped",
+        "fingerprint_rejected",
+        "tmp_reaped",
+    ] {
+        assert!(
+            wal.get(field).and_then(Value::as_int).is_some(),
+            "cache.wal.{field} missing in {wal}"
+        );
+    }
+    assert!(wal.get("appends").and_then(Value::as_int).unwrap() > 0);
+}
+
+#[test]
+fn a_zero_deadline_times_out_with_a_structured_error() {
+    let svc = service();
+    let req = format!("{{\"id\": 7, \"check\": \"{}\"}}", src());
+    let mut output = Vec::new();
+    let summary = serve_with(
+        &svc,
+        Cursor::new(req),
+        &mut output,
+        ServeOptions {
+            request_timeout: Some(Duration::ZERO),
+            io_timeout: None,
+        },
+    )
+    .expect("in-memory I/O");
+    assert_eq!(summary.requests, 1);
+    assert_eq!(summary.deadlines, 1);
+
+    let response = json::parse(String::from_utf8(output).unwrap().lines().next().unwrap()).unwrap();
+    assert_eq!(
+        response.get("error").and_then(Value::as_str),
+        Some("deadline")
+    );
+    assert_eq!(response.get("id").and_then(Value::as_int), Some(7));
+    assert_eq!(response.get("timeout_ms").and_then(Value::as_int), Some(0));
+
+    // The drained worker finished in the background; the service is intact.
+    assert!(svc.check_source(&src()).expect("still serves").all_ok());
+}
+
+#[test]
+fn generous_deadlines_do_not_interfere_with_answers() {
+    let svc = service();
+    let req = format!("{{\"check\": \"{}\"}}", src());
+    let mut output = Vec::new();
+    let summary = serve_with(
+        &svc,
+        Cursor::new(req),
+        &mut output,
+        ServeOptions {
+            request_timeout: Some(Duration::from_secs(60)),
+            io_timeout: None,
+        },
+    )
+    .expect("in-memory I/O");
+    assert_eq!(summary.deadlines, 0);
+    let response = json::parse(String::from_utf8(output).unwrap().lines().next().unwrap()).unwrap();
+    assert_eq!(response.get("ok"), Some(&Value::Bool(true)));
+}
+
+#[test]
+fn tcp_listener_answers_and_honors_shutdown() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let svc = service();
+        serve_tcp(
+            &svc,
+            &listener,
+            ServeOptions {
+                request_timeout: Some(Duration::from_secs(30)),
+                io_timeout: Some(Duration::from_secs(5)),
+            },
+        )
+    });
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    writeln!(stream, "{{\"check\": \"{}\"}}", src()).unwrap();
+    writeln!(stream, "{{\"shutdown\": true}}").unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let response = json::parse(line.trim()).expect("check response");
+    assert_eq!(response.get("ok"), Some(&Value::Bool(true)));
+
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let bye = json::parse(line.trim()).expect("shutdown response");
+    assert_eq!(bye.get("bye"), Some(&Value::Bool(true)));
+
+    let summary = server.join().expect("server thread").expect("serve_tcp ok");
+    assert!(summary.shutdown);
+    assert_eq!(summary.requests, 2);
+}
