@@ -33,12 +33,22 @@
 //!
 //! FLAGS (serve only):
 //!   --listen ADDR        serve the NDJSON protocol on a TCP socket instead
-//!                        of stdin/stdout ({"shutdown": true} stops it)
+//!                        of stdin/stdout ({"shutdown": true} stops it);
+//!                        runs the multiplexed reactor: many connections
+//!                        over one worker pool, responses in finish order
+//!                        (tag requests with "id" and match on the echo)
+//!   --http ADDR          serve the same content over HTTP/1.1 (POST /check,
+//!                        GET /metrics, GET /cache/stats, POST /shutdown);
+//!                        composable with --listen — both planes share the
+//!                        workers, the caches and the bounded queue
+//!   --max-queue N        bound on queued-but-unstarted requests across all
+//!                        connections; excess requests answer
+//!                        {"error": "backpressure"} (HTTP 503) immediately
 //!   --request-timeout-ms N   wall-clock budget per request; a request over
 //!                        budget answers {"error": "deadline"} while its
 //!                        worker drains in the background
-//!   --idle-timeout-ms N  (--listen only) disconnect a client whose socket
-//!                        stays silent this long
+//!   --idle-timeout-ms N  (--listen/--http only) disconnect a client whose
+//!                        socket stays silent this long
 //! ```
 
 use std::env;
@@ -53,15 +63,16 @@ use std::time::Duration;
 use birelcost::Engine;
 use rel_constraint::SearchExhaustedReason;
 use rel_service::{
-    serve_tcp, serve_with, BatchJob, BatchStats, ServeOptions, Service, ServiceConfig,
+    serve_reactor, serve_with, BatchJob, BatchStats, CodecKind, CodecLimits, ReactorOptions,
+    ServeOptions, Service, ServiceConfig,
 };
 use rel_suite::{all_benchmarks, VerificationStatus};
 use rel_syntax::parse_program;
 
 const USAGE: &str = "usage: birelcost <check [--jobs N] [--cache-file PATH] [--metrics-out PATH] \
      [--trace-out PATH] FILE...|serve [--jobs N] [--cache-file PATH] [--listen ADDR] \
-     [--request-timeout-ms N] [--idle-timeout-ms N]|explain NAME\
-     |validate-metrics FILE|table1|list>";
+     [--http ADDR] [--max-queue N] [--request-timeout-ms N] [--idle-timeout-ms N]\
+     |explain NAME|validate-metrics FILE|table1|list>";
 
 /// How often the daemon flushes its warm state to the cache file.
 const SERVE_FLUSH_INTERVAL: Duration = Duration::from_secs(60);
@@ -113,9 +124,13 @@ struct Flags {
     trace_out: Option<String>,
     /// TCP address for `serve --listen` (stdio when absent).
     listen: Option<String>,
+    /// TCP address for the HTTP/1.1 plane (`serve --http`).
+    http: Option<String>,
+    /// Bound on queued-but-unstarted requests for the reactor planes.
+    max_queue: Option<usize>,
     /// Per-request wall-clock budget for `serve`.
     request_timeout_ms: Option<u64>,
-    /// Socket idle timeout for `serve --listen`.
+    /// Socket idle timeout for `serve --listen`/`--http`.
     idle_timeout_ms: Option<u64>,
 }
 
@@ -153,6 +168,16 @@ impl Flags {
                 flags.trace_out = Some(path);
             } else if let Some(addr) = flag_value("--listen", None)? {
                 flags.listen = Some(addr);
+            } else if let Some(addr) = flag_value("--http", None)? {
+                flags.http = Some(addr);
+            } else if let Some(n) = flag_value("--max-queue", None)? {
+                let cap = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid queue bound `{n}`"))?;
+                if cap == 0 {
+                    return Err("--max-queue must be positive".to_string());
+                }
+                flags.max_queue = Some(cap);
             } else if let Some(n) = flag_value("--request-timeout-ms", None)? {
                 flags.request_timeout_ms = Some(
                     n.parse::<u64>()
@@ -226,10 +251,14 @@ fn flush_cache(service: &Service) {
 
 fn check_files(files: &[String], flags: &Flags) -> ExitCode {
     if flags.listen.is_some()
+        || flags.http.is_some()
+        || flags.max_queue.is_some()
         || flags.request_timeout_ms.is_some()
         || flags.idle_timeout_ms.is_some()
     {
-        return usage_error("--listen/--request-timeout-ms/--idle-timeout-ms are serve flags");
+        return usage_error(
+            "--listen/--http/--max-queue/--request-timeout-ms/--idle-timeout-ms are serve flags",
+        );
     }
     if files.is_empty() {
         eprintln!("birelcost check: no input files");
@@ -430,42 +459,36 @@ fn serve_stdio(flags: &Flags) -> ExitCode {
         })
     });
 
-    let options = ServeOptions {
-        request_timeout: flags.request_timeout_ms.map(Duration::from_millis),
-        io_timeout: flags.idle_timeout_ms.map(Duration::from_millis),
-    };
-    let outcome = match &flags.listen {
-        Some(addr) => TcpListener::bind(addr)
-            .map_err(|e| io::Error::new(e.kind(), format!("cannot listen on {addr}: {e}")))
-            .and_then(|listener| {
-                eprintln!(
-                    "birelcost serve: listening on {}",
-                    listener
-                        .local_addr()
-                        .map_or(addr.clone(), |a| a.to_string())
-                );
-                serve_tcp(&service, &listener, options)
-            }),
-        None => {
-            let stdin = io::stdin();
-            let stdout = io::stdout();
-            serve_with(&service, stdin.lock(), stdout.lock(), options)
-        }
+    let outcome = if flags.listen.is_some() || flags.http.is_some() {
+        // Socket planes run the multiplexed reactor: every listed address
+        // (NDJSON and/or HTTP) shares one worker pool, one bounded queue
+        // and one set of caches.
+        serve_sockets(&service, flags, workers)
+    } else {
+        let options = ServeOptions {
+            request_timeout: flags.request_timeout_ms.map(Duration::from_millis),
+            io_timeout: None,
+        };
+        let stdin = io::stdin();
+        let stdout = io::stdout();
+        serve_with(&service, stdin.lock(), stdout.lock(), options).map(|summary| {
+            format!(
+                "handled {} request(s), {} error(s), {} deadline(s)",
+                summary.requests, summary.errors, summary.deadlines
+            )
+        })
     };
     stop.store(true, Ordering::Relaxed);
     if let Some(handle) = flusher {
         let _ = handle.join();
     }
-    // On-shutdown flush: runs after serve_with drained any timed-out
+    // On-shutdown flush: runs after the serving loop drained any timed-out
     // workers, so the final state includes everything they memoized.
     flush_cache(&service);
 
     match outcome {
-        Ok(summary) => {
-            eprintln!(
-                "birelcost serve: handled {} request(s), {} error(s), {} deadline(s)",
-                summary.requests, summary.errors, summary.deadlines
-            );
+        Ok(report) => {
+            eprintln!("birelcost serve: {report}");
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -473,6 +496,48 @@ fn serve_stdio(flags: &Flags) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Binds the requested socket planes and runs the reactor over them,
+/// returning the summary line for the shutdown report.
+fn serve_sockets(service: &Service, flags: &Flags, workers: usize) -> io::Result<String> {
+    let mut listeners = Vec::new();
+    let planes = [
+        (&flags.listen, CodecKind::Ndjson),
+        (&flags.http, CodecKind::Http),
+    ];
+    for (addr, kind) in planes {
+        let Some(addr) = addr else { continue };
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| io::Error::new(e.kind(), format!("cannot listen on {addr}: {e}")))?;
+        eprintln!(
+            "birelcost serve: {} plane listening on {}",
+            kind.label(),
+            listener
+                .local_addr()
+                .map_or(addr.clone(), |a| a.to_string())
+        );
+        listeners.push((listener, kind));
+    }
+    let options = ReactorOptions {
+        workers,
+        max_queue: flags.max_queue.unwrap_or((workers * 32).max(64)),
+        request_timeout: flags.request_timeout_ms.map(Duration::from_millis),
+        idle_timeout: flags.idle_timeout_ms.map(Duration::from_millis),
+        limits: CodecLimits::default(),
+    };
+    let summary = serve_reactor(service, listeners, options)?;
+    Ok(format!(
+        "handled {} request(s) over {} connection(s): {} error(s), {} deadline(s), \
+         {} backpressure refusal(s), {} conn error(s), {} idle disconnect(s)",
+        summary.requests,
+        summary.connections,
+        summary.errors,
+        summary.deadlines,
+        summary.backpressure,
+        summary.conn_errors,
+        summary.idle_disconnects
+    ))
 }
 
 /// Renders a nanosecond duration at a human scale.

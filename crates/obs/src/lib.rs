@@ -31,7 +31,8 @@ pub mod recorder;
 
 pub use chrome::{build_trees, chrome_trace, SpanNode, ThreadTree};
 pub use metrics::{
-    global, Counter, Histogram, HistogramSnapshot, Registry, RegistrySnapshot, SCHEMA_VERSION,
+    global, Counter, Histogram, HistogramSnapshot, Registry, RegistrySnapshot, Timer,
+    SCHEMA_VERSION,
 };
 pub use recorder::{
     check_well_nested, event, event_with, recording, set_recording, span, span_with, take_events,

@@ -113,6 +113,16 @@ impl Histogram {
         self.observe_ns(d.as_nanos().min(u64::MAX as u128) as u64);
     }
 
+    /// Starts an RAII timer that observes the elapsed wall clock on this
+    /// histogram when dropped — the shape serving loops want around a
+    /// request body with several exit paths.
+    pub fn start_timer(&self) -> Timer {
+        Timer {
+            histogram: self.clone(),
+            start: std::time::Instant::now(),
+        }
+    }
+
     /// Reads a consistent-enough snapshot (relaxed loads; counts may lag
     /// concurrent writers by a few observations, which is fine for a dump).
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -145,6 +155,21 @@ impl Histogram {
             p99_ns: percentile(0.99),
             max_ns: inner.max.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// RAII guard from [`Histogram::start_timer`]: records the elapsed time on
+/// drop, so every return path of a request handler is measured without a
+/// per-path `observe` call.
+#[derive(Debug)]
+pub struct Timer {
+    histogram: Histogram,
+    start: std::time::Instant,
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        self.histogram.observe(self.start.elapsed());
     }
 }
 
@@ -427,6 +452,21 @@ mod tests {
         let mut out = String::new();
         push_json_str(&mut out, "a\"b\\c\nd");
         assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn timer_observes_on_every_exit_path() {
+        let reg = Registry::new();
+        let h = reg.histogram("timed");
+        {
+            let _t = h.start_timer();
+        }
+        let early_return = || -> Result<(), ()> {
+            let _t = h.start_timer();
+            Err(())? // the guard records even when the body bails
+        };
+        let _ = early_return();
+        assert_eq!(h.snapshot().count, 2);
     }
 
     #[test]

@@ -217,7 +217,10 @@ pub fn serve_tcp(
 /// process recorder, when armed).
 pub fn respond(service: &Service, line: &str) -> Value {
     let _span = rel_obs::span("serve.request");
-    let start = std::time::Instant::now();
+    let _timer = service
+        .metrics()
+        .histogram("serve.request_ns")
+        .start_timer();
     service.metrics().counter("serve.requests").incr();
     let request = match json::parse(line) {
         Ok(v) => v,
@@ -226,8 +229,17 @@ pub fn respond(service: &Service, line: &str) -> Value {
             return Value::obj([("error", Value::Str(format!("malformed request: {e}")))]);
         }
     };
+    respond_parsed(service, &request)
+}
+
+/// [`respond`] for an already-parsed request: dispatch plus the `id` echo,
+/// without the request counter or the latency observation — the reactor
+/// plane counts requests at decode and measures latency at completion (so
+/// queueing time is included), while the blocking loop above does both
+/// around the parse.
+pub fn respond_parsed(service: &Service, request: &Value) -> Value {
     let id = request.get("id").cloned();
-    let mut response = match dispatch(service, &request) {
+    let mut response = match dispatch(service, request) {
         Ok(fields) => fields,
         Err(message) => {
             service.metrics().counter("serve.errors").incr();
@@ -237,10 +249,6 @@ pub fn respond(service: &Service, line: &str) -> Value {
     if let (Some(id), Value::Obj(fields)) = (id, &mut response) {
         fields.insert(0, ("id".to_string(), id));
     }
-    service
-        .metrics()
-        .histogram("serve.request_ns")
-        .observe(start.elapsed());
     response
 }
 
@@ -340,29 +348,27 @@ fn batch_response(service: &Service, sources: &[&str]) -> Value {
     let stats = crate::batch::BatchStats::of(&results);
     Value::obj([
         ("ok", Value::Bool(results.iter().all(|r| r.ok()))),
-        (
-            "jobs",
-            Value::Arr(
-                results
-                    .iter()
-                    .map(|r| match &r.outcome {
-                        Ok(report) => Value::obj([
-                            ("name", Value::Str(r.name.clone())),
-                            ("ok", Value::Bool(report.all_ok())),
-                            ("defs", defs_value(report)),
-                        ]),
-                        Err(e) => Value::obj([
-                            ("name", Value::Str(r.name.clone())),
-                            ("ok", Value::Bool(false)),
-                            ("error", Value::Str(e.clone())),
-                        ]),
-                    })
-                    .collect(),
-            ),
-        ),
+        ("jobs", Value::Arr(results.iter().map(job_value).collect())),
         ("jobs_ok", Value::Int(stats.jobs_ok as i64)),
         ("cache", cache_value(service)),
     ])
+}
+
+/// One entry of a batch response's `jobs` array (also the per-item shape of
+/// streamed batch results on the reactor plane).
+pub(crate) fn job_value(result: &crate::batch::BatchResult) -> Value {
+    match &result.outcome {
+        Ok(report) => Value::obj([
+            ("name", Value::Str(result.name.clone())),
+            ("ok", Value::Bool(report.all_ok())),
+            ("defs", defs_value(report)),
+        ]),
+        Err(e) => Value::obj([
+            ("name", Value::Str(result.name.clone())),
+            ("ok", Value::Bool(false)),
+            ("error", Value::Str(e.clone())),
+        ]),
+    }
 }
 
 fn defs_value(report: &ProgramReport) -> Value {
@@ -435,7 +441,7 @@ fn def_value(def: &DefReport) -> Value {
     ])
 }
 
-fn cache_value(service: &Service) -> Value {
+pub(crate) fn cache_value(service: &Service) -> Value {
     let stats = service.cache_stats();
     Value::obj([
         ("hits", Value::Int(stats.hits as i64)),

@@ -14,6 +14,12 @@
 //!   speaking `{"check": "<source>"}` → per-def verdicts, timings and cache
 //!   counters over stdin/stdout, so external harnesses can drive sustained
 //!   traffic;
+//! * [`codec`] — the wire-format seam: NDJSON and hand-rolled HTTP/1.1
+//!   framings of the *same* JSON content, so both planes answer
+//!   byte-identical payloads (DESIGN.md §10);
+//! * [`reactor`] — the multiplexed serving plane: a `poll(2)` readiness
+//!   loop driving many connections over one bounded worker queue, with
+//!   per-request deadlines, explicit backpressure and streamed batches;
 //! * [`json`] — the minimal JSON layer backing the protocol (no external
 //!   dependencies are available in this build environment).
 //!
@@ -37,14 +43,18 @@
 //! ```
 
 pub mod batch;
+pub mod codec;
 pub mod daemon;
 pub mod json;
+pub mod reactor;
 pub mod schema;
 pub mod service;
 
 pub use batch::{
     check_batch, check_batch_with, check_job, check_job_with, BatchJob, BatchResult, BatchStats,
 };
+pub use codec::{content_line, make_codec, Codec, CodecKind, CodecLimits, Decode};
 pub use daemon::{respond, serve, serve_tcp, serve_with, ServeOptions, ServeSummary};
+pub use reactor::{serve_reactor, ReactorOptions, ReactorSummary};
 pub use schema::{validate_metrics, MetricsSummary};
 pub use service::{available_workers, LoadOutcome, PersistStats, Service, ServiceConfig};

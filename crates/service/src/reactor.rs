@@ -1,0 +1,1052 @@
+//! The non-blocking serving plane: one readiness loop multiplexing many
+//! connections over the shared worker pool.
+//!
+//! The PR 1–7 daemon dedicated one OS thread to each connection; this module
+//! replaces that with a `poll(2)`-driven reactor (an in-tree readiness loop —
+//! the build environment is offline, so no tokio/mio) plus a bounded job
+//! queue drained by a fixed worker pool:
+//!
+//! ```text
+//!            ┌ listener (NDJSON) ┐             ┌ worker 0 ┐
+//!  clients ──┤                   ├─ reactor ───┤ worker 1 ├── Service
+//!            └ listener (HTTP)  ─┘   poll(2)   └ worker N ┘   (engine,
+//!                 nonblocking        1 thread     bounded      caches)
+//!                 sockets            owns conns   queue
+//! ```
+//!
+//! * The **reactor thread** owns every connection: it accepts, reads bytes,
+//!   runs each connection's [`Codec`] state machine, enqueues decoded
+//!   requests, writes completed responses, and enforces per-request
+//!   deadlines and per-connection idle timeouts.
+//! * **Workers** pull jobs off the bounded queue and answer them against the
+//!   shared [`Service`].  At dequeue time a job whose connection already
+//!   closed is dropped (counted under `serve.conn_errors` — the PR 7 design
+//!   would have computed it and discovered the disconnect only when the
+//!   response write failed), and a job already past its deadline is answered
+//!   with the structured deadline error without doing the work.
+//! * **Backpressure is explicit**: when the queue is full the reactor
+//!   immediately answers `{"error": "backpressure", ...}` (HTTP 503) instead
+//!   of buffering unboundedly — the client knows to back off, and the
+//!   daemon's memory stays bounded no matter the offered load.
+//! * **Cancellation** reuses the PR 7 deadline machinery: a request that
+//!   blows [`ReactorOptions::request_timeout`] is answered with the same
+//!   `{"error": "deadline", "timeout_ms": N}` object the blocking loop
+//!   produces.  If a worker is already running it, the work completes in the
+//!   background (its cache stores still land) and the late response is
+//!   dropped; if it is still queued, the dequeue check skips the work
+//!   entirely.
+//! * **Streaming**: `{"batch": [...], "stream": true}` answers one frame per
+//!   job as it finishes (NDJSON lines on one plane, HTTP chunks on the
+//!   other) and a terminal `{"done": true, ...}` summary, so a client
+//!   replaying a large suite sees results as they land.
+//!
+//! Responses on the NDJSON plane complete in *finish* order, not submission
+//! order — pipelining clients tag requests with `"id"` and match on the
+//! echo.  The HTTP plane is half-duplex per connection (HTTP/1.1 responses
+//! must land in request order), so multiplexing there comes from many
+//! connections.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::codec::{make_codec, Codec, CodecKind, CodecLimits, Decode};
+use crate::daemon;
+use crate::json::Value;
+use crate::service::Service;
+
+/// Knobs for [`serve_reactor`].
+#[derive(Debug, Clone)]
+pub struct ReactorOptions {
+    /// Worker threads answering requests (defaults to the machine's
+    /// parallelism).
+    pub workers: usize,
+    /// Bound on queued-but-not-started requests across all connections;
+    /// excess requests are answered with an explicit backpressure error.
+    pub max_queue: usize,
+    /// Wall-clock budget per request (the PR 7 deadline machinery); `None`
+    /// is unbounded.
+    pub request_timeout: Option<Duration>,
+    /// Disconnect a connection with no traffic and no in-flight work for
+    /// this long (also what reaps slow-loris half-requests).
+    pub idle_timeout: Option<Duration>,
+    /// Codec size limits (request line / HTTP body / header caps).
+    pub limits: CodecLimits,
+}
+
+impl Default for ReactorOptions {
+    fn default() -> Self {
+        let workers = crate::service::available_workers();
+        ReactorOptions {
+            workers,
+            max_queue: (workers * 32).max(64),
+            request_timeout: None,
+            idle_timeout: None,
+            limits: CodecLimits::default(),
+        }
+    }
+}
+
+/// Counters for one reactor run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReactorSummary {
+    /// Requests decoded (including malformed ones answered with errors).
+    pub requests: u64,
+    /// Responses that carried an `error` field.
+    pub errors: u64,
+    /// Requests answered with the structured deadline error.
+    pub deadlines: u64,
+    /// Requests refused with the structured backpressure error.
+    pub backpressure: u64,
+    /// Connections that died with work pending: jobs dropped at dequeue
+    /// after a disconnect, plus failed response writes.
+    pub conn_errors: u64,
+    /// Connections reaped by the idle timeout.
+    pub idle_disconnects: u64,
+    /// Connections accepted over the run.
+    pub connections: u64,
+    /// Whether the run ended on a shutdown request rather than an error.
+    pub shutdown: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Readiness (poll(2) on Linux, a sleep-scan fallback elsewhere)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use std::os::raw::{c_int, c_ulong};
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    // std already links libc on Linux; declaring the one symbol we need
+    // keeps the reactor dependency-free in an offline build.
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    /// `poll(2)` with EINTR retry.  `revents` is populated in place.
+    pub fn wait(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
+        loop {
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = std::io::Error::last_os_error();
+            if err.kind() != std::io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+/// Readiness of one registered source after a wait.
+#[derive(Debug, Clone, Copy, Default)]
+struct Ready {
+    readable: bool,
+    hangup: bool,
+}
+
+/// One readiness wait over (listeners ∪ wake pipe ∪ connections).
+///
+/// On Linux this is one `poll(2)` call; elsewhere every registered source is
+/// reported ready and the loop relies on nonblocking ops returning
+/// `WouldBlock`, with a small sleep to avoid spinning.
+#[cfg(target_os = "linux")]
+fn wait_ready(
+    sources: &[(&TcpStream, bool, bool)],
+    listeners: &[&TcpListener],
+    timeout: Duration,
+) -> io::Result<(Vec<Ready>, Vec<bool>)> {
+    use std::os::unix::io::AsRawFd;
+    let mut fds: Vec<sys::PollFd> = Vec::with_capacity(sources.len() + listeners.len());
+    for (stream, want_read, want_write) in sources {
+        let mut events = 0i16;
+        if *want_read {
+            events |= sys::POLLIN;
+        }
+        if *want_write {
+            events |= sys::POLLOUT;
+        }
+        fds.push(sys::PollFd {
+            fd: stream.as_raw_fd(),
+            events,
+            revents: 0,
+        });
+    }
+    for listener in listeners {
+        fds.push(sys::PollFd {
+            fd: listener.as_raw_fd(),
+            events: sys::POLLIN,
+            revents: 0,
+        });
+    }
+    let timeout_ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+    sys::wait(&mut fds, timeout_ms)?;
+    let ready = fds[..sources.len()]
+        .iter()
+        .map(|fd| Ready {
+            readable: fd.revents & (sys::POLLIN | sys::POLLHUP | sys::POLLERR) != 0,
+            hangup: fd.revents & (sys::POLLHUP | sys::POLLERR | sys::POLLNVAL) != 0,
+        })
+        .collect();
+    let accept_ready = fds[sources.len()..]
+        .iter()
+        .map(|fd| fd.revents & sys::POLLIN != 0)
+        .collect();
+    Ok((ready, accept_ready))
+}
+
+#[cfg(not(target_os = "linux"))]
+fn wait_ready(
+    sources: &[(&TcpStream, bool, bool)],
+    listeners: &[&TcpListener],
+    timeout: Duration,
+) -> io::Result<(Vec<Ready>, Vec<bool>)> {
+    // Portable fallback: report everything ready and lean on nonblocking
+    // I/O; the sleep bounds the scan rate.
+    std::thread::sleep(timeout.min(Duration::from_millis(2)));
+    Ok((
+        sources
+            .iter()
+            .map(|(_, r, _)| Ready {
+                readable: *r,
+                hangup: false,
+            })
+            .collect(),
+        listeners.iter().map(|_| true).collect(),
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Jobs, tokens, queues
+// ---------------------------------------------------------------------------
+
+/// Reactor-side identity of one request, shared with the worker that answers
+/// it.  The `answered` flag is the cancellation handshake: whichever side
+/// transitions it first (worker completing, or the reactor's deadline scan)
+/// owns the response; the loser drops its frames.
+#[derive(Debug)]
+struct RequestToken {
+    conn_id: u64,
+    codec: CodecKind,
+    /// Set by the reactor when the connection dies; checked by workers at
+    /// dequeue so a dead client's queued work is skipped, not computed.
+    conn_closed: Arc<AtomicBool>,
+    answered: AtomicBool,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    /// The request's `id` field, echoed into reactor-built responses
+    /// (deadline errors; workers echo it through `respond_parsed`).
+    id: Option<Value>,
+    /// Configured timeout in ms (for the deadline error payload).
+    timeout_ms: u64,
+}
+
+impl RequestToken {
+    /// Claims the right to answer; `true` exactly once.
+    fn try_answer(&self) -> bool {
+        !self.answered.swap(true, Ordering::AcqRel)
+    }
+
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+}
+
+/// One queued request.
+struct Job {
+    token: Arc<RequestToken>,
+    request: Value,
+    /// `{"batch": [...], "stream": true}` — answer frame-by-frame.
+    streaming: bool,
+}
+
+/// A response frame traveling from a worker back to the reactor.
+enum Frame {
+    /// The single response of a non-streamed request.
+    Response(Value),
+    /// Opens a streamed response.
+    StreamBegin,
+    /// One streamed item.
+    StreamItem(Value),
+    /// The terminal summary of a streamed response.
+    StreamEnd(Value),
+}
+
+struct Completion {
+    token: Arc<RequestToken>,
+    frame: Frame,
+}
+
+/// The bounded in-flight queue.  `try_push` refuses instead of blocking —
+/// refusal is the backpressure signal the reactor turns into an explicit
+/// error response.
+struct JobQueue {
+    inner: Mutex<(std::collections::VecDeque<Job>, bool)>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl JobQueue {
+    fn new(cap: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new((std::collections::VecDeque::new(), false)),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn try_push(&self, job: Job) -> Result<(), Job> {
+        let mut inner = self.inner.lock().expect("job queue poisoned");
+        if inner.1 || inner.0.len() >= self.cap {
+            return Err(job);
+        }
+        inner.0.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().expect("job queue poisoned");
+        loop {
+            if let Some(job) = inner.0.pop_front() {
+                return Some(job);
+            }
+            if inner.1 {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("job queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("job queue poisoned").1 = true;
+        self.ready.notify_all();
+    }
+}
+
+/// State shared between the reactor thread and the workers.
+struct Shared {
+    service: Service,
+    queue: JobQueue,
+    completions: Mutex<Vec<Completion>>,
+    /// Write end of the wake pipe: one byte per completion batch, so the
+    /// reactor's poll wakes as soon as a response is ready.
+    waker: Mutex<TcpStream>,
+    /// Jobs dropped at dequeue because their connection had closed.
+    dropped_for_closed_conn: AtomicU64,
+    /// Jobs answered with the deadline error at dequeue (already expired
+    /// before any work started).
+    expired_at_dequeue: AtomicU64,
+}
+
+impl Shared {
+    /// Queues a frame for the reactor and kicks its poll loop.
+    fn complete(&self, token: Arc<RequestToken>, frame: Frame) {
+        self.completions
+            .lock()
+            .expect("completions poisoned")
+            .push(Completion { token, frame });
+        let mut waker = self.waker.lock().expect("waker poisoned");
+        let _ = waker.write(&[1]);
+    }
+}
+
+/// The structured deadline error — field-for-field the object the blocking
+/// loop's deadline machinery produces, so both serving planes (and both
+/// codecs) answer identical content.
+fn deadline_payload(timeout_ms: u64, id: Option<&Value>) -> Value {
+    let mut fields = vec![
+        ("error".to_string(), Value::Str("deadline".to_string())),
+        ("timeout_ms".to_string(), Value::Int(timeout_ms as i64)),
+    ];
+    if let Some(id) = id {
+        fields.insert(0, ("id".to_string(), id.clone()));
+    }
+    Value::Obj(fields)
+}
+
+/// The structured backpressure refusal.
+fn backpressure_payload(max_queue: usize, id: Option<&Value>) -> Value {
+    let mut fields = vec![
+        ("error".to_string(), Value::Str("backpressure".to_string())),
+        ("max_queue".to_string(), Value::Int(max_queue as i64)),
+    ];
+    if let Some(id) = id {
+        fields.insert(0, ("id".to_string(), id.clone()));
+    }
+    Value::Obj(fields)
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        let now = Instant::now();
+        // Dequeue-time gates: never burn solver time for a client that is
+        // gone, and answer an already-blown deadline without starting.
+        if job.token.conn_closed.load(Ordering::Acquire) {
+            shared
+                .dropped_for_closed_conn
+                .fetch_add(1, Ordering::Relaxed);
+            rel_obs::counter!("serve.conn_errors").incr();
+            continue;
+        }
+        if job.token.expired(now) && job.token.try_answer() {
+            shared.expired_at_dequeue.fetch_add(1, Ordering::Relaxed);
+            let payload = deadline_payload(job.token.timeout_ms, job.token.id.as_ref());
+            shared.complete(job.token, Frame::Response(payload));
+            continue;
+        }
+        if job.streaming {
+            stream_batch(shared, &job);
+            continue;
+        }
+        let payload = daemon::respond_parsed(&shared.service, &job.request);
+        // The deadline scan may have answered while we were computing; the
+        // work still warmed the caches, only the late response is dropped.
+        if job.token.try_answer() {
+            shared.complete(job.token, Frame::Response(payload));
+        }
+    }
+}
+
+/// Answers `{"batch": [...], "stream": true}`: one frame per job in
+/// submission order as each finishes, then a terminal summary.  Claims the
+/// answer up front — once frames are flowing, the deadline scan must not
+/// interleave its own response into the stream.
+fn stream_batch(shared: &Shared, job: &Job) {
+    if !job.token.try_answer() {
+        return; // deadline fired while queued
+    }
+    let id = job.token.id.as_ref();
+    shared.complete(Arc::clone(&job.token), Frame::StreamBegin);
+    let sources: Vec<String> = match job.request.get("batch") {
+        Some(Value::Arr(items)) if items.iter().all(|v| v.as_str().is_some()) => items
+            .iter()
+            .map(|v| v.as_str().expect("checked").to_string())
+            .collect(),
+        _ => {
+            shared.service.metrics().counter("serve.errors").incr();
+            let mut payload = Value::obj([(
+                "error",
+                Value::Str("the `batch` field must be an array of source strings".to_string()),
+            )]);
+            echo_id(&mut payload, id);
+            shared.complete(Arc::clone(&job.token), Frame::StreamEnd(payload));
+            return;
+        }
+    };
+    let mut jobs_ok = 0usize;
+    let total = sources.len();
+    let mut aborted = false;
+    for (seq, source) in sources.iter().enumerate() {
+        if job.token.conn_closed.load(Ordering::Acquire) {
+            // The client is gone: stop checking the remainder (the frames
+            // would be dropped anyway); this is the streaming face of the
+            // dequeue-time disconnect gate.
+            shared
+                .dropped_for_closed_conn
+                .fetch_add(1, Ordering::Relaxed);
+            rel_obs::counter!("serve.conn_errors").incr();
+            aborted = true;
+            break;
+        }
+        let job_spec = crate::batch::BatchJob::new(format!("job-{seq}"), source.clone());
+        let result = crate::batch::check_job_with(
+            shared.service.engine(),
+            Some(shared.service.def_index().as_ref()),
+            &job_spec,
+        );
+        if result.ok() {
+            jobs_ok += 1;
+        }
+        let mut item = Value::obj([
+            ("seq", Value::Int(seq as i64)),
+            ("job", daemon::job_value(&result)),
+        ]);
+        echo_id(&mut item, id);
+        shared.complete(Arc::clone(&job.token), Frame::StreamItem(item));
+    }
+    let mut end = Value::obj([
+        ("done", Value::Bool(true)),
+        ("ok", Value::Bool(jobs_ok == total && !aborted)),
+        ("jobs_ok", Value::Int(jobs_ok as i64)),
+        ("jobs", Value::Int(total as i64)),
+        ("cache", daemon::cache_value(&shared.service)),
+    ]);
+    echo_id(&mut end, id);
+    shared.complete(Arc::clone(&job.token), Frame::StreamEnd(end));
+}
+
+fn echo_id(payload: &mut Value, id: Option<&Value>) {
+    if let (Some(id), Value::Obj(fields)) = (id, payload) {
+        fields.insert(0, ("id".to_string(), id.clone()));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connections
+// ---------------------------------------------------------------------------
+
+struct Conn {
+    stream: TcpStream,
+    codec: Box<dyn Codec>,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    /// Shared with every token minted for this connection.
+    closed: Arc<AtomicBool>,
+    last_activity: Instant,
+    /// Requests decoded but not yet fully answered.
+    inflight: usize,
+    /// HTTP half-duplex gate: stop decoding until the current request's
+    /// response has been queued.
+    awaiting_response: bool,
+    /// Close once the write buffer drains (fatal framing error, HTTP
+    /// `Connection: close`, shutdown's `{"bye": true}`).
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, kind: CodecKind, limits: CodecLimits) -> Conn {
+        Conn {
+            stream,
+            codec: make_codec(kind, limits),
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            closed: Arc::new(AtomicBool::new(false)),
+            last_activity: Instant::now(),
+            inflight: 0,
+            awaiting_response: false,
+            close_after_flush: false,
+        }
+    }
+
+    /// Flushes as much of the write buffer as the socket accepts.
+    /// `Ok(true)` means fully drained.
+    fn flush(&mut self) -> io::Result<bool> {
+        while !self.write_buf.is_empty() {
+            match self.stream.write(&self.write_buf) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.write_buf.drain(..n);
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The reactor proper
+// ---------------------------------------------------------------------------
+
+/// How long one poll sleeps when nothing is due sooner: bounds the latency
+/// of deadline/idle scans without measurable idle cost (50 wakeups/s).
+const TICK: Duration = Duration::from_millis(20);
+
+/// Runs the multiplexed serving plane over `listeners` until a client sends
+/// `{"shutdown": true}` (or `POST /shutdown`), answering every request
+/// against `service`.  Each listener speaks the codec it is paired with;
+/// all of them multiplex over one worker pool and one bounded queue.
+pub fn serve_reactor(
+    service: &Service,
+    listeners: Vec<(TcpListener, CodecKind)>,
+    options: ReactorOptions,
+) -> io::Result<ReactorSummary> {
+    for (listener, _) in &listeners {
+        listener.set_nonblocking(true)?;
+    }
+    // Self-connected wake pipe: workers write a byte to unblock the poll
+    // as soon as a completion is queued (loopback TCP is the portable,
+    // dependency-free self-pipe).
+    let wake_listener = TcpListener::bind("127.0.0.1:0")?;
+    let wake_tx = TcpStream::connect(wake_listener.local_addr()?)?;
+    let (wake_rx, _) = wake_listener.accept()?;
+    wake_rx.set_nonblocking(true)?;
+    drop(wake_listener);
+
+    let shared = Arc::new(Shared {
+        service: service.clone(),
+        queue: JobQueue::new(options.max_queue),
+        completions: Mutex::new(Vec::new()),
+        waker: Mutex::new(wake_tx),
+        dropped_for_closed_conn: AtomicU64::new(0),
+        expired_at_dequeue: AtomicU64::new(0),
+    });
+    let workers: Vec<_> = (0..options.workers.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(&shared))
+        })
+        .collect();
+
+    let result = reactor_loop(&shared, &listeners, &wake_rx, &options);
+
+    shared.queue.close();
+    for handle in workers {
+        let _ = handle.join();
+    }
+    let mut summary = result?;
+    summary.conn_errors += shared.dropped_for_closed_conn.load(Ordering::Relaxed);
+    summary.deadlines += shared.expired_at_dequeue.load(Ordering::Relaxed);
+    Ok(summary)
+}
+
+fn reactor_loop(
+    shared: &Shared,
+    listeners: &[(TcpListener, CodecKind)],
+    wake_rx: &TcpStream,
+    options: &ReactorOptions,
+) -> io::Result<ReactorSummary> {
+    let mut summary = ReactorSummary::default();
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_conn_id: u64 = 0;
+    // Outstanding request tokens, scanned for deadline expiry.
+    let mut outstanding: Vec<Arc<RequestToken>> = Vec::new();
+    let mut stopping = false;
+
+    loop {
+        // ---- wait for readiness ------------------------------------------
+        let mut ids: Vec<u64> = conns.keys().copied().collect();
+        ids.sort_unstable();
+        let sources: Vec<(&TcpStream, bool, bool)> = std::iter::once((wake_rx, true, false))
+            .chain(ids.iter().map(|id| {
+                let c = &conns[id];
+                let want_read = !(c.close_after_flush
+                    || stopping
+                    || (c.codec.half_duplex() && c.awaiting_response));
+                (&c.stream, want_read, !c.write_buf.is_empty())
+            }))
+            .collect();
+        let listener_refs: Vec<&TcpListener> = if stopping {
+            Vec::new()
+        } else {
+            listeners.iter().map(|(l, _)| l).collect()
+        };
+        let timeout = poll_timeout(&outstanding, &conns, options);
+        let (ready, accept_ready) = wait_ready(&sources, &listener_refs, timeout)?;
+
+        // ---- drain the wake pipe -----------------------------------------
+        if ready[0].readable {
+            let mut scratch = [0u8; 256];
+            loop {
+                match (&*wake_rx).read(&mut scratch) {
+                    Ok(0) => break,
+                    Ok(_) => continue,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+        }
+
+        // ---- apply completions -------------------------------------------
+        let completions: Vec<Completion> = {
+            let mut pending = shared.completions.lock().expect("completions poisoned");
+            std::mem::take(&mut *pending)
+        };
+        for completion in completions {
+            let token = &completion.token;
+            let Some(conn) = conns.get_mut(&token.conn_id) else {
+                continue; // connection died; drop the frame
+            };
+            let finished = match &completion.frame {
+                Frame::Response(payload) => {
+                    conn.codec.encode_response(payload, &mut conn.write_buf);
+                    if payload.get("error").is_some() {
+                        summary.errors += 1;
+                    }
+                    true
+                }
+                Frame::StreamBegin => {
+                    conn.codec.encode_stream_begin(&mut conn.write_buf);
+                    false
+                }
+                Frame::StreamItem(payload) => {
+                    conn.codec.encode_stream_item(payload, &mut conn.write_buf);
+                    false
+                }
+                Frame::StreamEnd(payload) => {
+                    conn.codec.encode_stream_end(payload, &mut conn.write_buf);
+                    if payload.get("error").is_some() {
+                        summary.errors += 1;
+                    }
+                    true
+                }
+            };
+            if finished {
+                conn.inflight = conn.inflight.saturating_sub(1);
+                conn.awaiting_response = false;
+                if conn.codec.close_after_response() {
+                    conn.close_after_flush = true;
+                }
+                observe_latency(shared, token);
+            }
+        }
+        outstanding.retain(|t| !t.answered.load(Ordering::Acquire));
+
+        // ---- deadline scan ------------------------------------------------
+        let now = Instant::now();
+        let mut expired: Vec<Arc<RequestToken>> = Vec::new();
+        outstanding.retain(|t| {
+            if t.expired(now) && t.try_answer() {
+                expired.push(Arc::clone(t));
+                false
+            } else {
+                true
+            }
+        });
+        for token in expired {
+            summary.deadlines += 1;
+            shared.service.metrics().counter("serve.deadlines").incr();
+            if let Some(conn) = conns.get_mut(&token.conn_id) {
+                let payload = deadline_payload(token.timeout_ms, token.id.as_ref());
+                conn.codec.encode_response(&payload, &mut conn.write_buf);
+                summary.errors += 1;
+                conn.inflight = conn.inflight.saturating_sub(1);
+                conn.awaiting_response = false;
+                observe_latency(shared, &token);
+            }
+        }
+
+        // ---- resume half-duplex pipelines ---------------------------------
+        // A keep-alive client may have pipelined its next request behind the
+        // one just answered; those bytes are already in `read_buf` and no
+        // further readable event will announce them, so decode them now that
+        // `awaiting_response` has cleared.
+        if !stopping {
+            let buffered: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| !c.read_buf.is_empty())
+                .map(|(id, _)| *id)
+                .collect();
+            for id in buffered {
+                let conn = conns.get_mut(&id).expect("conn present");
+                decode_conn(
+                    shared,
+                    conn,
+                    id,
+                    &mut summary,
+                    &mut outstanding,
+                    &mut stopping,
+                    options,
+                );
+            }
+        }
+
+        // ---- accept -------------------------------------------------------
+        for (i, ready_flag) in accept_ready.iter().enumerate() {
+            if !ready_flag {
+                continue;
+            }
+            let (listener, kind) = &listeners[i];
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        // Small responses; write them as one segment.
+                        let _ = stream.set_nodelay(true);
+                        summary.connections += 1;
+                        let id = next_conn_id;
+                        next_conn_id += 1;
+                        conns.insert(id, Conn::new(stream, *kind, options.limits));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        summary.conn_errors += 1;
+                        rel_obs::counter!("serve.conn_errors").incr();
+                        break;
+                    }
+                }
+            }
+        }
+
+        // ---- read + decode ------------------------------------------------
+        let mut to_close: Vec<(u64, bool)> = Vec::new(); // (conn, is_error)
+        for (slot, id) in ids.iter().enumerate() {
+            let readiness = ready[slot + 1];
+            let Some(conn) = conns.get_mut(id) else {
+                continue;
+            };
+            if readiness.hangup && conn.write_buf.is_empty() {
+                // Not counted here: any job the dead client still has queued
+                // is counted (once) by the dequeue-time check in the worker.
+                to_close.push((*id, false));
+                continue;
+            }
+            if !readiness.readable || stopping {
+                continue;
+            }
+            if conn.codec.half_duplex() && conn.awaiting_response {
+                continue;
+            }
+            let mut scratch = [0u8; 16 * 1024];
+            let mut saw_eof = false;
+            loop {
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => {
+                        saw_eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.read_buf.extend_from_slice(&scratch[..n]);
+                        conn.last_activity = Instant::now();
+                        if n < scratch.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        to_close.push((*id, false));
+                        saw_eof = true;
+                        break;
+                    }
+                }
+            }
+            // Decode everything decodable before honoring EOF: a client may
+            // send a request and immediately shut down its write side.
+            decode_conn(
+                shared,
+                conn,
+                *id,
+                &mut summary,
+                &mut outstanding,
+                &mut stopping,
+                options,
+            );
+            if saw_eof && conn.write_buf.is_empty() && conn.inflight == 0 {
+                to_close.push((*id, false));
+            } else if saw_eof {
+                // Keep the conn around to flush pending responses; stop
+                // reading from it by marking it half-closed via the codec
+                // gate.  A failed flush below will close it for real.
+                conn.awaiting_response = conn.codec.half_duplex();
+            }
+        }
+
+        // ---- flush --------------------------------------------------------
+        let flush_ids: Vec<u64> = conns.keys().copied().collect();
+        for id in flush_ids {
+            let conn = conns.get_mut(&id).expect("conn present");
+            match conn.flush() {
+                Ok(true) if conn.close_after_flush => to_close.push((id, false)),
+                Ok(_) => {}
+                Err(_) => {
+                    // A computed response could not be delivered: that is a
+                    // connection error in its own right (queued jobs, if
+                    // any, are additionally counted at dequeue).
+                    to_close.push((id, true));
+                }
+            }
+        }
+
+        // ---- close --------------------------------------------------------
+        for (id, is_error) in to_close {
+            if let Some(conn) = conns.remove(&id) {
+                conn.closed.store(true, Ordering::Release);
+                if is_error {
+                    summary.conn_errors += 1;
+                    rel_obs::counter!("serve.conn_errors").incr();
+                }
+            }
+        }
+
+        // ---- idle reaping -------------------------------------------------
+        if let Some(idle) = options.idle_timeout {
+            let now = Instant::now();
+            let idle_ids: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| {
+                    c.inflight == 0
+                        && c.write_buf.is_empty()
+                        && now.duration_since(c.last_activity) >= idle
+                })
+                .map(|(id, _)| *id)
+                .collect();
+            for id in idle_ids {
+                if let Some(conn) = conns.remove(&id) {
+                    conn.closed.store(true, Ordering::Release);
+                    summary.idle_disconnects += 1;
+                    rel_obs::counter!("serve.idle_disconnects").incr();
+                }
+            }
+        }
+
+        // ---- shutdown -----------------------------------------------------
+        if stopping {
+            let unflushed = conns.values().any(|c| !c.write_buf.is_empty());
+            let inflight: usize = conns.values().map(|c| c.inflight).sum();
+            if !unflushed && inflight == 0 {
+                summary.shutdown = true;
+                for conn in conns.values() {
+                    conn.closed.store(true, Ordering::Release);
+                }
+                return Ok(summary);
+            }
+        }
+    }
+}
+
+/// Records one finished request on the service's latency histograms — the
+/// all-plane `serve.request_ns` plus the per-codec
+/// `serve.request_ns.{ndjson,http}` series the load harness reads back.
+fn observe_latency(shared: &Shared, token: &RequestToken) {
+    let elapsed = token.enqueued.elapsed();
+    let metrics = shared.service.metrics();
+    metrics.histogram("serve.request_ns").observe(elapsed);
+    metrics
+        .histogram(&format!("serve.request_ns.{}", token.codec.label()))
+        .observe(elapsed);
+}
+
+/// Decodes every complete request currently buffered on `conn`.
+#[allow(clippy::too_many_arguments)]
+fn decode_conn(
+    shared: &Shared,
+    conn: &mut Conn,
+    conn_id: u64,
+    summary: &mut ReactorSummary,
+    outstanding: &mut Vec<Arc<RequestToken>>,
+    stopping: &mut bool,
+    options: &ReactorOptions,
+) {
+    loop {
+        if (conn.codec.half_duplex() && conn.awaiting_response) || conn.close_after_flush {
+            return;
+        }
+        match conn.codec.decode(&mut conn.read_buf) {
+            Decode::Incomplete => return,
+            Decode::Fatal { response, .. } => {
+                summary.requests += 1;
+                summary.errors += 1;
+                shared.service.metrics().counter("serve.requests").incr();
+                shared.service.metrics().counter("serve.errors").incr();
+                conn.write_buf.extend_from_slice(&response);
+                conn.close_after_flush = true;
+                return;
+            }
+            Decode::Request(request) => {
+                summary.requests += 1;
+                shared.service.metrics().counter("serve.requests").incr();
+                let value = match request.payload {
+                    Err(message) => {
+                        summary.errors += 1;
+                        shared.service.metrics().counter("serve.errors").incr();
+                        let payload = Value::obj([("error", Value::Str(message))]);
+                        conn.codec.encode_response(&payload, &mut conn.write_buf);
+                        if conn.codec.close_after_response() {
+                            conn.close_after_flush = true;
+                        }
+                        continue;
+                    }
+                    Ok(value) => value,
+                };
+                if matches!(value.get("shutdown"), Some(Value::Bool(true))) {
+                    let payload = Value::obj([("bye", Value::Bool(true))]);
+                    conn.codec.encode_response(&payload, &mut conn.write_buf);
+                    conn.close_after_flush = true;
+                    *stopping = true;
+                    return;
+                }
+                let id = value.get("id").cloned();
+                let streaming = value.get("batch").is_some()
+                    && matches!(value.get("stream"), Some(Value::Bool(true)));
+                let token = Arc::new(RequestToken {
+                    conn_id,
+                    codec: conn.codec.kind(),
+                    conn_closed: Arc::clone(&conn.closed),
+                    answered: AtomicBool::new(false),
+                    enqueued: Instant::now(),
+                    deadline: options.request_timeout.map(|t| Instant::now() + t),
+                    id,
+                    timeout_ms: options
+                        .request_timeout
+                        .map_or(0, |t| t.as_millis().min(u64::MAX as u128) as u64),
+                });
+                let job = Job {
+                    token: Arc::clone(&token),
+                    request: value,
+                    streaming,
+                };
+                match shared.queue.try_push(job) {
+                    Ok(()) => {
+                        conn.inflight += 1;
+                        outstanding.push(token);
+                        if conn.codec.half_duplex() {
+                            conn.awaiting_response = true;
+                        }
+                    }
+                    Err(job) => {
+                        // Bounded queue refusal → explicit backpressure
+                        // response, queued work untouched.
+                        summary.backpressure += 1;
+                        summary.errors += 1;
+                        shared
+                            .service
+                            .metrics()
+                            .counter("serve.backpressure")
+                            .incr();
+                        shared.service.metrics().counter("serve.errors").incr();
+                        let payload =
+                            backpressure_payload(options.max_queue, job.token.id.as_ref());
+                        conn.codec.encode_response(&payload, &mut conn.write_buf);
+                        if conn.codec.close_after_response() {
+                            conn.close_after_flush = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Next poll timeout: the nearest pending deadline or idle expiry, clamped
+/// to [1ms, TICK].
+fn poll_timeout(
+    outstanding: &[Arc<RequestToken>],
+    conns: &HashMap<u64, Conn>,
+    options: &ReactorOptions,
+) -> Duration {
+    let now = Instant::now();
+    let mut timeout = TICK;
+    for token in outstanding {
+        if let Some(deadline) = token.deadline {
+            timeout = timeout.min(deadline.saturating_duration_since(now));
+        }
+    }
+    if let Some(idle) = options.idle_timeout {
+        for conn in conns.values() {
+            let expires = conn.last_activity + idle;
+            timeout = timeout.min(expires.saturating_duration_since(now));
+        }
+    }
+    timeout.max(Duration::from_millis(1))
+}
