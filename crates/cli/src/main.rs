@@ -49,6 +49,17 @@
 //!                        worker drains in the background
 //!   --idle-timeout-ms N  (--listen/--http only) disconnect a client whose
 //!                        socket stays silent this long
+//!   --replica ADDR       serve the daemon-to-daemon replication plane on a
+//!                        TCP socket: peers ship WAL frames here and they
+//!                        are applied through the same validation path as
+//!                        crash recovery (checksum + engine fingerprint)
+//!   --peer ADDR          replicate every memoized verdict to the daemon
+//!                        whose --replica plane listens at ADDR (repeatable;
+//!                        each peer gets a supervised session with
+//!                        exponential backoff and anti-entropy catch-up)
+//!   --replica-queue N    per-peer replication queue bound; overflow
+//!                        degrades that peer to catch-up instead of
+//!                        delaying client requests (default 1024)
 //! ```
 
 use std::env;
@@ -63,15 +74,16 @@ use std::time::Duration;
 use birelcost::Engine;
 use rel_constraint::SearchExhaustedReason;
 use rel_service::{
-    serve_reactor, serve_with, BatchJob, BatchStats, CodecKind, CodecLimits, ReactorOptions,
-    ServeOptions, Service, ServiceConfig,
+    serve_reactor, serve_with, BatchJob, BatchStats, CodecKind, CodecLimits, PeriodicSave,
+    ReactorOptions, RealNet, ReplicaOptions, ServeOptions, Service, ServiceConfig,
 };
 use rel_suite::{all_benchmarks, VerificationStatus};
 use rel_syntax::parse_program;
 
 const USAGE: &str = "usage: birelcost <check [--jobs N] [--cache-file PATH] [--metrics-out PATH] \
      [--trace-out PATH] FILE...|serve [--jobs N] [--cache-file PATH] [--listen ADDR] \
-     [--http ADDR] [--max-queue N] [--request-timeout-ms N] [--idle-timeout-ms N]\
+     [--http ADDR] [--replica ADDR] [--peer ADDR]... [--replica-queue N] [--max-queue N] \
+     [--request-timeout-ms N] [--idle-timeout-ms N]\
      |explain NAME|validate-metrics FILE|table1|list>";
 
 /// How often the daemon flushes its warm state to the cache file.
@@ -132,6 +144,12 @@ struct Flags {
     request_timeout_ms: Option<u64>,
     /// Socket idle timeout for `serve --listen`/`--http`.
     idle_timeout_ms: Option<u64>,
+    /// TCP address for the replication plane (`serve --replica`).
+    replica: Option<String>,
+    /// Replication peer addresses (`serve --peer`, repeatable).
+    peers: Vec<String>,
+    /// Per-peer replication queue bound (`serve --replica-queue`).
+    replica_queue: Option<usize>,
 }
 
 impl Flags {
@@ -183,6 +201,18 @@ impl Flags {
                     n.parse::<u64>()
                         .map_err(|_| format!("invalid timeout `{n}`"))?,
                 );
+            } else if let Some(addr) = flag_value("--replica", None)? {
+                flags.replica = Some(addr);
+            } else if let Some(addr) = flag_value("--peer", None)? {
+                flags.peers.push(addr);
+            } else if let Some(n) = flag_value("--replica-queue", None)? {
+                let cap = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid queue bound `{n}`"))?;
+                if cap == 0 {
+                    return Err("--replica-queue must be positive".to_string());
+                }
+                flags.replica_queue = Some(cap);
             } else if let Some(n) = flag_value("--idle-timeout-ms", None)? {
                 let ms = n
                     .parse::<u64>()
@@ -255,9 +285,13 @@ fn check_files(files: &[String], flags: &Flags) -> ExitCode {
         || flags.max_queue.is_some()
         || flags.request_timeout_ms.is_some()
         || flags.idle_timeout_ms.is_some()
+        || flags.replica.is_some()
+        || !flags.peers.is_empty()
+        || flags.replica_queue.is_some()
     {
         return usage_error(
-            "--listen/--http/--max-queue/--request-timeout-ms/--idle-timeout-ms are serve flags",
+            "--listen/--http/--replica/--peer/--replica-queue/--max-queue/--request-timeout-ms\
+             /--idle-timeout-ms are serve flags",
         );
     }
     if files.is_empty() {
@@ -429,10 +463,30 @@ fn serve_stdio(flags: &Flags) -> ExitCode {
     let workers = flags.jobs.unwrap_or_else(rel_service::available_workers);
     let service = service_with(workers, flags.cache_file.as_deref());
 
+    // Outbound replication: one supervised session per --peer, shipping
+    // every memoized verdict/def over TCP with backoff and anti-entropy.
+    if !flags.peers.is_empty() {
+        let options = ReplicaOptions {
+            peers: flags.peers.clone(),
+            queue: flags
+                .replica_queue
+                .unwrap_or_else(|| ReplicaOptions::default().queue),
+            ..ReplicaOptions::default()
+        };
+        eprintln!(
+            "birelcost serve: replicating to {} peer(s): {}",
+            options.peers.len(),
+            options.peers.join(", ")
+        );
+        service.enable_replication(Arc::new(RealNet::default()), options);
+    }
+
     // Periodic flusher: a long-running daemon should not lose its warm state
     // to a crash or kill.  The thread wakes every second to notice shutdown
     // (and a WAL over its compaction thresholds) promptly, but only
-    // dirty-flushes once per SERVE_FLUSH_INTERVAL.
+    // dirty-flushes once per SERVE_FLUSH_INTERVAL.  Save failures degrade
+    // gracefully: `periodic_save` owns a capped exponential backoff, warns
+    // once per state change, and the daemon keeps serving from memory.
     let stop = Arc::new(AtomicBool::new(false));
     let flusher = flags.cache_file.is_some().then(|| {
         let service = service.clone();
@@ -447,19 +501,41 @@ fn serve_stdio(flags: &Flags) -> ExitCode {
                 if let Err(e) = service.compact_if_due() {
                     eprintln!("birelcost serve: wal compaction failed: {e}");
                 }
-                if since_flush >= SERVE_FLUSH_INTERVAL {
-                    since_flush = Duration::ZERO;
-                    // Dirty-checked: an idle daemon does not rewrite an
-                    // unchanged snapshot every interval.
-                    if let Err(e) = service.save_cache_if_dirty() {
-                        eprintln!("birelcost serve: periodic flush failed: {e}");
+                // While healthy, save once per interval; while failing, the
+                // tick offers every second and the backoff window inside
+                // `periodic_save` decides when a retry actually runs.
+                if since_flush >= SERVE_FLUSH_INTERVAL || service.save_backoff_active() {
+                    match service.periodic_save() {
+                        PeriodicSave::Ok { recovered, .. } => {
+                            since_flush = Duration::ZERO;
+                            if recovered {
+                                eprintln!(
+                                    "birelcost serve: periodic flush recovered; \
+                                     persistence is healthy again"
+                                );
+                            }
+                        }
+                        PeriodicSave::Deferred => {}
+                        PeriodicSave::Failed {
+                            error,
+                            warn,
+                            backoff_ms,
+                        } => {
+                            if warn {
+                                eprintln!(
+                                    "birelcost serve: periodic flush failed: {error}; \
+                                     retrying with backoff (next attempt in {backoff_ms}ms), \
+                                     serving continues from memory"
+                                );
+                            }
+                        }
                     }
                 }
             }
         })
     });
 
-    let outcome = if flags.listen.is_some() || flags.http.is_some() {
+    let outcome = if flags.listen.is_some() || flags.http.is_some() || flags.replica.is_some() {
         // Socket planes run the multiplexed reactor: every listed address
         // (NDJSON and/or HTTP) shares one worker pool, one bounded queue
         // and one set of caches.
@@ -482,6 +558,10 @@ fn serve_stdio(flags: &Flags) -> ExitCode {
     if let Some(handle) = flusher {
         let _ = handle.join();
     }
+    // Stop peer sessions before the final flush so no session is mid-ship
+    // while the process winds down (receivers heal any cut-off tail by
+    // anti-entropy on our next start).
+    service.shutdown_replication();
     // On-shutdown flush: runs after the serving loop drained any timed-out
     // workers, so the final state includes everything they memoized.
     flush_cache(&service);
@@ -505,6 +585,7 @@ fn serve_sockets(service: &Service, flags: &Flags, workers: usize) -> io::Result
     let planes = [
         (&flags.listen, CodecKind::Ndjson),
         (&flags.http, CodecKind::Http),
+        (&flags.replica, CodecKind::Replica),
     ];
     for (addr, kind) in planes {
         let Some(addr) = addr else { continue };

@@ -379,6 +379,18 @@ impl ShardedValidityCache {
         out
     }
 
+    /// Whether a verdict is memoized under `key`, without touching the
+    /// hit/miss counters (replication dedup: an already-present key is a
+    /// duplicate to drop, not a cache miss to report).
+    pub fn contains_key(&self, key: &QueryKey) -> bool {
+        let hash = key.stable_hash();
+        let shard = self.shard(hash).lock().expect("cache shard poisoned");
+        shard
+            .buckets
+            .get(&hash)
+            .is_some_and(|bucket| bucket.iter().any(|(k, _)| k == key))
+    }
+
     /// Stores a verdict under an owned key (out-of-band population; the
     /// solver path goes through [`ValidityCache::store`]).
     pub fn store_key(&self, key: QueryKey, verdict: Validity) {

@@ -25,10 +25,12 @@
 //! The metrics JSON schema is versioned ([`metrics::SCHEMA_VERSION`]); the
 //! field table lives in DESIGN.md §8.2 and `rel-service` ships the checker.
 
+pub mod backoff;
 pub mod chrome;
 pub mod metrics;
 pub mod recorder;
 
+pub use backoff::Backoff;
 pub use chrome::{build_trees, chrome_trace, SpanNode, ThreadTree};
 pub use metrics::{
     global, Counter, Histogram, HistogramSnapshot, Registry, RegistrySnapshot, Timer,

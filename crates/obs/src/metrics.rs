@@ -266,6 +266,19 @@ pub struct RegistrySnapshot {
 }
 
 impl RegistrySnapshot {
+    /// The value of a counter by name, when present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The value of a gauge by name, when present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
     /// Serializes to the versioned schema:
     ///
     /// ```json

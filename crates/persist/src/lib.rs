@@ -37,6 +37,7 @@ pub use codec::{DecodeError, Reader, Writer};
 pub use faultfs::{AppendFile, Fault, FaultFs, FaultScript, FaultyFs, RealFs, UnsyncedSurvival};
 pub use snapshot::{Snapshot, SnapshotError, FORMAT_VERSION, MAGIC};
 pub use wal::{
-    encode_frame, replay, sweep_stale_tmp, wal_path, Recovery, ReplayStats, Wal, WalLimits,
-    WalRecord, WalReplay, WalStats, WalStore, MAX_RECORD_LEN, WAL_MAGIC, WAL_VERSION,
+    encode_frame, replay, sweep_stale_tmp, validate_frame, wal_path, FrameError, Recovery,
+    ReplayStats, Wal, WalLimits, WalRecord, WalReplay, WalStats, WalStore, MAX_RECORD_LEN,
+    WAL_MAGIC, WAL_VERSION,
 };

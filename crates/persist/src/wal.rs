@@ -209,6 +209,95 @@ fn decode_payload(payload: &[u8]) -> Result<WalRecord, SnapshotError> {
     Ok(record)
 }
 
+/// Why one frame failed validation.  `skip` variants carry the byte count a
+/// sequential reader should hop to reach the next frame boundary; the
+/// boundary-less variants (`Torn`, `Absurd`) end the walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes remain than one frame requires — the expected state at a
+    /// torn tail, and a hard error for a frame received over the wire.
+    Torn,
+    /// The length field exceeds [`MAX_RECORD_LEN`]: corruption, and nothing
+    /// after it can be framed.
+    Absurd(u32),
+    /// The stored checksum disagrees with the recomputed one.
+    Checksum {
+        /// Bytes to skip to the claimed next frame.
+        skip: usize,
+    },
+    /// The frame validates but was written under a different engine
+    /// fingerprint: it must never be applied.
+    Foreign {
+        /// The foreign fingerprint the frame carries.
+        fingerprint: u64,
+        /// Bytes to skip to the next frame.
+        skip: usize,
+    },
+    /// Checksum and fingerprint pass but the payload will not decode.
+    Undecodable {
+        /// What the decoder rejected.
+        reason: String,
+        /// Bytes to skip to the next frame.
+        skip: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Torn => write!(f, "torn frame"),
+            FrameError::Absurd(len) => write!(f, "absurd frame length {len}"),
+            FrameError::Checksum { .. } => write!(f, "frame checksum mismatch"),
+            FrameError::Foreign { fingerprint, .. } => {
+                write!(f, "foreign engine fingerprint {fingerprint:016x}")
+            }
+            FrameError::Undecodable { reason, .. } => {
+                write!(f, "undecodable frame payload: {reason}")
+            }
+        }
+    }
+}
+
+/// Validates the frame at the head of `bytes` against `fingerprint`,
+/// returning the decoded record and the bytes consumed.  This is the single
+/// validation path for both recovery ([`replay`]) and replication inbound:
+/// a frame is applied only if its length is sane, its checksum matches, its
+/// engine fingerprint is ours, and its payload decodes — otherwise it is
+/// rejected with a reason, never partially trusted.
+pub fn validate_frame(bytes: &[u8], fingerprint: u64) -> Result<(WalRecord, usize), FrameError> {
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Err(FrameError::Torn);
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+    if len > MAX_RECORD_LEN {
+        return Err(FrameError::Absurd(len));
+    }
+    let len = len as usize;
+    if bytes.len() < FRAME_HEADER_LEN + len {
+        return Err(FrameError::Torn);
+    }
+    let skip = FRAME_HEADER_LEN + len;
+    let stored_checksum = u64::from_le_bytes(bytes[4..12].try_into().unwrap());
+    let frame_fp = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let payload = &bytes[FRAME_HEADER_LEN..skip];
+    if frame_checksum(frame_fp, payload) != stored_checksum {
+        return Err(FrameError::Checksum { skip });
+    }
+    if frame_fp != fingerprint {
+        return Err(FrameError::Foreign {
+            fingerprint: frame_fp,
+            skip,
+        });
+    }
+    match decode_payload(payload) {
+        Ok(record) => Ok((record, skip)),
+        Err(e) => Err(FrameError::Undecodable {
+            reason: e.to_string(),
+            skip,
+        }),
+    }
+}
+
 /// Encodes one full frame: header + payload.
 pub fn encode_frame(fingerprint: u64, record: &WalRecord) -> Vec<u8> {
     let payload = encode_payload(record);
@@ -303,57 +392,47 @@ pub fn replay(fs: &dyn FaultFs, path: &Path, fingerprint: u64) -> WalReplay {
 
     let mut pos = WAL_HEADER_LEN;
     while pos < bytes.len() {
-        let remaining = bytes.len() - pos;
-        if remaining < FRAME_HEADER_LEN {
-            out.stats.truncated_tail = 1;
-            out.warnings.push(format!(
-                "torn wal tail at offset {pos}: {remaining} byte(s) dropped"
-            ));
-            break;
-        }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
-        if len > MAX_RECORD_LEN {
-            // A corrupt length is indistinguishable from garbage: nothing
-            // after it can be framed, so the rest of the log is dropped.
-            out.stats.corrupt_skipped += 1;
-            out.warnings.push(format!(
-                "absurd frame length {len} at offset {pos}; tail dropped"
-            ));
-            break;
-        }
-        let len = len as usize;
-        if remaining < FRAME_HEADER_LEN + len {
-            out.stats.truncated_tail = 1;
-            out.warnings.push(format!(
-                "torn wal frame at offset {pos}: {remaining} byte(s) dropped"
-            ));
-            break;
-        }
-        let stored_checksum = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
-        let frame_fp = u64::from_le_bytes(bytes[pos + 12..pos + 20].try_into().unwrap());
-        let payload = &bytes[pos + FRAME_HEADER_LEN..pos + FRAME_HEADER_LEN + len];
-        pos += FRAME_HEADER_LEN + len;
-
-        if frame_checksum(frame_fp, payload) != stored_checksum {
-            out.stats.corrupt_skipped += 1;
-            continue;
-        }
-        if frame_fp != fingerprint {
-            out.stats.fingerprint_rejected += 1;
-            continue;
-        }
-        match decode_payload(payload) {
-            Ok(WalRecord::Compaction { folded }) => {
+        match validate_frame(&bytes[pos..], fingerprint) {
+            Ok((WalRecord::Compaction { folded }, used)) => {
                 out.stats.compaction_markers += 1;
                 out.records.push(WalRecord::Compaction { folded });
+                pos += used;
             }
-            Ok(record) => {
+            Ok((record, used)) => {
                 out.stats.replayed += 1;
                 out.records.push(record);
+                pos += used;
             }
-            Err(e) => {
+            Err(FrameError::Torn) => {
+                let remaining = bytes.len() - pos;
+                out.stats.truncated_tail = 1;
+                out.warnings.push(format!(
+                    "torn wal tail at offset {pos}: {remaining} byte(s) dropped"
+                ));
+                break;
+            }
+            Err(FrameError::Absurd(len)) => {
+                // A corrupt length is indistinguishable from garbage: nothing
+                // after it can be framed, so the rest of the log is dropped.
                 out.stats.corrupt_skipped += 1;
-                out.warnings.push(format!("undecodable wal record: {e}"));
+                out.warnings.push(format!(
+                    "absurd frame length {len} at offset {pos}; tail dropped"
+                ));
+                break;
+            }
+            Err(FrameError::Checksum { skip }) => {
+                out.stats.corrupt_skipped += 1;
+                pos += skip;
+            }
+            Err(FrameError::Foreign { skip, .. }) => {
+                out.stats.fingerprint_rejected += 1;
+                pos += skip;
+            }
+            Err(FrameError::Undecodable { reason, skip }) => {
+                out.stats.corrupt_skipped += 1;
+                out.warnings
+                    .push(format!("undecodable wal record: {reason}"));
+                pos += skip;
             }
         }
     }
@@ -532,6 +611,9 @@ pub struct WalStats {
     pub fingerprint_rejected: u64,
     /// Stale `*.tmp.*` files reaped at startup.
     pub tmp_reaped: u64,
+    /// 1 when the tail is poisoned by a failed append: the log refuses
+    /// further appends until the next compaction rewrites it whole.
+    pub poisoned: u64,
 }
 
 /// What [`WalStore::open`] recovered from disk.
@@ -735,6 +817,60 @@ impl WalStore {
             corrupt_skipped: self.replay.corrupt_skipped,
             fingerprint_rejected: self.replay.fingerprint_rejected,
             tmp_reaped: self.reaped_tmp,
+            poisoned: self.wal.tail_poisoned as u64,
         }
+    }
+
+    /// The log's current record position: validated records in the file
+    /// (compaction markers included), the unit peers use to report how far
+    /// they have applied.  Appends advance it by one; [`WalStore::compact`]
+    /// resets it to 1 (the fresh marker), so a position is only meaningful
+    /// alongside [`WalStore::generation`].
+    pub fn position(&self) -> u64 {
+        self.wal.records
+    }
+
+    /// The compaction generation: bumped every time the log is folded and
+    /// truncated.  A (generation, position) pair names a point in the log's
+    /// history; positions from an older generation cannot be resolved to a
+    /// suffix and require a full snapshot transfer instead.
+    pub fn generation(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Reads the log suffix after the first `after` validated records,
+    /// returning each remaining record's raw frame bytes (compaction
+    /// markers excluded — they describe this log's folding, not state a
+    /// peer should apply).  Frames that fail validation are skipped exactly
+    /// as [`replay`] would skip them, so the suffix never carries a frame
+    /// recovery itself would reject.
+    pub fn read_suffix(&self, after: u64) -> io::Result<Vec<Vec<u8>>> {
+        let bytes = match self.fs.read(&self.wal.path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut out = Vec::new();
+        if bytes.len() < WAL_HEADER_LEN {
+            return Ok(out);
+        }
+        let mut pos = WAL_HEADER_LEN;
+        let mut seen = 0u64;
+        while pos < bytes.len() {
+            match validate_frame(&bytes[pos..], self.wal.fingerprint) {
+                Ok((record, used)) => {
+                    seen += 1;
+                    if seen > after && !matches!(record, WalRecord::Compaction { .. }) {
+                        out.push(bytes[pos..pos + used].to_vec());
+                    }
+                    pos += used;
+                }
+                Err(FrameError::Torn) | Err(FrameError::Absurd(_)) => break,
+                Err(FrameError::Checksum { skip })
+                | Err(FrameError::Foreign { skip, .. })
+                | Err(FrameError::Undecodable { skip, .. }) => pos += skip,
+            }
+        }
+        Ok(out)
     }
 }

@@ -37,6 +37,13 @@ pub enum CodecKind {
     Ndjson,
     /// HTTP/1.1 with JSON bodies.
     Http,
+    /// The daemon-to-daemon replication plane: NDJSON framing, but strict
+    /// request/response alternation.  Replication applies must land in the
+    /// order the sending session shipped them *per connection* — letting the
+    /// worker pool interleave a connection's applies would turn every
+    /// in-order stream into a reorder storm — so this codec is the NDJSON
+    /// state machine with the HTTP plane's half-duplex discipline.
+    Replica,
 }
 
 impl CodecKind {
@@ -46,6 +53,7 @@ impl CodecKind {
         match self {
             CodecKind::Ndjson => "ndjson",
             CodecKind::Http => "http",
+            CodecKind::Replica => "replica",
         }
     }
 }
@@ -218,6 +226,51 @@ impl Codec for NdjsonCodec {
     }
 }
 
+/// The replication-plane framing: NDJSON lines with half-duplex discipline
+/// (see [`CodecKind::Replica`]).
+#[derive(Debug)]
+pub struct ReplicaCodec {
+    inner: NdjsonCodec,
+}
+
+impl ReplicaCodec {
+    pub fn new(limits: CodecLimits) -> ReplicaCodec {
+        ReplicaCodec {
+            inner: NdjsonCodec::new(limits),
+        }
+    }
+}
+
+impl Codec for ReplicaCodec {
+    fn kind(&self) -> CodecKind {
+        CodecKind::Replica
+    }
+
+    fn decode(&mut self, buf: &mut Vec<u8>) -> Decode {
+        self.inner.decode(buf)
+    }
+
+    fn encode_response(&mut self, payload: &Value, out: &mut Vec<u8>) {
+        self.inner.encode_response(payload, out);
+    }
+
+    fn encode_stream_begin(&mut self, out: &mut Vec<u8>) {
+        self.inner.encode_stream_begin(out);
+    }
+
+    fn encode_stream_item(&mut self, payload: &Value, out: &mut Vec<u8>) {
+        self.inner.encode_stream_item(payload, out);
+    }
+
+    fn encode_stream_end(&mut self, payload: &Value, out: &mut Vec<u8>) {
+        self.inner.encode_stream_end(payload, out);
+    }
+
+    fn half_duplex(&self) -> bool {
+        true
+    }
+}
+
 /// The error payload for an over-limit request, shared by both codecs so the
 /// planes answer identical content.
 fn oversized_payload(got: usize, limit: usize) -> Value {
@@ -294,6 +347,11 @@ impl HttpCodec {
     fn status_for(&self, payload: &Value) -> (u16, &'static str) {
         if let Some(forced) = self.forced_status {
             return forced;
+        }
+        // A degraded health report is still a well-formed answer, but load
+        // balancers route on the status line: degraded → 503.
+        if payload.get("health").and_then(Value::as_str) == Some("degraded") {
+            return (503, "Service Unavailable");
         }
         match payload.get("error").and_then(Value::as_str) {
             None => (200, "OK"),
@@ -407,6 +465,7 @@ impl HttpCodec {
             }
             ("GET", "/metrics") => Ok(Value::obj([("metrics", Value::Str("dump".to_string()))])),
             ("GET", "/cache/stats") => Ok(Value::obj([("cache", Value::Str("stats".to_string()))])),
+            ("GET", "/healthz") => Ok(Value::obj([("health", Value::Bool(true))])),
             ("POST", "/shutdown") => Ok(Value::obj([("shutdown", Value::Bool(true))])),
             (method, path) => {
                 self.forced_status = Some(match method {
@@ -415,7 +474,7 @@ impl HttpCodec {
                 });
                 Err(format!(
                     "unknown endpoint {method} {path}: expected POST /check, GET /metrics, \
-                     GET /cache/stats or POST /shutdown"
+                     GET /cache/stats, GET /healthz or POST /shutdown"
                 ))
             }
         }
@@ -550,6 +609,7 @@ pub fn make_codec(kind: CodecKind, limits: CodecLimits) -> Box<dyn Codec> {
     match kind {
         CodecKind::Ndjson => Box::new(NdjsonCodec::new(limits)),
         CodecKind::Http => Box::new(HttpCodec::new(limits)),
+        CodecKind::Replica => Box::new(ReplicaCodec::new(limits)),
     }
 }
 

@@ -365,7 +365,28 @@ impl Shared {
             .expect("completions poisoned")
             .push(Completion { token, frame });
         let mut waker = self.waker.lock().expect("waker poisoned");
-        let _ = waker.write(&[1]);
+        wake(&mut waker);
+    }
+}
+
+/// Writes one wake byte to the (nonblocking) wake pipe without ever
+/// blocking a worker or losing a wakeup:
+///
+/// * `WouldBlock` means the pipe's buffer is full — at least one unread
+///   byte is already pending, so the reactor's next poll wakes regardless
+///   and this byte is redundant.
+/// * `Interrupted` retries: a signal landing between the buffer push in
+///   [`Shared::complete`] and the write must not swallow the wakeup.
+/// * `Ok(0)`/other errors mean the reactor side is gone (shutdown teardown);
+///   nothing to wake.
+fn wake(waker: &mut TcpStream) {
+    loop {
+        match waker.write(&[1]) {
+            Ok(_) => return,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
     }
 }
 
@@ -587,6 +608,12 @@ pub fn serve_reactor(
     let wake_tx = TcpStream::connect(wake_listener.local_addr()?)?;
     let (wake_rx, _) = wake_listener.accept()?;
     wake_rx.set_nonblocking(true)?;
+    // The write side must be nonblocking too: a blocking write from a worker
+    // against a full pipe buffer would park the worker (and with it the
+    // waker mutex) until the reactor drains — a lost-wakeup deadlock if the
+    // reactor is itself sleeping in poll.  `wake` treats WouldBlock as
+    // success because pending bytes already guarantee the next poll wakes.
+    wake_tx.set_nonblocking(true)?;
     drop(wake_listener);
 
     let shared = Arc::new(Shared {
@@ -1049,4 +1076,79 @@ fn poll_timeout(
         }
     }
     timeout.max(Duration::from_millis(1))
+}
+
+#[cfg(test)]
+mod syscall_tests {
+    use super::*;
+
+    /// Regression: a saturated wake pipe must not park the worker calling
+    /// `wake` (the old blocking write could deadlock: worker parked holding
+    /// the waker mutex, reactor asleep in poll).  WouldBlock is success —
+    /// the unread bytes already guarantee the next poll wakes.
+    #[test]
+    fn wake_never_blocks_on_a_saturated_pipe() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        rx.set_nonblocking(true).unwrap();
+        tx.set_nonblocking(true).unwrap();
+        // Saturate: nobody drains rx, so the send buffer eventually refuses.
+        let chunk = [1u8; 64 * 1024];
+        loop {
+            match tx.write(&chunk) {
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => panic!("unexpected write error: {e}"),
+            }
+        }
+        // Must return promptly instead of parking.
+        wake(&mut tx);
+        wake(&mut tx);
+        // And the wakeup is not lost: the read side reports pending bytes.
+        let mut scratch = [0u8; 16];
+        assert!(matches!((&rx).read(&mut scratch), Ok(n) if n > 0));
+    }
+
+    /// Regression: `sys::wait` must retry `poll(2)` after a signal instead
+    /// of surfacing `EINTR` (which would tear down the whole serving plane).
+    /// `poll` is never restarted by the kernel even under `SA_RESTART`
+    /// (signal(7)), so a signal aimed at the polling thread reliably
+    /// exercises the retry path: the observed sleep is the interrupted
+    /// portion plus one full retried timeout — longer than the timeout
+    /// itself, which a non-retrying implementation could never produce.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn poll_wait_retries_after_eintr() {
+        use std::os::raw::c_int;
+        extern "C" {
+            fn signal(signum: c_int, handler: usize) -> usize;
+            fn pthread_self() -> usize;
+            fn pthread_kill(thread: usize, sig: c_int) -> c_int;
+        }
+        extern "C" fn noop(_sig: c_int) {}
+        const SIGUSR1: c_int = 10;
+        unsafe { signal(SIGUSR1, noop as *const () as usize) };
+
+        let target = unsafe { pthread_self() };
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            assert_eq!(unsafe { pthread_kill(target, SIGUSR1) }, 0);
+        });
+
+        let started = Instant::now();
+        let mut fds: Vec<sys::PollFd> = Vec::new();
+        let result = sys::wait(&mut fds, 400);
+        let elapsed = started.elapsed();
+        killer.join().unwrap();
+
+        assert!(result.is_ok(), "EINTR leaked out of sys::wait: {result:?}");
+        assert_eq!(result.unwrap(), 0, "nothing was ready");
+        // ~150ms interrupted + 400ms retried ≥ 500ms; without the retry the
+        // call returns at 400ms (or errors at 150ms).
+        assert!(
+            elapsed >= Duration::from_millis(500),
+            "poll was not retried after the signal (elapsed {elapsed:?})"
+        );
+    }
 }

@@ -4,16 +4,25 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use birelcost::{DefIndex, Engine, ProgramReport};
 use rel_constraint::{
     CacheStats, ProgramCacheStats, ShardedValidityCache, SharedProgramCache, ValidityCache,
 };
-use rel_obs::{Registry, RegistrySnapshot};
-use rel_persist::{FaultFs, RealFs, Snapshot, WalLimits, WalRecord, WalStats, WalStore};
+use rel_obs::{Backoff, Registry, RegistrySnapshot};
+use rel_persist::{
+    encode_frame, validate_frame, FaultFs, FrameError, RealFs, Snapshot, WalLimits, WalRecord,
+    WalStats, WalStore,
+};
 use rel_syntax::parse_program;
 
 use crate::batch::{check_batch_with, BatchJob, BatchResult};
+use crate::faultnet::Transport;
+use crate::replica::{
+    from_hex, InboundStatus, ReplicaHub, ReplicaOptions, ReplicaSink, ReplicaStatus, SeqClass,
+    SnapshotSource, FINGERPRINT_MISMATCH,
+};
 
 /// Configuration of a [`Service`].
 #[derive(Debug, Clone)]
@@ -133,7 +142,66 @@ pub struct Service {
     /// services — and parallel tests in one binary — never bleed into each
     /// other's histograms.
     metrics: Arc<Registry>,
+    /// Inbound replication positions and counters (always present — the
+    /// daemon accepts validated frames whether or not it ships any).
+    replica_sink: Arc<ReplicaSink>,
+    /// The outbound replication plane, once enabled.
+    replica_hub: Arc<Mutex<Option<Arc<ReplicaHub>>>>,
+    /// Persist-save failure tracking for the periodic flusher: capped
+    /// exponential backoff between retries, warn-once-per-state-change.
+    save_health: Arc<Mutex<SaveHealth>>,
     workers: usize,
+}
+
+/// Failure state of the periodic snapshot save (the flusher's dependency).
+#[derive(Debug)]
+struct SaveHealth {
+    backoff: Backoff,
+    /// When the next save attempt is allowed; `None` when healthy.
+    next_attempt: Option<Instant>,
+    /// Whether the last attempt failed (drives warn-once and health).
+    failing: bool,
+}
+
+impl Default for SaveHealth {
+    fn default() -> SaveHealth {
+        SaveHealth {
+            // Base one flush interval's worth of patience, capped at five
+            // minutes: a full disk stays full for a while.
+            backoff: Backoff::new(1_000, 300_000, 0x5a17),
+            next_attempt: None,
+            failing: false,
+        }
+    }
+}
+
+/// What one periodic save attempt did (returned by
+/// [`Service::periodic_save`]; the flusher logs `warn` transitions only, so
+/// a persistent failure warns once instead of every tick).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeriodicSave {
+    /// The save ran (`saved` = whether anything was dirty).  `recovered` is
+    /// set when this success ended a failure streak — worth one log line.
+    Ok { saved: bool, recovered: bool },
+    /// Inside the failure backoff window; nothing was attempted.
+    Deferred,
+    /// The save failed.  `warn` is set only when this failure *entered* the
+    /// failing state; `backoff_ms` is the delay before the next attempt.
+    Failed {
+        error: String,
+        warn: bool,
+        backoff_ms: u64,
+    },
+}
+
+/// Health of one daemon, for fleet orchestration probes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Health {
+    /// `true` when no degradation reason applies.
+    pub ready: bool,
+    /// Machine-readable degradation reasons (`wal-poisoned`,
+    /// `save-backoff`, `peers-down`).
+    pub reasons: Vec<String>,
 }
 
 impl Default for Service {
@@ -165,6 +233,9 @@ impl Service {
             persist: Arc::new(Mutex::new(PersistState::default())),
             compaction_due: Arc::new(AtomicBool::new(false)),
             metrics: Arc::new(Registry::new()),
+            replica_sink: Arc::new(ReplicaSink::default()),
+            replica_hub: Arc::new(Mutex::new(None)),
+            save_health: Arc::new(Mutex::new(SaveHealth::default())),
             workers: config.workers.max(1),
         }
     }
@@ -278,7 +349,59 @@ impl Service {
             m.set_gauge("wal.appends", wal.appends as i64);
             m.set_gauge("wal.append_errors", wal.append_errors as i64);
             m.set_gauge("wal.compactions", wal.compactions as i64);
+            m.set_gauge("wal.poisoned", wal.poisoned as i64);
         }
+        m.set_gauge(
+            "persist.save_backoff_active",
+            self.save_backoff_active() as i64,
+        );
+        let replica = self.replica_status();
+        m.set_gauge("replica.published", replica.published as i64);
+        m.set_gauge("replica.peers", replica.peers.len() as i64);
+        m.set_gauge(
+            "replica.peers_connected",
+            replica.peers.iter().filter(|p| p.connected).count() as i64,
+        );
+        m.set_gauge(
+            "replica.backoff_active",
+            replica.peers.iter().filter(|p| p.backoff_ms > 0).count() as i64,
+        );
+        m.set_gauge(
+            "replica.lag",
+            replica.peers.iter().map(|p| p.lag).max().unwrap_or(0) as i64,
+        );
+        m.set_gauge(
+            "replica.frames_shipped",
+            replica.peers.iter().map(|p| p.shipped).sum::<u64>() as i64,
+        );
+        m.set_gauge(
+            "replica.snapshots_sent",
+            replica.peers.iter().map(|p| p.snapshots_sent).sum::<u64>() as i64,
+        );
+        m.set_gauge(
+            "replica.queue_dropped",
+            replica.peers.iter().map(|p| p.queue_dropped).sum::<u64>() as i64,
+        );
+        m.set_gauge(
+            "replica.reconnects",
+            replica.peers.iter().map(|p| p.reconnects).sum::<u64>() as i64,
+        );
+        m.set_gauge(
+            "replica.frames_applied",
+            replica.inbound.frames_applied as i64,
+        );
+        m.set_gauge(
+            "replica.frames_duplicate",
+            replica.inbound.frames_duplicate as i64,
+        );
+        m.set_gauge(
+            "replica.frames_rejected",
+            replica.inbound.frames_rejected as i64,
+        );
+        m.set_gauge(
+            "replica.snapshots_applied",
+            replica.inbound.snapshots_applied as i64,
+        );
     }
 
     /// One merged metrics snapshot: the process-wide solver counters from
@@ -397,28 +520,7 @@ impl Service {
 
         // Attach the store observers only now: every entry restored or
         // replayed above must not re-enter the log it just came from.
-        let w = Arc::clone(&wal);
-        let due = Arc::clone(&self.compaction_due);
-        self.cache
-            .set_store_observer(Some(Arc::new(move |key, verdict| {
-                let mut wal = w.lock().expect("wal store poisoned");
-                // An append failure leaves the verdict memory-only until the
-                // next compaction — degraded durability, never a wrong verdict.
-                let _ = wal.append_verdict(key, verdict);
-                if wal.needs_compaction() {
-                    due.store(true, Ordering::Relaxed);
-                }
-            })));
-        let w = Arc::clone(&wal);
-        let due = Arc::clone(&self.compaction_due);
-        self.defs
-            .set_store_observer(Some(Arc::new(move |input_hash, verify_hash, def| {
-                let mut wal = w.lock().expect("wal store poisoned");
-                let _ = wal.append_def(input_hash, verify_hash, def);
-                if wal.needs_compaction() {
-                    due.store(true, Ordering::Relaxed);
-                }
-            })));
+        self.install_store_observers();
 
         // Fold a non-trivial recovery into a fresh snapshot immediately:
         // the suffix stops growing the next replay, and a torn or corrupt
@@ -536,6 +638,340 @@ impl Service {
             .misses
             .wrapping_add(self.programs.stats().misses)
             .wrapping_add(self.defs.mutation_count())
+    }
+
+    /// (Re)installs the cache/def-index store observers from the current
+    /// persistence and replication configuration.  One composed closure per
+    /// store: append to the WAL when one is attached, publish the encoded
+    /// frame to the replication hub when one is enabled.  Called after
+    /// restore/replay (so recovered entries never re-enter their own log)
+    /// and after [`Service::enable_replication`].
+    fn install_store_observers(&self) {
+        let wal = self
+            .persist
+            .lock()
+            .expect("persist state poisoned")
+            .wal
+            .clone();
+        let hub = self
+            .replica_hub
+            .lock()
+            .expect("replica hub poisoned")
+            .clone();
+        if wal.is_none() && hub.is_none() {
+            self.cache.set_store_observer(None);
+            self.defs.set_store_observer(None);
+            return;
+        }
+        let fp = self.engine.fingerprint();
+
+        let (w, h, due) = (wal.clone(), hub.clone(), Arc::clone(&self.compaction_due));
+        self.cache
+            .set_store_observer(Some(Arc::new(move |key, verdict| {
+                if let Some(w) = &w {
+                    let mut wal = w.lock().expect("wal store poisoned");
+                    // An append failure leaves the verdict memory-only until
+                    // the next compaction — degraded durability, never a
+                    // wrong verdict.
+                    let _ = wal.append_verdict(key, verdict);
+                    if wal.needs_compaction() {
+                        due.store(true, Ordering::Relaxed);
+                    }
+                }
+                if let Some(h) = &h {
+                    h.publish(encode_frame(
+                        fp,
+                        &WalRecord::Verdict(key.clone(), verdict.clone()),
+                    ));
+                }
+            })));
+
+        let (w, h, due) = (wal, hub, Arc::clone(&self.compaction_due));
+        self.defs
+            .set_store_observer(Some(Arc::new(move |input_hash, verify_hash, def| {
+                if let Some(w) = &w {
+                    let mut wal = w.lock().expect("wal store poisoned");
+                    let _ = wal.append_def(input_hash, verify_hash, def);
+                    if wal.needs_compaction() {
+                        due.store(true, Ordering::Relaxed);
+                    }
+                }
+                if let Some(h) = &h {
+                    h.publish(encode_frame(
+                        fp,
+                        &WalRecord::Def {
+                            input_hash,
+                            verify_hash,
+                            def: def.clone(),
+                        },
+                    ));
+                }
+            })));
+    }
+
+    // -- replication -------------------------------------------------------
+
+    /// Enables the outbound replication plane: one supervised session per
+    /// peer in `options`, shipping every store-observer frame and healing
+    /// gaps by anti-entropy (ring suffix or snapshot transfer).  Inbound
+    /// application needs no enabling — a daemon always applies validated
+    /// frames handed to it.
+    pub fn enable_replication(&self, transport: Arc<dyn Transport>, options: ReplicaOptions) {
+        let fp = self.engine.fingerprint();
+        let source_service = self.clone();
+        let source: SnapshotSource = Arc::new(move || {
+            Snapshot::capture(
+                fp,
+                &source_service.cache,
+                &source_service.programs,
+                &source_service.defs,
+            )
+            .to_bytes()
+        });
+        let hub = ReplicaHub::start(fp, transport, options, source);
+        *self.replica_hub.lock().expect("replica hub poisoned") = Some(hub);
+        self.install_store_observers();
+    }
+
+    /// Whether an outbound replication plane is active.
+    pub fn replication_enabled(&self) -> bool {
+        self.replica_hub
+            .lock()
+            .expect("replica hub poisoned")
+            .is_some()
+    }
+
+    /// Stops the outbound sessions and joins their threads.  Idempotent.
+    pub fn shutdown_replication(&self) {
+        let hub = self
+            .replica_hub
+            .lock()
+            .expect("replica hub poisoned")
+            .take();
+        if let Some(hub) = hub {
+            hub.shutdown();
+            self.install_store_observers();
+        }
+    }
+
+    /// A point-in-time view of the replication plane (peers + inbound
+    /// counters), surfaced by `{"replica":"status"}`.
+    pub fn replica_status(&self) -> ReplicaStatus {
+        let hub = self
+            .replica_hub
+            .lock()
+            .expect("replica hub poisoned")
+            .clone();
+        let sink = &self.replica_sink;
+        ReplicaStatus {
+            node: hub
+                .as_ref()
+                .map(|h| h.node().to_string())
+                .unwrap_or_default(),
+            published: hub.as_ref().map(|h| h.published()).unwrap_or(0),
+            peers: hub.as_ref().map(|h| h.peer_status()).unwrap_or_default(),
+            inbound: InboundStatus {
+                sources: sink.source_count(),
+                hellos: sink.hellos.load(Ordering::Relaxed),
+                frames_applied: sink.frames_applied.load(Ordering::Relaxed),
+                frames_duplicate: sink.frames_duplicate.load(Ordering::Relaxed),
+                frames_rejected: sink.frames_rejected.load(Ordering::Relaxed),
+                snapshots_applied: sink.snapshots_applied.load(Ordering::Relaxed),
+            },
+        }
+    }
+
+    /// Handles a replication hello: fingerprint gate, then the applied
+    /// position for `node`.  `Err` is a fingerprint mismatch — the caller
+    /// answers the mismatch marker and the sender parks the session.
+    pub(crate) fn replica_hello(&self, node: &str, fp_hex: &str) -> Result<u64, String> {
+        let theirs = u64::from_str_radix(fp_hex, 16).unwrap_or(0);
+        if theirs != self.engine.fingerprint() {
+            self.replica_sink
+                .frames_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(FINGERPRINT_MISMATCH.to_string());
+        }
+        Ok(self.replica_sink.hello(node))
+    }
+
+    /// Validates and applies one replicated frame through the recovery
+    /// validation path ([`validate_frame`]): checksum, engine fingerprint,
+    /// payload decode.  A frame that fails *any* check is counted and
+    /// dropped — never applied, so a foreign peer cannot fabricate a
+    /// verdict.  Fresh content re-enters the store (and therefore the local
+    /// WAL and outbound sessions); present content counts as a duplicate.
+    /// Returns the source's contiguous applied position.
+    pub(crate) fn replica_apply_frame(
+        &self,
+        node: &str,
+        seq: u64,
+        data_hex: &str,
+    ) -> Result<u64, String> {
+        let sink = &self.replica_sink;
+        let reject = |reason: String| -> Result<u64, String> {
+            sink.frames_rejected.fetch_add(1, Ordering::Relaxed);
+            Err(reason)
+        };
+        let Some(bytes) = from_hex(data_hex) else {
+            return reject("frame data is not hex".to_string());
+        };
+        let record = match validate_frame(&bytes, self.engine.fingerprint()) {
+            Ok((record, used)) if used == bytes.len() => record,
+            Ok(_) => return reject("trailing bytes after frame".to_string()),
+            Err(FrameError::Foreign { .. }) => return reject(FINGERPRINT_MISMATCH.to_string()),
+            Err(e) => return reject(e.to_string()),
+        };
+        let (class, applied) = sink.observe(node, seq);
+        if class == SeqClass::Duplicate {
+            sink.frames_duplicate.fetch_add(1, Ordering::Relaxed);
+            return Ok(applied);
+        }
+        let fresh = match record {
+            WalRecord::Verdict(key, verdict) => {
+                if self.cache.contains_key(&key) {
+                    false
+                } else {
+                    self.cache.store_key(key, verdict);
+                    true
+                }
+            }
+            WalRecord::Def {
+                input_hash,
+                verify_hash,
+                def,
+            } => {
+                if self.defs.lookup(input_hash, verify_hash).is_some() {
+                    false
+                } else {
+                    self.defs.insert(input_hash, verify_hash, def);
+                    true
+                }
+            }
+            // Compaction markers describe the sender's log, not state; they
+            // are not shipped, but tolerate one as a positional no-op.
+            WalRecord::Compaction { .. } => false,
+        };
+        if fresh {
+            sink.frames_applied.fetch_add(1, Ordering::Relaxed);
+        } else {
+            sink.frames_duplicate.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(applied)
+    }
+
+    /// Validates and applies a full snapshot transfer: the snapshot's own
+    /// magic/version/fingerprint/checksum validation gates it exactly as a
+    /// local load would, then every absent verdict and def is applied
+    /// set-union style.  The source's position jumps to `seq`.
+    pub(crate) fn replica_apply_snapshot(
+        &self,
+        node: &str,
+        seq: u64,
+        data_hex: &str,
+    ) -> Result<u64, String> {
+        let sink = &self.replica_sink;
+        let reject = |reason: String| -> Result<u64, String> {
+            sink.frames_rejected.fetch_add(1, Ordering::Relaxed);
+            Err(reason)
+        };
+        let Some(bytes) = from_hex(data_hex) else {
+            return reject("snapshot data is not hex".to_string());
+        };
+        let snapshot = match Snapshot::from_bytes(&bytes, self.engine.fingerprint()) {
+            Ok(snapshot) => snapshot,
+            Err(rel_persist::SnapshotError::FingerprintMismatch { .. }) => {
+                return reject(FINGERPRINT_MISMATCH.to_string());
+            }
+            Err(e) => return reject(format!("snapshot rejected: {e}")),
+        };
+        for (key, verdict) in snapshot.verdicts {
+            if !self.cache.contains_key(&key) {
+                self.cache.store_key(key, verdict);
+            }
+        }
+        for (input_hash, verify_hash, def) in snapshot.defs {
+            if self.defs.lookup(input_hash, verify_hash).is_none() {
+                self.defs.insert(input_hash, verify_hash, def);
+            }
+        }
+        // Compiled programs are a local memo (recompiled on demand), not
+        // replicated state.
+        sink.snapshots_applied.fetch_add(1, Ordering::Relaxed);
+        Ok(sink.jump_to(node, seq))
+    }
+
+    // -- flusher degradation + health --------------------------------------
+
+    /// The flusher's save path with graceful degradation: inside a failure
+    /// backoff window nothing is attempted; a failure arms (or extends) a
+    /// capped exponential backoff, bumps the `persist.save_failures`
+    /// counter, and asks for a warning only on the healthy→failing edge; a
+    /// success resets the schedule and reports whether it ended a streak.
+    pub fn periodic_save(&self) -> PeriodicSave {
+        {
+            let health = self.save_health.lock().expect("save health poisoned");
+            if let Some(at) = health.next_attempt {
+                if Instant::now() < at {
+                    return PeriodicSave::Deferred;
+                }
+            }
+        }
+        match self.save_cache_if_dirty() {
+            Ok(saved) => {
+                let mut health = self.save_health.lock().expect("save health poisoned");
+                let recovered = health.failing;
+                health.failing = false;
+                health.next_attempt = None;
+                health.backoff.reset();
+                PeriodicSave::Ok { saved, recovered }
+            }
+            Err(error) => {
+                let mut health = self.save_health.lock().expect("save health poisoned");
+                let warn = !health.failing;
+                health.failing = true;
+                let backoff_ms = health.backoff.next_delay_ms();
+                health.next_attempt =
+                    Some(Instant::now() + std::time::Duration::from_millis(backoff_ms));
+                self.metrics.counter("persist.save_failures").incr();
+                PeriodicSave::Failed {
+                    error,
+                    warn,
+                    backoff_ms,
+                }
+            }
+        }
+    }
+
+    /// Whether the periodic save is currently in a failure backoff window.
+    pub fn save_backoff_active(&self) -> bool {
+        self.save_health
+            .lock()
+            .expect("save health poisoned")
+            .failing
+    }
+
+    /// The daemon's health for orchestration probes: ready unless the WAL
+    /// tail is poisoned (appends refused until compaction), the persist
+    /// save is backing off, or every configured replication peer is down.
+    pub fn health(&self) -> Health {
+        let mut reasons = Vec::new();
+        if let Some(wal) = self.persist_stats().wal {
+            if wal.poisoned != 0 {
+                reasons.push("wal-poisoned".to_string());
+            }
+        }
+        if self.save_backoff_active() {
+            reasons.push("save-backoff".to_string());
+        }
+        let replica = self.replica_status();
+        if !replica.peers.is_empty() && replica.peers.iter().all(|p| !p.connected) {
+            reasons.push("peers-down".to_string());
+        }
+        Health {
+            ready: reasons.is_empty(),
+            reasons,
+        }
     }
 }
 

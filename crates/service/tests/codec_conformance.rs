@@ -381,6 +381,92 @@ fn backpressure_refusals_are_byte_identical_across_planes() {
 }
 
 // ---------------------------------------------------------------------------
+// Health probe
+// ---------------------------------------------------------------------------
+
+#[test]
+fn health_probe_is_byte_identical_and_degrades_to_503() {
+    use std::sync::Arc;
+
+    use rel_service::{ReplicaOptions, SimNet};
+
+    // A bespoke reactor start: the probe must flip with the service's
+    // replication state, so the test owns the service instead of using
+    // `Planes::start`.
+    let service = Service::new(ServiceConfig {
+        workers: 2,
+        cache_shards: 16,
+    });
+    let nd_listener = TcpListener::bind("127.0.0.1:0").expect("bind ndjson");
+    let http_listener = TcpListener::bind("127.0.0.1:0").expect("bind http");
+    let ndjson = nd_listener.local_addr().unwrap();
+    let http = http_listener.local_addr().unwrap();
+    let reactor_service = service.clone();
+    let handle = std::thread::spawn(move || {
+        serve_reactor(
+            &reactor_service,
+            vec![
+                (nd_listener, CodecKind::Ndjson),
+                (http_listener, CodecKind::Http),
+            ],
+            ReactorOptions {
+                workers: 2,
+                ..ReactorOptions::default()
+            },
+        )
+    });
+
+    // Ready: byte-identical content on both planes, 200 over HTTP, and the
+    // GET alias answers the same bytes as the wire-object spelling.
+    let nd_line = ndjson_request(ndjson, "{\"health\": true}");
+    assert_eq!(nd_line, "{\"health\":\"ready\",\"reasons\":[]}\n");
+    let get = http_request(http, "GET", "/healthz", None);
+    assert_eq!(nd_line.as_bytes(), get.content.as_slice());
+    assert_eq!(get.status, 200, "{}", get.head);
+    let post = http_request(http, "POST", "/check", Some("{\"health\": true}"));
+    assert_eq!(nd_line.as_bytes(), post.content.as_slice());
+    assert_eq!(post.status, 200, "{}", post.head);
+
+    // Degrade: replication to a peer nobody listens on — all peers down.
+    let net = SimNet::new();
+    service.enable_replication(
+        Arc::new(net.endpoint("probe")),
+        ReplicaOptions {
+            peers: vec!["ghost".to_string()],
+            backoff_base_ms: 10,
+            backoff_cap_ms: 50,
+            ..ReplicaOptions::default()
+        },
+    );
+    let nd_line = ndjson_request(ndjson, "{\"health\": true}");
+    assert_eq!(
+        nd_line,
+        "{\"health\":\"degraded\",\"reasons\":[\"peers-down\"]}\n"
+    );
+    let get = http_request(http, "GET", "/healthz", None);
+    assert_eq!(
+        nd_line.as_bytes(),
+        get.content.as_slice(),
+        "degraded content diverged"
+    );
+    assert_eq!(get.status, 503, "{}", get.head);
+
+    // Recover: dropping the replication plane clears the reason and the
+    // HTTP status returns to 200.
+    service.shutdown_replication();
+    let get = http_request(http, "GET", "/healthz", None);
+    assert_eq!(get.status, 200, "{}", get.head);
+    assert_eq!(
+        get.content.as_slice(),
+        b"{\"health\":\"ready\",\"reasons\":[]}\n"
+    );
+
+    let bye = ndjson_request(ndjson, "{\"shutdown\": true}");
+    assert_eq!(bye, "{\"bye\":true}\n");
+    handle.join().expect("reactor thread").expect("reactor I/O");
+}
+
+// ---------------------------------------------------------------------------
 // Multiplexing behavior
 // ---------------------------------------------------------------------------
 
