@@ -821,56 +821,4 @@ impl WalStore {
         }
     }
 
-    /// The log's current record position: validated records in the file
-    /// (compaction markers included), the unit peers use to report how far
-    /// they have applied.  Appends advance it by one; [`WalStore::compact`]
-    /// resets it to 1 (the fresh marker), so a position is only meaningful
-    /// alongside [`WalStore::generation`].
-    pub fn position(&self) -> u64 {
-        self.wal.records
-    }
-
-    /// The compaction generation: bumped every time the log is folded and
-    /// truncated.  A (generation, position) pair names a point in the log's
-    /// history; positions from an older generation cannot be resolved to a
-    /// suffix and require a full snapshot transfer instead.
-    pub fn generation(&self) -> u64 {
-        self.compactions
-    }
-
-    /// Reads the log suffix after the first `after` validated records,
-    /// returning each remaining record's raw frame bytes (compaction
-    /// markers excluded — they describe this log's folding, not state a
-    /// peer should apply).  Frames that fail validation are skipped exactly
-    /// as [`replay`] would skip them, so the suffix never carries a frame
-    /// recovery itself would reject.
-    pub fn read_suffix(&self, after: u64) -> io::Result<Vec<Vec<u8>>> {
-        let bytes = match self.fs.read(&self.wal.path) {
-            Ok(bytes) => bytes,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
-            Err(e) => return Err(e),
-        };
-        let mut out = Vec::new();
-        if bytes.len() < WAL_HEADER_LEN {
-            return Ok(out);
-        }
-        let mut pos = WAL_HEADER_LEN;
-        let mut seen = 0u64;
-        while pos < bytes.len() {
-            match validate_frame(&bytes[pos..], self.wal.fingerprint) {
-                Ok((record, used)) => {
-                    seen += 1;
-                    if seen > after && !matches!(record, WalRecord::Compaction { .. }) {
-                        out.push(bytes[pos..pos + used].to_vec());
-                    }
-                    pos += used;
-                }
-                Err(FrameError::Torn) | Err(FrameError::Absurd(_)) => break,
-                Err(FrameError::Checksum { skip })
-                | Err(FrameError::Foreign { skip, .. })
-                | Err(FrameError::Undecodable { skip, .. }) => pos += skip,
-            }
-        }
-        Ok(out)
-    }
 }

@@ -418,6 +418,7 @@ fn replica_status_value(service: &Service) -> Value {
                             ("addr", Value::Str(p.addr.clone())),
                             ("state", Value::Str(p.state.to_string())),
                             ("connected", Value::Bool(p.connected)),
+                            ("ever_connected", Value::Bool(p.ever_connected)),
                             ("acked", Value::Int(p.acked as i64)),
                             ("lag", Value::Int(p.lag as i64)),
                             ("shipped", Value::Int(p.shipped as i64)),
@@ -436,6 +437,10 @@ fn replica_status_value(service: &Service) -> Value {
             Value::obj([
                 ("sources", Value::Int(status.inbound.sources as i64)),
                 ("hellos", Value::Int(status.inbound.hellos as i64)),
+                (
+                    "hellos_rejected",
+                    Value::Int(status.inbound.hellos_rejected as i64),
+                ),
                 (
                     "frames_applied",
                     Value::Int(status.inbound.frames_applied as i64),

@@ -200,6 +200,7 @@ pub(crate) struct ReplicaSink {
     pub(crate) frames_rejected: AtomicU64,
     pub(crate) snapshots_applied: AtomicU64,
     pub(crate) hellos: AtomicU64,
+    pub(crate) hellos_rejected: AtomicU64,
 }
 
 impl ReplicaSink {
@@ -271,6 +272,10 @@ struct PeerState {
     queue_dropped: AtomicU64,
     incompatible: AtomicU64,
     connected: AtomicBool,
+    /// Whether this session has ever completed a handshake: health treats
+    /// a never-connected peer as *booting*, not down, until its connect
+    /// attempts exhaust the grace budget.
+    ever_connected: AtomicBool,
     backoff_ms: AtomicU64,
     state: Mutex<&'static str>,
 }
@@ -288,6 +293,7 @@ impl PeerState {
             queue_dropped: AtomicU64::new(0),
             incompatible: AtomicU64::new(0),
             connected: AtomicBool::new(false),
+            ever_connected: AtomicBool::new(false),
             backoff_ms: AtomicU64::new(0),
             state: Mutex::new(STATE_CONNECTING),
         }
@@ -308,6 +314,8 @@ pub struct PeerStatus {
     pub state: String,
     /// Whether the session currently holds a live connection.
     pub connected: bool,
+    /// Whether the session has ever completed a handshake this run.
+    pub ever_connected: bool,
     /// Frames shipped over this session (re-sends included).
     pub shipped: u64,
     /// The peer's last acknowledged contiguous position.
@@ -333,6 +341,11 @@ pub struct InboundStatus {
     pub sources: u64,
     /// Hellos answered.
     pub hellos: u64,
+    /// Hellos refused for an engine-fingerprint mismatch.  Counted apart
+    /// from `frames_rejected`, which is reserved for frame validation
+    /// failures: a mid-upgrade peer's handshake must never read as frame
+    /// corruption.
+    pub hellos_rejected: u64,
     /// Frames validated and applied.
     pub frames_applied: u64,
     /// Frames that were positional or content duplicates (dropped, sound).
@@ -442,15 +455,21 @@ impl ReplicaHub {
 
     /// Publishes one encoded WAL frame to every peer queue.  Never blocks
     /// on I/O: overflow clears the slow peer's queue and flags it lagging.
+    ///
+    /// Sequence assignment and ring/inbox insertion happen as one unit
+    /// under the ring lock: concurrent store observers (the reactor worker
+    /// pool serves checks in parallel) would otherwise interleave between
+    /// the two and land frames out of sequence order — and catch-up ships
+    /// the ring in ring order, treating an ack below the shipped sequence
+    /// as a protocol anomaly, so one inverted pair would put the peer
+    /// session into a reconnect loop until the pair fell off the ring.
     pub(crate) fn publish(&self, frame: Vec<u8>) {
-        let seq = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
         let frame = Arc::new(frame);
-        {
-            let mut ring = self.ring.lock().expect("replica ring poisoned");
-            ring.push_back((seq, Arc::clone(&frame)));
-            while ring.len() > self.options.ring {
-                ring.pop_front();
-            }
+        let mut ring = self.ring.lock().expect("replica ring poisoned");
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
+        ring.push_back((seq, Arc::clone(&frame)));
+        while ring.len() > self.options.ring {
+            ring.pop_front();
         }
         for peer in &self.peers {
             let mut inbox = peer.inbox.lock().expect("peer inbox poisoned");
@@ -531,6 +550,7 @@ impl ReplicaHub {
                     addr: p.addr.clone(),
                     state: p.state.lock().expect("peer state poisoned").to_string(),
                     connected: p.connected.load(Ordering::Relaxed),
+                    ever_connected: p.ever_connected.load(Ordering::Relaxed),
                     shipped: p.shipped.load(Ordering::Relaxed),
                     acked,
                     lag: published.saturating_sub(acked),
@@ -778,6 +798,7 @@ fn run_session(hub: &ReplicaHub, peer: &PeerState, fingerprint: u64) {
         backoff.reset();
         peer.backoff_ms.store(0, Ordering::Relaxed);
         peer.connected.store(true, Ordering::Relaxed);
+        peer.ever_connected.store(true, Ordering::Relaxed);
         peer.acked.store(applied, Ordering::Relaxed);
 
         // Anti-entropy first, then stream.
@@ -908,5 +929,68 @@ mod tests {
     #[test]
     fn node_tokens_are_unique_per_call() {
         assert_ne!(generate_node_token(1), generate_node_token(1));
+    }
+
+    /// A transport that never connects: the session thread parks in
+    /// backoff, leaving the ring and inbox to the test.
+    #[derive(Debug)]
+    struct NoConnect;
+
+    impl Transport for NoConnect {
+        fn connect(&self, _addr: &str) -> io::Result<Box<dyn Wire>> {
+            Err(io::ErrorKind::ConnectionRefused.into())
+        }
+    }
+
+    /// Regression: publish assigns the sequence and inserts into the ring
+    /// and every inbox as one unit.  With assignment and insertion split,
+    /// concurrent publishers interleave and land frames out of order,
+    /// which catch-up escalates into a reconnect loop.
+    #[test]
+    fn concurrent_publishes_stay_in_sequence_order() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 200;
+        let hub = ReplicaHub::start(
+            1,
+            Arc::new(NoConnect),
+            ReplicaOptions {
+                peers: vec!["unreachable".to_string()],
+                queue: (THREADS * PER_THREAD) as usize + 1,
+                ring: (THREADS * PER_THREAD) as usize + 1,
+                // Park the session after its first failed connect.
+                backoff_base_ms: 60_000,
+                backoff_cap_ms: 60_000,
+                node: Some("seq-order-test".to_string()),
+            },
+            Arc::new(Vec::new),
+        );
+        let workers: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let hub = Arc::clone(&hub);
+                std::thread::spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        hub.publish(vec![0]);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("publisher");
+        }
+
+        let total = THREADS * PER_THREAD;
+        assert_eq!(hub.published(), total);
+        let ring_seqs: Vec<u64> = {
+            let ring = hub.ring.lock().expect("ring");
+            ring.iter().map(|(s, _)| *s).collect()
+        };
+        assert_eq!(ring_seqs, (1..=total).collect::<Vec<_>>());
+        let inbox_seqs: Vec<u64> = {
+            let inbox = hub.peers[0].inbox.lock().expect("inbox");
+            assert!(!inbox.lagging, "queue bound must not have tripped");
+            inbox.queue.iter().map(|(s, _)| *s).collect()
+        };
+        assert_eq!(inbox_seqs, (1..=total).collect::<Vec<_>>());
+        hub.shutdown();
     }
 }

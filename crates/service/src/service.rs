@@ -194,6 +194,14 @@ pub enum PeriodicSave {
     },
 }
 
+/// Failed connect attempts before a never-connected peer stops counting as
+/// booting and starts counting as down for [`Service::health`].  Under the
+/// default backoff schedule (100 ms base, doubling) six attempts tolerate
+/// roughly the first three seconds of connection refusals, which covers a
+/// staggered fleet boot without hiding a genuinely unreachable peer for
+/// long.
+pub const PEERS_DOWN_GRACE_ATTEMPTS: u64 = 6;
+
 /// Health of one daemon, for fleet orchestration probes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Health {
@@ -397,6 +405,10 @@ impl Service {
         m.set_gauge(
             "replica.frames_rejected",
             replica.inbound.frames_rejected as i64,
+        );
+        m.set_gauge(
+            "replica.hellos_rejected",
+            replica.inbound.hellos_rejected as i64,
         );
         m.set_gauge(
             "replica.snapshots_applied",
@@ -718,15 +730,32 @@ impl Service {
     /// frames handed to it.
     pub fn enable_replication(&self, transport: Arc<dyn Transport>, options: ReplicaOptions) {
         let fp = self.engine.fingerprint();
-        let source_service = self.clone();
+        // Capture *weak* references to the three stores the capture reads,
+        // never the service or strong store Arcs: the hub lives in
+        // `self.replica_hub` and the store observers hold the hub, so a
+        // strong capture here closes an Arc cycle — a `Service` dropped
+        // without `shutdown_replication` would leak the engine, the
+        // persistence state and every cached verdict for the lifetime of
+        // the parked session threads.
+        let cache = Arc::downgrade(&self.cache);
+        let programs = Arc::downgrade(&self.programs);
+        let defs = Arc::downgrade(&self.defs);
         let source: SnapshotSource = Arc::new(move || {
-            Snapshot::capture(
-                fp,
-                &source_service.cache,
-                &source_service.programs,
-                &source_service.defs,
-            )
-            .to_bytes()
+            match (cache.upgrade(), programs.upgrade(), defs.upgrade()) {
+                (Some(cache), Some(programs), Some(defs)) => {
+                    Snapshot::capture(fp, &cache, &programs, &defs).to_bytes()
+                }
+                // The owning service is gone (dropped without shutdown).
+                // An empty snapshot is sound — replication is set union —
+                // and nothing will ever publish to this hub again.
+                _ => Snapshot::capture(
+                    fp,
+                    &ShardedValidityCache::with_shards(1),
+                    &SharedProgramCache::new(),
+                    &DefIndex::new(),
+                )
+                .to_bytes(),
+            }
         });
         let hub = ReplicaHub::start(fp, transport, options, source);
         *self.replica_hub.lock().expect("replica hub poisoned") = Some(hub);
@@ -773,6 +802,7 @@ impl Service {
             inbound: InboundStatus {
                 sources: sink.source_count(),
                 hellos: sink.hellos.load(Ordering::Relaxed),
+                hellos_rejected: sink.hellos_rejected.load(Ordering::Relaxed),
                 frames_applied: sink.frames_applied.load(Ordering::Relaxed),
                 frames_duplicate: sink.frames_duplicate.load(Ordering::Relaxed),
                 frames_rejected: sink.frames_rejected.load(Ordering::Relaxed),
@@ -787,8 +817,12 @@ impl Service {
     pub(crate) fn replica_hello(&self, node: &str, fp_hex: &str) -> Result<u64, String> {
         let theirs = u64::from_str_radix(fp_hex, 16).unwrap_or(0);
         if theirs != self.engine.fingerprint() {
+            // Not `frames_rejected`: a refused handshake is incompatibility
+            // (expected mid-upgrade), not frame corruption — conflating the
+            // two would trip every zero-rejected-frames assertion during a
+            // rolling engine upgrade.
             self.replica_sink
-                .frames_rejected
+                .hellos_rejected
                 .fetch_add(1, Ordering::Relaxed);
             return Err(FINGERPRINT_MISMATCH.to_string());
         }
@@ -954,6 +988,14 @@ impl Service {
     /// The daemon's health for orchestration probes: ready unless the WAL
     /// tail is poisoned (appends refused until compaction), the persist
     /// save is backing off, or every configured replication peer is down.
+    ///
+    /// A peer counts as *down* only once that is established — its session
+    /// completed a handshake at some point, or it has burned through
+    /// [`PEERS_DOWN_GRACE_ATTEMPTS`] failed connects.  A freshly started
+    /// daemon whose peers have not finished their first handshake is
+    /// booting, not degraded: without the grace, every daemon with
+    /// `--peer` configured would flap 503 at startup and orchestration
+    /// probes gating on `/healthz` would see spurious failures.
     pub fn health(&self) -> Health {
         let mut reasons = Vec::new();
         if let Some(wal) = self.persist_stats().wal {
@@ -965,7 +1007,10 @@ impl Service {
             reasons.push("save-backoff".to_string());
         }
         let replica = self.replica_status();
-        if !replica.peers.is_empty() && replica.peers.iter().all(|p| !p.connected) {
+        let down = |p: &crate::replica::PeerStatus| {
+            !p.connected && (p.ever_connected || p.reconnects >= PEERS_DOWN_GRACE_ATTEMPTS)
+        };
+        if !replica.peers.is_empty() && replica.peers.iter().all(down) {
             reasons.push("peers-down".to_string());
         }
         Health {

@@ -428,6 +428,10 @@ fn health_probe_is_byte_identical_and_degrades_to_503() {
     assert_eq!(post.status, 200, "{}", post.head);
 
     // Degrade: replication to a peer nobody listens on — all peers down.
+    // A never-connected peer is treated as booting until its connect
+    // attempts exhaust the health grace budget, so poll until the session
+    // has provably failed enough times (tens of milliseconds at this
+    // backoff schedule) rather than asserting the first probe.
     let net = SimNet::new();
     service.enable_replication(
         Arc::new(net.endpoint("probe")),
@@ -438,7 +442,14 @@ fn health_probe_is_byte_identical_and_degrades_to_503() {
             ..ReplicaOptions::default()
         },
     );
-    let nd_line = ndjson_request(ndjson, "{\"health\": true}");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let nd_line = loop {
+        let line = ndjson_request(ndjson, "{\"health\": true}");
+        if line.contains("degraded") || std::time::Instant::now() >= deadline {
+            break line;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
     assert_eq!(
         nd_line,
         "{\"health\":\"degraded\",\"reasons\":[\"peers-down\"]}\n"

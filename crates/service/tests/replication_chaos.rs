@@ -536,7 +536,10 @@ fn fingerprint_mismatch_matrix_rejects_without_applying() {
 }
 
 /// A hello with a foreign fingerprint parks the handshake: the structured
-/// mismatch error, no state answer, and the reject is counted.
+/// mismatch error, no state answer, and the reject is counted under
+/// `hellos_rejected` — never `frames_rejected`, which is reserved for
+/// frame validation failures (a rolling engine upgrade must not read as
+/// frame corruption).
 #[test]
 fn foreign_fingerprint_hello_is_refused() {
     let service = Service::new(ServiceConfig {
@@ -585,5 +588,136 @@ fn foreign_fingerprint_hello_is_refused() {
             .contains("version"),
         "{response}"
     );
-    assert_eq!(inbound_counter(&service, "frames_rejected"), 1);
+    assert_eq!(inbound_counter(&service, "hellos_rejected"), 1);
+    assert_eq!(inbound_counter(&service, "frames_rejected"), 0);
+}
+
+/// Health treats a never-connected peer as booting, not down: a fresh
+/// daemon with peers configured answers ready until the session burns
+/// through the connect grace budget, then flips to `peers-down`.
+#[test]
+fn health_grants_never_connected_peers_a_boot_grace() {
+    let net = SimNet::new();
+    let service = Service::new(ServiceConfig {
+        workers: 1,
+        cache_shards: 4,
+    });
+
+    // A huge backoff parks the session after its first failed connect:
+    // one attempt is inside the grace, so the probe stays ready.
+    service.enable_replication(
+        Arc::new(net.endpoint("grace-a")),
+        ReplicaOptions {
+            peers: vec!["ghost".to_string()],
+            backoff_base_ms: 60_000,
+            backoff_cap_ms: 60_000,
+            ..ReplicaOptions::default()
+        },
+    );
+    let deadline = Instant::now() + SETTLE;
+    loop {
+        let status = service.replica_status();
+        let attempted = status.peers.iter().any(|p| p.reconnects >= 1);
+        let health = service.health();
+        assert!(
+            health.ready,
+            "one failed connect must stay inside the boot grace: {health:?}"
+        );
+        if attempted || Instant::now() >= deadline {
+            assert!(attempted, "session never attempted a connect");
+            break;
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
+    service.shutdown_replication();
+
+    // A tight backoff exhausts the grace in tens of milliseconds: the
+    // same unreachable peer is then provably down.
+    service.enable_replication(
+        Arc::new(net.endpoint("grace-b")),
+        ReplicaOptions {
+            peers: vec!["ghost".to_string()],
+            backoff_base_ms: 5,
+            backoff_cap_ms: 20,
+            ..ReplicaOptions::default()
+        },
+    );
+    let deadline = Instant::now() + SETTLE;
+    loop {
+        let health = service.health();
+        if !health.ready {
+            assert_eq!(health.reasons, vec!["peers-down".to_string()]);
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "unreachable peer never established as down"
+        );
+        thread::sleep(Duration::from_millis(5));
+    }
+    service.shutdown_replication();
+    assert!(service.health().ready, "no peers configured means ready");
+}
+
+/// A peer that completed a handshake and then died is down without any
+/// grace: `ever_connected` distinguishes "was up, now is not" from a
+/// session still booting.
+#[test]
+fn health_reports_peers_down_once_a_connected_peer_dies() {
+    let net = SimNet::new();
+    let b = Node::start(&net, "health-b", &[]);
+    // A huge backoff keeps reconnect attempts below the boot grace, so
+    // only the ever-connected path can flip the probe.
+    let a = Node::start_with(&net, "health-a", &["health-b"], |o| {
+        o.backoff_base_ms = 60_000;
+        o.backoff_cap_ms = 60_000;
+    });
+    await_settled(&[&a]);
+    assert!(a.service.health().ready, "connected fleet must probe ready");
+
+    b.kill();
+    let deadline = Instant::now() + SETTLE;
+    loop {
+        let health = a.service.health();
+        if !health.ready {
+            assert_eq!(health.reasons, vec!["peers-down".to_string()]);
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "dead peer never reported down: {:?}",
+            a.service.replica_status()
+        );
+        thread::sleep(Duration::from_millis(10));
+    }
+    a.stop();
+}
+
+/// Regression: the hub's snapshot source must not capture the service (or
+/// strong store Arcs) — the store observers hold the hub, so that capture
+/// is an Arc cycle and a service dropped *without* `shutdown_replication`
+/// (library and test users) would leak the engine, persistence state and
+/// caches for the lifetime of the parked session threads.
+#[test]
+fn dropping_a_service_without_shutdown_frees_it() {
+    let net = SimNet::new();
+    let service = Service::new(ServiceConfig {
+        workers: 1,
+        cache_shards: 4,
+    });
+    let engine = Arc::downgrade(service.engine());
+    service.enable_replication(
+        Arc::new(net.endpoint("leak-probe")),
+        ReplicaOptions {
+            peers: vec!["ghost".to_string()],
+            backoff_base_ms: 60_000,
+            backoff_cap_ms: 60_000,
+            ..ReplicaOptions::default()
+        },
+    );
+    drop(service);
+    assert!(
+        engine.upgrade().is_none(),
+        "service state leaked through the replication hub"
+    );
 }
